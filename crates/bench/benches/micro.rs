@@ -1,0 +1,160 @@
+//! Criterion microbenchmarks backing the paper's §III complexity analysis
+//! (experiment A3 in DESIGN.md):
+//!
+//! * `h(k)` is O(log p) — ring lookup across bucket counts,
+//! * B+-tree search is O(log ||n||), the sweep is linear in swept records
+//!   (`T_migrate = log ||n|| + |n|/2 · (T_net + 1)`),
+//! * λ scoring is O(m) per key,
+//! * spatial linearization and LRU bookkeeping are O(1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecc_bptree::BPlusTree;
+use ecc_chash::HashRing;
+use ecc_core::{Lru, SlidingWindow};
+use ecc_spatial::{hilbert, morton};
+
+fn bench_ring_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_lookup_h_of_k");
+    for p in [4u64, 16, 64, 256, 1024, 4096] {
+        let mut ring: HashRing<u32> = HashRing::new(1 << 20);
+        for i in 0..p {
+            ring.insert_bucket(i * ((1 << 20) / p) + 7, (i % 16) as u32)
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E3779B9);
+                black_box(ring.bucket_for_key(k % (1 << 20)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    for n in [1_000u64, 10_000, 100_000] {
+        let mut tree: BPlusTree<u64, u64> = BPlusTree::new(64);
+        for i in 0..n {
+            tree.insert((i * 2654435761) % (n * 4), i);
+        }
+        group.bench_with_input(BenchmarkId::new("search", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(0x9E3779B9);
+                black_box(tree.get(&(k % (n * 4))))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
+            let mut k = n * 4;
+            b.iter(|| {
+                k += 1;
+                tree.insert(k, k);
+                tree.remove(&k);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_btree_sweep(c: &mut Criterion) {
+    // The sweep phase of Algorithm 2: linear in swept records.
+    let mut group = c.benchmark_group("btree_sweep_half");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(n / 2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut tree: BPlusTree<u64, u64> = BPlusTree::new(64);
+                    for i in 0..n {
+                        tree.insert(i, i);
+                    }
+                    tree
+                },
+                |mut tree| black_box(tree.drain_range(&0, &(n / 2))),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_lambda(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_lambda");
+    for m in [50usize, 100, 200, 400] {
+        let mut w = SlidingWindow::new(m, 0.99, 0.0);
+        for s in 0..m as u64 {
+            for q in 0..50u64 {
+                w.note_query((s * 31 + q * 17) % 4096);
+            }
+            w.end_slice();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = (k + 1) % 4096;
+                black_box(w.lambda(k))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spatial");
+    group.bench_function("morton_encode2", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(2654435761);
+            black_box(morton::encode2(x, x.rotate_left(13)))
+        });
+    });
+    group.bench_function("hilbert_xy_to_d_order16", |b| {
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(40503) & 0xFFFF;
+            black_box(hilbert::xy_to_d(16, x, x.rotate_left(5) & 0xFFFF))
+        });
+    });
+    group.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru");
+    group.bench_function("get_touch_64k", |b| {
+        let mut lru: Lru<u64, u64> = Lru::new();
+        for k in 0..65_536u64 {
+            lru.insert(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k.wrapping_add(0x9E3779B9)) % 65_536;
+            black_box(lru.get(&k).copied())
+        });
+    });
+    group.bench_function("insert_evict_cycle", |b| {
+        let mut lru: Lru<u64, u64> = Lru::new();
+        for k in 0..4096u64 {
+            lru.insert(k, k);
+        }
+        let mut k = 4096u64;
+        b.iter(|| {
+            k += 1;
+            lru.insert(k, k);
+            black_box(lru.pop_lru())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ring_lookup,
+    bench_btree_ops,
+    bench_btree_sweep,
+    bench_window_lambda,
+    bench_spatial,
+    bench_lru
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Figure 1: consistent hashing on the bucket line, before and after a
+//! node acquisition.
+//!
+//! Reproduces the paper's worked example: two nodes behind five buckets;
+//! a new node `n3` is inserted at `b6 = r/2` and only the keys in
+//! `(b3, b6]` relocate.
+
+use ecc_chash::HashRing;
+
+fn render(ring: &HashRing<&'static str>, r: u64) {
+    let cols = 64usize;
+    let mut line = vec!['-'; cols];
+    let mut labels = vec![' '; cols + 8];
+    for (pos, node) in ring.buckets() {
+        let c = (pos as usize * (cols - 1)) / (r as usize - 1);
+        line[c] = '|';
+        let name = node.to_string();
+        for (i, ch) in name.chars().enumerate() {
+            if c + i < labels.len() {
+                labels[c + i] = ch;
+            }
+        }
+    }
+    println!("  0 {} {}", line.iter().collect::<String>(), r - 1);
+    println!("    {}", labels.iter().collect::<String>());
+}
+
+fn main() {
+    let r = 1000u64;
+    let mut ring: HashRing<&'static str> = HashRing::new(r);
+    // Five buckets over two nodes, as in Figure 1 (top).
+    for (pos, node) in [(100, "n1"), (300, "n1"), (500, "n2"), (700, "n2"), (900, "n2")] {
+        ring.insert_bucket(pos, node).unwrap();
+    }
+
+    println!("Figure 1 (top): two nodes, five buckets on the hash line [0, {r})\n");
+    render(&ring, r);
+    println!();
+    for key in [42u64, 250, 499, 620, 901, 999] {
+        let b = ring.bucket_for_key(key).unwrap();
+        println!(
+            "  h'(k)={key:>4}  ->  closest upper bucket b@{b:<4} ->  {}",
+            ring.node_for_key(key).unwrap()
+        );
+    }
+
+    let b6 = 600; // between b3 = 500 and b4 = 700, as in the paper's figure
+    println!("\nAcquiring n3 at b6 = {b6}:");
+    let arc = ring.relocation_on_insert(b6).unwrap();
+    println!(
+        "  relocation set: exactly the keys in (b3, b6] = {:?} ({} positions) — no global rehash",
+        arc.spans(),
+        arc.len()
+    );
+    ring.insert_bucket(b6, "n3").unwrap();
+
+    println!("\nFigure 1 (bottom): after the acquisition\n");
+    render(&ring, r);
+    println!();
+    for key in [42u64, 250, 499, 501, 620, 901] {
+        println!(
+            "  h'(k)={key:>4}  ->  {}",
+            ring.node_for_key(key).unwrap()
+        );
+    }
+    let moved: u64 = arc.len();
+    println!(
+        "\nhash disruption: {moved}/{r} keys moved ({:.1} %); static `k mod n` would move ~{:.0} %",
+        100.0 * moved as f64 / r as f64,
+        100.0 * (1.0 - 1.0 / 3.0)
+    );
+}

@@ -1,0 +1,104 @@
+//! Value size measurement for the tree's `||n||` accounting.
+
+/// Types whose stored size (in bytes) the tree can account for.
+///
+/// The paper's overflow test (`||n|| + sizeof(v) < ⌈n⌉`, Algorithm 1 line 5)
+/// needs a `sizeof` for every cached value. Implementations should return
+/// the *payload* size — the number of bytes the record occupies in cache
+/// memory — and must be stable for a given value (the tree subtracts the
+/// same amount on removal that it added on insertion).
+pub trait ByteSize {
+    /// Size of this value in bytes.
+    fn byte_size(&self) -> usize;
+}
+
+macro_rules! impl_bytesize_prim {
+    ($($t:ty),*) => {
+        $(impl ByteSize for $t {
+            #[inline]
+            fn byte_size(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_bytesize_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+
+impl ByteSize for String {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl ByteSize for &str {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Vec<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.iter().map(ByteSize::byte_size).sum()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Box<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize> ByteSize for std::sync::Arc<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        (**self).byte_size()
+    }
+}
+
+impl<T: ByteSize> ByteSize for Option<T> {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.as_ref().map_or(0, ByteSize::byte_size)
+    }
+}
+
+impl<A: ByteSize, B: ByteSize> ByteSize for (A, B) {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.0.byte_size() + self.1.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_report_their_width() {
+        assert_eq!(0u8.byte_size(), 1);
+        assert_eq!(0u64.byte_size(), 8);
+        assert_eq!(1.5f64.byte_size(), 8);
+        assert_eq!(true.byte_size(), 1);
+    }
+
+    #[test]
+    fn containers_sum_elements() {
+        assert_eq!(vec![0u8; 100].byte_size(), 100);
+        assert_eq!(vec![0u32; 5].byte_size(), 20);
+        assert_eq!("hello".to_string().byte_size(), 5);
+        assert_eq!(Some(7u64).byte_size(), 8);
+        assert_eq!(None::<u64>.byte_size(), 0);
+        assert_eq!((1u32, vec![0u8; 3]).byte_size(), 7);
+    }
+
+    #[test]
+    fn smart_pointers_delegate() {
+        assert_eq!(Box::new(9u16).byte_size(), 2);
+        assert_eq!(std::sync::Arc::new(vec![1u8, 2, 3]).byte_size(), 3);
+    }
+}

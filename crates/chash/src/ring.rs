@@ -1,0 +1,561 @@
+//! The hash-line implementation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors returned by ring mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// Bucket position outside `[0, r)`.
+    PositionOutOfRange {
+        /// The rejected position.
+        position: u64,
+        /// The hash-line range.
+        r: u64,
+    },
+    /// A bucket already sits at this position.
+    BucketOccupied {
+        /// The occupied position.
+        position: u64,
+    },
+    /// No bucket exists at this position.
+    NoSuchBucket {
+        /// The position that was looked up.
+        position: u64,
+    },
+    /// Operation needs at least one bucket, but the ring is empty.
+    EmptyRing,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PositionOutOfRange { position, r } => {
+                write!(f, "bucket position {position} outside hash line [0, {r})")
+            }
+            Self::BucketOccupied { position } => {
+                write!(f, "bucket position {position} already occupied")
+            }
+            Self::NoSuchBucket { position } => write!(f, "no bucket at position {position}"),
+            Self::EmptyRing => write!(f, "ring has no buckets"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A (possibly wrapping) arc of the hash line, expressed as inclusive
+/// position bounds. The arc owned by bucket `b_i` is `(b_{i-1}, b_i]`; for
+/// the first bucket that wraps around the top of the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arc {
+    /// Every position in `[lo, hi]`.
+    Contiguous {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// The wrap-around arc `[lo, r) ∪ [0, hi]`.
+    Wrapping {
+        /// Inclusive start of the upper span.
+        lo: u64,
+        /// Inclusive end of the lower span.
+        hi: u64,
+        /// The hash-line range.
+        r: u64,
+    },
+    /// The entire line (single-bucket ring).
+    Full {
+        /// The hash-line range.
+        r: u64,
+    },
+}
+
+impl Arc {
+    /// Convenience constructor for a contiguous arc.
+    pub fn contiguous(lo: u64, hi: u64) -> Self {
+        Arc::Contiguous { lo, hi }
+    }
+
+    /// Whether `pos` falls inside this arc.
+    pub fn contains(&self, pos: u64) -> bool {
+        match *self {
+            Arc::Contiguous { lo, hi } => lo <= pos && pos <= hi,
+            Arc::Wrapping { lo, hi, r } => (lo <= pos && pos < r) || pos <= hi,
+            Arc::Full { r } => pos < r,
+        }
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> u64 {
+        match *self {
+            Arc::Contiguous { lo, hi } => hi - lo + 1,
+            Arc::Wrapping { lo, hi, r } => (r - lo) + hi + 1,
+            Arc::Full { r } => r,
+        }
+    }
+
+    /// Whether the arc covers no positions (never true for valid arcs).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The arc as at most two `(lo, hi)` inclusive spans in key order —
+    /// the shape a B+-tree sweep consumes.
+    pub fn spans(&self) -> Vec<(u64, u64)> {
+        match *self {
+            Arc::Contiguous { lo, hi } => vec![(lo, hi)],
+            Arc::Wrapping { lo, hi, r } if lo < r => vec![(0, hi), (lo, r - 1)],
+            // Degenerate wrap (upper span empty): just the low end.
+            Arc::Wrapping { hi, .. } => vec![(0, hi)],
+            Arc::Full { r } => vec![(0, r - 1)],
+        }
+    }
+
+    /// Normalize a `(pred, position]` arc: a "wrap" whose upper span is
+    /// empty (predecessor at `r - 1`) is really contiguous `[0, position]`.
+    fn between(pred: u64, position: u64, r: u64) -> Self {
+        if pred < position {
+            Arc::Contiguous {
+                lo: pred + 1,
+                hi: position,
+            }
+        } else if pred == r - 1 {
+            Arc::Contiguous {
+                lo: 0,
+                hi: position,
+            }
+        } else {
+            Arc::Wrapping {
+                lo: pred + 1,
+                hi: position,
+                r,
+            }
+        }
+    }
+}
+
+/// The consistent-hash ring: ordered buckets on `[0, r)`, each mapped to a
+/// node of type `N`. This combines the paper's `B` (bucket list) and
+/// `NodeMap` (bucket → node relation) in one structure.
+#[derive(Debug, Clone)]
+pub struct HashRing<N> {
+    r: u64,
+    buckets: BTreeMap<u64, N>,
+}
+
+impl<N: Clone + Eq> HashRing<N> {
+    /// Create an empty ring over the hash line `[0, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r == 0`.
+    pub fn new(r: u64) -> Self {
+        assert!(r > 0, "hash line range must be positive");
+        Self {
+            r,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// The hash line range `r`.
+    #[inline]
+    pub fn range(&self) -> u64 {
+        self.r
+    }
+
+    /// Number of buckets `p`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether the ring has no buckets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The auxiliary hash `h'(k) = k mod r`.
+    #[inline]
+    pub fn aux_hash(&self, key: u64) -> u64 {
+        key % self.r
+    }
+
+    /// The consistent hash `h(k)`: position of the bucket owning `key`.
+    /// `None` on an empty ring.
+    pub fn bucket_for_key(&self, key: u64) -> Option<u64> {
+        self.bucket_for_position(self.aux_hash(key))
+    }
+
+    /// Closest upper bucket for a raw line position, wrapping to `b_1`.
+    pub fn bucket_for_position(&self, pos: u64) -> Option<u64> {
+        self.buckets
+            .range(pos..)
+            .next()
+            .or_else(|| self.buckets.iter().next())
+            .map(|(&b, _)| b)
+    }
+
+    /// The node owning `key`. `None` on an empty ring.
+    pub fn node_for_key(&self, key: u64) -> Option<&N> {
+        self.bucket_for_key(key).map(|b| &self.buckets[&b])
+    }
+
+    /// The node mapped to the bucket at `position`.
+    pub fn node_of_bucket(&self, position: u64) -> Option<&N> {
+        self.buckets.get(&position)
+    }
+
+    /// Insert a bucket at `position` mapped to `node`.
+    pub fn insert_bucket(&mut self, position: u64, node: N) -> Result<(), RingError> {
+        if position >= self.r {
+            return Err(RingError::PositionOutOfRange {
+                position,
+                r: self.r,
+            });
+        }
+        if self.buckets.contains_key(&position) {
+            return Err(RingError::BucketOccupied { position });
+        }
+        self.buckets.insert(position, node);
+        Ok(())
+    }
+
+    /// Remove the bucket at `position`, returning its node.
+    pub fn remove_bucket(&mut self, position: u64) -> Result<N, RingError> {
+        self.buckets
+            .remove(&position)
+            .ok_or(RingError::NoSuchBucket { position })
+    }
+
+    /// Re-map an existing bucket to a different node (used when merging two
+    /// cache nodes: the dying node's buckets are pointed at the survivor).
+    pub fn remap_bucket(&mut self, position: u64, node: N) -> Result<N, RingError> {
+        match self.buckets.get_mut(&position) {
+            Some(slot) => Ok(std::mem::replace(slot, node)),
+            None => Err(RingError::NoSuchBucket { position }),
+        }
+    }
+
+    /// Iterate over `(position, node)` pairs in line order (`b_1 … b_p`).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, &N)> {
+        self.buckets.iter().map(|(&b, n)| (b, n))
+    }
+
+    /// All bucket positions mapped to `node`, in line order.
+    pub fn buckets_of_node(&self, node: &N) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .filter(|(_, n)| *n == node)
+            .map(|(&b, _)| b)
+            .collect()
+    }
+
+    /// Distinct nodes referenced by at least one bucket.
+    pub fn nodes(&self) -> Vec<N> {
+        let mut out: Vec<N> = Vec::new();
+        for n in self.buckets.values() {
+            if !out.contains(n) {
+                out.push(n.clone());
+            }
+        }
+        out
+    }
+
+    /// The predecessor bucket of `position` on the circular line (the bucket
+    /// whose arc ends just before this one begins).
+    pub fn predecessor(&self, position: u64) -> Result<u64, RingError> {
+        if !self.buckets.contains_key(&position) {
+            return Err(RingError::NoSuchBucket { position });
+        }
+        Ok(self
+            .buckets
+            .range(..position)
+            .next_back()
+            .or_else(|| self.buckets.iter().next_back())
+            .map(|(&b, _)| b)
+            .expect("non-empty ring has a predecessor"))
+    }
+
+    /// The successor bucket of `position` on the circular line.
+    pub fn successor(&self, position: u64) -> Result<u64, RingError> {
+        if !self.buckets.contains_key(&position) {
+            return Err(RingError::NoSuchBucket { position });
+        }
+        Ok(self
+            .buckets
+            .range(position + 1..)
+            .next()
+            .or_else(|| self.buckets.iter().next())
+            .map(|(&b, _)| b)
+            .expect("non-empty ring has a successor"))
+    }
+
+    /// The arc of the line owned by the bucket at `position`:
+    /// `(predecessor, position]`, wrapping as needed.
+    pub fn arc_of_bucket(&self, position: u64) -> Result<Arc, RingError> {
+        let pred = self.predecessor(position)?;
+        if self.buckets.len() == 1 {
+            return Ok(Arc::Full { r: self.r });
+        }
+        Ok(Arc::between(pred, position, self.r))
+    }
+
+    /// The lowest position of a bucket's arc — the paper's `min(b_max)`
+    /// (Algorithm 1, line 12). For the wrap-around bucket this is the start
+    /// of its *upper* span.
+    pub fn arc_start(&self, position: u64) -> Result<u64, RingError> {
+        match self.arc_of_bucket(position)? {
+            Arc::Contiguous { lo, .. } => Ok(lo),
+            Arc::Wrapping { lo, .. } => Ok(lo),
+            Arc::Full { .. } => Ok((position + 1) % self.r),
+        }
+    }
+
+    /// The keys (as an arc of the line) that would move to a new bucket at
+    /// `position`, i.e. `(b_prev, position]`. Fails if the position is
+    /// occupied or out of range; on an empty ring the new bucket would own
+    /// the full line.
+    pub fn relocation_on_insert(&self, position: u64) -> Result<Arc, RingError> {
+        if position >= self.r {
+            return Err(RingError::PositionOutOfRange {
+                position,
+                r: self.r,
+            });
+        }
+        if self.buckets.contains_key(&position) {
+            return Err(RingError::BucketOccupied { position });
+        }
+        if self.buckets.is_empty() {
+            return Ok(Arc::Full { r: self.r });
+        }
+        let pred = self
+            .buckets
+            .range(..position)
+            .next_back()
+            .or_else(|| self.buckets.iter().next_back())
+            .map(|(&b, _)| b)
+            .expect("checked non-empty");
+        Ok(Arc::between(pred, position, self.r))
+    }
+
+    /// The keys that move to the successor bucket when the bucket at
+    /// `position` is removed (exactly that bucket's arc).
+    pub fn relocation_on_remove(&self, position: u64) -> Result<Arc, RingError> {
+        self.arc_of_bucket(position)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_ring() -> HashRing<u32> {
+        // Mirrors Figure 1 (top): five buckets over two nodes.
+        let mut ring = HashRing::new(100);
+        ring.insert_bucket(10, 1).unwrap();
+        ring.insert_bucket(30, 1).unwrap();
+        ring.insert_bucket(50, 2).unwrap();
+        ring.insert_bucket(70, 2).unwrap();
+        ring.insert_bucket(90, 2).unwrap();
+        ring
+    }
+
+    #[test]
+    fn closest_upper_bucket_rule() {
+        let ring = two_node_ring();
+        assert_eq!(ring.bucket_for_key(0), Some(10));
+        assert_eq!(ring.bucket_for_key(10), Some(10));
+        assert_eq!(ring.bucket_for_key(11), Some(30));
+        assert_eq!(ring.bucket_for_key(69), Some(70));
+        assert_eq!(ring.bucket_for_key(90), Some(90));
+    }
+
+    #[test]
+    fn keys_above_last_bucket_wrap_to_first() {
+        let ring = two_node_ring();
+        // h'(k) in (90, 99] wraps to b_1 = 10, node 1 (paper's circular rule).
+        assert_eq!(ring.bucket_for_key(91), Some(10));
+        assert_eq!(ring.bucket_for_key(99), Some(10));
+        assert_eq!(ring.node_for_key(95), Some(&1));
+    }
+
+    #[test]
+    fn aux_hash_is_mod_r() {
+        let ring = two_node_ring();
+        assert_eq!(ring.aux_hash(100), 0);
+        assert_eq!(ring.aux_hash(123), 23);
+        assert_eq!(ring.bucket_for_key(123), Some(30));
+    }
+
+    #[test]
+    fn empty_ring_maps_nothing() {
+        let ring: HashRing<u32> = HashRing::new(64);
+        assert_eq!(ring.bucket_for_key(5), None);
+        assert_eq!(ring.node_for_key(5), None);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn insert_rejects_bad_positions() {
+        let mut ring = two_node_ring();
+        assert_eq!(
+            ring.insert_bucket(100, 3),
+            Err(RingError::PositionOutOfRange {
+                position: 100,
+                r: 100
+            })
+        );
+        assert_eq!(
+            ring.insert_bucket(50, 3),
+            Err(RingError::BucketOccupied { position: 50 })
+        );
+    }
+
+    #[test]
+    fn figure1_bottom_split_scenario() {
+        // Figure 1 (bottom): adding n3 at b6 = r/2 relocates exactly the
+        // keys in (b3, b6] from n2 to n3.
+        let mut ring = two_node_ring();
+        let moved = ring.relocation_on_insert(60).unwrap();
+        assert_eq!(moved, Arc::contiguous(51, 60));
+        ring.insert_bucket(60, 3).unwrap();
+        for k in 51..=60 {
+            assert_eq!(ring.node_for_key(k), Some(&3));
+        }
+        assert_eq!(ring.node_for_key(50), Some(&2));
+        assert_eq!(ring.node_for_key(61), Some(&2));
+    }
+
+    #[test]
+    fn relocation_on_insert_wrapping() {
+        let ring = two_node_ring();
+        // New bucket at 5: predecessor is 90, so the arc wraps.
+        let moved = ring.relocation_on_insert(5).unwrap();
+        assert_eq!(
+            moved,
+            Arc::Wrapping {
+                lo: 91,
+                hi: 5,
+                r: 100
+            }
+        );
+        assert_eq!(moved.spans(), vec![(0, 5), (91, 99)]);
+        assert_eq!(moved.len(), 15);
+    }
+
+    #[test]
+    fn arcs_partition_the_line() {
+        let ring = two_node_ring();
+        let mut covered = [false; 100];
+        for (b, _) in ring.buckets() {
+            let arc = ring.arc_of_bucket(b).unwrap();
+            for pos in 0..100 {
+                if arc.contains(pos) {
+                    assert!(!covered[pos as usize], "position {pos} double-owned");
+                    covered[pos as usize] = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "line not fully covered");
+    }
+
+    #[test]
+    fn single_bucket_owns_everything() {
+        let mut ring: HashRing<u32> = HashRing::new(50);
+        ring.insert_bucket(20, 1).unwrap();
+        assert_eq!(ring.arc_of_bucket(20), Ok(Arc::Full { r: 50 }));
+        for k in 0..50 {
+            assert_eq!(ring.node_for_key(k), Some(&1));
+        }
+        assert_eq!(ring.predecessor(20), Ok(20));
+        assert_eq!(ring.successor(20), Ok(20));
+    }
+
+    #[test]
+    fn predecessor_successor_circularity() {
+        let ring = two_node_ring();
+        assert_eq!(ring.predecessor(10), Ok(90));
+        assert_eq!(ring.successor(90), Ok(10));
+        assert_eq!(ring.predecessor(50), Ok(30));
+        assert_eq!(ring.successor(50), Ok(70));
+        assert_eq!(
+            ring.predecessor(11),
+            Err(RingError::NoSuchBucket { position: 11 })
+        );
+    }
+
+    #[test]
+    fn remove_bucket_hands_arc_to_successor() {
+        let mut ring = two_node_ring();
+        let arc = ring.relocation_on_remove(50).unwrap();
+        assert_eq!(arc, Arc::contiguous(31, 50));
+        ring.remove_bucket(50).unwrap();
+        // Those keys now belong to bucket 70 (still node 2 here).
+        for k in 31..=50 {
+            assert_eq!(ring.bucket_for_key(k), Some(70));
+        }
+    }
+
+    #[test]
+    fn remap_bucket_changes_owner() {
+        let mut ring = two_node_ring();
+        assert_eq!(ring.remap_bucket(50, 9), Ok(2));
+        assert_eq!(ring.node_for_key(40), Some(&9));
+        assert_eq!(
+            ring.remap_bucket(51, 9),
+            Err(RingError::NoSuchBucket { position: 51 })
+        );
+    }
+
+    #[test]
+    fn buckets_of_node_and_nodes() {
+        let ring = two_node_ring();
+        assert_eq!(ring.buckets_of_node(&1), vec![10, 30]);
+        assert_eq!(ring.buckets_of_node(&2), vec![50, 70, 90]);
+        assert_eq!(ring.nodes(), vec![1, 2]);
+    }
+
+    #[test]
+    fn arc_start_matches_min_b_max_semantics() {
+        let ring = two_node_ring();
+        assert_eq!(ring.arc_start(50), Ok(31));
+        assert_eq!(ring.arc_start(10), Ok(91)); // wrap bucket: upper span start
+    }
+
+    #[test]
+    fn arc_spans_cover_exactly_the_arc() {
+        let arc = Arc::Wrapping {
+            lo: 91,
+            hi: 5,
+            r: 100,
+        };
+        let mut count = 0u64;
+        for (lo, hi) in arc.spans() {
+            for p in lo..=hi {
+                assert!(arc.contains(p));
+                count += 1;
+            }
+        }
+        assert_eq!(count, arc.len());
+    }
+
+    #[test]
+    fn adding_bucket_only_disrupts_its_arc() {
+        // The core consistent-hashing claim: all keys outside (b_prev, b_new]
+        // keep their node assignment.
+        let mut ring = two_node_ring();
+        let before: Vec<Option<u32>> = (0..100).map(|k| ring.node_for_key(k).copied()).collect();
+        let arc = ring.relocation_on_insert(42).unwrap();
+        ring.insert_bucket(42, 7).unwrap();
+        for k in 0..100u64 {
+            if arc.contains(k) {
+                assert_eq!(ring.node_for_key(k), Some(&7));
+            } else {
+                assert_eq!(ring.node_for_key(k).copied(), before[k as usize]);
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Instance lifecycle management with modelled allocation latency.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::billing::Billing;
+use crate::clock::SimClock;
+use crate::trace::{Event, EventTrace};
+use crate::US_PER_SEC;
+
+/// Opaque identifier of a (possibly terminated) instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u32);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i-{:05}", self.0)
+    }
+}
+
+/// A machine-type definition: memory capacity and hourly price.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceType {
+    /// Human-readable type name (e.g. `m1.small`).
+    pub name: String,
+    /// Usable main memory in bytes — the cache-capacity bound `⌈n⌉`.
+    pub mem_bytes: u64,
+    /// Price in micro-dollars per (started) hour.
+    pub microdollars_per_hour: u64,
+}
+
+impl InstanceType {
+    /// The paper's testbed machine: EC2 Small — 1.7 GB memory, one virtual
+    /// core, $0.085/hour (2010 us-east pricing).
+    pub fn ec2_small() -> Self {
+        Self {
+            name: "m1.small".into(),
+            mem_bytes: 1_700 * 1024 * 1024,
+            microdollars_per_hour: 85_000,
+        }
+    }
+
+    /// EC2 Large: 7.5 GB, $0.34/hour — used in the paper's storage-cost
+    /// discussion (§IV-D).
+    pub fn ec2_large() -> Self {
+        Self {
+            name: "m1.large".into(),
+            mem_bytes: 7_680 * 1024 * 1024,
+            microdollars_per_hour: 340_000,
+        }
+    }
+
+    /// A custom type; handy for experiments that reason in records rather
+    /// than bytes.
+    pub fn custom(name: &str, mem_bytes: u64, microdollars_per_hour: u64) -> Self {
+        Self {
+            name: name.into(),
+            mem_bytes,
+            microdollars_per_hour,
+        }
+    }
+}
+
+/// Boot latency model: uniform over `[base_us, base_us + jitter_us]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BootLatency {
+    /// Minimum boot time in microseconds.
+    pub base_us: u64,
+    /// Width of the uniform jitter window in microseconds.
+    pub jitter_us: u64,
+}
+
+impl BootLatency {
+    /// EC2-2010-like boot: 70–110 s (instance request, image fetch, boot,
+    /// cache-server start — the overhead Figure 4 attributes node splits to).
+    pub fn ec2_like() -> Self {
+        Self {
+            base_us: 70 * US_PER_SEC,
+            jitter_us: 40 * US_PER_SEC,
+        }
+    }
+
+    /// Constant latency (no jitter) — used by ablations.
+    pub fn fixed(us: u64) -> Self {
+        Self {
+            base_us: us,
+            jitter_us: 0,
+        }
+    }
+
+    /// Instantaneous boot — the "asynchronous preloading / instant VM"
+    /// future-work scenario of §VI.
+    pub fn instant() -> Self {
+        Self::fixed(0)
+    }
+
+    fn sample(&self, rng: &mut SmallRng) -> u64 {
+        if self.jitter_us == 0 {
+            self.base_us
+        } else {
+            self.base_us + rng.gen_range(0..=self.jitter_us)
+        }
+    }
+}
+
+/// One allocated (or by-now terminated) machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    /// Identifier, dense from zero.
+    pub id: InstanceId,
+    /// The machine type it was launched as.
+    pub itype: InstanceType,
+    /// Virtual time the allocation was requested (billing starts here).
+    pub launched_at_us: u64,
+    /// Virtual time the machine became usable (`launched_at + boot`).
+    pub ready_at_us: u64,
+    /// Virtual time of termination, if terminated.
+    pub terminated_at_us: Option<u64>,
+}
+
+impl Instance {
+    /// Whether the instance is still running.
+    pub fn is_active(&self) -> bool {
+        self.terminated_at_us.is_none()
+    }
+}
+
+/// What [`SimCloud::allocate`] hands back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationReceipt {
+    /// The new instance's id.
+    pub id: InstanceId,
+    /// Sampled boot latency. The *caller* decides whether this blocks the
+    /// critical path (`clock.advance_us(boot_us)`) — GBA blocks on it, an
+    /// asynchronous-preloading variant would not.
+    pub boot_us: u64,
+    /// `launched_at + boot_us`.
+    pub ready_at_us: u64,
+}
+
+/// The simulated provider: owns the instance table, boot-latency sampler,
+/// and event trace. All randomness comes from the seed given at
+/// construction.
+#[derive(Debug)]
+pub struct SimCloud {
+    clock: SimClock,
+    rng: SmallRng,
+    boot: BootLatency,
+    instances: Vec<Instance>,
+    trace: EventTrace,
+}
+
+impl SimCloud {
+    /// Create a provider bound to `clock`, with deterministic jitter from
+    /// `seed` and the given boot-latency model.
+    pub fn new(clock: SimClock, seed: u64, boot: BootLatency) -> Self {
+        Self {
+            clock,
+            rng: SmallRng::seed_from_u64(seed),
+            boot,
+            instances: Vec::new(),
+            trace: EventTrace::new(),
+        }
+    }
+
+    /// The clock this provider charges time against.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Replace the boot-latency model (ablation harnesses).
+    pub fn set_boot_latency(&mut self, boot: BootLatency) {
+        self.boot = boot;
+    }
+
+    /// Request a new machine. Does **not** advance the clock — see
+    /// [`AllocationReceipt::boot_us`].
+    pub fn allocate(&mut self, itype: InstanceType) -> AllocationReceipt {
+        let now = self.clock.now_us();
+        let boot_us = self.boot.sample(&mut self.rng);
+        let id = InstanceId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            id,
+            itype,
+            launched_at_us: now,
+            ready_at_us: now + boot_us,
+            terminated_at_us: None,
+        });
+        self.trace.push(Event::Allocated {
+            at_us: now,
+            id,
+            boot_us,
+        });
+        AllocationReceipt {
+            id,
+            boot_us,
+            ready_at_us: now + boot_us,
+        }
+    }
+
+    /// Terminate a machine. Idempotent: terminating twice keeps the first
+    /// termination time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated.
+    pub fn deallocate(&mut self, id: InstanceId) {
+        let now = self.clock.now_us();
+        let inst = &mut self.instances[id.0 as usize];
+        if inst.terminated_at_us.is_none() {
+            inst.terminated_at_us = Some(now);
+            self.trace.push(Event::Deallocated { at_us: now, id });
+        }
+    }
+
+    /// Look up an instance record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never allocated.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// All instances ever launched, in launch order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of currently running instances.
+    pub fn active_count(&self) -> usize {
+        self.instances.iter().filter(|i| i.is_active()).count()
+    }
+
+    /// Total instances ever launched.
+    pub fn total_launched(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Billing snapshot as of the current virtual time.
+    pub fn billing(&self) -> Billing {
+        Billing::compute(&self.instances, self.clock.now_us())
+    }
+
+    /// The provider-side event trace.
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// Record a caller-side event (e.g. a migration) in the shared trace so
+    /// figure harnesses see one merged timeline.
+    pub fn record(&mut self, event: Event) {
+        self.trace.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> (SimClock, SimCloud) {
+        let clock = SimClock::new();
+        let cloud = SimCloud::new(clock.clone(), 7, BootLatency::fixed(80 * US_PER_SEC));
+        (clock, cloud)
+    }
+
+    #[test]
+    fn allocation_assigns_dense_ids_and_boot_latency() {
+        let (clock, mut cloud) = cloud();
+        let a = cloud.allocate(InstanceType::ec2_small());
+        assert_eq!(a.id, InstanceId(0));
+        assert_eq!(a.boot_us, 80 * US_PER_SEC);
+        assert_eq!(a.ready_at_us, 80 * US_PER_SEC);
+        clock.advance_us(a.boot_us);
+        let b = cloud.allocate(InstanceType::ec2_small());
+        assert_eq!(b.id, InstanceId(1));
+        assert_eq!(cloud.active_count(), 2);
+        assert_eq!(cloud.total_launched(), 2);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let clock = SimClock::new();
+            let mut c = SimCloud::new(clock, seed, BootLatency::ec2_like());
+            (0..10)
+                .map(|_| c.allocate(InstanceType::ec2_small()).boot_us)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(1), mk(1));
+        assert_ne!(mk(1), mk(2));
+        for b in mk(3) {
+            assert!((70 * US_PER_SEC..=110 * US_PER_SEC).contains(&b));
+        }
+    }
+
+    #[test]
+    fn deallocate_is_idempotent_and_stops_activity() {
+        let (clock, mut cloud) = cloud();
+        let a = cloud.allocate(InstanceType::ec2_small());
+        clock.advance_secs(100.0);
+        cloud.deallocate(a.id);
+        let t1 = cloud.instance(a.id).terminated_at_us;
+        clock.advance_secs(50.0);
+        cloud.deallocate(a.id);
+        assert_eq!(cloud.instance(a.id).terminated_at_us, t1);
+        assert_eq!(cloud.active_count(), 0);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let (clock, mut cloud) = cloud();
+        let a = cloud.allocate(InstanceType::ec2_small());
+        clock.advance_secs(10.0);
+        cloud.deallocate(a.id);
+        let events = cloud.trace().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::Allocated { id, .. } if id == a.id));
+        assert!(matches!(events[1], Event::Deallocated { id, .. } if id == a.id));
+    }
+
+    #[test]
+    fn instance_types_expose_paper_constants() {
+        let small = InstanceType::ec2_small();
+        assert_eq!(small.mem_bytes, 1_700 * 1024 * 1024);
+        assert_eq!(small.microdollars_per_hour, 85_000);
+        assert!(InstanceType::ec2_large().mem_bytes > small.mem_bytes);
+    }
+
+    #[test]
+    fn instant_boot_for_ablations() {
+        let clock = SimClock::new();
+        let mut cloud = SimCloud::new(clock, 0, BootLatency::instant());
+        assert_eq!(cloud.allocate(InstanceType::ec2_small()).boot_us, 0);
+    }
+}

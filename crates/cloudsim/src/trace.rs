@@ -1,0 +1,186 @@
+//! The merged event timeline consumed by figure harnesses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cloud::InstanceId;
+
+/// Something that happened at a point in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// An instance allocation was requested; it becomes usable `boot_us`
+    /// later.
+    Allocated {
+        /// Virtual time of the request.
+        at_us: u64,
+        /// The new instance.
+        id: InstanceId,
+        /// Sampled boot latency.
+        boot_us: u64,
+    },
+    /// An instance was terminated.
+    Deallocated {
+        /// Virtual time of termination.
+        at_us: u64,
+        /// The terminated instance.
+        id: InstanceId,
+    },
+    /// A bucket split migrated records between nodes (cache-side event;
+    /// Figure 4's per-split overhead combines this with any `Allocated`
+    /// event of the same split).
+    Migration {
+        /// Virtual time the migration started.
+        at_us: u64,
+        /// Records moved.
+        records: u64,
+        /// Payload bytes moved.
+        bytes: u64,
+        /// Modelled duration of the move.
+        duration_us: u64,
+        /// Whether this migration had to allocate a brand-new node.
+        allocated_node: bool,
+    },
+    /// Two lightly loaded nodes were merged during contraction.
+    Merge {
+        /// Virtual time of the merge.
+        at_us: u64,
+        /// Records moved into the surviving node.
+        records: u64,
+        /// Modelled duration of the move.
+        duration_us: u64,
+    },
+}
+
+impl Event {
+    /// The virtual timestamp of the event.
+    pub fn at_us(&self) -> u64 {
+        match *self {
+            Event::Allocated { at_us, .. }
+            | Event::Deallocated { at_us, .. }
+            | Event::Migration { at_us, .. }
+            | Event::Merge { at_us, .. } => at_us,
+        }
+    }
+}
+
+/// An append-only, time-ordered event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventTrace {
+    events: Vec<Event>,
+}
+
+impl EventTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events, in insertion (= time) order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// All allocation events.
+    pub fn allocations(&self) -> impl Iterator<Item = (u64, InstanceId, u64)> + '_ {
+        self.events.iter().filter_map(|e| match *e {
+            Event::Allocated { at_us, id, boot_us } => Some((at_us, id, boot_us)),
+            _ => None,
+        })
+    }
+
+    /// All migration events.
+    pub fn migrations(&self) -> impl Iterator<Item = &Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Migration { .. }))
+    }
+
+    /// Reconstruct the active-node-count step function as
+    /// `(time_us, count)` change points, starting at `(0, 0)`.
+    pub fn node_count_series(&self) -> Vec<(u64, usize)> {
+        let mut series = vec![(0u64, 0usize)];
+        let mut count = 0usize;
+        for e in &self.events {
+            match e {
+                Event::Allocated { at_us, .. } => {
+                    count += 1;
+                    series.push((*at_us, count));
+                }
+                Event::Deallocated { at_us, .. } => {
+                    count = count.saturating_sub(1);
+                    series.push((*at_us, count));
+                }
+                _ => {}
+            }
+        }
+        series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_series_steps_up_and_down() {
+        let mut t = EventTrace::new();
+        t.push(Event::Allocated {
+            at_us: 10,
+            id: InstanceId(0),
+            boot_us: 5,
+        });
+        t.push(Event::Allocated {
+            at_us: 20,
+            id: InstanceId(1),
+            boot_us: 5,
+        });
+        t.push(Event::Deallocated {
+            at_us: 30,
+            id: InstanceId(0),
+        });
+        assert_eq!(
+            t.node_count_series(),
+            vec![(0, 0), (10, 1), (20, 2), (30, 1)]
+        );
+    }
+
+    #[test]
+    fn filters_select_event_kinds() {
+        let mut t = EventTrace::new();
+        t.push(Event::Allocated {
+            at_us: 1,
+            id: InstanceId(0),
+            boot_us: 2,
+        });
+        t.push(Event::Migration {
+            at_us: 3,
+            records: 10,
+            bytes: 100,
+            duration_us: 7,
+            allocated_node: true,
+        });
+        t.push(Event::Merge {
+            at_us: 9,
+            records: 4,
+            duration_us: 2,
+        });
+        assert_eq!(t.allocations().count(), 1);
+        assert_eq!(t.migrations().count(), 1);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[2].at_us(), 9);
+    }
+}

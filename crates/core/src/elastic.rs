@@ -1,0 +1,1451 @@
+//! The elastic cooperative cache coordinator.
+//!
+//! This module implements the paper's §III in full:
+//!
+//! * **GBA-Insert** (Algorithm 1) — [`ElasticCache::insert`]: hash the key
+//!   to its node; if the node would overflow, find the *fullest bucket
+//!   referencing that node*, pick the bucket's median key `k^µ`, migrate
+//!   the keys in `[min(b_max), k^µ]` away, thread a new bucket at
+//!   `h'(k^µ)`, and retry.
+//! * **Sweep-and-Migrate** (Algorithm 2) — [`ElasticCache`] internal
+//!   `sweep_migrate`: pick the least-loaded *existing* node as the
+//!   destination; only if the swept records would overflow it, allocate a
+//!   brand-new cloud node (greedy, cost-conscious). The sweep itself is the
+//!   B+-tree linked-leaf walk.
+//! * **Eviction** (§III-B) — a global [`crate::SlidingWindow`]; when a time
+//!   slice expires, keys scoring `λ(k) < T_λ` are removed from their nodes.
+//! * **Contraction** (§III-B) — every `ε` slice expirations, merge the two
+//!   least-loaded nodes if their combined data fits under the 65 %
+//!   churn-avoidance threshold, then release the freed instance.
+//!
+//! All latencies (lookups, record transfers `T_net`, node boots) are
+//! charged to the shared virtual clock, so the metrics reproduce the
+//! paper's speedup and overhead figures.
+
+use ecc_chash::HashRing;
+use ecc_cloudsim::{Event, NetModel, PersistentStore, SimClock, SimCloud, US_PER_SEC};
+
+use crate::adaptive::WindowController;
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use crate::metrics::Metrics;
+use crate::node::CacheNode;
+use crate::record::Record;
+use crate::warmpool::WarmPool;
+use crate::window::SlidingWindow;
+
+/// Index of a cache node within the coordinator's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Outcome of an injected node failure ([`ElasticCache::fail_node`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Primaries on the failed node with no surviving copy.
+    pub records_lost: usize,
+    /// Primaries restored from best-effort replicas on survivors.
+    pub records_recovered: usize,
+}
+
+/// Bytes of a lookup request on the wire (key + framing).
+const LOOKUP_REQ_BYTES: u64 = 32;
+/// Bytes of a negative lookup response.
+const MISS_RESP_BYTES: u64 = 8;
+/// Per-record key/framing overhead charged on migration transfers.
+const RECORD_WIRE_OVERHEAD: u64 = 16;
+/// Sanity bound on GBA's split-and-retry recursion.
+const MAX_SPLIT_RETRIES: u32 = 64;
+
+/// The coordinator of the elastic cooperative cache.
+pub struct ElasticCache {
+    cfg: CacheConfig,
+    clock: SimClock,
+    cloud: SimCloud,
+    net: NetModel,
+    ring: HashRing<NodeId>,
+    nodes: Vec<Option<CacheNode>>,
+    window: Option<SlidingWindow>,
+    metrics: Metrics,
+    expirations: u64,
+    time_steps: u64,
+    warm_pool: WarmPool,
+    controller: Option<WindowController>,
+    tier: Option<PersistentStore>,
+    /// Queries observed in the slice currently being recorded.
+    slice_queries: u64,
+}
+
+impl ElasticCache {
+    /// Build a cache with one initial node (pre-provisioned, so time zero
+    /// starts with a usable cache, as in the paper's cold-cache setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let clock = SimClock::new();
+        Self::with_clock(cfg, clock)
+    }
+
+    /// Build against an externally owned clock (shared with other
+    /// simulation components).
+    pub fn with_clock(cfg: CacheConfig, clock: SimClock) -> Self {
+        cfg.validate();
+        let mut cloud = SimCloud::new(clock.clone(), cfg.seed, cfg.boot_latency);
+        let window = cfg.window.as_ref().map(|w| {
+            SlidingWindow::new(w.slices, w.alpha, w.effective_threshold())
+        });
+        // Initial node: bucket at the top of the line owns everything.
+        let receipt = cloud.allocate(cfg.instance_type.clone());
+        let node = CacheNode::new(receipt.id, cfg.node_capacity_bytes, cfg.btree_order);
+        let mut ring = HashRing::new(cfg.ring_range);
+        ring.insert_bucket(cfg.ring_range - 1, NodeId(0))
+            .expect("initial bucket");
+        let net = cfg.net;
+        let mut warm_pool = WarmPool::new(cfg.warm_pool);
+        warm_pool.replenish(&mut cloud, &cfg.instance_type);
+        let controller = cfg.adaptive_window.map(WindowController::new);
+        let tier = cfg.overflow_tier.clone().map(PersistentStore::new);
+        Self {
+            cfg,
+            clock,
+            cloud,
+            net,
+            ring,
+            nodes: vec![Some(node)],
+            window,
+            metrics: Metrics::new(),
+            expirations: 0,
+            time_steps: 0,
+            warm_pool,
+            controller,
+            tier,
+            slice_queries: 0,
+        }
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cloud provider (billing, instance table, event trace).
+    pub fn cloud(&self) -> &SimCloud {
+        &self.cloud
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &HashRing<NodeId> {
+        &self.ring
+    }
+
+    /// The eviction window, if one is configured.
+    pub fn window(&self) -> Option<&SlidingWindow> {
+        self.window.as_ref()
+    }
+
+    /// Number of currently active cache nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Total records resident across all nodes.
+    pub fn total_records(&self) -> usize {
+        self.nodes
+            .iter()
+            .flatten()
+            .map(CacheNode::record_count)
+            .sum()
+    }
+
+    /// Total payload bytes resident across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().flatten().map(CacheNode::used_bytes).sum()
+    }
+
+    /// Iterate over `(id, node)` for every active node.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &CacheNode)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|n| (NodeId(i as u32), n)))
+    }
+
+    /// Completed time steps (slice closures).
+    pub fn time_steps(&self) -> u64 {
+        self.time_steps
+    }
+
+    /// Slice expirations seen so far.
+    pub fn expirations(&self) -> u64 {
+        self.expirations
+    }
+
+    fn node(&self, id: NodeId) -> &CacheNode {
+        self.nodes[id.0 as usize].as_ref().expect("active node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut CacheNode {
+        self.nodes[id.0 as usize].as_mut().expect("active node")
+    }
+
+    // -------------------------------------------------------------- queries
+
+    /// Full cached-service query: look up `key`; on a miss run `miss` (the
+    /// backing service), charge its execution time, and cache the result.
+    ///
+    /// `uncached_us` is what the service would cost without the cache (the
+    /// baseline the speedup figures divide by); for a miss it is also the
+    /// time actually charged for the service execution.
+    pub fn query(&mut self, key: u64, uncached_us: u64, miss: impl FnOnce() -> Record) -> Record {
+        let t0 = self.clock.now_us();
+        self.metrics.baseline_us += uncached_us;
+        let found = self.lookup_inner(key);
+        if let Some(rec) = found {
+            self.metrics.observed_us += self.clock.now_us() - t0;
+            return rec;
+        }
+        // Memory miss: the persistent overflow tier (if any) may still
+        // hold an evicted copy — a tier fetch beats re-running the 23 s
+        // service by orders of magnitude (§IV-D trade-off).
+        if let Some(tier) = &mut self.tier {
+            let (found, dur_us) = tier.get(self.clock.now_us(), key);
+            self.clock.advance_us(dur_us);
+            if let Some(bytes) = found {
+                let rec = Record::from_vec(bytes);
+                self.metrics.tier_hits += 1;
+                match self.insert(key, rec.clone()) {
+                    Ok(()) | Err(CacheError::RecordTooLarge { .. }) => {}
+                    Err(e) => panic!("cache misconfiguration: {e}"),
+                }
+                self.metrics.observed_us += self.clock.now_us() - t0;
+                return rec;
+            }
+        }
+        // Execute the service.
+        let rec = miss();
+        self.clock.advance_us(uncached_us);
+        self.metrics.service_us += uncached_us;
+        match self.insert(key, rec.clone()) {
+            Ok(()) => {}
+            // A record bigger than a node can never be cached; serve it
+            // uncached rather than dying.
+            Err(CacheError::RecordTooLarge { .. }) => {}
+            Err(e) => panic!("cache misconfiguration: {e}"),
+        }
+        self.metrics.observed_us += self.clock.now_us() - t0;
+        rec
+    }
+
+    /// Look up `key`, charging the lookup path and recording hit/miss.
+    pub fn lookup(&mut self, key: u64) -> Option<Record> {
+        let t0 = self.clock.now_us();
+        let r = self.lookup_inner(key);
+        self.metrics.observed_us += self.clock.now_us() - t0;
+        r
+    }
+
+    fn lookup_inner(&mut self, key: u64) -> Option<Record> {
+        self.metrics.queries += 1;
+        self.slice_queries += 1;
+        if let Some(w) = &mut self.window {
+            w.note_query(key);
+        }
+        let nid = *self
+            .ring
+            .node_for_key(key)
+            .expect("ring always has a bucket");
+        let rec = self.node(nid).get(key).cloned();
+        self.clock.advance_us(self.cfg.lookup_overhead_us);
+        match rec {
+            Some(rec) => {
+                self.clock
+                    .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, rec.len() as u64));
+                self.metrics.hits += 1;
+                Some(rec)
+            }
+            None => {
+                self.clock
+                    .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, MISS_RESP_BYTES));
+                self.metrics.misses += 1;
+                None
+            }
+        }
+    }
+
+    // ------------------------------------------------------- GBA insertion
+
+    /// Algorithm 1: GBA-Insert. Inserts `record` under `key`, splitting
+    /// buckets and (as a last resort) allocating cloud nodes until the
+    /// owning node can hold it.
+    pub fn insert(&mut self, key: u64, record: Record) -> Result<(), CacheError> {
+        let size = record.len() as u64;
+        if size > self.cfg.node_capacity_bytes {
+            return Err(CacheError::RecordTooLarge {
+                size,
+                capacity: self.cfg.node_capacity_bytes,
+            });
+        }
+        if key >= self.ring.range() {
+            return Err(CacheError::KeyOutOfRange {
+                key,
+                r: self.ring.range(),
+            });
+        }
+        // Charge the put transfer once (the record travels to whichever
+        // node finally stores it).
+        self.clock
+            .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
+        for _ in 0..MAX_SPLIT_RETRIES {
+            let nid = *self
+                .ring
+                .node_for_key(key)
+                .expect("ring always has a bucket");
+            // Replacement never overflows (byte delta <= size), so only a
+            // genuinely new record triggers the overflow test.
+            let node = self.node(nid);
+            let is_replacement = node.get(key).is_some();
+            if is_replacement || node.fits(size) {
+                self.node_mut(nid).insert(key, record.clone());
+                self.place_replica(key, &record);
+                return Ok(());
+            }
+            // Overflow: split the fullest bucket referencing this node.
+            self.split_node(nid)?;
+        }
+        Err(CacheError::SplitLoopExceeded)
+    }
+
+    /// The node holding best-effort replicas for `key`: the next *distinct*
+    /// node along the bucket line after the primary's bucket. `None` when
+    /// the fleet has a single node.
+    fn replica_target(&self, key: u64) -> Option<NodeId> {
+        let primary_bucket = self.ring.bucket_for_key(key)?;
+        let primary = *self.ring.node_of_bucket(primary_bucket)?;
+        let mut bucket = primary_bucket;
+        for _ in 0..self.ring.len() {
+            bucket = self.ring.successor(bucket).ok()?;
+            let node = *self.ring.node_of_bucket(bucket)?;
+            if node != primary {
+                return Some(node);
+            }
+        }
+        None
+    }
+
+    /// Best-effort replica placement after a primary insertion (no-op when
+    /// replication is disabled or no distinct peer exists).
+    fn place_replica(&mut self, key: u64, record: &Record) {
+        if !self.cfg.replicate {
+            return;
+        }
+        let Some(target) = self.replica_target(key) else {
+            return;
+        };
+        let wire = record.len() as u64 + RECORD_WIRE_OVERHEAD;
+        self.clock.advance_us(self.net.t_net_us(wire));
+        self.node_mut(target).insert_replica(key, record.clone());
+    }
+
+    /// Algorithm 1 lines 8–15: find `b_max`, compute `k^µ`, sweep-migrate
+    /// the lower half and thread the new bucket.
+    fn split_node(&mut self, nid: NodeId) -> Result<(), CacheError> {
+        // Fullest bucket referencing nid, by resident bytes in its arc.
+        let buckets = self.ring.buckets_of_node(&nid);
+        debug_assert!(!buckets.is_empty(), "active node without buckets");
+        let mut b_max = buckets[0];
+        let mut best_bytes = 0u64;
+        for &b in &buckets {
+            let bytes: u64 = self
+                .spans_of_bucket(b)
+                .iter()
+                .map(|&(lo, hi)| self.node(nid).bytes_in_range(lo, hi))
+                .sum();
+            if bytes >= best_bytes {
+                best_bytes = bytes;
+                b_max = b;
+            }
+        }
+
+        // Keys of b_max's arc in circular order (from min(b_max)).
+        let spans = self.spans_of_bucket(b_max);
+        let mut keys: Vec<u64> = Vec::new();
+        for &(lo, hi) in &spans {
+            keys.extend(self.node(nid).keys_in_range(lo, hi));
+        }
+        if keys.len() < 2 {
+            // The fullest bucket cannot be median-split (at most one key in
+            // its arc — possible after merges fragment the line into many
+            // small buckets). Relocate the whole bucket to another node
+            // instead: same sweep, but the existing bucket is re-pointed
+            // rather than a new one created.
+            if buckets.len() < 2 {
+                // A lone bucket with <= 1 key that still overflows the node
+                // means a single record nearly fills capacity — hopeless.
+                return Err(CacheError::CannotSplit { bucket: b_max });
+            }
+            let n_dest = self.sweep_migrate(nid, &spans);
+            self.ring
+                .remap_bucket(b_max, n_dest)
+                .expect("bucket exists");
+            self.metrics.splits += 1;
+            return Ok(());
+        }
+
+        // k^µ: the median key; back off if its line position collides with
+        // an existing bucket (the arc's own endpoint).
+        let mut mu_idx = keys.len() / 2;
+        while mu_idx > 0 && self.ring.node_of_bucket(keys[mu_idx]).is_some() {
+            mu_idx -= 1;
+        }
+        let k_mu = keys[mu_idx];
+        if self.ring.node_of_bucket(k_mu).is_some() {
+            return Err(CacheError::CannotSplit { bucket: b_max });
+        }
+
+        // Migration ranges: circular spans from min(b_max) through k^µ.
+        let move_spans = truncate_spans_at(&spans, k_mu);
+        let n_dest = self.sweep_migrate(nid, &move_spans);
+
+        // Update B and NodeMap: new bucket at h'(k^µ) references n_dest.
+        self.ring
+            .insert_bucket(k_mu, n_dest)
+            .expect("collision checked above");
+        self.metrics.splits += 1;
+        Ok(())
+    }
+
+    /// Algorithm 2: move all records of `src` in `spans` to the least-
+    /// loaded node that can take them, or a newly allocated one. Returns
+    /// the destination. Charges `T_net` per record plus any boot latency.
+    fn sweep_migrate(&mut self, src: NodeId, spans: &[(u64, u64)]) -> NodeId {
+        let total_bytes: u64 = spans
+            .iter()
+            .map(|&(lo, hi)| self.node(src).bytes_in_range(lo, hi))
+            .sum();
+
+        // Least-loaded node other than the source.
+        let dest = self
+            .nodes()
+            .filter(|(id, _)| *id != src)
+            .min_by_key(|(_, n)| n.used_bytes())
+            .map(|(id, _)| id);
+        let (dest, allocated) = match dest {
+            Some(d) if self.node(d).used_bytes() + total_bytes <= self.node(d).capacity_bytes() => {
+                (d, false)
+            }
+            _ => (self.alloc_node(), true),
+        };
+
+        let start_us = self.clock.now_us();
+        let mut moved_records = 0u64;
+        let mut moved_bytes = 0u64;
+        for &(lo, hi) in spans {
+            let batch = self.node_mut(src).drain_range(lo, hi);
+            for (k, rec) in batch {
+                let wire = rec.len() as u64 + RECORD_WIRE_OVERHEAD;
+                self.clock.advance_us(self.net.t_net_us(wire));
+                moved_records += 1;
+                moved_bytes += rec.len() as u64;
+                self.node_mut(dest).insert(k, rec);
+            }
+        }
+        let duration_us = self.clock.now_us() - start_us;
+        self.metrics.migration_us += duration_us;
+        if allocated {
+            self.metrics.splits_with_allocation += 1;
+        }
+        self.cloud.record(Event::Migration {
+            at_us: start_us,
+            records: moved_records,
+            bytes: moved_bytes,
+            duration_us,
+            allocated_node: allocated,
+        });
+        dest
+    }
+
+    /// Allocate a fresh cloud node (the last-resort branch of Algorithm 2,
+    /// and the dominant overhead of Figure 4). With a warm pool configured,
+    /// a pre-booted standby is handed over instantly and the pool refills
+    /// in the background; otherwise the boot blocks the critical path.
+    fn alloc_node(&mut self) -> NodeId {
+        let instance = match self.warm_pool.take_ready(self.clock.now_us()) {
+            Some(standby) => {
+                // Asynchronous preloading: no boot on the critical path.
+                self.warm_pool
+                    .replenish(&mut self.cloud, &self.cfg.instance_type);
+                standby
+            }
+            None => {
+                let receipt = self.cloud.allocate(self.cfg.instance_type.clone());
+                self.clock.advance_us(receipt.boot_us);
+                self.metrics.alloc_us += receipt.boot_us;
+                receipt.id
+            }
+        };
+        let node = CacheNode::new(instance, self.cfg.node_capacity_bytes, self.cfg.btree_order);
+        self.nodes.push(Some(node));
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Allocate a node whose boot proceeds in the (virtual) background —
+    /// used by proactive splitting, where the allocation is by construction
+    /// ahead of need. Neither the clock nor `alloc_us` (boot time blocked
+    /// on the query path) advances.
+    fn alloc_node_async(&mut self) -> NodeId {
+        let receipt = self.cloud.allocate(self.cfg.instance_type.clone());
+        let node = CacheNode::new(receipt.id, self.cfg.node_capacity_bytes, self.cfg.btree_order);
+        self.nodes.push(Some(node));
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Circular spans of the arc owned by bucket `b`, starting at
+    /// `min(b)` — i.e. in sweep order.
+    fn spans_of_bucket(&self, b: u64) -> Vec<(u64, u64)> {
+        let pred = self.ring.predecessor(b).expect("bucket exists");
+        circular_spans(pred, b, self.ring.range())
+    }
+
+    // ------------------------------------------------- eviction/contraction
+
+    /// Close the current time slice (one experiment time step). Runs
+    /// decay-scored eviction on the expired slice (if the window is full)
+    /// and, every `ε` expirations, attempts contraction.
+    pub fn end_time_step(&mut self) {
+        self.time_steps += 1;
+        let slice_queries = std::mem::take(&mut self.slice_queries);
+
+        // Proactive splitting (§VI prefetching): relieve nodes close to
+        // overflow off the query critical path. Each node is driven all the
+        // way below the threshold in this one pass — a single bucket split
+        // may shed only a small fraction of a node's bytes, and leaving the
+        // node above threshold would re-trigger (and re-pay for) the scan
+        // every step.
+        if let Some(fill) = self.cfg.proactive_split_fill {
+            let near_full: Vec<NodeId> = self
+                .nodes()
+                .filter(|(_, n)| n.fill() > fill)
+                .map(|(id, _)| id)
+                .collect();
+            // Hysteresis: trigger above `fill`, relieve down to 90 % of it,
+            // so a relieved node does not re-cross the trigger (and re-pay
+            // the scan) a few insertions later.
+            let relieve_to = fill * 0.9;
+            for nid in near_full {
+                for _ in 0..MAX_SPLIT_RETRIES {
+                    if self.node(nid).fill() <= relieve_to {
+                        break;
+                    }
+                    // If every peer is itself near the threshold, shuffling
+                    // records around would only push the problem to the next
+                    // step (migration ping-pong). Pre-allocate a fresh node
+                    // instead — this *is* the prefetch: the boot proceeds in
+                    // the background, and the split lands on the empty node.
+                    let peer_headroom = self
+                        .nodes()
+                        .filter(|(id, _)| *id != nid)
+                        .map(|(_, n)| n.fill())
+                        .fold(f64::INFINITY, f64::min);
+                    if peer_headroom >= relieve_to {
+                        self.alloc_node_async();
+                    }
+                    // Best effort — an unsplittable node waits for GBA.
+                    if self.split_node(nid).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        let Some(window) = &mut self.window else {
+            return;
+        };
+        let mut expired_slices = Vec::new();
+        if let Some(expired) = window.end_slice() {
+            expired_slices.push(expired);
+        }
+
+        // Dynamic window sizing (§VI): let the controller react to the
+        // completed slice's rate; shrinking expires further slices now.
+        if let Some(controller) = &mut self.controller {
+            let current = window.slices();
+            let next = controller.observe(slice_queries, current);
+            if next != current {
+                expired_slices.extend(window.set_slices(next));
+            }
+        }
+
+        if expired_slices.is_empty() {
+            return;
+        }
+        self.expirations += 1;
+        for expired in &expired_slices {
+            let victims = self
+                .window
+                .as_ref()
+                .expect("window checked above")
+                .victims(expired);
+            for key in victims {
+                let nid = *self
+                    .ring
+                    .node_for_key(key)
+                    .expect("ring always has a bucket");
+                if let Some(rec) = self.node_mut(nid).remove(key) {
+                    self.metrics.evictions += 1;
+                    // Write-behind to the overflow tier (off the query
+                    // path; the write proceeds between time steps).
+                    if let Some(tier) = &mut self.tier {
+                        let dur =
+                            tier.put(self.clock.now_us(), key, rec.as_slice().to_vec());
+                        self.clock.advance_us(dur);
+                        self.metrics.tier_writes += 1;
+                    }
+                }
+                if self.cfg.replicate {
+                    // Replicas may have drifted across splits; sweep all
+                    // nodes (the fleet is small).
+                    let active: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
+                    for other in active {
+                        self.node_mut(other).remove_replica(key);
+                    }
+                }
+            }
+        }
+        if self.expirations.is_multiple_of(self.cfg.contraction_epsilon) {
+            self.try_contract();
+        }
+    }
+
+    /// Merge the two least-loaded nodes if the coalesced data fits within
+    /// `merge_fill_threshold` of one node's capacity; release the drained
+    /// instance.
+    fn try_contract(&mut self) {
+        if self.node_count() <= self.cfg.min_nodes {
+            return;
+        }
+        // Two least-loaded nodes: `a` (least) is drained into `b`.
+        let mut active: Vec<(NodeId, u64)> = self
+            .nodes()
+            .map(|(id, n)| (id, n.used_bytes()))
+            .collect();
+        active.sort_by_key(|&(_, used)| used);
+        let (a, a_used) = active[0];
+        let (b, b_used) = active[1];
+        let limit = (self.cfg.merge_fill_threshold * self.cfg.node_capacity_bytes as f64) as u64;
+        if a_used + b_used > limit {
+            return;
+        }
+
+        let start_us = self.clock.now_us();
+        let records = self.node_mut(a).drain_all();
+        let moved = records.len() as u64;
+        for (k, rec) in records {
+            let wire = rec.len() as u64 + RECORD_WIRE_OVERHEAD;
+            self.clock.advance_us(self.net.t_net_us(wire));
+            self.node_mut(b).insert(k, rec);
+        }
+        for bucket in self.ring.buckets_of_node(&a) {
+            self.ring.remap_bucket(bucket, b).expect("bucket exists");
+        }
+        // Coalesce: a bucket whose successor belongs to the same node is
+        // redundant — removing it hands its arc to that successor with no
+        // data movement. This keeps the line from fragmenting into
+        // unsplittable singleton buckets across grow/shrink cycles.
+        self.coalesce_buckets(b);
+        let duration_us = self.clock.now_us() - start_us;
+        self.cloud.record(Event::Merge {
+            at_us: start_us,
+            records: moved,
+            duration_us,
+        });
+        let instance = self.node(a).instance;
+        self.cloud.deallocate(instance);
+        self.nodes[a.0 as usize] = None;
+        self.metrics.merges += 1;
+    }
+
+    /// The warm standby pool (empty unless `warm_pool > 0`).
+    pub fn warm_pool(&self) -> &WarmPool {
+        &self.warm_pool
+    }
+
+    /// The persistent overflow tier, if configured.
+    pub fn tier(&self) -> Option<&PersistentStore> {
+        self.tier.as_ref()
+    }
+
+    /// Cost of the overflow tier so far in micro-dollars (0 without one).
+    pub fn tier_cost_microdollars(&self) -> u64 {
+        self.tier
+            .as_ref()
+            .map(|t| t.cost_microdollars(self.clock.now_us()))
+            .unwrap_or(0)
+    }
+
+    /// Simulate the abrupt failure of a cache node (instance crash or
+    /// unplanned termination). The node's buckets are re-pointed at the
+    /// least-loaded survivor — its records are *lost*, as in any
+    /// non-replicated cache, and will be re-derived on future misses.
+    /// Returns the number of records lost.
+    ///
+    /// If the failed node was the last one, a replacement is allocated
+    /// (blocking on its boot) so the cache stays operational.
+    pub fn fail_node(&mut self, id: NodeId) -> FailureReport {
+        assert!(
+            self.nodes[id.0 as usize].is_some(),
+            "cannot fail inactive node {id}"
+        );
+        let resident = self.node(id).record_count();
+        // The failed node's arcs, captured before the ring changes.
+        let failed_spans: Vec<(u64, u64)> = self
+            .ring
+            .buckets_of_node(&id)
+            .into_iter()
+            .flat_map(|b| self.spans_of_bucket(b))
+            .collect();
+        let instance = self.node(id).instance;
+        self.cloud.deallocate(instance);
+        self.nodes[id.0 as usize] = None;
+
+        let survivor = match self
+            .nodes()
+            .min_by_key(|(_, n)| n.used_bytes())
+            .map(|(nid, _)| nid)
+        {
+            Some(nid) => nid,
+            None => self.alloc_node(),
+        };
+        for bucket in self.ring.buckets_of_node(&id) {
+            self.ring
+                .remap_bucket(bucket, survivor)
+                .expect("bucket exists");
+        }
+        self.coalesce_buckets(survivor);
+
+        // Replica recovery (§VI "data replication"): survivors may hold
+        // best-effort copies of the dead arcs; promote them to primaries on
+        // the new owner.
+        let mut recovered = 0usize;
+        if self.cfg.replicate {
+            let holders: Vec<NodeId> = self.nodes().map(|(nid, _)| nid).collect();
+            for holder in holders {
+                for &(lo, hi) in &failed_spans {
+                    let copies = self.node_mut(holder).take_replicas_in_range(lo, hi);
+                    for (k, rec) in copies {
+                        let size = rec.len() as u64;
+                        let already = self.node(survivor).get(k).is_some();
+                        if !already && self.node(survivor).fits(size) {
+                            let wire = size + RECORD_WIRE_OVERHEAD;
+                            self.clock.advance_us(self.net.t_net_us(wire));
+                            self.node_mut(survivor).insert(k, rec);
+                            recovered += 1;
+                        }
+                    }
+                }
+            }
+        }
+        FailureReport {
+            records_lost: resident.saturating_sub(recovered),
+            records_recovered: recovered,
+        }
+    }
+
+    /// Remove buckets of `nid` whose ring successor also maps to `nid`
+    /// (their arcs merge with no data movement).
+    fn coalesce_buckets(&mut self, nid: NodeId) {
+        for b in self.ring.buckets_of_node(&nid) {
+            if self.ring.len() <= 1 {
+                break;
+            }
+            let succ = self.ring.successor(b).expect("bucket exists");
+            if succ != b && self.ring.node_of_bucket(succ) == Some(&nid) {
+                self.ring.remove_bucket(b).expect("bucket exists");
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- validation
+
+    /// Exhaustively check cross-structure invariants (tests): every node's
+    /// index is valid and within capacity, every resident record hashes to
+    /// the node storing it, and the ring references only active nodes.
+    pub fn validate(&self) {
+        for (id, node) in self.nodes() {
+            node.validate();
+            for (&key, _) in node.iter() {
+                let owner = *self.ring.node_for_key(key).expect("bucket exists");
+                assert_eq!(
+                    owner, id,
+                    "key {key} resident on {id} but ring says {owner}"
+                );
+            }
+        }
+        for (_, &nid) in self.ring.buckets() {
+            assert!(
+                self.nodes[nid.0 as usize].is_some(),
+                "ring references dead node {nid}"
+            );
+        }
+        // Every active node is referenced by at least one bucket.
+        for (id, _) in self.nodes() {
+            assert!(
+                !self.ring.buckets_of_node(&id).is_empty(),
+                "active node {id} owns no bucket"
+            );
+        }
+    }
+
+    /// Convenience: seconds of virtual time elapsed.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.clock.now_us() as f64 / US_PER_SEC as f64
+    }
+}
+
+/// The positions `(pred, pos]` on a circular line of range `r`, as inclusive
+/// spans in *circular order* starting just after `pred`. `pred == pos`
+/// denotes a single-bucket ring owning the full line.
+fn circular_spans(pred: u64, pos: u64, r: u64) -> Vec<(u64, u64)> {
+    if pred == pos {
+        // Full circle starting after pos.
+        if pos == r - 1 {
+            vec![(0, r - 1)]
+        } else {
+            vec![(pos + 1, r - 1), (0, pos)]
+        }
+    } else if pred < pos {
+        vec![(pred + 1, pos)]
+    } else if pred == r - 1 {
+        vec![(0, pos)]
+    } else {
+        vec![(pred + 1, r - 1), (0, pos)]
+    }
+}
+
+/// Truncate circular spans at `k_mu` (inclusive): the migration range
+/// `[min(b_max), k^µ]` of Algorithm 1.
+fn truncate_spans_at(spans: &[(u64, u64)], k_mu: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::with_capacity(spans.len());
+    for &(lo, hi) in spans {
+        if (lo..=hi).contains(&k_mu) {
+            out.push((lo, k_mu));
+            return out;
+        }
+        out.push((lo, hi));
+    }
+    panic!("median key not inside its own bucket's spans");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WindowConfig;
+
+    /// Config with capacity for `cap` 100-byte records per node.
+    fn cfg_records(cap: u64) -> CacheConfig {
+        let mut c = CacheConfig::small_test();
+        c.node_capacity_bytes = cap * 100;
+        c
+    }
+
+    fn rec() -> Record {
+        Record::filler(100)
+    }
+
+    #[test]
+    fn starts_with_one_node_owning_everything() {
+        let cache = ElasticCache::new(CacheConfig::small_test());
+        assert_eq!(cache.node_count(), 1);
+        assert_eq!(cache.ring().len(), 1);
+        cache.validate();
+    }
+
+    #[test]
+    fn basic_hit_and_miss_accounting() {
+        let mut cache = ElasticCache::new(CacheConfig::small_test());
+        let r = cache.query(5, 1_000_000, || Record::filler(10));
+        assert_eq!(r.len(), 10);
+        let r2 = cache.query(5, 1_000_000, || unreachable!());
+        assert_eq!(r2.len(), 10);
+        let m = cache.metrics();
+        assert_eq!((m.queries, m.hits, m.misses), (2, 1, 1));
+        assert_eq!(m.baseline_us, 2_000_000);
+        assert_eq!(m.service_us, 1_000_000);
+        assert!(m.observed_us >= 1_000_000);
+        assert!(m.speedup() > 1.0);
+    }
+
+    #[test]
+    fn overflow_splits_and_allocates() {
+        // 8 records per node; insert 20 distinct keys.
+        let mut cache = ElasticCache::new(cfg_records(8));
+        for k in 0..20u64 {
+            cache.insert(k * 40, rec()).unwrap();
+            cache.validate();
+        }
+        assert_eq!(cache.total_records(), 20);
+        assert!(cache.node_count() >= 3, "got {} nodes", cache.node_count());
+        assert!(cache.metrics().splits >= 2);
+        // Everything is still readable.
+        for k in 0..20u64 {
+            assert!(cache.lookup(k * 40).is_some(), "key {} lost", k * 40);
+        }
+    }
+
+    #[test]
+    fn greedy_reuses_existing_space_before_allocating() {
+        let mut cache = ElasticCache::new(cfg_records(16));
+        // Fill node 0 exactly (16 records), then overflow it with a
+        // low-range key: the split moves [0, k^µ] (9 records) to a new
+        // node, leaving node 0 at 7.
+        for k in 0..16u64 {
+            cache.insert(k * 60, rec()).unwrap();
+        }
+        cache.insert(5, rec()).unwrap();
+        assert_eq!(cache.node_count(), 2);
+        assert_eq!(cache.metrics().splits_with_allocation, 1);
+        // Now overflow the *new* node: its swept half (9 records) fits in
+        // node 0's free space, so GBA must reuse it instead of allocating.
+        for k in 0..6u64 {
+            cache.insert(k * 60 + 13, rec()).unwrap();
+        }
+        cache.insert(19, rec()).unwrap();
+        cache.validate();
+        let m = cache.metrics();
+        assert!(m.splits >= 2, "{m:?}");
+        assert_eq!(
+            m.splits_with_allocation, 1,
+            "later splits should reuse the peer: {m:?}"
+        );
+        assert_eq!(cache.node_count(), 2);
+    }
+
+    #[test]
+    fn records_remain_reachable_after_many_splits() {
+        let mut cache = ElasticCache::new(cfg_records(16));
+        let keys: Vec<u64> = (0..200u64).map(|i| (i * 37) % 1024).collect();
+        for &k in &keys {
+            cache.insert(k, rec()).unwrap();
+        }
+        cache.validate();
+        for &k in &keys {
+            assert!(cache.lookup(k).is_some(), "key {k} lost after splits");
+        }
+    }
+
+    #[test]
+    fn replacement_does_not_split() {
+        let mut cache = ElasticCache::new(cfg_records(4));
+        for k in 0..4u64 {
+            cache.insert(k * 100, rec()).unwrap();
+        }
+        let splits_before = cache.metrics().splits;
+        // Node is full; replacing an existing key must not overflow it.
+        cache.insert(0, Record::filler(100)).unwrap();
+        assert_eq!(cache.metrics().splits, splits_before);
+        assert_eq!(cache.total_records(), 4);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut cache = ElasticCache::new(CacheConfig::small_test());
+        let err = cache.insert(1, Record::filler(1_000_000)).unwrap_err();
+        assert!(matches!(err, CacheError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn out_of_range_key_rejected() {
+        let mut cache = ElasticCache::new(CacheConfig::small_test());
+        let err = cache.insert(1 << 20, rec()).unwrap_err();
+        assert!(matches!(err, CacheError::KeyOutOfRange { .. }));
+    }
+
+    #[test]
+    fn query_serves_uncacheable_records_without_caching() {
+        let mut cache = ElasticCache::new(CacheConfig::small_test());
+        let r = cache.query(3, 500, || Record::filler(1 << 20));
+        assert_eq!(r.len(), 1 << 20);
+        assert_eq!(cache.total_records(), 0);
+        // Re-query misses again.
+        let _ = cache.query(3, 500, || Record::filler(1 << 20));
+        assert_eq!(cache.metrics().misses, 2);
+    }
+
+    fn windowed_cfg(cap: u64, m: usize) -> CacheConfig {
+        let mut c = cfg_records(cap);
+        c.window = Some(WindowConfig {
+            slices: m,
+            alpha: 0.99,
+            threshold: None,
+        });
+        c.contraction_epsilon = 1;
+        c
+    }
+
+    #[test]
+    fn eviction_removes_stale_keys() {
+        let mut cache = ElasticCache::new(windowed_cfg(64, 3));
+        // Key 7 queried once, then never again for > m steps.
+        cache.query(7, 100, rec);
+        for _ in 0..4 {
+            cache.end_time_step();
+        }
+        assert_eq!(cache.metrics().evictions, 1);
+        assert_eq!(cache.total_records(), 0);
+        cache.validate();
+    }
+
+    #[test]
+    fn requeried_keys_survive_eviction() {
+        let mut cache = ElasticCache::new(windowed_cfg(64, 3));
+        cache.query(7, 100, rec);
+        cache.end_time_step();
+        cache.query(7, 100, || unreachable!("must hit"));
+        cache.end_time_step();
+        cache.end_time_step();
+        cache.end_time_step(); // first insert's slice expires here
+        assert_eq!(cache.metrics().evictions, 0);
+        assert_eq!(cache.total_records(), 1);
+    }
+
+    #[test]
+    fn contraction_merges_lightly_loaded_nodes() {
+        let mut cache = ElasticCache::new(windowed_cfg(8, 2));
+        // Force growth to multiple nodes. Queries (not bare inserts) so the
+        // window tracks every key — only queried keys can expire.
+        for k in 0..24u64 {
+            cache.query(k * 40, 100, rec);
+        }
+        let grown = cache.node_count();
+        assert!(grown >= 3);
+        // Stop querying: everything expires and nodes merge pairwise.
+        for _ in 0..20 {
+            cache.end_time_step();
+            cache.validate();
+        }
+        assert_eq!(cache.total_records(), 0);
+        assert!(
+            cache.node_count() < grown,
+            "no contraction happened: still {grown} nodes"
+        );
+        assert!(cache.metrics().merges > 0);
+        // min_nodes floor respected.
+        assert!(cache.node_count() >= cache.config().min_nodes);
+    }
+
+    #[test]
+    fn contraction_respects_merge_threshold() {
+        let mut cache = ElasticCache::new(windowed_cfg(8, 2));
+        for k in 0..16u64 {
+            cache.insert(k * 60, rec()).unwrap();
+        }
+        let nodes_before = cache.node_count();
+        // Keep every key warm: no evictions, nodes stay ~full, no merge
+        // fits under 65 %.
+        for _ in 0..10 {
+            for k in 0..16u64 {
+                cache.query(k * 60, 100, || unreachable!("warm"));
+            }
+            cache.end_time_step();
+        }
+        assert_eq!(cache.metrics().merges, 0);
+        assert_eq!(cache.node_count(), nodes_before);
+    }
+
+    #[test]
+    fn infinite_window_never_evicts() {
+        let mut cache = ElasticCache::new(cfg_records(64)); // window: None
+        for k in 0..10u64 {
+            cache.query(k, 100, rec);
+        }
+        for _ in 0..100 {
+            cache.end_time_step();
+        }
+        assert_eq!(cache.metrics().evictions, 0);
+        assert_eq!(cache.total_records(), 10);
+    }
+
+    #[test]
+    fn clock_charges_boot_on_allocation_path() {
+        let mut c = cfg_records(4);
+        c.boot_latency = ecc_cloudsim::BootLatency::fixed(1_000_000);
+        let mut cache = ElasticCache::new(c);
+        for k in 0..5u64 {
+            cache.insert(k * 100, rec()).unwrap();
+        }
+        // One split with allocation: at least one boot second charged.
+        assert!(cache.metrics().alloc_us >= 1_000_000);
+        assert!(cache.clock().now_us() >= 1_000_000);
+    }
+
+    #[test]
+    fn billing_reflects_fleet_growth() {
+        let mut cache = ElasticCache::new(cfg_records(8));
+        for k in 0..40u64 {
+            cache.insert(k * 25, rec()).unwrap();
+        }
+        let billing = cache.cloud().billing();
+        assert_eq!(billing.launched, cache.node_count());
+        assert!(billing.microdollars > 0);
+    }
+
+    #[test]
+    fn circular_spans_cases() {
+        // Contiguous.
+        assert_eq!(circular_spans(10, 20, 100), vec![(11, 20)]);
+        // Wrapping.
+        assert_eq!(circular_spans(90, 5, 100), vec![(91, 99), (0, 5)]);
+        // Wrap with empty upper part.
+        assert_eq!(circular_spans(99, 5, 100), vec![(0, 5)]);
+        // Single bucket at r-1.
+        assert_eq!(circular_spans(99, 99, 100), vec![(0, 99)]);
+        // Single bucket mid-line.
+        assert_eq!(circular_spans(40, 40, 100), vec![(41, 99), (0, 40)]);
+    }
+
+    #[test]
+    fn truncate_spans_at_median() {
+        assert_eq!(truncate_spans_at(&[(11, 20)], 15), vec![(11, 15)]);
+        assert_eq!(
+            truncate_spans_at(&[(91, 99), (0, 5)], 3),
+            vec![(91, 99), (0, 3)]
+        );
+        assert_eq!(truncate_spans_at(&[(91, 99), (0, 5)], 95), vec![(91, 95)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not inside")]
+    fn truncate_requires_containment() {
+        truncate_spans_at(&[(0, 5)], 10);
+    }
+
+    #[test]
+    fn warm_pool_takes_boot_off_the_critical_path() {
+        let boot = ecc_cloudsim::BootLatency::fixed(50_000_000);
+        let run = |warm: usize| -> (u64, usize) {
+            let mut c = cfg_records(4);
+            c.boot_latency = boot;
+            c.warm_pool = warm;
+            let mut cache = ElasticCache::new(c);
+            // Give background standbys time to boot (they boot at t=0).
+            cache.clock().advance_us(60_000_000);
+            let t0 = cache.clock().now_us();
+            for k in 0..12u64 {
+                cache.insert(k * 80, rec()).unwrap();
+            }
+            (cache.clock().now_us() - t0, cache.node_count())
+        };
+        let (blocking_us, nodes_a) = run(0);
+        let (pooled_us, nodes_b) = run(2);
+        assert_eq!(nodes_a, nodes_b, "same growth either way");
+        assert!(
+            blocking_us >= 2 * 50_000_000,
+            "blocking boots must show up: {blocking_us}"
+        );
+        assert!(
+            pooled_us < blocking_us / 2,
+            "warm pool should hide boots: {pooled_us} vs {blocking_us}"
+        );
+    }
+
+    #[test]
+    fn warm_pool_standbys_appear_on_the_bill() {
+        let mut c = cfg_records(64);
+        c.warm_pool = 3;
+        let cache = ElasticCache::new(c);
+        assert_eq!(cache.warm_pool().len(), 3);
+        // 1 active node + 3 standbys launched.
+        assert_eq!(cache.cloud().total_launched(), 4);
+    }
+
+    #[test]
+    fn proactive_split_relieves_nearly_full_nodes_between_steps() {
+        let mut c = cfg_records(10);
+        c.proactive_split_fill = Some(0.7);
+        let mut cache = ElasticCache::new(c);
+        for k in 0..8u64 {
+            cache.insert(k * 100, rec()).unwrap();
+        }
+        assert_eq!(cache.node_count(), 1, "no overflow yet");
+        cache.end_time_step(); // fill 0.8 > 0.7 -> proactive split
+        assert_eq!(cache.node_count(), 2);
+        assert!(cache.metrics().splits >= 1);
+        cache.validate();
+        // Records all still reachable.
+        for k in 0..8u64 {
+            assert!(cache.lookup(k * 100).is_some());
+        }
+    }
+
+    #[test]
+    fn adaptive_window_grows_on_surge_and_shrinks_when_quiet() {
+        let mut c = cfg_records(64);
+        c.window = Some(WindowConfig {
+            slices: 8,
+            alpha: 0.99,
+            threshold: None,
+        });
+        c.adaptive_window = Some(crate::adaptive::AdaptiveWindowConfig {
+            min_slices: 2,
+            max_slices: 64,
+            grow_ratio: 2.0,
+            shrink_ratio: 0.5,
+            step_frac: 0.5,
+            ema_weight: 0.5,
+        });
+        let mut cache = ElasticCache::new(c);
+        let m0 = cache.window().unwrap().slices();
+        // Establish a low-rate trend.
+        for _ in 0..6 {
+            cache.query(1, 100, rec);
+            cache.end_time_step();
+        }
+        // Surge: many queries in one step.
+        for k in 0..200u64 {
+            cache.query(k, 100, rec);
+        }
+        cache.end_time_step();
+        let grown = cache.window().unwrap().slices();
+        assert!(grown > m0, "window should widen on surge: {m0} -> {grown}");
+        // Quiet steps shrink it back down.
+        for _ in 0..30 {
+            cache.end_time_step();
+        }
+        let shrunk = cache.window().unwrap().slices();
+        assert!(
+            shrunk < grown,
+            "window should narrow when quiet: {grown} -> {shrunk}"
+        );
+        cache.validate();
+    }
+
+    #[test]
+    fn adaptive_shrink_expires_and_evicts_immediately() {
+        let mut c = cfg_records(64);
+        c.window = Some(WindowConfig {
+            slices: 16,
+            alpha: 0.99,
+            threshold: None,
+        });
+        c.adaptive_window = Some(crate::adaptive::AdaptiveWindowConfig {
+            min_slices: 1,
+            max_slices: 16,
+            grow_ratio: 10.0,
+            shrink_ratio: 0.9,
+            step_frac: 1.0,
+            ema_weight: 1.0,
+        });
+        let mut cache = ElasticCache::new(c);
+        // Slice 1: a burst caches keys and seeds the trend.
+        for k in 0..10u64 {
+            cache.query(k, 100, rec);
+        }
+        cache.end_time_step();
+        assert_eq!(cache.total_records(), 10);
+        // Two quiet steps: the controller collapses m to 1; the burst slice
+        // expires early and its keys are evicted without waiting 16 steps.
+        cache.end_time_step();
+        cache.end_time_step();
+        assert_eq!(
+            cache.total_records(),
+            0,
+            "shrink must expire old slices immediately"
+        );
+        cache.validate();
+    }
+
+    #[test]
+    fn node_failure_loses_data_but_cache_recovers() {
+        let mut cache = ElasticCache::new(cfg_records(8));
+        for k in 0..20u64 {
+            cache.query(k * 50, 1000, rec);
+        }
+        let nodes_before = cache.node_count();
+        assert!(nodes_before >= 3);
+        let victim = cache.nodes().next().map(|(id, _)| id).unwrap();
+        let resident = cache.nodes().next().map(|(_, n)| n.record_count()).unwrap();
+        let report = cache.fail_node(victim);
+        assert_eq!(report.records_lost, resident);
+        assert_eq!(report.records_recovered, 0, "no replication configured");
+        assert_eq!(cache.node_count(), nodes_before - 1);
+        cache.validate();
+        // Every key is still servable: survivors hit, lost keys re-derive.
+        let mut rederived = 0;
+        for k in 0..20u64 {
+            let before = cache.metrics().misses;
+            cache.query(k * 50, 1000, rec);
+            rederived += (cache.metrics().misses - before) as usize;
+        }
+        assert_eq!(
+            rederived, report.records_lost,
+            "exactly the lost records re-derive"
+        );
+        cache.validate();
+    }
+
+    #[test]
+    fn replication_places_copies_on_a_distinct_peer() {
+        let mut c = cfg_records(8);
+        c.replicate = true;
+        let mut cache = ElasticCache::new(c);
+        // Single node: nowhere to replicate.
+        cache.insert(5, rec()).unwrap();
+        let replicas: usize = cache.nodes().map(|(_, n)| n.replica_count()).sum();
+        assert_eq!(replicas, 0);
+        // Grow to 2+ nodes; subsequent inserts replicate.
+        for k in 0..12u64 {
+            cache.insert(k * 80, rec()).unwrap();
+        }
+        assert!(cache.node_count() >= 2);
+        let replicas: usize = cache.nodes().map(|(_, n)| n.replica_count()).sum();
+        assert!(replicas > 0, "no replicas placed after growth");
+        // A replica never sits on the node that owns the key.
+        for (id, node) in cache.nodes() {
+            for k in 0..=1024u64 {
+                if node.get_replica(k).is_some() {
+                    let owner = *cache.ring().node_for_key(k).unwrap();
+                    assert_ne!(owner, id, "replica of {k} on its own primary");
+                }
+            }
+        }
+        cache.validate();
+    }
+
+    #[test]
+    fn replication_recovers_most_records_after_failure() {
+        let mut with = cfg_records(32);
+        with.replicate = true;
+        let mut cache = ElasticCache::new(with);
+        for k in 0..40u64 {
+            cache.query(k * 25, 1000, rec);
+        }
+        assert!(cache.node_count() >= 2);
+        // Records inserted before the fleet grew had no peer to replicate
+        // to; refresh them now that one exists (replacement inserts place
+        // replicas too).
+        for k in 0..40u64 {
+            cache.insert(k * 25, rec()).unwrap();
+        }
+        let victim = cache.nodes().next().map(|(id, _)| id).unwrap();
+        let resident = cache.nodes().next().map(|(_, n)| n.record_count()).unwrap();
+        let report = cache.fail_node(victim);
+        assert_eq!(report.records_lost + report.records_recovered, resident);
+        assert!(
+            report.records_recovered > 0,
+            "replication recovered nothing: {report:?}"
+        );
+        cache.validate();
+        // Recovered records hit without re-deriving.
+        let mut missing = 0;
+        for k in 0..40u64 {
+            if cache.lookup(k * 25).is_none() {
+                missing += 1;
+            }
+        }
+        assert_eq!(missing, report.records_lost);
+    }
+
+    #[test]
+    fn eviction_cleans_replicas_too() {
+        let mut c = cfg_records(16);
+        c.replicate = true;
+        c.window = Some(WindowConfig {
+            slices: 2,
+            alpha: 0.99,
+            threshold: None,
+        });
+        let mut cache = ElasticCache::new(c);
+        for k in 0..24u64 {
+            cache.query(k * 40, 1000, rec);
+        }
+        let replicas_before: usize = cache.nodes().map(|(_, n)| n.replica_count()).sum();
+        assert!(replicas_before > 0);
+        for _ in 0..4 {
+            cache.end_time_step();
+        }
+        assert_eq!(cache.total_records(), 0);
+        let replicas_after: usize = cache.nodes().map(|(_, n)| n.replica_count()).sum();
+        assert_eq!(replicas_after, 0, "evicted keys left stale replicas");
+        cache.validate();
+    }
+
+    #[test]
+    fn overflow_tier_serves_evicted_records() {
+        let mut c = cfg_records(64);
+        c.window = Some(WindowConfig {
+            slices: 2,
+            alpha: 0.99,
+            threshold: None,
+        });
+        c.overflow_tier = Some(ecc_cloudsim::StorageTier::s3_2010());
+        let mut cache = ElasticCache::new(c);
+        // Cache 5 keys, then let them expire.
+        for k in 0..5u64 {
+            cache.query(k, 23_000_000, || Record::filler(100));
+        }
+        for _ in 0..3 {
+            cache.end_time_step();
+        }
+        assert_eq!(cache.total_records(), 0);
+        assert_eq!(cache.metrics().tier_writes, 5);
+        assert_eq!(cache.tier().unwrap().len(), 5);
+        // Re-query: served from the tier, not the service; re-admitted.
+        let t0 = cache.clock().now_us();
+        let r = cache.query(3, 23_000_000, || unreachable!("tier must serve this"));
+        let took = cache.clock().now_us() - t0;
+        assert_eq!(r.len(), 100);
+        assert_eq!(cache.metrics().tier_hits, 1);
+        assert!(took < 1_000_000, "tier fetch should be ~ms, took {took} µs");
+        assert_eq!(cache.total_records(), 1, "tier hit re-admits to memory");
+        // And the next query is a plain memory hit.
+        cache.query(3, 23_000_000, || unreachable!());
+        assert_eq!(cache.metrics().hits, 1);
+        assert!(cache.tier_cost_microdollars() > 0);
+        cache.validate();
+    }
+
+    #[test]
+    fn tier_misses_fall_through_to_the_service() {
+        let mut c = cfg_records(64);
+        c.overflow_tier = Some(ecc_cloudsim::StorageTier::s3_2010());
+        let mut cache = ElasticCache::new(c);
+        let r = cache.query(9, 1000, || Record::filler(7));
+        assert_eq!(r.len(), 7);
+        assert_eq!(cache.metrics().misses, 1);
+        assert_eq!(cache.metrics().tier_hits, 0);
+        // The tier was consulted (one GET) even though it was empty.
+        assert_eq!(cache.tier().unwrap().gets(), 1);
+    }
+
+    #[test]
+    fn failing_the_last_node_allocates_a_replacement() {
+        let mut cache = ElasticCache::new(cfg_records(64));
+        cache.query(5, 100, rec);
+        let only = cache.nodes().next().map(|(id, _)| id).unwrap();
+        cache.fail_node(only);
+        assert_eq!(cache.node_count(), 1);
+        cache.validate();
+        assert!(cache.lookup(5).is_none());
+        cache.query(5, 100, rec);
+        assert_eq!(cache.total_records(), 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! A byte-bounded LRU map, the replacement policy of the static baseline
+//! ("the fixed-node settings subscribe to the simple LRU eviction policy",
+//! paper §IV-B — the same policy memcached uses, §V).
+//!
+//! Implemented as a slab of doubly linked entries plus a key → slot map:
+//! `get`, `insert`, `remove` and `pop_lru` are all O(1) expected.
+
+use std::collections::HashMap;
+
+use ecc_bptree::ByteSize;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    prev: u32,
+    next: u32,
+}
+
+/// An LRU map with byte accounting.
+#[derive(Debug)]
+pub struct Lru<K, V> {
+    map: HashMap<K, u32>,
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<u32>,
+    /// Most recently used.
+    head: u32,
+    /// Least recently used.
+    tail: u32,
+    bytes: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Lru<K, V> {
+    /// An empty LRU.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes of stored values.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Look up `key` and mark it most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.unlink(idx);
+        self.push_front(idx);
+        self.slab[idx as usize].as_ref().map(|e| &e.value)
+    }
+
+    /// Look up without touching recency (diagnostics).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.slab[idx as usize].as_ref().map(|e| &e.value)
+    }
+
+    /// Insert (or replace) and mark most recently used. Returns the
+    /// previous value for the key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let add = value.byte_size() as u64;
+        if let Some(&idx) = self.map.get(&key) {
+            self.unlink(idx);
+            self.push_front(idx);
+            let entry = self.slab[idx as usize].as_mut().expect("live entry");
+            let old = std::mem::replace(&mut entry.value, value);
+            self.bytes = self.bytes - old.byte_size() as u64 + add;
+            return Some(old);
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            i
+        } else {
+            self.slab.push(None);
+            (self.slab.len() - 1) as u32
+        };
+        self.slab[idx as usize] = Some(Entry {
+            key: key.clone(),
+            value,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        self.bytes += add;
+        None
+    }
+
+    /// Remove `key`.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.unlink(idx);
+        let entry = self.slab[idx as usize].take().expect("live entry");
+        self.free.push(idx);
+        self.bytes -= entry.value.byte_size() as u64;
+        Some(entry.value)
+    }
+
+    /// Evict the least recently used entry.
+    pub fn pop_lru(&mut self) -> Option<(K, V)> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let entry = self.slab[idx as usize].take().expect("live tail");
+        self.unlink_taken(idx, entry.prev, entry.next);
+        self.map.remove(&entry.key);
+        self.free.push(idx);
+        self.bytes -= entry.value.byte_size() as u64;
+        Some((entry.key, entry.value))
+    }
+
+    /// Whether `key` is present (does not touch recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Iterate over entries from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = (&K, &V)> {
+        LruIter {
+            lru: self,
+            cur: self.head,
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let e = self.slab[idx as usize].as_ref().expect("live entry");
+            (e.prev, e.next)
+        };
+        self.unlink_taken(idx, prev, next);
+        let e = self.slab[idx as usize].as_mut().expect("live entry");
+        e.prev = NIL;
+        e.next = NIL;
+    }
+
+    fn unlink_taken(&mut self, idx: u32, prev: u32, next: u32) {
+        if prev != NIL {
+            self.slab[prev as usize].as_mut().expect("live prev").next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].as_mut().expect("live next").prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        let old_head = self.head;
+        {
+            let e = self.slab[idx as usize].as_mut().expect("live entry");
+            e.prev = NIL;
+            e.next = old_head;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize]
+                .as_mut()
+                .expect("live head")
+                .prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Default for Lru<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct LruIter<'a, K, V> {
+    lru: &'a Lru<K, V>,
+    cur: u32,
+}
+
+impl<'a, K, V> Iterator for LruIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cur == NIL {
+            return None;
+        }
+        let e = self.lru.slab[self.cur as usize].as_ref().expect("live");
+        self.cur = e.next;
+        Some((&e.key, &e.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut l: Lru<u64, Vec<u8>> = Lru::new();
+        assert!(l.is_empty());
+        l.insert(1, vec![0; 10]);
+        l.insert(2, vec![0; 20]);
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.bytes(), 30);
+        assert_eq!(l.get(&1).map(Vec::len), Some(10));
+        assert_eq!(l.remove(&1).map(|v| v.len()), Some(10));
+        assert_eq!(l.bytes(), 20);
+        assert_eq!(l.get(&1), None);
+    }
+
+    #[test]
+    fn eviction_order_is_least_recently_used() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        l.insert(1, 1);
+        l.insert(2, 2);
+        l.insert(3, 3);
+        // Touch 1; order (MRU→LRU) is now 1, 3, 2.
+        l.get(&1);
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(2));
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(3));
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(1));
+        assert_eq!(l.pop_lru(), None);
+        assert_eq!(l.bytes(), 0);
+    }
+
+    #[test]
+    fn insert_touches_recency() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        l.insert(1, 1);
+        l.insert(2, 2);
+        l.insert(1, 10); // replace = touch
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(2));
+    }
+
+    #[test]
+    fn replacement_adjusts_bytes_and_returns_old() {
+        let mut l: Lru<u64, Vec<u8>> = Lru::new();
+        l.insert(5, vec![0; 100]);
+        let old = l.insert(5, vec![0; 7]);
+        assert_eq!(old.map(|v| v.len()), Some(100));
+        assert_eq!(l.bytes(), 7);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        l.insert(1, 1);
+        l.insert(2, 2);
+        assert_eq!(l.peek(&1), Some(&1));
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(1));
+    }
+
+    #[test]
+    fn iter_mru_walks_recency_order() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        for k in 0..5 {
+            l.insert(k, k);
+        }
+        l.get(&0);
+        let order: Vec<u64> = l.iter_mru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![0, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        for k in 0..100 {
+            l.insert(k, k);
+        }
+        for k in 0..100 {
+            l.remove(&k);
+        }
+        for k in 100..200 {
+            l.insert(k, k);
+        }
+        assert_eq!(l.slab.len(), 100, "slab should not grow past peak");
+        assert_eq!(l.len(), 100);
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut l: Lru<u64, Vec<u8>> = Lru::new();
+        let mut expected_bytes = 0u64;
+        for i in 0..10_000u64 {
+            let k = i % 97;
+            let size = (i % 13) as usize;
+            if i % 5 == 0 {
+                if let Some(v) = l.remove(&k) {
+                    expected_bytes -= v.len() as u64;
+                }
+            } else if let Some(old) = l.insert(k, vec![0; size]) {
+                expected_bytes = expected_bytes - old.len() as u64 + size as u64;
+            } else {
+                expected_bytes += size as u64;
+            }
+            assert_eq!(l.bytes(), expected_bytes, "at step {i}");
+        }
+        // Drain fully via pop_lru.
+        while l.pop_lru().is_some() {}
+        assert_eq!(l.bytes(), 0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn contains_does_not_touch() {
+        let mut l: Lru<u64, u64> = Lru::new();
+        l.insert(1, 1);
+        l.insert(2, 2);
+        assert!(l.contains(&1));
+        assert_eq!(l.pop_lru().map(|(k, _)| k), Some(1));
+    }
+}

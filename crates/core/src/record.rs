@@ -1,0 +1,83 @@
+//! The cached value type.
+
+use std::sync::Arc;
+
+use ecc_bptree::ByteSize;
+
+/// A cached derived result: an immutable byte payload behind an `Arc`, so
+/// returning a hit to a caller never copies the data (only the simulated
+/// network transfer is charged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    data: Arc<Vec<u8>>,
+}
+
+impl Record {
+    /// Wrap a payload.
+    pub fn from_vec(data: Vec<u8>) -> Self {
+        Self {
+            data: Arc::new(data),
+        }
+    }
+
+    /// A record of `len` identical filler bytes — synthetic workloads.
+    pub fn filler(len: usize) -> Self {
+        Self::from_vec(vec![0xAB; len])
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl ByteSize for Record {
+    #[inline]
+    fn byte_size(&self) -> usize {
+        self.data.len()
+    }
+}
+
+impl From<Vec<u8>> for Record {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_vec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_reports_payload_size() {
+        let r = Record::from_vec(vec![1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.byte_size(), 3);
+        assert_eq!(r.as_slice(), &[1, 2, 3]);
+        assert!(!r.is_empty());
+        assert!(Record::from_vec(vec![]).is_empty());
+    }
+
+    #[test]
+    fn clone_shares_the_payload() {
+        let r = Record::filler(1000);
+        let c = r.clone();
+        assert!(std::ptr::eq(r.as_slice().as_ptr(), c.as_slice().as_ptr()));
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn filler_has_requested_length() {
+        assert_eq!(Record::filler(77).len(), 77);
+    }
+}

@@ -1,0 +1,281 @@
+//! The fixed-fleet baseline ("static-2 / static-4 / static-8", paper
+//! §IV-B): a cooperative cache over a *fixed* number of nodes, "comparable
+//! to current cluster/grid environments, where the amounts of nodes one can
+//! allocate is typically fixed", with per-node LRU replacement (the
+//! memcached policy).
+//!
+//! Placement uses the same consistent-hash line as the elastic cache, with
+//! one evenly spaced bucket per node — but the fleet never grows or
+//! shrinks: on overflow a node displaces its least-recently-used records.
+
+use ecc_chash::HashRing;
+use ecc_cloudsim::{NetModel, SimClock, SimCloud};
+
+use crate::config::CacheConfig;
+use crate::lru::Lru;
+use crate::metrics::Metrics;
+use crate::record::Record;
+
+/// Bytes of a lookup request on the wire (key + framing).
+const LOOKUP_REQ_BYTES: u64 = 32;
+/// Bytes of a negative lookup response.
+const MISS_RESP_BYTES: u64 = 8;
+/// Per-record key/framing overhead charged on the put path.
+const RECORD_WIRE_OVERHEAD: u64 = 16;
+
+/// A fixed-size cooperative LRU cache.
+pub struct StaticCache {
+    clock: SimClock,
+    cloud: SimCloud,
+    net: NetModel,
+    ring: HashRing<usize>,
+    nodes: Vec<Lru<u64, Record>>,
+    capacity_bytes: u64,
+    lookup_overhead_us: u64,
+    metrics: Metrics,
+}
+
+impl StaticCache {
+    /// Build a `n_nodes`-node static cache from the shared configuration
+    /// (`node_capacity_bytes`, network and instance type are honoured; the
+    /// window/contraction fields are ignored — this baseline never scales).
+    ///
+    /// All `n_nodes` instances are allocated up front, as a reserved
+    /// cluster would be; their boot does not block queries.
+    pub fn new(cfg: &CacheConfig, n_nodes: usize) -> Self {
+        assert!(n_nodes >= 1, "need at least one node");
+        cfg.validate();
+        let clock = SimClock::new();
+        let mut cloud = SimCloud::new(clock.clone(), cfg.seed, cfg.boot_latency);
+        let mut ring = HashRing::new(cfg.ring_range);
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            cloud.allocate(cfg.instance_type.clone());
+            // Evenly spaced buckets; the last sits at r-1 so arcs tile the
+            // line exactly.
+            let pos = ((i as u64 + 1) * cfg.ring_range) / n_nodes as u64 - 1;
+            ring.insert_bucket(pos, i).expect("distinct positions");
+            nodes.push(Lru::new());
+        }
+        Self {
+            clock,
+            cloud,
+            net: cfg.net,
+            ring,
+            nodes,
+            capacity_bytes: cfg.node_capacity_bytes,
+            lookup_overhead_us: cfg.lookup_overhead_us,
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Number of nodes (fixed for the lifetime of the cache).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Cumulative metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The cloud provider (for billing comparisons against GBA).
+    pub fn cloud(&self) -> &SimCloud {
+        &self.cloud
+    }
+
+    /// Total records resident.
+    pub fn total_records(&self) -> usize {
+        self.nodes.iter().map(Lru::len).sum()
+    }
+
+    /// Total payload bytes resident.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes.iter().map(Lru::bytes).sum()
+    }
+
+    /// Full cached-service query, mirroring
+    /// [`crate::ElasticCache::query`].
+    pub fn query(&mut self, key: u64, uncached_us: u64, miss: impl FnOnce() -> Record) -> Record {
+        let t0 = self.clock.now_us();
+        self.metrics.baseline_us += uncached_us;
+        self.metrics.queries += 1;
+        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        self.clock.advance_us(self.lookup_overhead_us);
+        if let Some(rec) = self.nodes[nid].get(&key).cloned() {
+            self.clock
+                .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, rec.len() as u64));
+            self.metrics.hits += 1;
+            self.metrics.observed_us += self.clock.now_us() - t0;
+            return rec;
+        }
+        self.clock
+            .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, MISS_RESP_BYTES));
+        self.metrics.misses += 1;
+        let rec = miss();
+        self.clock.advance_us(uncached_us);
+        self.metrics.service_us += uncached_us;
+        self.insert(key, rec.clone());
+        self.metrics.observed_us += self.clock.now_us() - t0;
+        rec
+    }
+
+    /// Insert, displacing LRU records until the owning node fits. Records
+    /// larger than a whole node are not cached.
+    pub fn insert(&mut self, key: u64, record: Record) {
+        let size = record.len() as u64;
+        if size > self.capacity_bytes {
+            return;
+        }
+        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        self.clock
+            .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
+        let node = &mut self.nodes[nid];
+        // Replacement frees the old bytes first.
+        let already = node.contains(&key);
+        if already {
+            node.insert(key, record);
+        } else {
+            while node.bytes() + size > self.capacity_bytes {
+                node.pop_lru().expect("non-empty while over budget");
+                self.metrics.lru_evictions += 1;
+            }
+            node.insert(key, record);
+        }
+        debug_assert!(self.nodes[nid].bytes() <= self.capacity_bytes);
+    }
+
+    /// Look up without the service fallback.
+    pub fn lookup(&mut self, key: u64) -> Option<Record> {
+        let t0 = self.clock.now_us();
+        self.metrics.queries += 1;
+        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        self.clock.advance_us(self.lookup_overhead_us);
+        let found = self.nodes[nid].get(&key).cloned();
+        match &found {
+            Some(rec) => {
+                self.clock
+                    .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, rec.len() as u64));
+                self.metrics.hits += 1;
+            }
+            None => {
+                self.clock
+                    .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, MISS_RESP_BYTES));
+                self.metrics.misses += 1;
+            }
+        }
+        self.metrics.observed_us += self.clock.now_us() - t0;
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn cfg_records(cap: u64) -> CacheConfig {
+        let mut c = CacheConfig::small_test();
+        c.node_capacity_bytes = cap * 100;
+        c
+    }
+
+    #[test]
+    fn fleet_is_fixed_and_preallocated() {
+        let cache = StaticCache::new(&cfg_records(8), 4);
+        assert_eq!(cache.node_count(), 4);
+        assert_eq!(cache.cloud().billing().launched, 4);
+    }
+
+    #[test]
+    fn hits_and_misses_count() {
+        let mut cache = StaticCache::new(&cfg_records(8), 2);
+        cache.query(1, 1000, || Record::filler(50));
+        cache.query(1, 1000, || unreachable!());
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses), (1, 1));
+        assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_lru_displacement() {
+        // 2 nodes × 4 records; insert 40 distinct keys.
+        let mut cache = StaticCache::new(&cfg_records(4), 2);
+        for k in 0..40u64 {
+            cache.insert(k * 25, Record::filler(100));
+        }
+        assert!(cache.total_records() <= 8);
+        assert!(cache.total_bytes() <= 800);
+        assert!(cache.metrics().lru_evictions >= 32);
+    }
+
+    #[test]
+    fn recently_used_records_survive_displacement() {
+        let mut cache = StaticCache::new(&cfg_records(4), 1);
+        for k in 0..4u64 {
+            cache.insert(k, Record::filler(100));
+        }
+        // Touch key 0, then overflow by one: key 1 (LRU) goes, key 0 stays.
+        assert!(cache.lookup(0).is_some());
+        cache.insert(100, Record::filler(100));
+        assert!(cache.lookup(0).is_some());
+        assert!(cache.lookup(1).is_none());
+    }
+
+    #[test]
+    fn keys_partition_across_nodes() {
+        let mut cache = StaticCache::new(&cfg_records(1024), 4);
+        for k in 0..200u64 {
+            cache.insert(k * 5, Record::filler(10));
+        }
+        let per_node: Vec<usize> = cache.nodes.iter().map(Lru::len).collect();
+        assert_eq!(per_node.iter().sum::<usize>(), 200);
+        assert!(
+            per_node.iter().all(|&n| n > 10),
+            "uneven partition: {per_node:?}"
+        );
+    }
+
+    #[test]
+    fn steady_state_hit_rate_tracks_capacity_fraction() {
+        // The analytical backbone of Figure 3: with uniform keys, the
+        // steady-state hit rate of an LRU fleet ≈ fleet capacity / key
+        // space.
+        let mut cfg = cfg_records(64);
+        cfg.ring_range = 512; // key space 512
+        let mut cache = StaticCache::new(&cfg, 2); // 128 records total
+        let mut rng_state = 12345u64;
+        let mut hits_late = 0u64;
+        let mut queries_late = 0u64;
+        for i in 0..40_000u64 {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (rng_state >> 33) % 512;
+            let before = cache.metrics().hits;
+            cache.query(key, 1000, || Record::filler(100));
+            if i > 20_000 {
+                queries_late += 1;
+                hits_late += cache.metrics().hits - before;
+            }
+        }
+        let rate = hits_late as f64 / queries_late as f64;
+        let expect = 128.0 / 512.0;
+        assert!(
+            (rate - expect).abs() < 0.05,
+            "hit rate {rate:.3}, expected ≈ {expect:.3}"
+        );
+    }
+
+    #[test]
+    fn oversized_records_are_skipped() {
+        let mut cache = StaticCache::new(&cfg_records(4), 1);
+        cache.insert(1, Record::filler(100_000));
+        assert_eq!(cache.total_records(), 0);
+    }
+}

@@ -1,0 +1,339 @@
+//! The sliding-window eviction structure (paper §III-B, Figure 2).
+//!
+//! Incoming queries are treated as a stream; a global window of the `m`
+//! most recent time slices records which keys were queried when. When a
+//! slice expires (reaches `t_{m+1}`), every key it contains receives an
+//! eviction score
+//!
+//! ```text
+//! λ(k) = Σ_{i=1..m} α^(i-1) · |{k ∈ t_i}|
+//! ```
+//!
+//! over the *current* window (`t_1` = most recent completed slice), and
+//! keys with `λ(k) < T_λ` are evicted. Recent queries are rewarded (the
+//! decay is amortized in older slices), so a key keeps its cache residency
+//! by being re-queried.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// The global sliding window of queried keys.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    m: usize,
+    alpha: f64,
+    threshold: f64,
+    /// The slice currently being recorded (not yet part of the window).
+    current: BTreeMap<u64, u32>,
+    /// Completed slices, front = `t_1` (newest) … back = `t_m` (oldest).
+    history: VecDeque<BTreeMap<u64, u32>>,
+    /// Precomputed decay powers `α^0 … α^(m-1)`.
+    powers: Vec<f64>,
+}
+
+impl SlidingWindow {
+    /// A window of `m` slices with decay `alpha` and eviction threshold
+    /// `threshold` (`T_λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `alpha` is outside `(0, 1)`.
+    pub fn new(m: usize, alpha: f64, threshold: f64) -> Self {
+        assert!(m >= 1, "window needs at least one slice");
+        assert!(alpha > 0.0 && alpha < 1.0, "decay must be in (0, 1)");
+        let mut powers = Vec::with_capacity(m);
+        let mut p = 1.0;
+        for _ in 0..m {
+            powers.push(p);
+            p *= alpha;
+        }
+        Self {
+            m,
+            alpha,
+            threshold,
+            current: BTreeMap::new(),
+            history: VecDeque::with_capacity(m + 1),
+            powers,
+        }
+    }
+
+    /// `m`.
+    pub fn slices(&self) -> usize {
+        self.m
+    }
+
+    /// `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// `T_λ`.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Record that `key` was queried in the current slice.
+    pub fn note_query(&mut self, key: u64) {
+        *self.current.entry(key).or_insert(0) += 1;
+    }
+
+    /// Close the current slice. If the window was already full, the oldest
+    /// slice expires and is returned (`t_{m+1}`) — the caller scores its
+    /// keys with [`SlidingWindow::victims`].
+    pub fn end_slice(&mut self) -> Option<BTreeMap<u64, u32>> {
+        let completed = std::mem::take(&mut self.current);
+        self.history.push_front(completed);
+        if self.history.len() > self.m {
+            self.history.pop_back()
+        } else {
+            None
+        }
+    }
+
+    /// The eviction score `λ(k)` over the current window.
+    pub fn lambda(&self, key: u64) -> f64 {
+        self.history
+            .iter()
+            .enumerate()
+            .map(|(i, slice)| {
+                self.powers[i] * slice.get(&key).copied().unwrap_or(0) as f64
+            })
+            .sum()
+    }
+
+    /// Keys of an expired slice whose `λ` falls below `T_λ` — the set to
+    /// evict from the cache.
+    pub fn victims(&self, expired: &BTreeMap<u64, u32>) -> Vec<u64> {
+        expired
+            .keys()
+            .copied()
+            .filter(|&k| self.lambda(k) < self.threshold)
+            .collect()
+    }
+
+    /// Number of distinct keys currently tracked anywhere in the window.
+    pub fn tracked_keys(&self) -> usize {
+        let mut keys: Vec<u64> = self
+            .history
+            .iter()
+            .chain(std::iter::once(&self.current))
+            .flat_map(|s| s.keys().copied())
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Resize the window to `new_m` slices (dynamic window sizing, the
+    /// paper's §VI future work). Growing simply raises capacity; shrinking
+    /// immediately expires the slices that no longer fit, returning them
+    /// oldest-first so the caller can run eviction scoring on each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_m == 0`.
+    pub fn set_slices(&mut self, new_m: usize) -> Vec<BTreeMap<u64, u32>> {
+        assert!(new_m >= 1, "window needs at least one slice");
+        self.m = new_m;
+        // Recompute decay powers for the new width.
+        self.powers.clear();
+        let mut p = 1.0;
+        for _ in 0..new_m {
+            self.powers.push(p);
+            p *= self.alpha;
+        }
+        let mut expired = Vec::new();
+        while self.history.len() > self.m {
+            expired.push(self.history.pop_back().expect("checked len"));
+        }
+        expired
+    }
+
+    /// Brute-force reference implementation of `λ` used by the test suite
+    /// (kept here so it stays in sync with the window's internal layout).
+    #[doc(hidden)]
+    pub fn lambda_reference(&self, key: u64) -> f64 {
+        let mut sum = 0.0;
+        for (i, slice) in self.history.iter().enumerate() {
+            if let Some(&c) = slice.get(&key) {
+                sum += self.alpha.powi(i as i32) * c as f64;
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fill one slice with the given keys and close it.
+    fn push_slice(w: &mut SlidingWindow, keys: &[u64]) -> Option<BTreeMap<u64, u32>> {
+        for &k in keys {
+            w.note_query(k);
+        }
+        w.end_slice()
+    }
+
+    #[test]
+    fn no_expiry_until_window_fills() {
+        let mut w = SlidingWindow::new(3, 0.9, 0.0);
+        assert!(push_slice(&mut w, &[1]).is_none());
+        assert!(push_slice(&mut w, &[2]).is_none());
+        assert!(push_slice(&mut w, &[3]).is_none());
+        // Fourth closure expires the first slice.
+        let expired = push_slice(&mut w, &[4]).expect("window full");
+        assert!(expired.contains_key(&1));
+    }
+
+    #[test]
+    fn lambda_weights_decay_with_age() {
+        let mut w = SlidingWindow::new(3, 0.5, 0.0);
+        push_slice(&mut w, &[7]); // will be t_3 (α² = 0.25)
+        push_slice(&mut w, &[7]); // t_2 (α = 0.5)
+        push_slice(&mut w, &[7]); // t_1 (α⁰ = 1)
+        assert!((w.lambda(7) - 1.75).abs() < 1e-12);
+        assert_eq!(w.lambda(8), 0.0);
+    }
+
+    #[test]
+    fn lambda_counts_multiplicity() {
+        let mut w = SlidingWindow::new(2, 0.9, 0.0);
+        push_slice(&mut w, &[5, 5, 5]); // three queries in one slice
+        assert!((w.lambda(5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_matches_reference_on_random_history() {
+        let mut w = SlidingWindow::new(10, 0.93, 0.0);
+        for i in 0..25u64 {
+            let keys: Vec<u64> = (0..20).map(|j| (i * 31 + j * 17) % 50).collect();
+            push_slice(&mut w, &keys);
+        }
+        for k in 0..50 {
+            assert!(
+                (w.lambda(k) - w.lambda_reference(k)).abs() < 1e-9,
+                "mismatch at key {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_threshold_spares_window_residents() {
+        // T_λ = α^(m-1): a key queried once anywhere in the window survives.
+        let m = 5;
+        let alpha: f64 = 0.99;
+        let t = alpha.powi(m as i32 - 1);
+        let mut w = SlidingWindow::new(m, alpha, t);
+        // Key 1 queried only in the slice that is about to expire...
+        push_slice(&mut w, &[1]);
+        for _ in 0..m - 1 {
+            push_slice(&mut w, &[2]);
+        }
+        let expired = push_slice(&mut w, &[2]).expect("expiry");
+        // ...so it is evicted; key 2 (still in window) would survive.
+        assert_eq!(w.victims(&expired), vec![1]);
+        assert!(w.lambda(2) >= t);
+    }
+
+    #[test]
+    fn requeried_keys_survive_expiry() {
+        let m = 4;
+        let alpha = 0.99;
+        let mut w = SlidingWindow::new(m, alpha, alpha.powi(m as i32 - 1));
+        push_slice(&mut w, &[9]); // old query of key 9
+        push_slice(&mut w, &[]);
+        push_slice(&mut w, &[9]); // re-query keeps it warm
+        push_slice(&mut w, &[]);
+        let expired = push_slice(&mut w, &[]).expect("expiry");
+        assert!(expired.contains_key(&9));
+        assert!(w.victims(&expired).is_empty(), "re-queried key evicted");
+    }
+
+    #[test]
+    fn lower_alpha_evicts_more_aggressively() {
+        // Figure 7's mechanism: with smaller α, a key must be re-queried
+        // more recently/often to stay above the same relative threshold.
+        let m = 10;
+        let run = |alpha: f64| -> bool {
+            // Same absolute threshold for both decays.
+            let mut w = SlidingWindow::new(m, alpha, 0.8);
+            // Key queried once, five slices before the check.
+            push_slice(&mut w, &[1]);
+            for _ in 0..5 {
+                push_slice(&mut w, &[]);
+            }
+            w.lambda(1) >= w.threshold()
+        };
+        assert!(run(0.99), "high decay should retain");
+        assert!(!run(0.5), "low decay should evict");
+    }
+
+    #[test]
+    fn tracked_keys_counts_distinct() {
+        let mut w = SlidingWindow::new(3, 0.9, 0.0);
+        push_slice(&mut w, &[1, 2, 2]);
+        w.note_query(3);
+        assert_eq!(w.tracked_keys(), 3);
+    }
+
+    #[test]
+    fn zero_threshold_never_evicts() {
+        let mut w = SlidingWindow::new(2, 0.9, 0.0);
+        push_slice(&mut w, &[1, 2, 3]);
+        push_slice(&mut w, &[]);
+        let expired = push_slice(&mut w, &[]).expect("expiry");
+        assert!(!expired.is_empty());
+        assert!(w.victims(&expired).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must be in (0, 1)")]
+    fn invalid_alpha_rejected() {
+        SlidingWindow::new(5, 1.5, 0.0);
+    }
+
+    #[test]
+    fn shrinking_the_window_expires_oldest_slices() {
+        let mut w = SlidingWindow::new(5, 0.9, 0.0);
+        for k in 0..5u64 {
+            push_slice(&mut w, &[k]);
+        }
+        // Shrink 5 -> 2: slices holding keys 0, 1, 2 expire, oldest first.
+        let expired = w.set_slices(2);
+        assert_eq!(expired.len(), 3);
+        assert!(expired[0].contains_key(&0));
+        assert!(expired[1].contains_key(&1));
+        assert!(expired[2].contains_key(&2));
+        assert_eq!(w.slices(), 2);
+        // Remaining window scores only the two newest slices.
+        assert_eq!(w.lambda(2), 0.0);
+        assert!(w.lambda(4) > 0.0);
+    }
+
+    #[test]
+    fn growing_the_window_keeps_history_and_rescales_powers() {
+        let mut w = SlidingWindow::new(2, 0.5, 0.0);
+        push_slice(&mut w, &[7]);
+        push_slice(&mut w, &[7]);
+        assert!(w.set_slices(4).is_empty());
+        assert_eq!(w.slices(), 4);
+        // Both queries still visible; next closures don't expire early.
+        assert!((w.lambda(7) - 1.5).abs() < 1e-12);
+        assert!(push_slice(&mut w, &[]).is_none());
+        assert!(push_slice(&mut w, &[]).is_none());
+        assert!(push_slice(&mut w, &[]).is_some());
+    }
+
+    #[test]
+    fn resize_then_lambda_matches_reference() {
+        let mut w = SlidingWindow::new(8, 0.93, 0.0);
+        for i in 0..12u64 {
+            push_slice(&mut w, &[(i * 3) % 7, i % 5]);
+        }
+        w.set_slices(3);
+        push_slice(&mut w, &[1, 2]);
+        for k in 0..7 {
+            assert!((w.lambda(k) - w.lambda_reference(k)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the elastic cache: placement, residency and
+//! accounting invariants must hold under arbitrary operation sequences.
+
+use std::collections::BTreeMap;
+
+use ecc_core::{CacheConfig, ElasticCache, Record, StaticCache, WindowConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Query(u16),
+    Lookup(u16),
+    EndStep,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => any::<u16>().prop_map(Op::Query),
+        2 => any::<u16>().prop_map(Op::Lookup),
+        1 => Just(Op::EndStep),
+    ]
+}
+
+/// Deterministic per-key payload size (a real service derives the same
+/// result for the same query).
+fn size_of_key(k: u16) -> usize {
+    (k as usize % 100) + 1
+}
+
+fn cfg(capacity_records: u64, window: Option<(usize, f64)>) -> CacheConfig {
+    let mut c = CacheConfig::small_test();
+    c.ring_range = 1 << 16;
+    c.node_capacity_bytes = capacity_records * 100;
+    c.window = window.map(|(m, alpha)| WindowConfig {
+        slices: m,
+        alpha,
+        threshold: None,
+    });
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cache agrees with an ideal (never-evicting, infinitely large)
+    /// map when the window is infinite: every queried key becomes and
+    /// stays resident, and lookups return exactly the cached payloads.
+    #[test]
+    fn infinite_window_matches_ideal_map(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut cache = ElasticCache::new(cfg(16, None));
+        let mut ideal: BTreeMap<u64, usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Query(k) => {
+                    let key = k as u64;
+                    let size = size_of_key(k);
+                    let r = cache.query(key, 1000, || Record::filler(size));
+                    match ideal.get(&key) {
+                        Some(&s) => prop_assert_eq!(r.len(), s),
+                        None => {
+                            ideal.insert(key, size);
+                            prop_assert_eq!(r.len(), size);
+                        }
+                    }
+                }
+                Op::Lookup(k) => {
+                    let got = cache.lookup(k as u64).map(|r| r.len());
+                    prop_assert_eq!(got, ideal.get(&(k as u64)).copied());
+                }
+                Op::EndStep => cache.end_time_step(),
+            }
+        }
+        cache.validate();
+        prop_assert_eq!(cache.total_records(), ideal.len());
+        let expected_bytes: u64 = ideal.values().map(|&s| s as u64).sum();
+        prop_assert_eq!(cache.total_bytes(), expected_bytes);
+    }
+
+    /// With a finite window the cache may evict, but structural invariants
+    /// hold throughout and resident records are always a subset of the
+    /// ideal map with identical payloads.
+    #[test]
+    fn windowed_cache_holds_invariants(
+        m in 1usize..=6,
+        alpha in 0.5f64..0.999,
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut cache = ElasticCache::new(cfg(8, Some((m, alpha))));
+        let mut ideal: BTreeMap<u64, usize> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Query(k) => {
+                    let key = k as u64;
+                    let size = size_of_key(k);
+                    let r = cache.query(key, 1000, || Record::filler(size));
+                    let expect = *ideal.entry(key).or_insert(size);
+                    prop_assert_eq!(r.len(), expect);
+                }
+                Op::Lookup(k) => {
+                    if let Some(r) = cache.lookup(k as u64) {
+                        prop_assert_eq!(Some(r.len()), ideal.get(&(k as u64)).copied());
+                    }
+                }
+                Op::EndStep => cache.end_time_step(),
+            }
+        }
+        cache.validate();
+        // Conservation: every resident record was inserted and never
+        // mutated.
+        prop_assert!(cache.total_records() <= ideal.len());
+        // Node count stays within the physical bound: you can never need
+        // more nodes than ceil(bytes/capacity) + splits headroom.
+        prop_assert!(cache.node_count() >= 1);
+    }
+
+    /// Metrics conservation: queries = hits + misses; observed time never
+    /// exceeds the clock; baseline accumulates exactly per query.
+    #[test]
+    fn metrics_are_conserved(
+        keys in proptest::collection::vec(any::<u16>(), 1..200),
+    ) {
+        let mut cache = ElasticCache::new(cfg(16, Some((3, 0.99)))) ;
+        for (i, &k) in keys.iter().enumerate() {
+            cache.query(k as u64, 500, || Record::filler(20));
+            if i % 7 == 0 {
+                cache.end_time_step();
+            }
+        }
+        let m = cache.metrics();
+        prop_assert_eq!(m.queries, keys.len() as u64);
+        prop_assert_eq!(m.hits + m.misses, m.queries);
+        prop_assert_eq!(m.baseline_us, 500 * keys.len() as u64);
+        prop_assert!(m.observed_us <= cache.clock().now_us());
+        prop_assert!(m.service_us == 500 * m.misses);
+    }
+
+    /// The static baseline never exceeds its fixed capacity and keeps its
+    /// fleet size constant.
+    #[test]
+    fn static_cache_capacity_never_exceeded(
+        n_nodes in 1usize..=8,
+        keys in proptest::collection::vec(any::<u16>(), 1..300),
+    ) {
+        let mut c = CacheConfig::small_test();
+        c.ring_range = 1 << 16;
+        c.node_capacity_bytes = 500;
+        let mut cache = StaticCache::new(&c, n_nodes);
+        for &k in &keys {
+            cache.query(k as u64, 1000, || Record::filler(100));
+        }
+        prop_assert_eq!(cache.node_count(), n_nodes);
+        prop_assert!(cache.total_bytes() <= 500 * n_nodes as u64);
+        let m = cache.metrics();
+        prop_assert_eq!(m.hits + m.misses, m.queries);
+    }
+
+    /// Churn equivalence: a burst of queries followed by quiet periods
+    /// always contracts back toward the floor, and repeated cycles do not
+    /// leak nodes.
+    #[test]
+    fn burst_quiet_cycles_do_not_leak_nodes(cycles in 1usize..=4, burst in 8u64..40) {
+        let mut cache = ElasticCache::new(cfg(8, Some((2, 0.99))));
+        let mut peak = 1;
+        for cycle in 0..cycles {
+            for k in 0..burst {
+                cache.query(k * 97 + cycle as u64, 1000, || Record::filler(100));
+            }
+            cache.end_time_step();
+            peak = peak.max(cache.node_count());
+            // Quiet: several empty steps expire everything and allow
+            // contraction each step (epsilon = 1).
+            for _ in 0..10 {
+                cache.end_time_step();
+            }
+            cache.validate();
+        }
+        prop_assert!(cache.node_count() <= 2, "stuck at {} nodes", cache.node_count());
+        prop_assert_eq!(cache.total_records(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Client handle to one remote cache node.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+use crate::protocol::{
+    decode_keys, decode_range_stats, decode_records, decode_stats, read_frame, write_frame,
+    Request, Response, Status,
+};
+
+/// A persistent connection to a cache server.
+#[derive(Debug)]
+pub struct RemoteNode {
+    addr: SocketAddr,
+    stream: TcpStream,
+}
+
+impl RemoteNode {
+    /// Connect to a server.
+    pub fn connect(addr: SocketAddr) -> io::Result<RemoteNode> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RemoteNode { addr, stream })
+    }
+
+    /// The server's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn call(&mut self, req: Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let frame = read_frame(&mut self.stream)?;
+        Response::decode(frame)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response frame"))
+    }
+
+    /// Look up a key.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        let resp = self.call(Request::Get { key })?;
+        Ok(match resp.status {
+            Status::Ok => Some(resp.body.to_vec()),
+            _ => None,
+        })
+    }
+
+    /// Store a record; returns the server's verdict (`Ok` or `Overflow`).
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> io::Result<Status> {
+        let resp = self.call(Request::Put {
+            key,
+            value: value.into(),
+        })?;
+        Ok(resp.status)
+    }
+
+    /// Remove a key; `true` if it was present.
+    pub fn remove(&mut self, key: u64) -> io::Result<bool> {
+        Ok(self.call(Request::Remove { key })?.status == Status::Ok)
+    }
+
+    /// Destructively read all records in `[lo, hi]`.
+    pub fn sweep(&mut self, lo: u64, hi: u64) -> io::Result<Vec<(u64, Vec<u8>)>> {
+        let resp = self.call(Request::Sweep { lo, hi })?;
+        decode_records(resp.body)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad sweep body"))
+    }
+
+    /// List keys in `[lo, hi]`.
+    pub fn keys(&mut self, lo: u64, hi: u64) -> io::Result<Vec<u64>> {
+        let resp = self.call(Request::Keys { lo, hi })?;
+        decode_keys(resp.body)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad keys body"))
+    }
+
+    /// `(bytes, records)` resident in `[lo, hi]`.
+    pub fn range_stats(&mut self, lo: u64, hi: u64) -> io::Result<(u64, u64)> {
+        let resp = self.call(Request::RangeStats { lo, hi })?;
+        decode_range_stats(resp.body)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad range-stats body"))
+    }
+
+    /// `(used_bytes, record_count, capacity_bytes)`.
+    pub fn stats(&mut self) -> io::Result<(u64, u64, u64)> {
+        let resp = self.call(Request::Stats)?;
+        decode_stats(resp.body)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stats body"))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<bool> {
+        Ok(self.call(Request::Ping)?.status == Status::Ok)
+    }
+
+    /// Ask the server to stop.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        let _ = self.call(Request::Shutdown)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,426 @@
+//! The live coordinator: GBA over real sockets.
+//!
+//! Mirrors [`ecc_core::ElasticCache`]'s control logic, but every node is a
+//! TCP cache server and every migration travels the wire. Spawning a server
+//! thread stands in for booting an EC2 instance.
+//!
+//! Single-writer assumption: one coordinator owns the ring and is the only
+//! writer, as in the paper (queries are "first sent to a coordinating
+//! compute node").
+
+use std::io;
+
+use ecc_chash::HashRing;
+use ecc_core::SlidingWindow;
+
+use crate::client::RemoteNode;
+use crate::protocol::Status;
+use crate::server::CacheServer;
+
+/// One managed node: the in-process server plus the coordinator's client
+/// connection to it.
+struct ManagedNode {
+    server: CacheServer,
+    client: RemoteNode,
+}
+
+/// The live elastic-cache coordinator.
+pub struct LiveCoordinator {
+    ring: HashRing<usize>,
+    nodes: Vec<Option<ManagedNode>>,
+    ring_range: u64,
+    capacity_bytes: u64,
+    btree_order: usize,
+    /// Contraction threshold (fraction of one node's capacity).
+    pub merge_fill_threshold: f64,
+    /// Eviction window (optional, as in the simulated cache).
+    window: Option<SlidingWindow>,
+    /// Contraction cadence in slice expirations.
+    pub contraction_epsilon: u64,
+    expirations: u64,
+    /// Nodes spawned over the coordinator's lifetime.
+    pub nodes_spawned: usize,
+    /// Bucket splits performed.
+    pub splits: usize,
+    /// Node merges performed.
+    pub merges: usize,
+}
+
+impl LiveCoordinator {
+    /// Start a coordinator with one cache server of the given capacity.
+    pub fn start(ring_range: u64, capacity_bytes: u64) -> io::Result<LiveCoordinator> {
+        let mut coord = LiveCoordinator {
+            ring: HashRing::new(ring_range),
+            nodes: Vec::new(),
+            ring_range,
+            capacity_bytes,
+            btree_order: 64,
+            merge_fill_threshold: 0.65,
+            window: None,
+            contraction_epsilon: 1,
+            expirations: 0,
+            nodes_spawned: 0,
+            splits: 0,
+            merges: 0,
+        };
+        let first = coord.spawn_node()?;
+        coord
+            .ring
+            .insert_bucket(ring_range - 1, first)
+            .expect("initial bucket");
+        Ok(coord)
+    }
+
+    /// Enable sliding-window eviction (`m`, `α`, `T_λ`).
+    pub fn enable_window(&mut self, m: usize, alpha: f64, threshold: f64) {
+        self.window = Some(SlidingWindow::new(m, alpha, threshold));
+    }
+
+    /// Number of live cache servers.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_some()).count()
+    }
+
+    /// Total `(bytes, records)` across nodes.
+    pub fn totals(&mut self) -> io::Result<(u64, u64)> {
+        let ids = self.active_ids();
+        let mut bytes = 0;
+        let mut records = 0;
+        for id in ids {
+            let (b, r, _) = self.client(id).stats()?;
+            bytes += b;
+            records += r;
+        }
+        Ok((bytes, records))
+    }
+
+    fn active_ids(&self) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.as_ref().map(|_| i))
+            .collect()
+    }
+
+    fn client(&mut self, id: usize) -> &mut RemoteNode {
+        &mut self.nodes[id].as_mut().expect("active node").client
+    }
+
+    fn spawn_node(&mut self) -> io::Result<usize> {
+        let server = CacheServer::spawn(self.capacity_bytes, self.btree_order)?;
+        let client = RemoteNode::connect(server.addr())?;
+        self.nodes.push(Some(ManagedNode { server, client }));
+        self.nodes_spawned += 1;
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Look up `key` on the owning node.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        if let Some(w) = &mut self.window {
+            w.note_query(key);
+        }
+        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        self.client(nid).get(key)
+    }
+
+    /// Store `value` under `key`, splitting buckets / spawning servers as
+    /// needed (GBA).
+    pub fn put(&mut self, key: u64, value: Vec<u8>) -> io::Result<()> {
+        if key >= self.ring_range {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key outside hash line",
+            ));
+        }
+        if value.len() as u64 > self.capacity_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "record exceeds node capacity",
+            ));
+        }
+        for _ in 0..64 {
+            let nid = *self.ring.node_for_key(key).expect("ring populated");
+            match self.client(nid).put(key, value.clone())? {
+                Status::Ok => return Ok(()),
+                Status::Overflow => self.split_node(nid)?,
+                s => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected put status {s:?}"),
+                    ))
+                }
+            }
+        }
+        Err(io::Error::other(
+            "GBA split loop exceeded bound",
+        ))
+    }
+
+    /// Algorithm 1 lines 8–15, over the wire.
+    fn split_node(&mut self, nid: usize) -> io::Result<()> {
+        let buckets = self.ring.buckets_of_node(&nid);
+        // Fullest bucket by resident bytes.
+        let mut b_max = buckets[0];
+        let mut best = 0u64;
+        for &b in &buckets {
+            let mut bytes = 0;
+            for (lo, hi) in self.spans_of_bucket(b) {
+                bytes += self.client(nid).range_stats(lo, hi)?.0;
+            }
+            if bytes >= best {
+                best = bytes;
+                b_max = b;
+            }
+        }
+        let spans = self.spans_of_bucket(b_max);
+        let mut keys = Vec::new();
+        for &(lo, hi) in &spans {
+            keys.extend(self.client(nid).keys(lo, hi)?);
+        }
+        if keys.len() < 2 {
+            // Whole-bucket relocation fallback (see the simulated cache).
+            if buckets.len() < 2 {
+                return Err(io::Error::other(
+                    "single unsplittable bucket",
+                ));
+            }
+            let dest = self.migrate(nid, &spans)?;
+            self.ring.remap_bucket(b_max, dest).expect("bucket exists");
+            self.splits += 1;
+            return Ok(());
+        }
+        let mut mu_idx = keys.len() / 2;
+        while mu_idx > 0 && self.ring.node_of_bucket(keys[mu_idx]).is_some() {
+            mu_idx -= 1;
+        }
+        let k_mu = keys[mu_idx];
+        if self.ring.node_of_bucket(k_mu).is_some() {
+            return Err(io::Error::other("no split position"));
+        }
+        let mut move_spans = Vec::new();
+        for &(lo, hi) in &spans {
+            if (lo..=hi).contains(&k_mu) {
+                move_spans.push((lo, k_mu));
+                break;
+            }
+            move_spans.push((lo, hi));
+        }
+        let dest = self.migrate(nid, &move_spans)?;
+        self.ring.insert_bucket(k_mu, dest).expect("checked free");
+        self.splits += 1;
+        Ok(())
+    }
+
+    /// Algorithm 2 over the wire: sweep `spans` off `src` and put them on
+    /// the least-loaded other node (or a freshly spawned one).
+    fn migrate(&mut self, src: usize, spans: &[(u64, u64)]) -> io::Result<usize> {
+        let mut total = 0u64;
+        for &(lo, hi) in spans {
+            total += self.client(src).range_stats(lo, hi)?.0;
+        }
+        // Least-loaded other node.
+        let mut dest: Option<(usize, u64)> = None;
+        for id in self.active_ids() {
+            if id == src {
+                continue;
+            }
+            let (used, _, _) = self.client(id).stats()?;
+            if dest.is_none_or(|(_, best)| used < best) {
+                dest = Some((id, used));
+            }
+        }
+        let dest = match dest {
+            Some((id, used)) if used + total <= self.capacity_bytes => id,
+            _ => self.spawn_node()?,
+        };
+        for &(lo, hi) in spans {
+            let records = self.client(src).sweep(lo, hi)?;
+            for (k, v) in records {
+                let status = self.client(dest).put(k, v)?;
+                if status != Status::Ok {
+                    return Err(io::Error::other(
+                        format!("migration put failed: {status:?}"),
+                    ));
+                }
+            }
+        }
+        Ok(dest)
+    }
+
+    /// Close a time slice: evict expired keys, contract every `ε`
+    /// expirations.
+    pub fn end_time_step(&mut self) -> io::Result<()> {
+        let Some(w) = &mut self.window else {
+            return Ok(());
+        };
+        let Some(expired) = w.end_slice() else {
+            return Ok(());
+        };
+        self.expirations += 1;
+        let victims = self
+            .window
+            .as_ref()
+            .expect("window present")
+            .victims(&expired);
+        for key in victims {
+            let nid = *self.ring.node_for_key(key).expect("ring populated");
+            let _ = self.client(nid).remove(key)?;
+        }
+        if self.expirations.is_multiple_of(self.contraction_epsilon) {
+            self.try_contract()?;
+        }
+        Ok(())
+    }
+
+    /// Merge the two least-loaded nodes when their data fits the threshold.
+    pub fn try_contract(&mut self) -> io::Result<()> {
+        let ids = self.active_ids();
+        if ids.len() < 2 {
+            return Ok(());
+        }
+        let mut loads = Vec::with_capacity(ids.len());
+        for id in ids {
+            let (used, _, _) = self.client(id).stats()?;
+            loads.push((used, id));
+        }
+        loads.sort();
+        let (a_used, a) = loads[0];
+        let (b_used, b) = loads[1];
+        let limit = (self.merge_fill_threshold * self.capacity_bytes as f64) as u64;
+        if a_used + b_used > limit {
+            return Ok(());
+        }
+        // Drain a into b.
+        let hi = self.ring_range - 1;
+        let records = self.client(a).sweep(0, hi)?;
+        for (k, v) in records {
+            let status = self.client(b).put(k, v)?;
+            if status != Status::Ok {
+                return Err(io::Error::other("merge put failed"));
+            }
+        }
+        for bucket in self.ring.buckets_of_node(&a) {
+            self.ring.remap_bucket(bucket, b).expect("bucket exists");
+        }
+        // Coalesce redundant buckets (see the simulated coordinator).
+        for bucket in self.ring.buckets_of_node(&b) {
+            if self.ring.len() <= 1 {
+                break;
+            }
+            let succ = self.ring.successor(bucket).expect("bucket exists");
+            if succ != bucket && self.ring.node_of_bucket(succ) == Some(&b) {
+                self.ring.remove_bucket(bucket).expect("bucket exists");
+            }
+        }
+        if let Some(mut dead) = self.nodes[a].take() {
+            let _ = dead.client.shutdown();
+            dead.server.stop();
+        }
+        self.merges += 1;
+        Ok(())
+    }
+
+    /// Stop every cache server.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        for slot in &mut self.nodes {
+            if let Some(mut node) = slot.take() {
+                let _ = node.client.shutdown();
+                node.server.stop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Circular spans of the arc owned by bucket `b`.
+    fn spans_of_bucket(&self, b: u64) -> Vec<(u64, u64)> {
+        let pred = self.ring.predecessor(b).expect("bucket exists");
+        let r = self.ring_range;
+        if pred == b {
+            if b == r - 1 {
+                vec![(0, r - 1)]
+            } else {
+                vec![(b + 1, r - 1), (0, b)]
+            }
+        } else if pred < b {
+            vec![(pred + 1, b)]
+        } else if pred == r - 1 {
+            vec![(0, b)]
+        } else {
+            vec![(pred + 1, r - 1), (0, b)]
+        }
+    }
+}
+
+impl Drop for LiveCoordinator {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = LiveCoordinator::start(1 << 16, 100_000).unwrap();
+        c.put(1, b"one".to_vec()).unwrap();
+        c.put(2, b"two".to_vec()).unwrap();
+        assert_eq!(c.get(1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(c.get(2).unwrap(), Some(b"two".to_vec()));
+        assert_eq!(c.get(3).unwrap(), None);
+        c.shutdown().unwrap();
+    }
+
+    #[test]
+    fn grows_across_real_servers_under_load() {
+        // Room for ~10 x 100 B records per node; insert 64 keys.
+        let mut c = LiveCoordinator::start(1 << 16, 1000).unwrap();
+        for k in 0..64u64 {
+            c.put(k * 1000 + 5, vec![k as u8; 100]).unwrap();
+        }
+        assert!(c.node_count() >= 6, "only {} nodes", c.node_count());
+        assert!(c.splits >= 5);
+        // Every record is still reachable through the ring.
+        for k in 0..64u64 {
+            assert_eq!(
+                c.get(k * 1000 + 5).unwrap(),
+                Some(vec![k as u8; 100]),
+                "key {k} lost"
+            );
+        }
+        let (bytes, records) = c.totals().unwrap();
+        assert_eq!(records, 64);
+        assert_eq!(bytes, 6400);
+        c.shutdown().unwrap();
+    }
+
+    #[test]
+    fn eviction_and_contraction_over_the_wire() {
+        let mut c = LiveCoordinator::start(1 << 16, 1000).unwrap();
+        c.enable_window(2, 0.99, 0.99f64.powi(1));
+        for k in 0..32u64 {
+            if c.get(k * 999).unwrap().is_none() {
+                c.put(k * 999, vec![1; 100]).unwrap();
+            }
+        }
+        let grown = c.node_count();
+        assert!(grown >= 3);
+        for _ in 0..8 {
+            c.end_time_step().unwrap();
+        }
+        let (_, records) = c.totals().unwrap();
+        assert_eq!(records, 0, "eviction should have emptied the cache");
+        assert!(c.node_count() < grown, "no contraction");
+        assert!(c.merges >= 1);
+        c.shutdown().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let mut c = LiveCoordinator::start(1024, 500).unwrap();
+        assert!(c.put(5000, vec![1]).is_err());
+        assert!(c.put(1, vec![0; 501]).is_err());
+        c.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,38 @@
+//! A real networked deployment of the elastic cache.
+//!
+//! The simulation crates reproduce the paper's *figures*; this crate shows
+//! the system is also a working distributed cache. Each cache node is a
+//! TCP server owning a B+-tree index ([`server::CacheServer`]); a
+//! coordinator ([`coordinator::LiveCoordinator`]) places keys with the same
+//! consistent-hash ring, runs GBA splits by sweeping key ranges *over the
+//! wire*, and contracts idle nodes — the full paper protocol, executed
+//! against real sockets instead of the virtual clock.
+//!
+//! The wire format ([`protocol`]) is a length-prefixed binary protocol
+//! (`bytes`-based): `GET`/`PUT`/`REMOVE` for the data path, `SWEEP`
+//! (destructive range read) for migration, `KEYS`/`STATS` for the
+//! coordinator's split planning, and `PING`/`SHUTDOWN` for lifecycle.
+//!
+//! Threading model: thread-per-connection servers with a `parking_lot`
+//! mutex around each node's index (cache servers are I/O-bound; the paper's
+//! EC2 Smalls had one core anyway).
+//!
+//! # Example
+//!
+//! ```
+//! use ecc_net::coordinator::LiveCoordinator;
+//!
+//! // A live elastic cache: grows onto new (local) cache servers on demand.
+//! let mut coord = LiveCoordinator::start(1 << 16, 64 * 1024).unwrap();
+//! coord.put(7, b"derived result".to_vec()).unwrap();
+//! assert_eq!(coord.get(7).unwrap().as_deref(), Some(&b"derived result"[..]));
+//! coord.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod coordinator;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;

@@ -1,0 +1,188 @@
+//! Concurrent load generation against live cache servers.
+//!
+//! The paper's clients are independent users hammering the coordinator;
+//! this module reproduces that pressure: `clients` threads each open their
+//! own connection to every cache node and issue GET/PUT traffic placed by
+//! a shared, read-only copy of the ring. Results stream back over a
+//! crossbeam channel and are folded into a latency/throughput report.
+//!
+//! Placement reads are lock-free (each worker owns a clone of the ring);
+//! this measures the *data path* under concurrency. Structural changes
+//! (splits/merges) remain the single coordinator's job, as in the paper.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use ecc_chash::HashRing;
+
+use crate::client::RemoteNode;
+
+/// One worker's accumulated results.
+#[derive(Debug, Clone, Default)]
+struct WorkerStats {
+    ops: u64,
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Aggregated load-test report.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total operations completed.
+    pub ops: u64,
+    /// GETs that found a record.
+    pub hits: u64,
+    /// GETs that missed.
+    pub misses: u64,
+    /// I/O errors observed.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Latency percentiles in microseconds: (p50, p95, p99).
+    pub latency_us: (u64, u64, u64),
+}
+
+impl LoadReport {
+    /// Operations per second.
+    pub fn throughput(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drive `total_ops` GET-then-PUT-on-miss operations from `clients`
+/// concurrent workers against the nodes of `ring` (addresses resolved via
+/// `addr_of`). Keys are drawn uniformly from `[0, key_space)` per worker
+/// with a seeded LCG, `value_len` bytes per record.
+pub fn run_load<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    total_ops: u64,
+    key_space: u64,
+    value_len: usize,
+) -> std::io::Result<LoadReport> {
+    assert!(clients >= 1, "need at least one client");
+    let per_worker = total_ops.div_ceil(clients as u64);
+    let (tx, rx) = channel::bounded::<WorkerStats>(clients);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        for w in 0..clients {
+            let tx = tx.clone();
+            let ring = ring.clone();
+            let addr_of = &addr_of;
+            scope.spawn(move || {
+                let mut stats = WorkerStats::default();
+                // Per-node connections, opened lazily.
+                let mut conns: Vec<(SocketAddr, RemoteNode)> = Vec::new();
+                let mut state = 0x9E3779B97F4A7C15u64 ^ (w as u64).wrapping_mul(0xA24BAED4963EE407);
+                for _ in 0..per_worker {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = (state >> 33) % key_space;
+                    let Some(node) = ring.node_for_key(key) else {
+                        stats.errors += 1;
+                        continue;
+                    };
+                    let addr = addr_of(node);
+                    let conn = match conns.iter_mut().find(|(a, _)| *a == addr) {
+                        Some((_, c)) => c,
+                        None => match RemoteNode::connect(addr) {
+                            Ok(c) => {
+                                conns.push((addr, c));
+                                &mut conns.last_mut().expect("just pushed").1
+                            }
+                            Err(_) => {
+                                stats.errors += 1;
+                                continue;
+                            }
+                        },
+                    };
+                    let t0 = Instant::now();
+                    match conn.get(key) {
+                        Ok(Some(_)) => stats.hits += 1,
+                        Ok(None) => {
+                            stats.misses += 1;
+                            if conn.put(key, vec![(key % 251) as u8; value_len]).is_err() {
+                                stats.errors += 1;
+                            }
+                        }
+                        Err(_) => stats.errors += 1,
+                    }
+                    stats.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    stats.ops += 1;
+                }
+                let _ = tx.send(stats);
+            });
+        }
+        Ok(())
+    })?;
+    drop(tx);
+
+    let mut all = WorkerStats::default();
+    while let Ok(s) = rx.recv() {
+        all.ops += s.ops;
+        all.hits += s.hits;
+        all.misses += s.misses;
+        all.errors += s.errors;
+        all.latencies_us.extend(s.latencies_us);
+    }
+    all.latencies_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if all.latencies_us.is_empty() {
+            0
+        } else {
+            let idx = ((all.latencies_us.len() - 1) as f64 * p).round() as usize;
+            all.latencies_us[idx]
+        }
+    };
+    Ok(LoadReport {
+        ops: all.ops,
+        hits: all.hits,
+        misses: all.misses,
+        errors: all.errors,
+        elapsed: start.elapsed(),
+        latency_us: (pct(0.50), pct(0.95), pct(0.99)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::CacheServer;
+
+    #[test]
+    fn concurrent_load_against_two_servers() {
+        let s1 = CacheServer::spawn(1 << 20, 32).unwrap();
+        let s2 = CacheServer::spawn(1 << 20, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(1 << 12);
+        ring.insert_bucket((1 << 11) - 1, 0).unwrap();
+        ring.insert_bucket((1 << 12) - 1, 1).unwrap();
+        let addrs = [s1.addr(), s2.addr()];
+
+        let report = run_load(&ring, |n| addrs[*n], 4, 2000, 1 << 10, 64).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert!(report.ops >= 2000);
+        assert_eq!(report.hits + report.misses, report.ops);
+        // 1 Ki distinct keys over 2 K ops: plenty of hits.
+        assert!(report.hits > 0);
+        assert!(report.throughput() > 100.0, "{report:?}");
+        let (p50, p95, p99) = report.latency_us;
+        assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn single_worker_degenerate_case() {
+        let s = CacheServer::spawn(1 << 16, 16).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(64);
+        ring.insert_bucket(63, 0).unwrap();
+        let addr = s.addr();
+        let report = run_load(&ring, |_| addr, 1, 100, 64, 16).unwrap();
+        assert_eq!(report.ops, 100);
+        assert_eq!(report.errors, 0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message is `[u32 len][payload]` with `len = payload.len()`. A
+//! request payload starts with a one-byte opcode; a response payload starts
+//! with a one-byte status. Integers are little-endian.
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum accepted frame size (guards against corrupt length prefixes).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Look up one key.
+    Get = 0x01,
+    /// Store one record.
+    Put = 0x02,
+    /// Remove one key.
+    Remove = 0x03,
+    /// Destructively read all records in an inclusive key range
+    /// (the migration sweep).
+    Sweep = 0x04,
+    /// List keys in an inclusive range (split planning).
+    Keys = 0x05,
+    /// Report `used_bytes`, `record_count`, `capacity_bytes`.
+    Stats = 0x06,
+    /// Liveness probe.
+    Ping = 0x07,
+    /// Stop the server.
+    Shutdown = 0x08,
+    /// Report `(bytes, records)` resident in an inclusive key range — the
+    /// coordinator's split planning (bucket fullness `||b||`).
+    RangeStats = 0x09,
+}
+
+impl Op {
+    /// Parse an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        Some(match b {
+            0x01 => Op::Get,
+            0x02 => Op::Put,
+            0x03 => Op::Remove,
+            0x04 => Op::Sweep,
+            0x05 => Op::Keys,
+            0x06 => Op::Stats,
+            0x07 => Op::Ping,
+            0x08 => Op::Shutdown,
+            0x09 => Op::RangeStats,
+            _ => return None,
+        })
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Status {
+    /// Success (body depends on the request).
+    Ok = 0x00,
+    /// Key not present.
+    NotFound = 0x01,
+    /// PUT refused: the record would overflow this node (the coordinator
+    /// reacts with a GBA split).
+    Overflow = 0x02,
+    /// Malformed request.
+    BadRequest = 0x03,
+}
+
+impl Status {
+    /// Parse a status byte.
+    pub fn from_u8(b: u8) -> Option<Status> {
+        Some(match b {
+            0x00 => Status::Ok,
+            0x01 => Status::NotFound,
+            0x02 => Status::Overflow,
+            0x03 => Status::BadRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Look up `key`.
+    Get {
+        /// Key to look up.
+        key: u64,
+    },
+    /// Store `value` under `key`.
+    Put {
+        /// Key to store under.
+        key: u64,
+        /// Payload bytes.
+        value: Bytes,
+    },
+    /// Remove `key`.
+    Remove {
+        /// Key to remove.
+        key: u64,
+    },
+    /// Destructively read `[lo, hi]`.
+    Sweep {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// List keys in `[lo, hi]`.
+    Keys {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Node statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop the server.
+    Shutdown,
+    /// Bytes/records resident in `[lo, hi]`.
+    RangeStats {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+}
+
+impl Request {
+    /// Serialize to a frame payload (opcode + body).
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::new();
+        match self {
+            Request::Get { key } => {
+                b.put_u8(Op::Get as u8);
+                b.put_u64_le(*key);
+            }
+            Request::Put { key, value } => {
+                b.put_u8(Op::Put as u8);
+                b.put_u64_le(*key);
+                b.put_slice(value);
+            }
+            Request::Remove { key } => {
+                b.put_u8(Op::Remove as u8);
+                b.put_u64_le(*key);
+            }
+            Request::Sweep { lo, hi } => {
+                b.put_u8(Op::Sweep as u8);
+                b.put_u64_le(*lo);
+                b.put_u64_le(*hi);
+            }
+            Request::Keys { lo, hi } => {
+                b.put_u8(Op::Keys as u8);
+                b.put_u64_le(*lo);
+                b.put_u64_le(*hi);
+            }
+            Request::RangeStats { lo, hi } => {
+                b.put_u8(Op::RangeStats as u8);
+                b.put_u64_le(*lo);
+                b.put_u64_le(*hi);
+            }
+            Request::Stats => b.put_u8(Op::Stats as u8),
+            Request::Ping => b.put_u8(Op::Ping as u8),
+            Request::Shutdown => b.put_u8(Op::Shutdown as u8),
+        }
+        b.freeze()
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(mut payload: Bytes) -> Option<Request> {
+        if payload.is_empty() {
+            return None;
+        }
+        let op = Op::from_u8(payload.get_u8())?;
+        Some(match op {
+            Op::Get => {
+                if payload.remaining() != 8 {
+                    return None;
+                }
+                Request::Get {
+                    key: payload.get_u64_le(),
+                }
+            }
+            Op::Put => {
+                if payload.remaining() < 8 {
+                    return None;
+                }
+                let key = payload.get_u64_le();
+                Request::Put {
+                    key,
+                    value: payload,
+                }
+            }
+            Op::Remove => {
+                if payload.remaining() != 8 {
+                    return None;
+                }
+                Request::Remove {
+                    key: payload.get_u64_le(),
+                }
+            }
+            Op::Sweep => {
+                if payload.remaining() != 16 {
+                    return None;
+                }
+                Request::Sweep {
+                    lo: payload.get_u64_le(),
+                    hi: payload.get_u64_le(),
+                }
+            }
+            Op::Keys => {
+                if payload.remaining() != 16 {
+                    return None;
+                }
+                Request::Keys {
+                    lo: payload.get_u64_le(),
+                    hi: payload.get_u64_le(),
+                }
+            }
+            Op::RangeStats => {
+                if payload.remaining() != 16 {
+                    return None;
+                }
+                Request::RangeStats {
+                    lo: payload.get_u64_le(),
+                    hi: payload.get_u64_le(),
+                }
+            }
+            Op::Stats => Request::Stats,
+            Op::Ping => Request::Ping,
+            Op::Shutdown => Request::Shutdown,
+        })
+    }
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: Status,
+    /// Status-specific body.
+    pub body: Bytes,
+}
+
+impl Response {
+    /// A bare-status response.
+    pub fn status(status: Status) -> Self {
+        Self {
+            status,
+            body: Bytes::new(),
+        }
+    }
+
+    /// An `Ok` response with a body.
+    pub fn ok(body: Bytes) -> Self {
+        Self {
+            status: Status::Ok,
+            body,
+        }
+    }
+
+    /// Serialize to a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(1 + self.body.len());
+        b.put_u8(self.status as u8);
+        b.put_slice(&self.body);
+        b.freeze()
+    }
+
+    /// Parse a frame payload.
+    pub fn decode(mut payload: Bytes) -> Option<Response> {
+        if payload.is_empty() {
+            return None;
+        }
+        let status = Status::from_u8(payload.get_u8())?;
+        Some(Response {
+            status,
+            body: payload,
+        })
+    }
+}
+
+/// Encode a record batch (sweep response body): `u32` count, then per
+/// record `u64 key`, `u32 len`, bytes.
+pub fn encode_records(records: &[(u64, Vec<u8>)]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(records.len() as u32);
+    for (k, v) in records {
+        b.put_u64_le(*k);
+        b.put_u32_le(v.len() as u32);
+        b.put_slice(v);
+    }
+    b.freeze()
+}
+
+/// Decode a record batch.
+pub fn decode_records(mut body: Bytes) -> Option<Vec<(u64, Vec<u8>)>> {
+    if body.remaining() < 4 {
+        return None;
+    }
+    let count = body.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if body.remaining() < 12 {
+            return None;
+        }
+        let key = body.get_u64_le();
+        let len = body.get_u32_le() as usize;
+        if body.remaining() < len {
+            return None;
+        }
+        out.push((key, body.copy_to_bytes(len).to_vec()));
+    }
+    if body.has_remaining() {
+        return None;
+    }
+    Some(out)
+}
+
+/// Encode a key list (keys response body).
+pub fn encode_keys(keys: &[u64]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + keys.len() * 8);
+    b.put_u32_le(keys.len() as u32);
+    for k in keys {
+        b.put_u64_le(*k);
+    }
+    b.freeze()
+}
+
+/// Decode a key list.
+pub fn decode_keys(mut body: Bytes) -> Option<Vec<u64>> {
+    if body.remaining() < 4 {
+        return None;
+    }
+    let count = body.get_u32_le() as usize;
+    if body.remaining() != count * 8 {
+        return None;
+    }
+    Some((0..count).map(|_| body.get_u64_le()).collect())
+}
+
+/// Encode range statistics.
+pub fn encode_range_stats(bytes: u64, records: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(16);
+    b.put_u64_le(bytes);
+    b.put_u64_le(records);
+    b.freeze()
+}
+
+/// Decode range statistics as `(bytes, records)`.
+pub fn decode_range_stats(mut body: Bytes) -> Option<(u64, u64)> {
+    if body.remaining() != 16 {
+        return None;
+    }
+    Some((body.get_u64_le(), body.get_u64_le()))
+}
+
+/// Encode node statistics.
+pub fn encode_stats(used: u64, count: u64, capacity: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(24);
+    b.put_u64_le(used);
+    b.put_u64_le(count);
+    b.put_u64_le(capacity);
+    b.freeze()
+}
+
+/// Decode node statistics as `(used, count, capacity)`.
+pub fn decode_stats(mut body: Bytes) -> Option<(u64, u64, u64)> {
+    if body.remaining() != 24 {
+        return None;
+    }
+    Some((body.get_u64_le(), body.get_u64_le(), body.get_u64_le()))
+}
+
+/// Write one `[u32 len][payload]` frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one `[u32 len][payload]` frame.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = vec![
+            Request::Get { key: 7 },
+            Request::Put {
+                key: 9,
+                value: Bytes::from_static(b"hello"),
+            },
+            Request::Remove { key: u64::MAX },
+            Request::Sweep { lo: 3, hi: 99 },
+            Request::Keys { lo: 0, hi: 0 },
+            Request::RangeStats { lo: 5, hi: 6 },
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let enc = req.encode();
+            assert_eq!(Request::decode(enc), Some(req));
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for status in [
+            Status::Ok,
+            Status::NotFound,
+            Status::Overflow,
+            Status::BadRequest,
+        ] {
+            let resp = Response {
+                status,
+                body: Bytes::from_static(b"xyz"),
+            };
+            assert_eq!(Response::decode(resp.encode()), Some(resp));
+        }
+    }
+
+    #[test]
+    fn malformed_frames_rejected() {
+        assert_eq!(Request::decode(Bytes::new()), None);
+        assert_eq!(Request::decode(Bytes::from_static(&[0xFF])), None);
+        // GET with a short key.
+        assert_eq!(Request::decode(Bytes::from_static(&[0x01, 1, 2])), None);
+        assert_eq!(Response::decode(Bytes::new()), None);
+        assert_eq!(Response::decode(Bytes::from_static(&[9])), None);
+    }
+
+    #[test]
+    fn record_batches_roundtrip() {
+        let records = vec![
+            (1u64, vec![1, 2, 3]),
+            (2, vec![]),
+            (u64::MAX, vec![0; 1000]),
+        ];
+        let enc = encode_records(&records);
+        assert_eq!(decode_records(enc), Some(records));
+        assert_eq!(decode_records(Bytes::new()), None);
+        // Truncated batch.
+        let enc = encode_records(&[(1, vec![9; 10])]);
+        assert_eq!(decode_records(enc.slice(0..enc.len() - 1)), None);
+    }
+
+    #[test]
+    fn key_lists_roundtrip() {
+        let keys = vec![1u64, 5, 9, u64::MAX];
+        assert_eq!(decode_keys(encode_keys(&keys)), Some(keys));
+        assert_eq!(decode_keys(encode_keys(&[])), Some(vec![]));
+        assert_eq!(decode_keys(Bytes::from_static(&[1, 0, 0, 0])), None);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        assert_eq!(
+            decode_stats(encode_stats(10, 2, 100)),
+            Some((10, 2, 100))
+        );
+        assert_eq!(decode_stats(Bytes::from_static(&[0; 23])), None);
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_pipe() {
+        let payload = b"some payload bytes";
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! The cache-server binary logic: a TCP listener owning one node's index.
+//!
+//! "The cache server is automatically fetched from a remote location on the
+//! startup of a new Cloud instance" (paper §III-A) — here, spawning a
+//! server thread plays the role of booting that instance.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use ecc_cloudsim::InstanceId;
+use ecc_core::{CacheNode, Record};
+use parking_lot::Mutex;
+
+use crate::protocol::{
+    encode_keys, encode_range_stats, encode_records, encode_stats, read_frame, write_frame,
+    Request, Response, Status,
+};
+
+/// A running cache server (one node of the cooperative cache).
+pub struct CacheServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CacheServer {
+    /// Bind a listener on `127.0.0.1:0` (an ephemeral loopback port) and
+    /// serve a node with the given capacity and index order.
+    pub fn spawn(capacity_bytes: u64, btree_order: usize) -> io::Result<CacheServer> {
+        Self::spawn_on(("127.0.0.1", 0), capacity_bytes, btree_order)
+    }
+
+    /// Bind a listener on an explicit address (deployment entry point; see
+    /// the `cache_server` binary).
+    pub fn spawn_on<A: std::net::ToSocketAddrs>(
+        addr: A,
+        capacity_bytes: u64,
+        btree_order: usize,
+    ) -> io::Result<CacheServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let node = Arc::new(Mutex::new(CacheNode::new(
+            InstanceId(0),
+            capacity_bytes,
+            btree_order,
+        )));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("ecc-server-{}", addr.port()))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Request/response framing interacts badly with Nagle +
+                    // delayed ACK (~40 ms per exchange); flush eagerly.
+                    let _ = stream.set_nodelay(true);
+                    let node = Arc::clone(&node);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &node, &conn_shutdown);
+                    });
+                }
+            })?;
+
+        Ok(CacheServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handle one client connection until EOF or shutdown.
+fn serve_connection(
+    mut stream: TcpStream,
+    node: &Mutex<CacheNode>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let Some(req) = Request::decode(frame) else {
+            let resp = Response::status(Status::BadRequest);
+            write_frame(&mut stream, &resp.encode())?;
+            continue;
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let resp = handle(req, node, shutdown);
+        write_frame(&mut stream, &resp.encode())?;
+        if is_shutdown {
+            return Ok(());
+        }
+    }
+}
+
+/// Execute one request against the node.
+fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Response {
+    match req {
+        Request::Get { key } => {
+            let node = node.lock();
+            match node.get(key) {
+                Some(rec) => Response::ok(bytes::Bytes::copy_from_slice(rec.as_slice())),
+                None => Response::status(Status::NotFound),
+            }
+        }
+        Request::Put { key, value } => {
+            let mut node = node.lock();
+            let size = value.len() as u64;
+            let replacing = node.get(key).is_some();
+            if !replacing && !node.fits(size) {
+                return Response::status(Status::Overflow);
+            }
+            node.insert(key, Record::from_vec(value.to_vec()));
+            Response::status(Status::Ok)
+        }
+        Request::Remove { key } => {
+            let mut node = node.lock();
+            match node.remove(key) {
+                Some(_) => Response::status(Status::Ok),
+                None => Response::status(Status::NotFound),
+            }
+        }
+        Request::Sweep { lo, hi } => {
+            let mut node = node.lock();
+            let records: Vec<(u64, Vec<u8>)> = node
+                .drain_range(lo, hi)
+                .into_iter()
+                .map(|(k, r)| (k, r.as_slice().to_vec()))
+                .collect();
+            Response::ok(encode_records(&records))
+        }
+        Request::Keys { lo, hi } => {
+            let node = node.lock();
+            Response::ok(encode_keys(&node.keys_in_range(lo, hi)))
+        }
+        Request::RangeStats { lo, hi } => {
+            let node = node.lock();
+            Response::ok(encode_range_stats(
+                node.bytes_in_range(lo, hi),
+                node.count_in_range(lo, hi) as u64,
+            ))
+        }
+        Request::Stats => {
+            let node = node.lock();
+            Response::ok(encode_stats(
+                node.used_bytes(),
+                node.record_count() as u64,
+                node.capacity_bytes(),
+            ))
+        }
+        Request::Ping => Response::status(Status::Ok),
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            Response::status(Status::Ok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::RemoteNode;
+
+    #[test]
+    fn server_serves_basic_operations() {
+        let mut server = CacheServer::spawn(10_000, 16).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        assert!(client.ping().unwrap());
+        assert_eq!(client.get(5).unwrap(), None);
+        assert_eq!(client.put(5, b"abc".to_vec()).unwrap(), Status::Ok);
+        assert_eq!(client.get(5).unwrap(), Some(b"abc".to_vec()));
+        let (used, count, cap) = client.stats().unwrap();
+        assert_eq!((used, count, cap), (3, 1, 10_000));
+        assert!(client.remove(5).unwrap());
+        assert!(!client.remove(5).unwrap());
+        server.stop();
+    }
+
+    #[test]
+    fn overflow_is_reported_not_stored() {
+        let mut server = CacheServer::spawn(100, 8).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        assert_eq!(client.put(1, vec![0; 60]).unwrap(), Status::Ok);
+        assert_eq!(client.put(2, vec![0; 60]).unwrap(), Status::Overflow);
+        assert_eq!(client.get(2).unwrap(), None);
+        // Replacement of an existing key is always accepted.
+        assert_eq!(client.put(1, vec![0; 90]).unwrap(), Status::Ok);
+        server.stop();
+    }
+
+    #[test]
+    fn sweep_drains_a_range_over_the_wire() {
+        let mut server = CacheServer::spawn(1_000_000, 16).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        for k in 0..50u64 {
+            client.put(k, vec![k as u8; 4]).unwrap();
+        }
+        let swept = client.sweep(10, 19).unwrap();
+        assert_eq!(swept.len(), 10);
+        assert_eq!(swept[0], (10, vec![10u8; 4]));
+        assert_eq!(client.get(10).unwrap(), None);
+        assert_eq!(client.get(9).unwrap(), Some(vec![9u8; 4]));
+        assert_eq!(client.keys(0, 100).unwrap().len(), 40);
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_are_serialized_safely() {
+        let server = CacheServer::spawn(1_000_000, 16).unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = RemoteNode::connect(addr).unwrap();
+                    for i in 0..100u64 {
+                        let key = t * 1000 + i;
+                        c.put(key, key.to_le_bytes().to_vec()).unwrap();
+                        assert_eq!(c.get(key).unwrap(), Some(key.to_le_bytes().to_vec()));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut c = RemoteNode::connect(addr).unwrap();
+        let (_, count, _) = c.stats().unwrap();
+        assert_eq!(count, 400);
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut server = CacheServer::spawn(1000, 8).unwrap();
+        server.stop();
+        server.stop();
+    }
+}

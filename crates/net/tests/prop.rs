@@ -1,0 +1,115 @@
+//! Property tests for the wire protocol: decoding must be total (never
+//! panic on arbitrary bytes) and inverse to encoding.
+
+use bytes::Bytes;
+use ecc_net::protocol::{
+    decode_keys, decode_range_stats, decode_records, decode_stats, encode_keys, encode_records,
+    encode_stats, read_frame, write_frame, Request, Response, Status,
+};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        any::<u64>().prop_map(|key| Request::Get { key }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(key, v)| Request::Put {
+                key,
+                value: Bytes::from(v),
+            }),
+        any::<u64>().prop_map(|key| Request::Remove { key }),
+        (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Request::Sweep { lo, hi }),
+        (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Request::Keys { lo, hi }),
+        (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Request::RangeStats { lo, hi }),
+        Just(Request::Stats),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        prop_assert_eq!(Request::decode(req.encode()), Some(req));
+    }
+
+    #[test]
+    fn response_roundtrip(
+        status in prop_oneof![
+            Just(Status::Ok),
+            Just(Status::NotFound),
+            Just(Status::Overflow),
+            Just(Status::BadRequest),
+        ],
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let resp = Response { status, body: Bytes::from(body) };
+        prop_assert_eq!(Response::decode(resp.encode()), Some(resp));
+    }
+
+    /// Decoding is total: arbitrary bytes either parse or return None —
+    /// never panic, never loop (a malicious peer cannot crash a server).
+    #[test]
+    fn request_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Request::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn response_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Response::decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn record_batch_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_records(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn key_list_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_keys(Bytes::from(bytes.clone()));
+        let _ = decode_stats(Bytes::from(bytes.clone()));
+        let _ = decode_range_stats(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn record_batches_roundtrip(
+        records in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..30,
+        ),
+    ) {
+        let enc = encode_records(&records);
+        prop_assert_eq!(decode_records(enc), Some(records));
+    }
+
+    #[test]
+    fn key_lists_roundtrip(keys in proptest::collection::vec(any::<u64>(), 0..100)) {
+        prop_assert_eq!(decode_keys(encode_keys(&keys)), Some(keys));
+    }
+
+    #[test]
+    fn stats_roundtrip(used: u64, count: u64, cap: u64) {
+        prop_assert_eq!(decode_stats(encode_stats(used, count, cap)), Some((used, count, cap)));
+    }
+
+    /// Frames written then read give back the payload; truncated frames
+    /// error instead of hanging or panicking.
+    #[test]
+    fn frames_roundtrip_and_truncation_errors(
+        payload in proptest::collection::vec(any::<u8>(), 0..500),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let frame = read_frame(&mut cursor).unwrap();
+        prop_assert_eq!(frame.as_ref(), &payload[..]);
+
+        if buf.len() > 1 {
+            let cut_at = 1 + cut.index(buf.len() - 1);
+            if cut_at < buf.len() {
+                let mut cursor = std::io::Cursor::new(&buf[..cut_at]);
+                prop_assert!(read_frame(&mut cursor).is_err());
+            }
+        }
+    }
+}

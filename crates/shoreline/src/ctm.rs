@@ -1,0 +1,212 @@
+//! Procedural Coastal Terrain Models.
+//!
+//! A CTM is "a large matrix of a coastal area where each point denotes a
+//! depth/elevation reading" (paper §IV-A). This module synthesizes such
+//! matrices deterministically: tile `(tx, ty)` of a seeded archive always
+//! contains the same readings, emulating a fixed file archive indexed by
+//! spatiotemporal metadata.
+//!
+//! The terrain is multi-octave value noise added to a west-to-east coastal
+//! gradient (deep water on the west edge rising to land on the east), which
+//! guarantees every tile actually contains a shoreline to extract.
+
+/// A square grid of depth/elevation readings in meters (negative = below
+/// mean sea level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctm {
+    /// Grid side length (readings per axis).
+    pub size: usize,
+    /// Row-major readings, `size * size` entries.
+    pub data: Vec<f32>,
+}
+
+impl Ctm {
+    /// Reading at `(row, col)`.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        self.data[row * self.size + col]
+    }
+
+    /// Minimum and maximum readings.
+    pub fn range(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Size of the raw matrix in bytes (what a real CTM file transfer would
+    /// carry).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// A deterministic archive of CTM tiles.
+#[derive(Debug, Clone, Copy)]
+pub struct CtmArchive {
+    seed: u64,
+    /// Readings per tile axis.
+    pub tile_size: usize,
+}
+
+impl CtmArchive {
+    /// An archive with the given seed and tile resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size < 8` (too coarse to carry a contour).
+    pub fn new(seed: u64, tile_size: usize) -> Self {
+        assert!(tile_size >= 8, "tile size must be at least 8");
+        Self { seed, tile_size }
+    }
+
+    /// Generate (or, conceptually, "retrieve") the tile at `(tx, ty)`.
+    pub fn tile(&self, tx: u32, ty: u32) -> Ctm {
+        let n = self.tile_size;
+        let mut data = Vec::with_capacity(n * n);
+        let inv = 1.0 / (n - 1) as f32;
+        for row in 0..n {
+            for col in 0..n {
+                // Global sample coordinates so adjacent tiles join up.
+                let gx = tx as f64 + col as f64 * inv as f64;
+                let gy = ty as f64 + row as f64 * inv as f64;
+                // Coastal gradient: -30 m at the west edge of a tile to
+                // +10 m at the east edge.
+                let base = -30.0 + 40.0 * (col as f32 * inv);
+                let relief = fbm(self.seed, gx * 4.0, gy * 4.0, 4) * 12.0;
+                data.push(base + relief);
+            }
+        }
+        Ctm { size: n, data }
+    }
+}
+
+/// Multi-octave value noise ("fractional Brownian motion") in `[-1, 1]`.
+fn fbm(seed: u64, x: f64, y: f64, octaves: u32) -> f32 {
+    let mut sum = 0.0f32;
+    let mut amp = 0.5f32;
+    let mut freq = 1.0f64;
+    for o in 0..octaves {
+        sum += amp * value_noise(seed.wrapping_add(o as u64), x * freq, y * freq);
+        amp *= 0.5;
+        freq *= 2.0;
+    }
+    sum
+}
+
+/// Bilinear value noise over an integer lattice of hashed values in
+/// `[-1, 1]`.
+fn value_noise(seed: u64, x: f64, y: f64) -> f32 {
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = (x - x0) as f32;
+    let fy = (y - y0) as f32;
+    let (ix, iy) = (x0 as i64, y0 as i64);
+    let v00 = lattice(seed, ix, iy);
+    let v10 = lattice(seed, ix + 1, iy);
+    let v01 = lattice(seed, ix, iy + 1);
+    let v11 = lattice(seed, ix + 1, iy + 1);
+    // Smoothstep interpolation keeps the field C1-continuous.
+    let sx = fx * fx * (3.0 - 2.0 * fx);
+    let sy = fy * fy * (3.0 - 2.0 * fy);
+    let a = v00 + (v10 - v00) * sx;
+    let b = v01 + (v11 - v01) * sx;
+    a + (b - a) * sy
+}
+
+/// Hash a lattice point to a deterministic value in `[-1, 1]`
+/// (splitmix64-style mixing).
+fn lattice(seed: u64, x: i64, y: i64) -> f32 {
+    let mut h = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((x as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((y as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    // Map the top 24 bits to [-1, 1].
+    ((h >> 40) as f32 / (1u32 << 23) as f32) - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_are_deterministic() {
+        let a = CtmArchive::new(42, 64);
+        assert_eq!(a.tile(3, 5), a.tile(3, 5));
+        let b = CtmArchive::new(42, 64);
+        assert_eq!(a.tile(3, 5), b.tile(3, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CtmArchive::new(1, 32).tile(0, 0);
+        let b = CtmArchive::new(2, 32).tile(0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_tiles_differ() {
+        let a = CtmArchive::new(9, 32);
+        assert_ne!(a.tile(0, 0), a.tile(0, 1));
+        assert_ne!(a.tile(0, 0), a.tile(1, 0));
+    }
+
+    #[test]
+    fn every_tile_crosses_sea_level() {
+        // The coastal gradient guarantees both water and land in each tile,
+        // so a shoreline always exists.
+        let a = CtmArchive::new(123, 64);
+        for tx in 0..4 {
+            for ty in 0..4 {
+                let (lo, hi) = a.tile(tx, ty).range();
+                assert!(lo < 0.0, "tile ({tx},{ty}) has no water: min {lo}");
+                assert!(hi > 0.0, "tile ({tx},{ty}) has no land: max {hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn readings_are_bounded() {
+        let (lo, hi) = CtmArchive::new(77, 48).tile(2, 2).range();
+        assert!(lo > -60.0 && hi < 40.0, "implausible depths: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn tile_size_and_bytes() {
+        let t = CtmArchive::new(0, 64).tile(0, 0);
+        assert_eq!(t.size, 64);
+        assert_eq!(t.data.len(), 64 * 64);
+        assert_eq!(t.byte_size(), 64 * 64 * 4);
+        let _ = t.at(63, 63); // corner access in bounds
+    }
+
+    #[test]
+    fn noise_is_smooth_not_constant() {
+        // Adjacent readings differ by less than the full range but the tile
+        // is not flat.
+        let t = CtmArchive::new(5, 64).tile(1, 1);
+        let mut max_step = 0.0f32;
+        for r in 0..t.size {
+            for c in 1..t.size {
+                max_step = max_step.max((t.at(r, c) - t.at(r, c - 1)).abs());
+            }
+        }
+        assert!(max_step > 0.0, "flat tile");
+        assert!(max_step < 10.0, "discontinuous tile: step {max_step}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn tiny_tiles_rejected() {
+        CtmArchive::new(0, 4);
+    }
+}

@@ -1,0 +1,369 @@
+//! Marching-squares shoreline extraction.
+//!
+//! "Given the CTM and water level, the coast line is interpolated and
+//! returned" (paper §IV-A). The standard tool for iso-line extraction on a
+//! regular grid is marching squares with linear edge interpolation; we run
+//! it at the queried water level, chain the resulting segments into
+//! polylines, and decimate the result to the paper's < 1 KB bound.
+
+use crate::ctm::Ctm;
+
+/// A chained sequence of contour points in grid coordinates
+/// (`x` = column, `y` = row, fractional).
+pub type Polyline = Vec<(f32, f32)>;
+
+/// A derived shoreline: one or more polylines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shoreline {
+    /// The contour lines, each with at least two points.
+    pub lines: Vec<Polyline>,
+}
+
+impl Shoreline {
+    /// Total number of points across all polylines.
+    pub fn point_count(&self) -> usize {
+        self.lines.iter().map(Vec::len).sum()
+    }
+
+    /// Serialize compactly: `u16` line count, then per line a `u16` point
+    /// count followed by `f32` little-endian coordinate pairs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.point_count() * 8);
+        out.extend_from_slice(&(self.lines.len() as u16).to_le_bytes());
+        for line in &self.lines {
+            out.extend_from_slice(&(line.len() as u16).to_le_bytes());
+            for &(x, y) in line {
+                out.extend_from_slice(&x.to_le_bytes());
+                out.extend_from_slice(&y.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse the [`Shoreline::to_bytes`] encoding.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take2 = |b: &[u8], p: &mut usize| -> Option<u16> {
+            let v = u16::from_le_bytes(b.get(*p..*p + 2)?.try_into().ok()?);
+            *p += 2;
+            Some(v)
+        };
+        let take4 = |b: &[u8], p: &mut usize| -> Option<f32> {
+            let v = f32::from_le_bytes(b.get(*p..*p + 4)?.try_into().ok()?);
+            *p += 4;
+            Some(v)
+        };
+        let n_lines = take2(bytes, &mut pos)?;
+        let mut lines = Vec::with_capacity(n_lines as usize);
+        for _ in 0..n_lines {
+            let n_pts = take2(bytes, &mut pos)?;
+            let mut line = Vec::with_capacity(n_pts as usize);
+            for _ in 0..n_pts {
+                let x = take4(bytes, &mut pos)?;
+                let y = take4(bytes, &mut pos)?;
+                line.push((x, y));
+            }
+            lines.push(line);
+        }
+        if pos == bytes.len() {
+            Some(Self { lines })
+        } else {
+            None
+        }
+    }
+}
+
+/// Extract the shoreline of `ctm` at `level` meters, decimated so the
+/// serialized result stays under `max_bytes`.
+pub fn extract(ctm: &Ctm, level: f32, max_bytes: usize) -> Shoreline {
+    let segments = marching_squares(ctm, level);
+    let lines = chain_segments(segments);
+    decimate(lines, max_bytes)
+}
+
+/// One contour segment inside a cell.
+type Segment = ((f32, f32), (f32, f32));
+
+/// Run marching squares over every cell, emitting contour segments with
+/// linearly interpolated crossings.
+fn marching_squares(ctm: &Ctm, level: f32) -> Vec<Segment> {
+    let n = ctm.size;
+    let mut segments = Vec::new();
+    for row in 0..n - 1 {
+        for col in 0..n - 1 {
+            // Corner values, counterclockwise from top-left:
+            //   a (row, col)     b (row, col+1)
+            //   d (row+1, col)   c (row+1, col+1)
+            let a = ctm.at(row, col);
+            let b = ctm.at(row, col + 1);
+            let c = ctm.at(row + 1, col + 1);
+            let d = ctm.at(row + 1, col);
+            let case = (usize::from(a > level))
+                | (usize::from(b > level) << 1)
+                | (usize::from(c > level) << 2)
+                | (usize::from(d > level) << 3);
+            if case == 0 || case == 15 {
+                continue;
+            }
+            let (x, y) = (col as f32, row as f32);
+            // Interpolated crossing points on each edge.
+            let top = (x + frac(a, b, level), y);
+            let right = (x + 1.0, y + frac(b, c, level));
+            let bottom = (x + frac(d, c, level), y + 1.0);
+            let left = (x, y + frac(a, d, level));
+            match case {
+                1 | 14 => segments.push((left, top)),
+                2 | 13 => segments.push((top, right)),
+                3 | 12 => segments.push((left, right)),
+                4 | 11 => segments.push((right, bottom)),
+                6 | 9 => segments.push((top, bottom)),
+                7 | 8 => segments.push((left, bottom)),
+                5 | 10 => {
+                    // Saddle: disambiguate with the cell-center average.
+                    let center = (a + b + c + d) / 4.0;
+                    let flip = (center > level) == (case == 5);
+                    if flip {
+                        segments.push((left, top));
+                        segments.push((right, bottom));
+                    } else {
+                        segments.push((top, right));
+                        segments.push((left, bottom));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+    segments
+}
+
+/// Fraction along an edge from the first value to the second where the
+/// level crossing occurs.
+#[inline]
+fn frac(v0: f32, v1: f32, level: f32) -> f32 {
+    if (v1 - v0).abs() < 1e-12 {
+        0.5
+    } else {
+        ((level - v0) / (v1 - v0)).clamp(0.0, 1.0)
+    }
+}
+
+/// Chain loose segments into polylines by matching endpoints (quantized to
+/// kill float noise).
+fn chain_segments(segments: Vec<Segment>) -> Vec<Polyline> {
+    use std::collections::HashMap;
+
+    #[inline]
+    fn quant(p: (f32, f32)) -> (i64, i64) {
+        ((p.0 * 4096.0).round() as i64, (p.1 * 4096.0).round() as i64)
+    }
+
+    // Adjacency: endpoint -> list of (segment index, which end).
+    let mut adj: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (i, &(p, q)) in segments.iter().enumerate() {
+        adj.entry(quant(p)).or_default().push(i);
+        adj.entry(quant(q)).or_default().push(i);
+    }
+
+    let mut used = vec![false; segments.len()];
+    let mut lines = Vec::new();
+    for start in 0..segments.len() {
+        if used[start] {
+            continue;
+        }
+        used[start] = true;
+        let (p, q) = segments[start];
+        let mut line: Polyline = vec![p, q];
+        // Extend forward from the tail, then backward from the head.
+        for dir in 0..2 {
+            loop {
+                let tip = if dir == 0 {
+                    *line.last().unwrap()
+                } else {
+                    line[0]
+                };
+                let Some(candidates) = adj.get(&quant(tip)) else {
+                    break;
+                };
+                let next = candidates.iter().copied().find(|&i| !used[i]);
+                let Some(i) = next else { break };
+                used[i] = true;
+                let (a, b) = segments[i];
+                let other = if quant(a) == quant(tip) { b } else { a };
+                if dir == 0 {
+                    line.push(other);
+                } else {
+                    line.insert(0, other);
+                }
+            }
+        }
+        lines.push(line);
+    }
+    // Longest lines first: decimation keeps the most significant features.
+    lines.sort_by_key(|l| std::cmp::Reverse(l.len()));
+    lines
+}
+
+/// Reduce the point count until the serialized form fits `max_bytes`,
+/// keeping endpoints and evenly spaced interior points.
+fn decimate(lines: Vec<Polyline>, max_bytes: usize) -> Shoreline {
+    // Budget: 2 header bytes + per line (2 + 8 * points).
+    let budget_points = max_bytes.saturating_sub(2) / 8;
+    let total: usize = lines.iter().map(Vec::len).sum();
+    if total == 0 {
+        return Shoreline { lines };
+    }
+    // Keep at most 8 lines; allocate the point budget proportionally.
+    let kept: Vec<&Polyline> = lines.iter().take(8).collect();
+    let kept_total: usize = kept.iter().map(|l| l.len()).sum();
+    let mut out = Vec::new();
+    for line in kept {
+        let share = ((line.len() * budget_points) / kept_total.max(1)).clamp(2, line.len());
+        out.push(resample(line, share));
+    }
+    Shoreline { lines: out }
+}
+
+/// Pick `target` points from `line`, always including both endpoints.
+fn resample(line: &[(f32, f32)], target: usize) -> Polyline {
+    if line.len() <= target {
+        return line.to_vec();
+    }
+    let mut out = Vec::with_capacity(target);
+    for i in 0..target {
+        let idx = i * (line.len() - 1) / (target - 1);
+        out.push(line[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctm::CtmArchive;
+
+    /// A linear east-rising ramp crossing zero at x = mid.
+    fn ramp(n: usize) -> Ctm {
+        let mut data = Vec::with_capacity(n * n);
+        for _row in 0..n {
+            for col in 0..n {
+                data.push(col as f32 - (n as f32 / 2.0));
+            }
+        }
+        Ctm { size: n, data }
+    }
+
+    #[test]
+    fn ramp_produces_one_vertical_contour() {
+        let ctm = ramp(16);
+        let s = extract(&ctm, 0.0, 1024);
+        assert_eq!(s.lines.len(), 1, "a ramp has exactly one shoreline");
+        // Every point sits at x = 8 (where the ramp crosses zero).
+        for &(x, _) in &s.lines[0] {
+            assert!((x - 8.0).abs() < 1e-4, "contour strayed to x={x}");
+        }
+        // The line spans the full grid height.
+        let ys: Vec<f32> = s.lines[0].iter().map(|p| p.1).collect();
+        let (lo, hi) = (
+            ys.iter().cloned().fold(f32::INFINITY, f32::min),
+            ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
+        );
+        assert!(hi - lo >= 14.0, "contour does not span the tile: {lo}..{hi}");
+    }
+
+    #[test]
+    fn level_shifts_move_the_contour() {
+        let ctm = ramp(16);
+        let at0 = extract(&ctm, 0.0, 1024);
+        let at2 = extract(&ctm, 2.0, 1024);
+        assert!((at0.lines[0][0].0 - 8.0).abs() < 1e-4);
+        assert!((at2.lines[0][0].0 - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_water_or_all_land_yields_nothing() {
+        let ctm = ramp(16);
+        assert_eq!(extract(&ctm, 100.0, 1024).point_count(), 0);
+        assert_eq!(extract(&ctm, -100.0, 1024).point_count(), 0);
+    }
+
+    #[test]
+    fn real_tiles_produce_bounded_results() {
+        let archive = CtmArchive::new(99, 64);
+        for t in 0..6u32 {
+            let ctm = archive.tile(t, t.wrapping_mul(7) % 5);
+            let s = extract(&ctm, 0.3, 1000);
+            assert!(s.point_count() >= 2, "tile {t} produced no shoreline");
+            assert!(
+                s.to_bytes().len() < 1024,
+                "tile {t} serialized to {} bytes",
+                s.to_bytes().len()
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let ctm = CtmArchive::new(4, 32).tile(1, 2);
+        let s = extract(&ctm, 0.0, 800);
+        let bytes = s.to_bytes();
+        assert_eq!(Shoreline::from_bytes(&bytes), Some(s));
+        assert_eq!(Shoreline::from_bytes(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(Shoreline::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn contour_points_lie_near_the_level_set() {
+        // Verify the interpolation: sampled contour points should evaluate
+        // close to the iso level under bilinear interpolation of the grid.
+        let ctm = CtmArchive::new(11, 64).tile(0, 0);
+        let level = 0.0f32;
+        let s = extract(&ctm, level, 100_000); // no decimation pressure
+        let sample = |x: f32, y: f32| -> f32 {
+            let (c, r) = (x.floor() as usize, y.floor() as usize);
+            let (fx, fy) = (x - c as f32, y - r as f32);
+            let c1 = (c + 1).min(ctm.size - 1);
+            let r1 = (r + 1).min(ctm.size - 1);
+            let v0 = ctm.at(r, c) * (1.0 - fx) + ctm.at(r, c1) * fx;
+            let v1 = ctm.at(r1, c) * (1.0 - fx) + ctm.at(r1, c1) * fx;
+            v0 * (1.0 - fy) + v1 * fy
+        };
+        let mut checked = 0;
+        for line in &s.lines {
+            for &(x, y) in line {
+                if x.fract().abs() < 1e-6 || y.fract().abs() < 1e-6 {
+                    // Edge-aligned points interpolate exactly on one axis.
+                    let v = sample(x, y);
+                    assert!(v.abs() < 1.0, "contour point off level set: {v}");
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 10, "too few verifiable points");
+    }
+
+    #[test]
+    fn decimation_respects_byte_budget() {
+        let ctm = CtmArchive::new(21, 128).tile(3, 3);
+        for budget in [128usize, 256, 512, 1000] {
+            let s = extract(&ctm, 0.0, budget);
+            assert!(
+                s.to_bytes().len() <= budget + 16,
+                "budget {budget} exceeded: {}",
+                s.to_bytes().len()
+            );
+            for line in &s.lines {
+                assert!(line.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn resample_keeps_endpoints() {
+        let line: Vec<(f32, f32)> = (0..100).map(|i| (i as f32, 0.0)).collect();
+        let r = resample(&line, 10);
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0], line[0]);
+        assert_eq!(*r.last().unwrap(), *line.last().unwrap());
+    }
+}

@@ -1,0 +1,193 @@
+//! The composed shoreline-extraction service.
+
+use ecc_spatial::{Curve, GeoGrid, Linearizer, Scheme, TimeGrid};
+
+use crate::ctm::CtmArchive;
+use crate::extract::{extract, Shoreline};
+use crate::tide::TideModel;
+
+/// What one uncached service invocation yields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutput {
+    /// The derived shoreline (< 1 KB serialized).
+    pub shoreline: Shoreline,
+    /// Modelled wall-clock execution time of the uncached service in
+    /// microseconds (≈ 23 s, with deterministic per-query variation).
+    pub exec_us: u64,
+    /// The cache key of this query under the service's linearizer.
+    pub key: u64,
+}
+
+/// The service: CTM retrieval + water-level lookup + contour interpolation.
+///
+/// Execution is genuinely computed (the returned shoreline is a real
+/// contour of the tile), but the *charged* duration is the paper's observed
+/// ≈ 23 s, modelling the expensive retrieval/interpolation pipeline of the
+/// real deployment.
+#[derive(Debug, Clone)]
+pub struct ShorelineService {
+    archive: CtmArchive,
+    tide: TideModel,
+    linearizer: Linearizer,
+    /// Mean uncached execution time in microseconds.
+    pub base_exec_us: u64,
+    /// Half-width of the deterministic execution-time variation.
+    pub exec_jitter_us: u64,
+    /// Byte budget for the serialized result.
+    pub max_result_bytes: usize,
+}
+
+impl ShorelineService {
+    /// The paper's configuration: 23 s mean execution, < 1 KB results,
+    /// 8-bit global grid (64 Ki keys) with no time axis.
+    pub fn paper_default(seed: u64) -> Self {
+        Self::new(seed, Linearizer::new(
+            GeoGrid::global(8),
+            TimeGrid::disabled(),
+            Curve::Morton,
+            Scheme::TimeMajor,
+        ))
+    }
+
+    /// A service over a custom linearizer (key space).
+    pub fn new(seed: u64, linearizer: Linearizer) -> Self {
+        Self {
+            archive: CtmArchive::new(seed, 64),
+            tide: TideModel::typical(),
+            linearizer,
+            base_exec_us: 23_000_000,
+            exec_jitter_us: 2_000_000,
+            max_result_bytes: 1000,
+        }
+    }
+
+    /// The linearizer mapping queries to cache keys.
+    pub fn linearizer(&self) -> &Linearizer {
+        &self.linearizer
+    }
+
+    /// Execute the service for a raw `(lat, lon, time)` query.
+    pub fn execute(&self, lat: f64, lon: f64, timestamp: u64) -> ServiceOutput {
+        self.execute_key(self.linearizer.key(lat, lon, timestamp))
+    }
+
+    /// Execute the service for an already-linearized key — the form the
+    /// cache coordinator uses on a miss.
+    pub fn execute_key(&self, key: u64) -> ServiceOutput {
+        let (ix, iy, slot) = self.linearizer.cell_of(key);
+        let ctm = self.archive.tile(ix, iy);
+        let t = self.linearizer.time().slot_start(slot);
+        // Phase-shift the gauge by location so tiles see different stages.
+        let tide = TideModel::typical_at((ix as f64 * 0.37 + iy as f64 * 0.61) % std::f64::consts::TAU);
+        let level = tide.level_at(t) as f32;
+        let shoreline = extract(&ctm, level, self.max_result_bytes);
+        ServiceOutput {
+            shoreline,
+            exec_us: self.exec_time_for(key),
+            key,
+        }
+    }
+
+    /// Deterministic per-key execution time:
+    /// `base ± jitter` via a hash of the key.
+    pub fn exec_time_for(&self, key: u64) -> u64 {
+        if self.exec_jitter_us == 0 {
+            return self.base_exec_us;
+        }
+        let mut h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 32;
+        let spread = (h % (2 * self.exec_jitter_us + 1)) as i64 - self.exec_jitter_us as i64;
+        (self.base_exec_us as i64 + spread) as u64
+    }
+
+    /// The mean water level model in use (for inspection/tests).
+    pub fn tide(&self) -> &TideModel {
+        &self.tide
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_is_deterministic_per_key() {
+        let svc = ShorelineService::paper_default(3);
+        let a = svc.execute_key(12345);
+        let b = svc.execute_key(12345);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_keys_give_different_shorelines() {
+        let svc = ShorelineService::paper_default(3);
+        let a = svc.execute_key(100);
+        let b = svc.execute_key(50_000);
+        assert_ne!(a.shoreline, b.shoreline);
+    }
+
+    #[test]
+    fn exec_time_is_around_23_seconds() {
+        let svc = ShorelineService::paper_default(5);
+        for key in [0u64, 1, 999, 65_535] {
+            let t = svc.exec_time_for(key);
+            assert!(
+                (21_000_000..=25_000_000).contains(&t),
+                "key {key}: {t} µs out of band"
+            );
+        }
+        // Jitter actually varies.
+        let times: std::collections::HashSet<u64> =
+            (0..100).map(|k| svc.exec_time_for(k)).collect();
+        assert!(times.len() > 50, "execution times suspiciously uniform");
+    }
+
+    #[test]
+    fn results_fit_the_paper_byte_bound() {
+        let svc = ShorelineService::paper_default(8);
+        for key in (0..65_536u64).step_by(4321) {
+            let out = svc.execute_key(key);
+            assert!(
+                out.shoreline.to_bytes().len() < 1024,
+                "key {key}: {} bytes",
+                out.shoreline.to_bytes().len()
+            );
+        }
+    }
+
+    #[test]
+    fn raw_queries_map_through_the_linearizer() {
+        let svc = ShorelineService::paper_default(1);
+        let out = svc.execute(45.5, -122.7, 0);
+        let key = svc.linearizer().key(45.5, -122.7, 0);
+        assert_eq!(out.key, key);
+        assert_eq!(out.shoreline, svc.execute_key(key).shoreline);
+    }
+
+    #[test]
+    fn most_tiles_actually_contain_a_shoreline() {
+        let svc = ShorelineService::paper_default(17);
+        let mut with_contour = 0;
+        let total = 64;
+        for i in 0..total {
+            let key = (i * 65_536 / total) as u64;
+            if svc.execute_key(key).shoreline.point_count() >= 2 {
+                with_contour += 1;
+            }
+        }
+        assert!(
+            with_contour * 10 >= total * 9,
+            "only {with_contour}/{total} tiles have shorelines"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_gives_constant_time() {
+        let mut svc = ShorelineService::paper_default(1);
+        svc.exec_jitter_us = 0;
+        assert_eq!(svc.exec_time_for(1), svc.base_exec_us);
+        assert_eq!(svc.exec_time_for(999), svc.base_exec_us);
+    }
+}

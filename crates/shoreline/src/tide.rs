@@ -1,0 +1,132 @@
+//! Harmonic water-level model.
+//!
+//! Real water-level feeds (e.g. NOAA gauges) are published as fitted
+//! harmonic constituents: the level at time `t` is a mean plus a sum of
+//! cosines at the tidal frequencies. We model the two dominant constituents
+//! (M2 — principal lunar semidiurnal; S2 — principal solar semidiurnal)
+//! plus a location-dependent phase, which is plenty to make the queried
+//! water level vary realistically with the time of interest.
+
+/// One tidal constituent: `amplitude * cos(2π t / period + phase)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constituent {
+    /// Amplitude in meters.
+    pub amplitude_m: f64,
+    /// Period in seconds.
+    pub period_s: f64,
+    /// Phase offset in radians.
+    pub phase_rad: f64,
+}
+
+impl Constituent {
+    /// Principal lunar semidiurnal tide (period 12.4206 h).
+    pub fn m2(amplitude_m: f64, phase_rad: f64) -> Self {
+        Self {
+            amplitude_m,
+            period_s: 12.4206 * 3600.0,
+            phase_rad,
+        }
+    }
+
+    /// Principal solar semidiurnal tide (period 12 h).
+    pub fn s2(amplitude_m: f64, phase_rad: f64) -> Self {
+        Self {
+            amplitude_m,
+            period_s: 12.0 * 3600.0,
+            phase_rad,
+        }
+    }
+
+    /// This constituent's contribution at time `t` (seconds).
+    pub fn level_at(&self, t: f64) -> f64 {
+        self.amplitude_m * (std::f64::consts::TAU * t / self.period_s + self.phase_rad).cos()
+    }
+}
+
+/// A fitted gauge: mean level plus harmonic constituents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TideModel {
+    /// Mean water level relative to the CTM datum, in meters.
+    pub mean_m: f64,
+    /// Harmonic constituents.
+    pub constituents: Vec<Constituent>,
+}
+
+impl TideModel {
+    /// A typical mixed semidiurnal gauge: ±1 m swing around the datum.
+    pub fn typical() -> Self {
+        Self {
+            mean_m: 0.0,
+            constituents: vec![Constituent::m2(0.8, 0.0), Constituent::s2(0.25, 1.1)],
+        }
+    }
+
+    /// A gauge whose phase is shifted by location, so different tiles see
+    /// different tide stages at the same instant (`phase_shift` in radians).
+    pub fn typical_at(phase_shift: f64) -> Self {
+        Self {
+            mean_m: 0.0,
+            constituents: vec![
+                Constituent::m2(0.8, phase_shift),
+                Constituent::s2(0.25, 1.1 + phase_shift),
+            ],
+        }
+    }
+
+    /// Water level (meters above datum) at `t` seconds.
+    pub fn level_at(&self, t: u64) -> f64 {
+        let t = t as f64;
+        self.mean_m + self.constituents.iter().map(|c| c.level_at(t)).sum::<f64>()
+    }
+
+    /// The largest possible excursion from the mean (sum of amplitudes).
+    pub fn max_excursion(&self) -> f64 {
+        self.constituents.iter().map(|c| c.amplitude_m).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_bounded_by_amplitudes() {
+        let m = TideModel::typical();
+        let bound = m.max_excursion() + 1e-9;
+        for t in (0..200_000).step_by(997) {
+            let l = m.level_at(t);
+            assert!(l.abs() <= bound, "level {l} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn m2_period_is_semidiurnal() {
+        let c = Constituent::m2(1.0, 0.0);
+        let p = c.period_s;
+        assert!((c.level_at(0.0) - c.level_at(p)).abs() < 1e-9);
+        // Half a period later the tide is low.
+        assert!((c.level_at(p / 2.0) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn levels_vary_over_a_tidal_day() {
+        let m = TideModel::typical();
+        let samples: Vec<f64> = (0..24).map(|h| m.level_at(h * 3600)).collect();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(hi - lo > 1.0, "tide should swing > 1 m over a day");
+    }
+
+    #[test]
+    fn phase_shift_changes_instantaneous_level() {
+        let a = TideModel::typical_at(0.0);
+        let b = TideModel::typical_at(1.5);
+        assert!((a.level_at(0) - b.level_at(0)).abs() > 1e-3);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let m = TideModel::typical();
+        assert_eq!(m.level_at(12345), m.level_at(12345));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the shoreline substrate: extraction must be total,
+//! bounded and deterministic on every tile the archive can produce.
+
+use ecc_shoreline::ctm::CtmArchive;
+use ecc_shoreline::extract::{extract, Shoreline};
+use ecc_shoreline::service::ShorelineService;
+use ecc_shoreline::tide::TideModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Extraction never panics, stays within the byte budget and produces
+    /// contour points inside the tile, for any tile/level/budget.
+    #[test]
+    fn extraction_is_total_and_bounded(
+        seed: u64,
+        tx in 0u32..64,
+        ty in 0u32..64,
+        level in -40.0f32..20.0,
+        budget in 64usize..2048,
+    ) {
+        let archive = CtmArchive::new(seed, 32);
+        let ctm = archive.tile(tx, ty);
+        let s = extract(&ctm, level, budget);
+        prop_assert!(s.to_bytes().len() <= budget + 24, "budget blown");
+        for line in &s.lines {
+            prop_assert!(line.len() >= 2 || line.is_empty());
+            for &(x, y) in line {
+                prop_assert!((0.0..=31.0).contains(&x), "x={x} out of tile");
+                prop_assert!((0.0..=31.0).contains(&y), "y={y} out of tile");
+            }
+        }
+        // Deterministic.
+        prop_assert_eq!(s, extract(&ctm, level, budget));
+    }
+
+    /// Serialization round-trips for every extraction result.
+    #[test]
+    fn serialization_roundtrips(seed: u64, tx in 0u32..16, ty in 0u32..16) {
+        let ctm = CtmArchive::new(seed, 32).tile(tx, ty);
+        let s = extract(&ctm, 0.0, 1000);
+        let bytes = s.to_bytes();
+        prop_assert_eq!(Shoreline::from_bytes(&bytes), Some(s));
+    }
+
+    /// Parsing is total on arbitrary bytes.
+    #[test]
+    fn from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Shoreline::from_bytes(&bytes);
+    }
+
+    /// Tide levels are always bounded by the constituents' amplitudes.
+    #[test]
+    fn tide_is_bounded(phase in 0.0f64..std::f64::consts::TAU, t: u32) {
+        let m = TideModel::typical_at(phase);
+        prop_assert!(m.level_at(t as u64).abs() <= m.max_excursion() + 1e-9);
+    }
+
+    /// The full service is deterministic and within its latency band for
+    /// every key of the paper's 64 Ki space.
+    #[test]
+    fn service_is_deterministic_everywhere(seed in 0u64..50, key in 0u64..(1 << 16)) {
+        let svc = ShorelineService::paper_default(seed);
+        let a = svc.execute_key(key);
+        let b = svc.execute_key(key);
+        prop_assert_eq!(&a, &b);
+        prop_assert!((21_000_000..=25_000_000).contains(&a.exec_us));
+        prop_assert!(a.shoreline.to_bytes().len() < 1024);
+    }
+}

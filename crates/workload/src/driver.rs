@@ -1,0 +1,163 @@
+//! The query stream: schedule × distribution → `(time_step, key)` pairs.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::keys::KeyDist;
+use crate::schedule::RateSchedule;
+
+/// A deterministic stream of queries following a rate schedule.
+///
+/// Iteration yields `(time_step, key)` pairs: at each 0-based time step the
+/// stream emits `schedule.rate_at(step)` keys drawn from the distribution.
+/// The harness detects step boundaries by watching the first element — that
+/// is when it calls the cache's `end_time_slice()`.
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    schedule: RateSchedule,
+    dist: KeyDist,
+    seed: u64,
+}
+
+impl QueryStream {
+    /// Build a stream from a schedule, a key distribution and an RNG seed.
+    pub fn new(schedule: RateSchedule, dist: KeyDist, seed: u64) -> Self {
+        Self {
+            schedule,
+            dist,
+            seed,
+        }
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &RateSchedule {
+        &self.schedule
+    }
+
+    /// The key distribution in use.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// Iterate over the queries of the first `steps` time steps.
+    pub fn take_steps(&self, steps: u64) -> QueryIter {
+        QueryIter {
+            rng: SmallRng::seed_from_u64(self.seed),
+            schedule: self.schedule.clone(),
+            dist: self.dist.clone(),
+            step: 0,
+            within: 0,
+            steps,
+        }
+    }
+
+    /// Iterate until approximately `total` queries have been produced
+    /// (finishes the step in progress).
+    pub fn take_queries(&self, total: u64) -> impl Iterator<Item = (u64, u64)> {
+        // Steps needed to cover `total` queries under this schedule.
+        let mut acc = 0u64;
+        let mut steps = 0u64;
+        while acc < total {
+            acc += self.schedule.rate_at(steps).max(1);
+            steps += 1;
+            if steps > 100_000_000 {
+                break; // zero-rate schedule guard
+            }
+        }
+        self.take_steps(steps)
+    }
+}
+
+/// Iterator state for [`QueryStream::take_steps`].
+#[derive(Debug)]
+pub struct QueryIter {
+    rng: SmallRng,
+    schedule: RateSchedule,
+    dist: KeyDist,
+    step: u64,
+    within: u64,
+    steps: u64,
+}
+
+impl Iterator for QueryIter {
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.step >= self.steps {
+                return None;
+            }
+            let rate = self.schedule.rate_at(self.step);
+            if self.within < rate {
+                self.within += 1;
+                return Some((self.step, self.dist.sample(&mut self.rng)));
+            }
+            self.step += 1;
+            self.within = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_rate_queries_per_step() {
+        let s = QueryStream::new(RateSchedule::constant(3), KeyDist::uniform(10), 0);
+        let q: Vec<(u64, u64)> = s.take_steps(4).collect();
+        assert_eq!(q.len(), 12);
+        let steps: Vec<u64> = q.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn paper_schedule_produces_phase_counts() {
+        let s = QueryStream::new(
+            RateSchedule::paper_eviction_phases(),
+            KeyDist::uniform(32 * 1024),
+            1,
+        );
+        let per_step = |step: u64| s.take_steps(500).filter(move |(s, _)| *s == step).count();
+        assert_eq!(per_step(0), 50);
+        assert_eq!(per_step(150), 250);
+        assert_eq!(per_step(450), 50);
+    }
+
+    #[test]
+    fn streams_are_reproducible() {
+        let s = QueryStream::new(RateSchedule::constant(5), KeyDist::uniform(100), 99);
+        let a: Vec<_> = s.take_steps(20).collect();
+        let b: Vec<_> = s.take_steps(20).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = QueryStream::new(RateSchedule::constant(5), KeyDist::uniform(1000), 1)
+            .take_steps(10)
+            .collect();
+        let b: Vec<_> = QueryStream::new(RateSchedule::constant(5), KeyDist::uniform(1000), 2)
+            .take_steps(10)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn take_queries_covers_at_least_the_request() {
+        let s = QueryStream::new(RateSchedule::constant(7), KeyDist::uniform(10), 3);
+        let n = s.take_queries(100).count() as u64;
+        assert!(n >= 100);
+        assert!(n < 100 + 7);
+    }
+
+    #[test]
+    fn keys_stay_in_space() {
+        let s = QueryStream::new(
+            RateSchedule::paper_eviction_phases(),
+            KeyDist::uniform(64),
+            5,
+        );
+        assert!(s.take_steps(50).all(|(_, k)| k < 64));
+    }
+}

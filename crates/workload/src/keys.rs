@@ -1,0 +1,226 @@
+//! Key distributions (`rand_coordinates` in the paper's loop).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How query keys are drawn from the key space.
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `[0, space)` — the paper's "randomized inputs over 64K
+    /// possibilities", explicitly the worst case for reuse.
+    Uniform {
+        /// Key-space size.
+        space: u64,
+    },
+    /// Zipfian with exponent `s` over `[0, space)`: rank-`i` key has
+    /// probability ∝ `1 / i^s`. Models realistic skewed interest (the Haiti
+    /// scenario of the introduction, where some map tiles are far hotter).
+    Zipf {
+        /// Key-space size.
+        space: u64,
+        /// Skew exponent (`0` degenerates to uniform).
+        s: f64,
+        /// Precomputed CDF for inverse-transform sampling.
+        cdf: Vec<f64>,
+    },
+    /// A hot set: with probability `hot_prob` draw uniformly from the first
+    /// `hot_keys` keys, otherwise uniformly from the whole space.
+    Hotspot {
+        /// Key-space size.
+        space: u64,
+        /// Size of the hot set.
+        hot_keys: u64,
+        /// Probability a query targets the hot set.
+        hot_prob: f64,
+    },
+}
+
+impl KeyDist {
+    /// Uniform over `[0, space)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`.
+    pub fn uniform(space: u64) -> Self {
+        assert!(space > 0, "key space must be non-empty");
+        KeyDist::Uniform { space }
+    }
+
+    /// Zipfian over `[0, space)` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space == 0`, `space > 2^24` (CDF table too large), or `s`
+    /// is negative/non-finite.
+    pub fn zipf(space: u64, s: f64) -> Self {
+        assert!(space > 0, "key space must be non-empty");
+        assert!(space <= 1 << 24, "zipf CDF table would be too large");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(space as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=space {
+            acc += 1.0 / (i as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        KeyDist::Zipf { space, s, cdf }
+    }
+
+    /// Hotspot distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty space, `hot_keys` outside `(0, space]`, or
+    /// `hot_prob` outside `[0, 1]`.
+    pub fn hotspot(space: u64, hot_keys: u64, hot_prob: f64) -> Self {
+        assert!(space > 0, "key space must be non-empty");
+        assert!(
+            hot_keys > 0 && hot_keys <= space,
+            "hot set must be within the key space"
+        );
+        assert!((0.0..=1.0).contains(&hot_prob), "probability out of range");
+        KeyDist::Hotspot {
+            space,
+            hot_keys,
+            hot_prob,
+        }
+    }
+
+    /// The key-space size.
+    pub fn space(&self) -> u64 {
+        match *self {
+            KeyDist::Uniform { space }
+            | KeyDist::Zipf { space, .. }
+            | KeyDist::Hotspot { space, .. } => space,
+        }
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        match self {
+            KeyDist::Uniform { space } => rng.gen_range(0..*space),
+            KeyDist::Zipf { cdf, .. } => {
+                let u: f64 = rng.gen();
+                // First rank whose cumulative mass reaches u.
+                cdf.partition_point(|&c| c < u) as u64
+            }
+            KeyDist::Hotspot {
+                space,
+                hot_keys,
+                hot_prob,
+            } => {
+                if rng.gen::<f64>() < *hot_prob {
+                    rng.gen_range(0..*hot_keys)
+                } else {
+                    rng.gen_range(0..*space)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_covers_space() {
+        let d = KeyDist::uniform(100);
+        let mut r = rng(1);
+        let mut seen = [false; 100];
+        for _ in 0..10_000 {
+            let k = d.sample(&mut r);
+            assert!(k < 100);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 95);
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let d = KeyDist::zipf(1000, 1.0);
+        let mut r = rng(2);
+        let mut low = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if d.sample(&mut r) < 10 {
+                low += 1;
+            }
+        }
+        // With s=1 over 1000 keys, the top-10 mass is ~39%; uniform would
+        // give 1%.
+        assert!(low as f64 / n as f64 > 0.25, "top-10 mass only {low}/{n}");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniformish() {
+        let d = KeyDist::zipf(100, 0.0);
+        let mut r = rng(3);
+        let mut low = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if d.sample(&mut r) < 10 {
+                low += 1;
+            }
+        }
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.02, "top-10 mass {frac}");
+    }
+
+    #[test]
+    fn hotspot_honours_probability() {
+        let d = KeyDist::hotspot(10_000, 100, 0.9);
+        let mut r = rng(4);
+        let n = 20_000;
+        let mut hot = 0;
+        for _ in 0..n {
+            if d.sample(&mut r) < 100 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / n as f64;
+        // 0.9 targeted + ~1% of the uniform remainder.
+        assert!((frac - 0.901).abs() < 0.02, "hot fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = KeyDist::uniform(1 << 16);
+        let a: Vec<u64> = {
+            let mut r = rng(42);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(42);
+            (0..100).map(|_| d.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn space_accessor() {
+        assert_eq!(KeyDist::uniform(64).space(), 64);
+        assert_eq!(KeyDist::zipf(10, 1.0).space(), 10);
+        assert_eq!(KeyDist::hotspot(50, 5, 0.5).space(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_space_rejected() {
+        KeyDist::uniform(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within the key space")]
+    fn oversized_hot_set_rejected() {
+        KeyDist::hotspot(10, 11, 0.5);
+    }
+}

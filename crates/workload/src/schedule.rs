@@ -1,0 +1,200 @@
+//! Query-rate schedules (`R` per time step).
+
+use serde::{Deserialize, Serialize};
+
+/// One phase of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// A constant rate for a number of steps.
+    Flat {
+        /// How many time steps this phase lasts.
+        steps: u64,
+        /// Queries per time step.
+        rate: u64,
+    },
+    /// A linear ramp between two rates over a number of steps (inclusive of
+    /// the start rate, approaching the end rate).
+    Ramp {
+        /// How many time steps this phase lasts.
+        steps: u64,
+        /// Rate at the first step of the phase.
+        from: u64,
+        /// Rate approached by the end of the phase.
+        to: u64,
+    },
+}
+
+impl Phase {
+    fn steps(&self) -> u64 {
+        match *self {
+            Phase::Flat { steps, .. } | Phase::Ramp { steps, .. } => steps,
+        }
+    }
+
+    fn rate_at(&self, offset: u64) -> u64 {
+        match *self {
+            Phase::Flat { rate, .. } => rate,
+            Phase::Ramp { steps, from, to } => {
+                if steps <= 1 {
+                    return to;
+                }
+                let t = offset as f64 / (steps - 1) as f64;
+                (from as f64 + (to as f64 - from as f64) * t).round() as u64
+            }
+        }
+    }
+}
+
+/// A piecewise rate schedule; steps past the last phase repeat the final
+/// phase's ending rate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    phases: Vec<Phase>,
+}
+
+impl RateSchedule {
+    /// A schedule from explicit phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase has zero steps.
+    pub fn new(phases: Vec<Phase>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.steps() > 0),
+            "phases must last at least one step"
+        );
+        Self { phases }
+    }
+
+    /// A constant rate forever.
+    pub fn constant(rate: u64) -> Self {
+        Self::new(vec![Phase::Flat { steps: 1, rate }])
+    }
+
+    /// The eviction-experiment schedule of paper §IV-C:
+    /// steps 1–100 at `R = 50`, steps 101–300 at `R = 250`, a ramp back
+    /// down over steps 301–400 (the paper leaves this region unspecified;
+    /// see DESIGN.md §7), then `R = 50` onward.
+    pub fn paper_eviction_phases() -> Self {
+        Self::new(vec![
+            Phase::Flat {
+                steps: 100,
+                rate: 50,
+            },
+            Phase::Flat {
+                steps: 200,
+                rate: 250,
+            },
+            Phase::Ramp {
+                steps: 100,
+                from: 250,
+                to: 50,
+            },
+            Phase::Flat {
+                steps: 1,
+                rate: 50,
+            },
+        ])
+    }
+
+    /// The Figure 3 schedule: one query per time step.
+    pub fn paper_figure3() -> Self {
+        Self::constant(1)
+    }
+
+    /// Queries per time step at 0-based step `step`.
+    pub fn rate_at(&self, step: u64) -> u64 {
+        let mut offset = step;
+        for phase in &self.phases {
+            if offset < phase.steps() {
+                return phase.rate_at(offset);
+            }
+            offset -= phase.steps();
+        }
+        // Past the end: hold the final rate.
+        let last = self.phases.last().expect("non-empty");
+        last.rate_at(last.steps() - 1)
+    }
+
+    /// Total queries issued over the first `steps` time steps.
+    pub fn total_queries(&self, steps: u64) -> u64 {
+        (0..steps).map(|s| self.rate_at(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule_never_changes() {
+        let s = RateSchedule::constant(7);
+        assert_eq!(s.rate_at(0), 7);
+        assert_eq!(s.rate_at(1_000_000), 7);
+        assert_eq!(s.total_queries(10), 70);
+    }
+
+    #[test]
+    fn paper_phases_match_the_text() {
+        let s = RateSchedule::paper_eviction_phases();
+        // Steps 1..=100 (0-based 0..100): 50 q/step.
+        assert_eq!(s.rate_at(0), 50);
+        assert_eq!(s.rate_at(99), 50);
+        // Steps 101..=300: 250 q/step.
+        assert_eq!(s.rate_at(100), 250);
+        assert_eq!(s.rate_at(299), 250);
+        // Transition region ramps down.
+        assert_eq!(s.rate_at(300), 250);
+        assert!(s.rate_at(350) < 250);
+        assert!(s.rate_at(350) > 50);
+        // From step 400 (0-based 399): back to 50.
+        assert_eq!(s.rate_at(399), 50);
+        assert_eq!(s.rate_at(10_000), 50);
+    }
+
+    #[test]
+    fn ramp_is_monotone_and_hits_endpoints() {
+        let p = Phase::Ramp {
+            steps: 5,
+            from: 100,
+            to: 20,
+        };
+        let rates: Vec<u64> = (0..5).map(|o| p.rate_at(o)).collect();
+        assert_eq!(rates[0], 100);
+        assert_eq!(rates[4], 20);
+        assert!(rates.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn one_step_ramp_yields_target() {
+        let p = Phase::Ramp {
+            steps: 1,
+            from: 9,
+            to: 3,
+        };
+        assert_eq!(p.rate_at(0), 3);
+    }
+
+    #[test]
+    fn total_queries_sums_phases() {
+        let s = RateSchedule::new(vec![
+            Phase::Flat { steps: 2, rate: 10 },
+            Phase::Flat { steps: 3, rate: 1 },
+        ]);
+        assert_eq!(s.total_queries(5), 23);
+        assert_eq!(s.total_queries(7), 25); // trailing rate held at 1
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_rejected() {
+        RateSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_length_phase_rejected() {
+        RateSchedule::new(vec![Phase::Flat { steps: 0, rate: 1 }]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Query-trace capture and replay.
+//!
+//! Figure runs are reproducible from seeds, but debugging a divergence (or
+//! comparing cache policies on byte-identical inputs across machines and
+//! versions) wants the actual query sequence on disk. A trace is the flat
+//! `(time_step, key)` stream; the format is line-oriented
+//! (`step,key`, `#`-comments allowed) so it can be inspected, diffed and
+//! edited by hand.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+/// An in-memory query trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    events: Vec<(u64, u64)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capture a trace from any `(step, key)` iterator (e.g.
+    /// [`crate::driver::QueryStream::take_steps`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps are not non-decreasing — a trace must replay in the
+    /// order the workload produced it.
+    pub fn capture(events: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let events: Vec<(u64, u64)> = events.into_iter().collect();
+        assert!(
+            events.windows(2).all(|w| w[0].0 <= w[1].0),
+            "trace steps must be non-decreasing"
+        );
+        Self { events }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last time step (0 if empty).
+    pub fn steps(&self) -> u64 {
+        self.events.last().map(|&(s, _)| s + 1).unwrap_or(0)
+    }
+
+    /// Iterate over `(step, key)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Serialize as `step,key` lines.
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        let mut w = BufWriter::new(w);
+        writeln!(w, "# elastic-cloud-cache query trace v1")?;
+        writeln!(w, "# {} queries over {} time steps", self.len(), self.steps())?;
+        for &(step, key) in &self.events {
+            writeln!(w, "{step},{key}")?;
+        }
+        w.flush()
+    }
+
+    /// Parse the [`Trace::write_to`] format. Blank lines and `#` comments
+    /// are skipped; malformed lines and step regressions are errors.
+    pub fn read_from<R: Read>(r: R) -> io::Result<Trace> {
+        let mut events = Vec::new();
+        let mut last_step = 0u64;
+        for (no, line) in BufReader::new(r).lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |msg: &str| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {msg}: {line:?}", no + 1),
+                )
+            };
+            let (s, k) = line.split_once(',').ok_or_else(|| bad("expected step,key"))?;
+            let step: u64 = s.trim().parse().map_err(|_| bad("bad step"))?;
+            let key: u64 = k.trim().parse().map_err(|_| bad("bad key"))?;
+            if step < last_step {
+                return Err(bad("steps went backwards"));
+            }
+            last_step = step;
+            events.push((step, key));
+        }
+        Ok(Trace { events })
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        self.write_to(std::fs::File::create(path)?)
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> io::Result<Trace> {
+        Self::read_from(std::fs::File::open(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::QueryStream;
+    use crate::keys::KeyDist;
+    use crate::schedule::RateSchedule;
+
+    #[test]
+    fn capture_and_iterate() {
+        let stream = QueryStream::new(RateSchedule::constant(3), KeyDist::uniform(100), 5);
+        let t = Trace::capture(stream.take_steps(4));
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.steps(), 4);
+        let replayed: Vec<(u64, u64)> = t.iter().collect();
+        let original: Vec<(u64, u64)> = stream.take_steps(4).collect();
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn roundtrips_through_the_text_format() {
+        let stream = QueryStream::new(
+            RateSchedule::paper_eviction_phases(),
+            KeyDist::uniform(1 << 15),
+            9,
+        );
+        let t = Trace::capture(stream.take_steps(20));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_rejects_garbage() {
+        let good = "# header\n\n0,5\n0,7\n2,9\n";
+        let t = Trace::read_from(good.as_bytes()).unwrap();
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 5), (0, 7), (2, 9)]);
+
+        for bad in ["0;5\n", "x,1\n", "1,y\n", "5,1\n2,2\n"] {
+            assert!(
+                Trace::read_from(bad.as_bytes()).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ecc-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let t = Trace::capture(vec![(0, 1), (0, 2), (1, 3)]);
+        t.save(&path).unwrap();
+        assert_eq!(Trace::load(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn capture_rejects_unordered_steps() {
+        Trace::capture(vec![(3, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_trace_behaviour() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.steps(), 0);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        assert_eq!(Trace::read_from(&buf[..]).unwrap(), t);
+    }
+}
