@@ -22,11 +22,7 @@ fn main() {
     println!("Ablation: boot-latency sweep over a {total}-query GBA run (scale {scale})\n");
 
     let service = PaperService::new(2010);
-    let stream = QueryStream::new(
-        RateSchedule::paper_figure3(),
-        KeyDist::uniform(1 << 16),
-        42,
-    );
+    let stream = QueryStream::new(RateSchedule::paper_figure3(), KeyDist::uniform(1 << 16), 42);
 
     println!(
         "{:>10} {:>10} {:>14} {:>14} {:>12} {:>8}",
@@ -42,8 +38,7 @@ fn main() {
             cache.query(key, uncached, || service.record(key));
         }
         let m = cache.metrics();
-        let overhead_pct =
-            100.0 * (m.alloc_us + m.migration_us) as f64 / m.observed_us as f64;
+        let overhead_pct = 100.0 * (m.alloc_us + m.migration_us) as f64 / m.observed_us as f64;
         println!(
             "{boot_secs:>10} {:>10.2} {:>14.1} {:>14.3} {:>12} {:>8}",
             m.speedup(),

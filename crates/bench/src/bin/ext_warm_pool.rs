@@ -22,11 +22,7 @@ fn main() {
     println!("Extension: warm-pool sweep over a {total}-query GBA run (scale {scale})\n");
 
     let service = PaperService::new(2010);
-    let stream = QueryStream::new(
-        RateSchedule::paper_figure3(),
-        KeyDist::uniform(1 << 16),
-        42,
-    );
+    let stream = QueryStream::new(RateSchedule::paper_figure3(), KeyDist::uniform(1 << 16), 42);
 
     println!(
         "{:>22} {:>10} {:>16} {:>8} {:>10} {:>10}",

@@ -29,7 +29,13 @@ fn main() {
     let r = 1000u64;
     let mut ring: HashRing<&'static str> = HashRing::new(r);
     // Five buckets over two nodes, as in Figure 1 (top).
-    for (pos, node) in [(100, "n1"), (300, "n1"), (500, "n2"), (700, "n2"), (900, "n2")] {
+    for (pos, node) in [
+        (100, "n1"),
+        (300, "n1"),
+        (500, "n2"),
+        (700, "n2"),
+        (900, "n2"),
+    ] {
         ring.insert_bucket(pos, node).unwrap();
     }
 
@@ -58,10 +64,7 @@ fn main() {
     render(&ring, r);
     println!();
     for key in [42u64, 250, 499, 501, 620, 901] {
-        println!(
-            "  h'(k)={key:>4}  ->  {}",
-            ring.node_for_key(key).unwrap()
-        );
+        println!("  h'(k)={key:>4}  ->  {}", ring.node_for_key(key).unwrap());
     }
     let moved: u64 = arc.len();
     println!(

@@ -37,7 +37,10 @@ fn main() {
         print!("slice t+{i:<2} queried {queries:?}");
         if let Some(expired) = expired {
             let victims = w.victims(&expired);
-            print!("  | expired slice held {:?}", expired.keys().collect::<Vec<_>>());
+            print!(
+                "  | expired slice held {:?}",
+                expired.keys().collect::<Vec<_>>()
+            );
             for key in expired.keys() {
                 let lambda = w.lambda(*key);
                 let verdict = if lambda < threshold { "EVICT" } else { "keep " };

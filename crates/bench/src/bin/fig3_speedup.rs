@@ -31,7 +31,11 @@ fn main() {
     type Series = Vec<(u64, f64, usize)>;
 
     let service = PaperService::new(2010);
-    let stream = QueryStream::new(RateSchedule::paper_figure3(), KeyDist::uniform(key_space), 42);
+    let stream = QueryStream::new(
+        RateSchedule::paper_figure3(),
+        KeyDist::uniform(key_space),
+        42,
+    );
 
     // One pass per system; identical query streams (same seed).
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -76,7 +80,10 @@ fn main() {
     series.push(("GBA".into(), points));
 
     // Aligned table: queries | static-2 | static-4 | static-8 | GBA | GBA nodes.
-    println!("\n{:>9}  {:>9} {:>9} {:>9} {:>9}  {:>9}", "queries", "static-2", "static-4", "static-8", "GBA", "GBA nodes");
+    println!(
+        "\n{:>9}  {:>9} {:>9} {:>9} {:>9}  {:>9}",
+        "queries", "static-2", "static-4", "static-8", "GBA", "GBA nodes"
+    );
     let n_points = series[0].1.len();
     for p in 0..n_points {
         let q = series[0].1[p].0;

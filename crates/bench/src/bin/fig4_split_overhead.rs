@@ -21,11 +21,7 @@ fn main() {
     println!("Figure 4: split overhead during a {total}-query GBA run (scale {scale})\n");
 
     let service = PaperService::new(2010);
-    let stream = QueryStream::new(
-        RateSchedule::paper_figure3(),
-        KeyDist::uniform(1 << 16),
-        42,
-    );
+    let stream = QueryStream::new(RateSchedule::paper_figure3(), KeyDist::uniform(1 << 16), 42);
     let mut gba = fig3_gba_cache();
     for (_, key) in stream.take_queries(total) {
         let uncached = service.uncached_us(key);

@@ -11,7 +11,9 @@
 //! cargo run --release -p ecc-bench --bin fig5_window_speedup
 //! ```
 
-use ecc_bench::{run_eviction_experiment, scale_arg, smoothed_speedup, write_csv, PaperService, StepRow};
+use ecc_bench::{
+    run_eviction_experiment, scale_arg, smoothed_speedup, write_csv, PaperService, StepRow,
+};
 
 fn main() {
     let scale = scale_arg();
@@ -26,8 +28,7 @@ fn main() {
         let max_smooth = (1..=rows.len())
             .map(|end| smoothed_speedup(&rows, end, 10))
             .fold(0.0f64, f64::max);
-        let avg_nodes =
-            rows.iter().map(|r| r.nodes as f64).sum::<f64>() / rows.len() as f64;
+        let avg_nodes = rows.iter().map(|r| r.nodes as f64).sum::<f64>() / rows.len() as f64;
         let end_nodes = rows.last().map(|r| r.nodes).unwrap_or(0);
         println!(
             "m = {m:<4} max speedup (10-step smoothed) {max_smooth:>6.2}x   avg nodes {avg_nodes:>5.2}   end nodes {end_nodes}"

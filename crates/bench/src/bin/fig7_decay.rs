@@ -10,7 +10,9 @@
 //! cargo run --release -p ecc-bench --bin fig7_decay
 //! ```
 
-use ecc_bench::{run_eviction_experiment_with_threshold, scale_arg, write_csv, PaperService, StepRow};
+use ecc_bench::{
+    run_eviction_experiment_with_threshold, scale_arg, write_csv, PaperService, StepRow,
+};
 
 fn main() {
     let scale = scale_arg();

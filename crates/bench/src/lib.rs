@@ -6,7 +6,9 @@
 //! the eviction-experiment runner behind Figures 5–7, and small CSV/arg
 //! helpers.
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 use std::io::Write;
 use std::path::Path;

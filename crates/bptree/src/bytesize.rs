@@ -23,7 +23,25 @@ macro_rules! impl_bytesize_prim {
     };
 }
 
-impl_bytesize_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ());
+impl_bytesize_prim!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl ByteSize for String {
     #[inline]

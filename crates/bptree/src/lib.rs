@@ -35,7 +35,9 @@
 //! assert_eq!(swept, (0..500).collect::<Vec<_>>());
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod bytesize;
 mod tree;

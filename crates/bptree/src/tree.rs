@@ -152,10 +152,7 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
     pub fn get(&self, key: &K) -> Option<&V> {
         let leaf = self.find_leaf(key);
         match &self.slab[leaf as usize] {
-            Node::Leaf { keys, vals, .. } => keys
-                .binary_search(key)
-                .ok()
-                .map(|pos| &vals[pos]),
+            Node::Leaf { keys, vals, .. } => keys.binary_search(key).ok().map(|pos| &vals[pos]),
             _ => unreachable!(),
         }
     }
@@ -409,7 +406,11 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
                 unreachable!()
             };
             let child = children[pos];
-            let left = if pos > 0 { Some(children[pos - 1]) } else { None };
+            let left = if pos > 0 {
+                Some(children[pos - 1])
+            } else {
+                None
+            };
             let right = children.get(pos + 1).copied();
             (child, left, right)
         };
@@ -526,7 +527,10 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
             (std::mem::take(keys), std::mem::take(vals), *next)
         };
         {
-            let Node::Leaf { keys, vals, next, .. } = &mut self.slab[left as usize] else {
+            let Node::Leaf {
+                keys, vals, next, ..
+            } = &mut self.slab[left as usize]
+            else {
                 unreachable!()
             };
             keys.append(&mut rkeys);

@@ -39,8 +39,10 @@
 //! assert_eq!(moved, Arc::contiguous(500, 750));
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod ring;
 
-pub use ring::{Arc, HashRing, RingError};
+pub use ring::{Arc, HashRing, RingAuditError, RingError};

@@ -44,6 +44,70 @@ impl fmt::Display for RingError {
 
 impl std::error::Error for RingError {}
 
+/// A violated structural invariant found by [`HashRing::check_invariants`].
+///
+/// These mirror the paper's §II data-structure contract: `B` is a strictly
+/// ordered bucket list on `[0, r)`, every bucket appears in `NodeMap`, and
+/// the buckets' arcs partition the hash line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingAuditError {
+    /// A bucket position lies outside the hash line `[0, r)`.
+    BucketOutOfRange {
+        /// The offending bucket position.
+        position: u64,
+        /// The hash-line range.
+        r: u64,
+    },
+    /// The arcs of all buckets do not sum to the full line length `r`.
+    ArcsDoNotPartitionLine {
+        /// Sum of all arc lengths.
+        covered: u64,
+        /// The hash-line range they must cover exactly once.
+        r: u64,
+    },
+    /// A bucket's arc disagrees with the closest-upper-bucket rule.
+    ArcOwnershipMismatch {
+        /// The bucket whose arc was checked.
+        bucket: u64,
+        /// The line position that resolved to the wrong bucket.
+        position: u64,
+        /// The bucket that `bucket_for_position` actually returned.
+        resolved: Option<u64>,
+    },
+    /// A bucket has no node mapping (cannot happen through the public API;
+    /// guards future refactors that split `B` from `NodeMap`).
+    UnmappedBucket {
+        /// The bucket without a node.
+        position: u64,
+    },
+}
+
+impl fmt::Display for RingAuditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BucketOutOfRange { position, r } => {
+                write!(f, "bucket {position} outside hash line [0, {r})")
+            }
+            Self::ArcsDoNotPartitionLine { covered, r } => {
+                write!(f, "bucket arcs cover {covered} positions, line has {r}")
+            }
+            Self::ArcOwnershipMismatch {
+                bucket,
+                position,
+                resolved,
+            } => write!(
+                f,
+                "arc of bucket {bucket} claims position {position}, but h resolves it to {resolved:?}"
+            ),
+            Self::UnmappedBucket { position } => {
+                write!(f, "bucket {position} missing from NodeMap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RingAuditError {}
+
 /// A (possibly wrapping) arc of the hash line, expressed as inclusive
 /// position bounds. The arc owned by bucket `b_i` is `(b_{i-1}, b_i]`; for
 /// the first bucket that wraps around the top of the line.
@@ -220,23 +284,32 @@ impl<N: Clone + Eq> HashRing<N> {
             return Err(RingError::BucketOccupied { position });
         }
         self.buckets.insert(position, node);
+        #[cfg(debug_assertions)]
+        self.validate();
         Ok(())
     }
 
     /// Remove the bucket at `position`, returning its node.
     pub fn remove_bucket(&mut self, position: u64) -> Result<N, RingError> {
-        self.buckets
+        let node = self
+            .buckets
             .remove(&position)
-            .ok_or(RingError::NoSuchBucket { position })
+            .ok_or(RingError::NoSuchBucket { position })?;
+        #[cfg(debug_assertions)]
+        self.validate();
+        Ok(node)
     }
 
     /// Re-map an existing bucket to a different node (used when merging two
     /// cache nodes: the dying node's buckets are pointed at the survivor).
     pub fn remap_bucket(&mut self, position: u64, node: N) -> Result<N, RingError> {
-        match self.buckets.get_mut(&position) {
-            Some(slot) => Ok(std::mem::replace(slot, node)),
-            None => Err(RingError::NoSuchBucket { position }),
-        }
+        let prev = match self.buckets.get_mut(&position) {
+            Some(slot) => std::mem::replace(slot, node),
+            None => return Err(RingError::NoSuchBucket { position }),
+        };
+        #[cfg(debug_assertions)]
+        self.validate();
+        Ok(prev)
     }
 
     /// Iterate over `(position, node)` pairs in line order (`b_1 … b_p`).
@@ -270,13 +343,12 @@ impl<N: Clone + Eq> HashRing<N> {
         if !self.buckets.contains_key(&position) {
             return Err(RingError::NoSuchBucket { position });
         }
-        Ok(self
-            .buckets
+        self.buckets
             .range(..position)
             .next_back()
             .or_else(|| self.buckets.iter().next_back())
             .map(|(&b, _)| b)
-            .expect("non-empty ring has a predecessor"))
+            .ok_or(RingError::EmptyRing)
     }
 
     /// The successor bucket of `position` on the circular line.
@@ -284,13 +356,12 @@ impl<N: Clone + Eq> HashRing<N> {
         if !self.buckets.contains_key(&position) {
             return Err(RingError::NoSuchBucket { position });
         }
-        Ok(self
-            .buckets
+        self.buckets
             .range(position + 1..)
             .next()
             .or_else(|| self.buckets.iter().next())
             .map(|(&b, _)| b)
-            .expect("non-empty ring has a successor"))
+            .ok_or(RingError::EmptyRing)
     }
 
     /// The arc of the line owned by the bucket at `position`:
@@ -337,7 +408,7 @@ impl<N: Clone + Eq> HashRing<N> {
             .next_back()
             .or_else(|| self.buckets.iter().next_back())
             .map(|(&b, _)| b)
-            .expect("checked non-empty");
+            .ok_or(RingError::EmptyRing)?;
         Ok(Arc::between(pred, position, self.r))
     }
 
@@ -345,6 +416,79 @@ impl<N: Clone + Eq> HashRing<N> {
     /// `position` is removed (exactly that bucket's arc).
     pub fn relocation_on_remove(&self, position: u64) -> Result<Arc, RingError> {
         self.arc_of_bucket(position)
+    }
+
+    /// Audit the ring's structural invariants, mirroring
+    /// `BPlusTree::validate`:
+    ///
+    /// 1. every bucket position lies on the hash line `[0, r)` (strict
+    ///    ordering is guaranteed by the `BTreeMap` key order),
+    /// 2. every bucket maps to a node (`NodeMap` is total over `B`),
+    /// 3. the buckets' arcs partition the line: they are pairwise disjoint,
+    ///    jointly exhaustive (lengths sum to `r`), and each arc's endpoints
+    ///    resolve to its own bucket under the closest-upper-bucket rule.
+    ///
+    /// Returns the first violation found; `Ok(())` on a healthy ring (an
+    /// empty ring is trivially healthy).
+    pub fn check_invariants(&self) -> Result<(), RingAuditError> {
+        let mut covered = 0u64;
+        for &b in self.buckets.keys() {
+            if b >= self.r {
+                return Err(RingAuditError::BucketOutOfRange {
+                    position: b,
+                    r: self.r,
+                });
+            }
+            // NodeMap totality is structural in this merged representation;
+            // keep the check explicit so a future split of B from NodeMap
+            // cannot silently drop it.
+            if !self.buckets.contains_key(&b) {
+                return Err(RingAuditError::UnmappedBucket { position: b });
+            }
+            let arc = self
+                .arc_of_bucket(b)
+                .map_err(|_| RingAuditError::UnmappedBucket { position: b })?;
+            covered += arc.len();
+            // Endpoint ownership: the bucket position itself, the arc start,
+            // and the position just past the arc must resolve per the
+            // circular closest-upper-bucket rule.
+            for pos in [b, self.arc_start(b).unwrap_or(b)] {
+                let resolved = self.bucket_for_position(pos);
+                if resolved != Some(b) {
+                    return Err(RingAuditError::ArcOwnershipMismatch {
+                        bucket: b,
+                        position: pos,
+                        resolved,
+                    });
+                }
+            }
+            let past = (b + 1) % self.r;
+            if let Some(resolved) = self.bucket_for_position(past) {
+                if resolved == b && self.buckets.len() > 1 {
+                    return Err(RingAuditError::ArcOwnershipMismatch {
+                        bucket: b,
+                        position: past,
+                        resolved: Some(resolved),
+                    });
+                }
+            }
+        }
+        if !self.buckets.is_empty() && covered != self.r {
+            return Err(RingAuditError::ArcsDoNotPartitionLine { covered, r: self.r });
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`Self::check_invariants`], for tests and
+    /// `debug_assert!` hooks.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violation's description if any invariant is broken.
+    pub fn validate(&self) {
+        if let Err(e) = self.check_invariants() {
+            panic!("ring invariant violated: {e}"); // xtask: allow(no-panic) — validate() is the panicking audit wrapper
+        }
     }
 }
 

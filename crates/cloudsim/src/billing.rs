@@ -16,6 +16,7 @@ use crate::US_PER_SEC;
 ///   paper reports as e.g. "⌈12.6⌉ = 13 nodes … averaged over the lifespan
 ///   of this experiment".
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct Billing {
     /// Total cost in micro-dollars (per-started-hour rounding).
     pub microdollars: u64,
@@ -35,7 +36,10 @@ impl Billing {
         let mut node_us = 0u64;
         let mut active = 0usize;
         for inst in instances {
-            let end = inst.terminated_at_us.unwrap_or(now_us).max(inst.launched_at_us);
+            let end = inst
+                .terminated_at_us
+                .unwrap_or(now_us)
+                .max(inst.launched_at_us);
             let run_us = end - inst.launched_at_us;
             node_us += run_us;
             let hours = run_us.div_ceil(3600 * US_PER_SEC).max(1);

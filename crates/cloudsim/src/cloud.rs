@@ -128,6 +128,7 @@ impl Instance {
 
 /// What [`SimCloud::allocate`] hands back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
 pub struct AllocationReceipt {
     /// The new instance's id.
     pub id: InstanceId,

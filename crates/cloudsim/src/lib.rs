@@ -37,7 +37,9 @@
 //! assert_eq!(cloud.active_count(), 0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod billing;
 mod clock;

@@ -44,8 +44,8 @@ proptest! {
     fn billing_is_monotone(waits in proptest::collection::vec(1u64..3600, 1..20)) {
         let clock = SimClock::new();
         let mut cloud = SimCloud::new(clock.clone(), 2, BootLatency::instant());
-        cloud.allocate(InstanceType::ec2_small());
-        cloud.allocate(InstanceType::ec2_large());
+        let _ = cloud.allocate(InstanceType::ec2_small());
+        let _ = cloud.allocate(InstanceType::ec2_large());
         let mut last = 0;
         for w in waits {
             clock.advance_us(w * US_PER_SEC);

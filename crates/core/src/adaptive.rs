@@ -47,10 +47,7 @@ impl AdaptiveWindowConfig {
     /// Panics if parameters are outside their valid domains.
     pub fn validate(&self) {
         assert!(self.min_slices >= 1, "min window must be >= 1 slice");
-        assert!(
-            self.min_slices <= self.max_slices,
-            "window bounds inverted"
-        );
+        assert!(self.min_slices <= self.max_slices, "window bounds inverted");
         assert!(self.grow_ratio > 1.0, "grow ratio must exceed 1");
         assert!(
             self.shrink_ratio > 0.0 && self.shrink_ratio < 1.0,
@@ -104,7 +101,11 @@ impl WindowController {
         self.ema = Some(trend + self.cfg.ema_weight * (rate - trend));
 
         let step = ((current_m as f64 * self.cfg.step_frac) as usize).max(1);
-        let ratio = if trend > 0.0 { rate / trend } else { f64::INFINITY };
+        let ratio = if trend > 0.0 {
+            rate / trend
+        } else {
+            f64::INFINITY
+        };
         let next = if ratio >= self.cfg.grow_ratio {
             current_m.saturating_add(step)
         } else if ratio <= self.cfg.shrink_ratio {

@@ -45,6 +45,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Outcome of an injected node failure ([`ElasticCache::fail_node`]).
+#[must_use]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FailureReport {
     /// Primaries on the failed node with no surviving copy.
@@ -52,6 +53,98 @@ pub struct FailureReport {
     /// Primaries restored from best-effort replicas on survivors.
     pub records_recovered: usize,
 }
+
+/// A violated cross-structure invariant, found by
+/// [`ElasticCache::check_invariants`]. Mirrors the style of
+/// [`ecc_chash::RingAuditError`]: each variant carries enough context to
+/// localise the corruption without a debugger.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheAuditError {
+    /// The consistent-hash ring's own structural audit failed.
+    Ring(ecc_chash::RingAuditError),
+    /// A resident key hashes to a different node than the one storing it —
+    /// the "every cached key is owned by exactly one node" invariant.
+    MisplacedKey {
+        /// The key found in the wrong place.
+        key: u64,
+        /// The node physically holding the record.
+        resident_on: NodeId,
+        /// The node the ring resolves the key to (`None`: empty ring).
+        owner: Option<NodeId>,
+    },
+    /// A ring bucket references a node that is no longer active.
+    DeadNodeReferenced {
+        /// The inactive node.
+        node: NodeId,
+    },
+    /// An active node owns no bucket, making it unreachable by any key.
+    NodeWithoutBucket {
+        /// The orphaned node.
+        node: NodeId,
+    },
+    /// A node's cached byte accounting disagrees with the sum of its
+    /// resident record sizes.
+    ByteAccountingMismatch {
+        /// The node with the stale counter.
+        node: NodeId,
+        /// Bytes counted by walking every record.
+        counted: u64,
+        /// Bytes the node's accounting reports.
+        recorded: u64,
+    },
+    /// A node holds more primary bytes than its configured capacity.
+    NodeOverCapacity {
+        /// The overfull node.
+        node: NodeId,
+        /// Resident primary bytes.
+        used: u64,
+        /// The node's capacity.
+        capacity: u64,
+    },
+    /// The sliding window's internal structure is corrupt.
+    Window {
+        /// What the window self-check found.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CacheAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Ring(e) => write!(f, "ring audit failed: {e}"),
+            Self::MisplacedKey {
+                key,
+                resident_on,
+                owner,
+            } => write!(
+                f,
+                "key {key} resident on {resident_on} but owned by {owner:?}"
+            ),
+            Self::DeadNodeReferenced { node } => {
+                write!(f, "ring references inactive node {node}")
+            }
+            Self::NodeWithoutBucket { node } => {
+                write!(f, "active node {node} owns no bucket")
+            }
+            Self::ByteAccountingMismatch {
+                node,
+                counted,
+                recorded,
+            } => write!(
+                f,
+                "node {node} accounting says {recorded} B but records sum to {counted} B"
+            ),
+            Self::NodeOverCapacity {
+                node,
+                used,
+                capacity,
+            } => write!(f, "node {node} holds {used} B over capacity {capacity} B"),
+            Self::Window { what } => write!(f, "sliding window corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheAuditError {}
 
 /// Bytes of a lookup request on the wire (key + framing).
 const LOOKUP_REQ_BYTES: u64 = 32;
@@ -99,15 +192,16 @@ impl ElasticCache {
     pub fn with_clock(cfg: CacheConfig, clock: SimClock) -> Self {
         cfg.validate();
         let mut cloud = SimCloud::new(clock.clone(), cfg.seed, cfg.boot_latency);
-        let window = cfg.window.as_ref().map(|w| {
-            SlidingWindow::new(w.slices, w.alpha, w.effective_threshold())
-        });
+        let window = cfg
+            .window
+            .as_ref()
+            .map(|w| SlidingWindow::new(w.slices, w.alpha, w.effective_threshold()));
         // Initial node: bucket at the top of the line owns everything.
         let receipt = cloud.allocate(cfg.instance_type.clone());
         let node = CacheNode::new(receipt.id, cfg.node_capacity_bytes, cfg.btree_order);
         let mut ring = HashRing::new(cfg.ring_range);
-        ring.insert_bucket(cfg.ring_range - 1, NodeId(0))
-            .expect("initial bucket");
+        let seeded = ring.insert_bucket(cfg.ring_range - 1, NodeId(0));
+        debug_assert!(seeded.is_ok(), "a fresh ring has no bucket to collide with");
         let net = cfg.net;
         let mut warm_pool = WarmPool::new(cfg.warm_pool);
         warm_pool.replenish(&mut cloud, &cfg.instance_type);
@@ -200,12 +294,29 @@ impl ElasticCache {
         self.expirations
     }
 
-    fn node(&self, id: NodeId) -> &CacheNode {
-        self.nodes[id.0 as usize].as_ref().expect("active node")
+    /// The node `id`, or `None` if it is inactive (failed or merged away)
+    /// or out of table bounds.
+    fn node_at(&self, id: NodeId) -> Option<&CacheNode> {
+        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
     }
 
-    fn node_mut(&mut self, id: NodeId) -> &mut CacheNode {
-        self.nodes[id.0 as usize].as_mut().expect("active node")
+    fn node_at_mut(&mut self, id: NodeId) -> Option<&mut CacheNode> {
+        self.nodes.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Fallible dereference for typed-error paths: the ring resolving to an
+    /// inactive node is a coordinator bug, reported as
+    /// [`CacheError::Internal`] rather than a panic.
+    fn try_node(&self, id: NodeId) -> Result<&CacheNode, CacheError> {
+        self.node_at(id).ok_or(CacheError::Internal {
+            what: "ring references an inactive node",
+        })
+    }
+
+    fn try_node_mut(&mut self, id: NodeId) -> Result<&mut CacheNode, CacheError> {
+        self.node_at_mut(id).ok_or(CacheError::Internal {
+            what: "ring references an inactive node",
+        })
     }
 
     // -------------------------------------------------------------- queries
@@ -235,7 +346,9 @@ impl ElasticCache {
                 self.metrics.tier_hits += 1;
                 match self.insert(key, rec.clone()) {
                     Ok(()) | Err(CacheError::RecordTooLarge { .. }) => {}
-                    Err(e) => panic!("cache misconfiguration: {e}"),
+                    // A failed re-admission must not kill the query path;
+                    // the record is served uncached and the fault counted.
+                    Err(_) => self.metrics.insert_errors += 1,
                 }
                 self.metrics.observed_us += self.clock.now_us() - t0;
                 return rec;
@@ -248,9 +361,10 @@ impl ElasticCache {
         match self.insert(key, rec.clone()) {
             Ok(()) => {}
             // A record bigger than a node can never be cached; serve it
-            // uncached rather than dying.
+            // uncached rather than dying. Any other failure is a coordinator
+            // fault — likewise served uncached, and counted so it shows up.
             Err(CacheError::RecordTooLarge { .. }) => {}
-            Err(e) => panic!("cache misconfiguration: {e}"),
+            Err(_) => self.metrics.insert_errors += 1,
         }
         self.metrics.observed_us += self.clock.now_us() - t0;
         rec
@@ -270,11 +384,15 @@ impl ElasticCache {
         if let Some(w) = &mut self.window {
             w.note_query(key);
         }
-        let nid = *self
+        // The ring always has a bucket by construction; an empty ring or a
+        // dangling owner degrades to a miss instead of tearing down the
+        // whole cache.
+        let rec = self
             .ring
             .node_for_key(key)
-            .expect("ring always has a bucket");
-        let rec = self.node(nid).get(key).cloned();
+            .copied()
+            .and_then(|nid| self.node_at(nid))
+            .and_then(|n| n.get(key).cloned());
         self.clock.advance_us(self.cfg.lookup_overhead_us);
         match rec {
             Some(rec) => {
@@ -316,17 +434,18 @@ impl ElasticCache {
         self.clock
             .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
         for _ in 0..MAX_SPLIT_RETRIES {
-            let nid = *self
-                .ring
-                .node_for_key(key)
-                .expect("ring always has a bucket");
+            let nid = *self.ring.node_for_key(key).ok_or(CacheError::Internal {
+                what: "ring has no buckets",
+            })?;
             // Replacement never overflows (byte delta <= size), so only a
             // genuinely new record triggers the overflow test.
-            let node = self.node(nid);
+            let node = self.try_node(nid)?;
             let is_replacement = node.get(key).is_some();
             if is_replacement || node.fits(size) {
-                self.node_mut(nid).insert(key, record.clone());
+                self.try_node_mut(nid)?.insert(key, record.clone());
                 self.place_replica(key, &record);
+                #[cfg(debug_assertions)]
+                self.validate();
                 return Ok(());
             }
             // Overflow: split the fullest bucket referencing this node.
@@ -363,7 +482,9 @@ impl ElasticCache {
         };
         let wire = record.len() as u64 + RECORD_WIRE_OVERHEAD;
         self.clock.advance_us(self.net.t_net_us(wire));
-        self.node_mut(target).insert_replica(key, record.clone());
+        if let Some(node) = self.node_at_mut(target) {
+            node.insert_replica(key, record.clone());
+        }
     }
 
     /// Algorithm 1 lines 8–15: find `b_max`, compute `k^µ`, sweep-migrate
@@ -371,14 +492,19 @@ impl ElasticCache {
     fn split_node(&mut self, nid: NodeId) -> Result<(), CacheError> {
         // Fullest bucket referencing nid, by resident bytes in its arc.
         let buckets = self.ring.buckets_of_node(&nid);
-        debug_assert!(!buckets.is_empty(), "active node without buckets");
+        if buckets.is_empty() {
+            return Err(CacheError::Internal {
+                what: "active node owns no bucket",
+            });
+        }
         let mut b_max = buckets[0];
         let mut best_bytes = 0u64;
         for &b in &buckets {
-            let bytes: u64 = self
-                .spans_of_bucket(b)
+            let spans = self.spans_of_bucket(b)?;
+            let node = self.try_node(nid)?;
+            let bytes: u64 = spans
                 .iter()
-                .map(|&(lo, hi)| self.node(nid).bytes_in_range(lo, hi))
+                .map(|&(lo, hi)| node.bytes_in_range(lo, hi))
                 .sum();
             if bytes >= best_bytes {
                 best_bytes = bytes;
@@ -387,10 +513,13 @@ impl ElasticCache {
         }
 
         // Keys of b_max's arc in circular order (from min(b_max)).
-        let spans = self.spans_of_bucket(b_max);
+        let spans = self.spans_of_bucket(b_max)?;
         let mut keys: Vec<u64> = Vec::new();
-        for &(lo, hi) in &spans {
-            keys.extend(self.node(nid).keys_in_range(lo, hi));
+        {
+            let node = self.try_node(nid)?;
+            for &(lo, hi) in &spans {
+                keys.extend(node.keys_in_range(lo, hi));
+            }
         }
         if keys.len() < 2 {
             // The fullest bucket cannot be median-split (at most one key in
@@ -403,11 +532,15 @@ impl ElasticCache {
                 // means a single record nearly fills capacity — hopeless.
                 return Err(CacheError::CannotSplit { bucket: b_max });
             }
-            let n_dest = self.sweep_migrate(nid, &spans);
+            let n_dest = self.sweep_migrate(nid, &spans)?;
             self.ring
                 .remap_bucket(b_max, n_dest)
-                .expect("bucket exists");
+                .map_err(|_| CacheError::Internal {
+                    what: "bucket vanished while relocating it",
+                })?;
             self.metrics.splits += 1;
+            #[cfg(debug_assertions)]
+            self.validate();
             return Ok(());
         }
 
@@ -423,50 +556,59 @@ impl ElasticCache {
         }
 
         // Migration ranges: circular spans from min(b_max) through k^µ.
-        let move_spans = truncate_spans_at(&spans, k_mu);
-        let n_dest = self.sweep_migrate(nid, &move_spans);
+        let move_spans = truncate_spans_at(&spans, k_mu).ok_or(CacheError::Internal {
+            what: "median key not inside its own bucket's spans",
+        })?;
+        let n_dest = self.sweep_migrate(nid, &move_spans)?;
 
         // Update B and NodeMap: new bucket at h'(k^µ) references n_dest.
+        // Collision with an existing bucket was ruled out when k^µ was
+        // chosen above.
         self.ring
             .insert_bucket(k_mu, n_dest)
-            .expect("collision checked above");
+            .map_err(|_| CacheError::Internal {
+                what: "split bucket position already occupied",
+            })?;
         self.metrics.splits += 1;
+        #[cfg(debug_assertions)]
+        self.validate();
         Ok(())
     }
 
     /// Algorithm 2: move all records of `src` in `spans` to the least-
     /// loaded node that can take them, or a newly allocated one. Returns
     /// the destination. Charges `T_net` per record plus any boot latency.
-    fn sweep_migrate(&mut self, src: NodeId, spans: &[(u64, u64)]) -> NodeId {
-        let total_bytes: u64 = spans
-            .iter()
-            .map(|&(lo, hi)| self.node(src).bytes_in_range(lo, hi))
-            .sum();
+    fn sweep_migrate(&mut self, src: NodeId, spans: &[(u64, u64)]) -> Result<NodeId, CacheError> {
+        let total_bytes: u64 = {
+            let node = self.try_node(src)?;
+            spans
+                .iter()
+                .map(|&(lo, hi)| node.bytes_in_range(lo, hi))
+                .sum()
+        };
 
-        // Least-loaded node other than the source.
-        let dest = self
+        // Least-loaded node other than the source, if the sweep fits there.
+        let reuse = self
             .nodes()
             .filter(|(id, _)| *id != src)
             .min_by_key(|(_, n)| n.used_bytes())
-            .map(|(id, _)| id);
-        let (dest, allocated) = match dest {
-            Some(d) if self.node(d).used_bytes() + total_bytes <= self.node(d).capacity_bytes() => {
-                (d, false)
-            }
-            _ => (self.alloc_node(), true),
+            .and_then(|(id, n)| (n.used_bytes() + total_bytes <= n.capacity_bytes()).then_some(id));
+        let (dest, allocated) = match reuse {
+            Some(d) => (d, false),
+            None => (self.alloc_node(), true),
         };
 
         let start_us = self.clock.now_us();
         let mut moved_records = 0u64;
         let mut moved_bytes = 0u64;
         for &(lo, hi) in spans {
-            let batch = self.node_mut(src).drain_range(lo, hi);
+            let batch = self.try_node_mut(src)?.drain_range(lo, hi);
             for (k, rec) in batch {
                 let wire = rec.len() as u64 + RECORD_WIRE_OVERHEAD;
                 self.clock.advance_us(self.net.t_net_us(wire));
                 moved_records += 1;
                 moved_bytes += rec.len() as u64;
-                self.node_mut(dest).insert(k, rec);
+                self.try_node_mut(dest)?.insert(k, rec);
             }
         }
         let duration_us = self.clock.now_us() - start_us;
@@ -481,7 +623,7 @@ impl ElasticCache {
             duration_us,
             allocated_node: allocated,
         });
-        dest
+        Ok(dest)
     }
 
     /// Allocate a fresh cloud node (the last-resort branch of Algorithm 2,
@@ -514,16 +656,22 @@ impl ElasticCache {
     /// on the query path) advances.
     fn alloc_node_async(&mut self) -> NodeId {
         let receipt = self.cloud.allocate(self.cfg.instance_type.clone());
-        let node = CacheNode::new(receipt.id, self.cfg.node_capacity_bytes, self.cfg.btree_order);
+        let node = CacheNode::new(
+            receipt.id,
+            self.cfg.node_capacity_bytes,
+            self.cfg.btree_order,
+        );
         self.nodes.push(Some(node));
         NodeId((self.nodes.len() - 1) as u32)
     }
 
     /// Circular spans of the arc owned by bucket `b`, starting at
     /// `min(b)` — i.e. in sweep order.
-    fn spans_of_bucket(&self, b: u64) -> Vec<(u64, u64)> {
-        let pred = self.ring.predecessor(b).expect("bucket exists");
-        circular_spans(pred, b, self.ring.range())
+    fn spans_of_bucket(&self, b: u64) -> Result<Vec<(u64, u64)>, CacheError> {
+        let pred = self.ring.predecessor(b).map_err(|_| CacheError::Internal {
+            what: "bucket vanished while computing its arc",
+        })?;
+        Ok(circular_spans(pred, b, self.ring.range()))
     }
 
     // ------------------------------------------------- eviction/contraction
@@ -553,8 +701,9 @@ impl ElasticCache {
             let relieve_to = fill * 0.9;
             for nid in near_full {
                 for _ in 0..MAX_SPLIT_RETRIES {
-                    if self.node(nid).fill() <= relieve_to {
-                        break;
+                    match self.node_at(nid) {
+                        Some(n) if n.fill() > relieve_to => {}
+                        _ => break,
                     }
                     // If every peer is itself near the threshold, shuffling
                     // records around would only push the problem to the next
@@ -599,41 +748,49 @@ impl ElasticCache {
             return;
         }
         self.expirations += 1;
-        for expired in &expired_slices {
-            let victims = self
-                .window
-                .as_ref()
-                .expect("window checked above")
-                .victims(expired);
-            for key in victims {
-                let nid = *self
-                    .ring
-                    .node_for_key(key)
-                    .expect("ring always has a bucket");
-                if let Some(rec) = self.node_mut(nid).remove(key) {
-                    self.metrics.evictions += 1;
-                    // Write-behind to the overflow tier (off the query
-                    // path; the write proceeds between time steps).
-                    if let Some(tier) = &mut self.tier {
-                        let dur =
-                            tier.put(self.clock.now_us(), key, rec.as_slice().to_vec());
-                        self.clock.advance_us(dur);
-                        self.metrics.tier_writes += 1;
-                    }
+        // Score the expired slices against the window that remains, then
+        // drop the window borrow before mutating nodes.
+        let victims: Vec<u64> = match &self.window {
+            Some(window) => expired_slices
+                .iter()
+                .flat_map(|expired| window.victims(expired))
+                .collect(),
+            None => Vec::new(),
+        };
+        for key in victims {
+            let Some(nid) = self.ring.node_for_key(key).copied() else {
+                continue;
+            };
+            let removed = self.node_at_mut(nid).and_then(|n| n.remove(key));
+            if let Some(rec) = removed {
+                self.metrics.evictions += 1;
+                // Write-behind to the overflow tier (off the query
+                // path; the write proceeds between time steps).
+                if let Some(tier) = &mut self.tier {
+                    let dur = tier.put(self.clock.now_us(), key, rec.as_slice().to_vec());
+                    self.clock.advance_us(dur);
+                    self.metrics.tier_writes += 1;
                 }
-                if self.cfg.replicate {
-                    // Replicas may have drifted across splits; sweep all
-                    // nodes (the fleet is small).
-                    let active: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
-                    for other in active {
-                        self.node_mut(other).remove_replica(key);
+            }
+            if self.cfg.replicate {
+                // Replicas may have drifted across splits; sweep all
+                // nodes (the fleet is small).
+                let active: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
+                for other in active {
+                    if let Some(n) = self.node_at_mut(other) {
+                        n.remove_replica(key);
                     }
                 }
             }
         }
-        if self.expirations.is_multiple_of(self.cfg.contraction_epsilon) {
+        if self
+            .expirations
+            .is_multiple_of(self.cfg.contraction_epsilon)
+        {
             self.try_contract();
         }
+        #[cfg(debug_assertions)]
+        self.validate();
     }
 
     /// Merge the two least-loaded nodes if the coalesced data fits within
@@ -644,10 +801,8 @@ impl ElasticCache {
             return;
         }
         // Two least-loaded nodes: `a` (least) is drained into `b`.
-        let mut active: Vec<(NodeId, u64)> = self
-            .nodes()
-            .map(|(id, n)| (id, n.used_bytes()))
-            .collect();
+        let mut active: Vec<(NodeId, u64)> =
+            self.nodes().map(|(id, n)| (id, n.used_bytes())).collect();
         active.sort_by_key(|&(_, used)| used);
         let (a, a_used) = active[0];
         let (b, b_used) = active[1];
@@ -657,15 +812,21 @@ impl ElasticCache {
         }
 
         let start_us = self.clock.now_us();
-        let records = self.node_mut(a).drain_all();
+        let records = match self.node_at_mut(a) {
+            Some(n) => n.drain_all(),
+            None => return,
+        };
         let moved = records.len() as u64;
         for (k, rec) in records {
             let wire = rec.len() as u64 + RECORD_WIRE_OVERHEAD;
             self.clock.advance_us(self.net.t_net_us(wire));
-            self.node_mut(b).insert(k, rec);
+            if let Some(n) = self.node_at_mut(b) {
+                n.insert(k, rec);
+            }
         }
         for bucket in self.ring.buckets_of_node(&a) {
-            self.ring.remap_bucket(bucket, b).expect("bucket exists");
+            let remapped = self.ring.remap_bucket(bucket, b);
+            debug_assert!(remapped.is_ok(), "bucket listed by buckets_of_node exists");
         }
         // Coalesce: a bucket whose successor belongs to the same node is
         // redundant — removing it hands its arc to that successor with no
@@ -678,10 +839,14 @@ impl ElasticCache {
             records: moved,
             duration_us,
         });
-        let instance = self.node(a).instance;
-        self.cloud.deallocate(instance);
+        if let Some(n) = self.node_at(a) {
+            let instance = n.instance;
+            self.cloud.deallocate(instance);
+        }
         self.nodes[a.0 as usize] = None;
         self.metrics.merges += 1;
+        #[cfg(debug_assertions)]
+        self.validate();
     }
 
     /// The warm standby pool (empty unless `warm_pool > 0`).
@@ -711,19 +876,25 @@ impl ElasticCache {
     /// If the failed node was the last one, a replacement is allocated
     /// (blocking on its boot) so the cache stays operational.
     pub fn fail_node(&mut self, id: NodeId) -> FailureReport {
-        assert!(
-            self.nodes[id.0 as usize].is_some(),
-            "cannot fail inactive node {id}"
-        );
-        let resident = self.node(id).record_count();
+        debug_assert!(self.node_at(id).is_some(), "cannot fail inactive node {id}");
+        let (resident, instance) = match self.node_at(id) {
+            Some(n) => (n.record_count(), n.instance),
+            // Failing an already-dead node is a no-op (debug builds flag
+            // the caller bug via the assertion above).
+            None => {
+                return FailureReport {
+                    records_lost: 0,
+                    records_recovered: 0,
+                }
+            }
+        };
         // The failed node's arcs, captured before the ring changes.
         let failed_spans: Vec<(u64, u64)> = self
             .ring
             .buckets_of_node(&id)
             .into_iter()
-            .flat_map(|b| self.spans_of_bucket(b))
+            .flat_map(|b| self.spans_of_bucket(b).unwrap_or_default())
             .collect();
-        let instance = self.node(id).instance;
         self.cloud.deallocate(instance);
         self.nodes[id.0 as usize] = None;
 
@@ -736,9 +907,8 @@ impl ElasticCache {
             None => self.alloc_node(),
         };
         for bucket in self.ring.buckets_of_node(&id) {
-            self.ring
-                .remap_bucket(bucket, survivor)
-                .expect("bucket exists");
+            let remapped = self.ring.remap_bucket(bucket, survivor);
+            debug_assert!(remapped.is_ok(), "bucket listed by buckets_of_node exists");
         }
         self.coalesce_buckets(survivor);
 
@@ -750,20 +920,29 @@ impl ElasticCache {
             let holders: Vec<NodeId> = self.nodes().map(|(nid, _)| nid).collect();
             for holder in holders {
                 for &(lo, hi) in &failed_spans {
-                    let copies = self.node_mut(holder).take_replicas_in_range(lo, hi);
+                    let copies = match self.node_at_mut(holder) {
+                        Some(n) => n.take_replicas_in_range(lo, hi),
+                        None => continue,
+                    };
                     for (k, rec) in copies {
                         let size = rec.len() as u64;
-                        let already = self.node(survivor).get(k).is_some();
-                        if !already && self.node(survivor).fits(size) {
+                        let admits = self
+                            .node_at(survivor)
+                            .is_some_and(|n| n.get(k).is_none() && n.fits(size));
+                        if admits {
                             let wire = size + RECORD_WIRE_OVERHEAD;
                             self.clock.advance_us(self.net.t_net_us(wire));
-                            self.node_mut(survivor).insert(k, rec);
-                            recovered += 1;
+                            if let Some(n) = self.node_at_mut(survivor) {
+                                n.insert(k, rec);
+                                recovered += 1;
+                            }
                         }
                     }
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        self.validate();
         FailureReport {
             records_lost: resident.saturating_sub(recovered),
             records_recovered: recovered,
@@ -777,41 +956,91 @@ impl ElasticCache {
             if self.ring.len() <= 1 {
                 break;
             }
-            let succ = self.ring.successor(b).expect("bucket exists");
+            let Ok(succ) = self.ring.successor(b) else {
+                break;
+            };
             if succ != b && self.ring.node_of_bucket(succ) == Some(&nid) {
-                self.ring.remove_bucket(b).expect("bucket exists");
+                let removed = self.ring.remove_bucket(b);
+                debug_assert!(removed.is_ok(), "bucket listed by buckets_of_node exists");
             }
         }
     }
 
     // ----------------------------------------------------------- validation
 
-    /// Exhaustively check cross-structure invariants (tests): every node's
-    /// index is valid and within capacity, every resident record hashes to
-    /// the node storing it, and the ring references only active nodes.
-    pub fn validate(&self) {
+    /// Exhaustively check cross-structure invariants, returning the first
+    /// violation as a typed [`CacheAuditError`] instead of panicking:
+    ///
+    /// * the ring's bucket list is itself sound (delegated to
+    ///   [`ecc_chash::HashRing::check_invariants`]);
+    /// * every resident record hashes to the node storing it, so each key
+    ///   is owned by exactly one node;
+    /// * per-node byte accounting matches the sum of resident record sizes
+    ///   and stays within capacity;
+    /// * the ring references only active nodes, and every active node owns
+    ///   at least one bucket;
+    /// * the sliding window's history and decay table are structurally
+    ///   consistent.
+    pub fn check_invariants(&self) -> Result<(), CacheAuditError> {
+        self.ring
+            .check_invariants()
+            .map_err(CacheAuditError::Ring)?;
         for (id, node) in self.nodes() {
-            node.validate();
+            let counted: u64 = node.iter().map(|(_, r)| r.len() as u64).sum();
+            if counted != node.used_bytes() {
+                return Err(CacheAuditError::ByteAccountingMismatch {
+                    node: id,
+                    counted,
+                    recorded: node.used_bytes(),
+                });
+            }
+            if node.used_bytes() > node.capacity_bytes() {
+                return Err(CacheAuditError::NodeOverCapacity {
+                    node: id,
+                    used: node.used_bytes(),
+                    capacity: node.capacity_bytes(),
+                });
+            }
             for (&key, _) in node.iter() {
-                let owner = *self.ring.node_for_key(key).expect("bucket exists");
-                assert_eq!(
-                    owner, id,
-                    "key {key} resident on {id} but ring says {owner}"
-                );
+                let owner = self.ring.node_for_key(key).copied();
+                if owner != Some(id) {
+                    return Err(CacheAuditError::MisplacedKey {
+                        key,
+                        resident_on: id,
+                        owner,
+                    });
+                }
             }
         }
         for (_, &nid) in self.ring.buckets() {
-            assert!(
-                self.nodes[nid.0 as usize].is_some(),
-                "ring references dead node {nid}"
-            );
+            if self.node_at(nid).is_none() {
+                return Err(CacheAuditError::DeadNodeReferenced { node: nid });
+            }
         }
         // Every active node is referenced by at least one bucket.
         for (id, _) in self.nodes() {
-            assert!(
-                !self.ring.buckets_of_node(&id).is_empty(),
-                "active node {id} owns no bucket"
-            );
+            if self.ring.buckets_of_node(&id).is_empty() {
+                return Err(CacheAuditError::NodeWithoutBucket { node: id });
+            }
+        }
+        if let Some(window) = &self.window {
+            window
+                .check_invariants()
+                .map_err(|what| CacheAuditError::Window { what })?;
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`ElasticCache::check_invariants`], used by
+    /// the test suites and by the debug-build hooks that run after every
+    /// mutating operation (insert, split, eviction, merge, failure).
+    /// Additionally validates each node's B+-tree index.
+    pub fn validate(&self) {
+        for (_, node) in self.nodes() {
+            node.validate();
+        }
+        if let Err(e) = self.check_invariants() {
+            panic!("cache invariant violated: {e}"); // xtask: allow(no-panic) — validate() is the panicking audit wrapper
         }
     }
 
@@ -842,17 +1071,18 @@ fn circular_spans(pred: u64, pos: u64, r: u64) -> Vec<(u64, u64)> {
 }
 
 /// Truncate circular spans at `k_mu` (inclusive): the migration range
-/// `[min(b_max), k^µ]` of Algorithm 1.
-fn truncate_spans_at(spans: &[(u64, u64)], k_mu: u64) -> Vec<(u64, u64)> {
+/// `[min(b_max), k^µ]` of Algorithm 1. `None` when `k_mu` lies outside the
+/// spans — a coordinator bug the caller reports as [`CacheError::Internal`].
+fn truncate_spans_at(spans: &[(u64, u64)], k_mu: u64) -> Option<Vec<(u64, u64)>> {
     let mut out = Vec::with_capacity(spans.len());
     for &(lo, hi) in spans {
         if (lo..=hi).contains(&k_mu) {
             out.push((lo, k_mu));
-            return out;
+            return Some(out);
         }
         out.push((lo, hi));
     }
-    panic!("median key not inside its own bucket's spans");
+    None
 }
 
 #[cfg(test)]
@@ -1124,18 +1354,56 @@ mod tests {
 
     #[test]
     fn truncate_spans_at_median() {
-        assert_eq!(truncate_spans_at(&[(11, 20)], 15), vec![(11, 15)]);
+        assert_eq!(truncate_spans_at(&[(11, 20)], 15), Some(vec![(11, 15)]));
         assert_eq!(
             truncate_spans_at(&[(91, 99), (0, 5)], 3),
-            vec![(91, 99), (0, 3)]
+            Some(vec![(91, 99), (0, 3)])
         );
-        assert_eq!(truncate_spans_at(&[(91, 99), (0, 5)], 95), vec![(91, 95)]);
+        assert_eq!(
+            truncate_spans_at(&[(91, 99), (0, 5)], 95),
+            Some(vec![(91, 95)])
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not inside")]
     fn truncate_requires_containment() {
-        truncate_spans_at(&[(0, 5)], 10);
+        assert_eq!(truncate_spans_at(&[(0, 5)], 10), None);
+    }
+
+    #[test]
+    fn audit_passes_on_a_busy_cache() {
+        let mut cache = ElasticCache::new(windowed_cfg(8, 3));
+        for k in 0..30u64 {
+            cache.query((k * 37) % 1024, 1000, rec);
+        }
+        for _ in 0..5 {
+            cache.end_time_step();
+        }
+        cache
+            .check_invariants()
+            .expect("healthy cache audits clean");
+    }
+
+    #[test]
+    fn audit_errors_render_with_context() {
+        let misplaced = CacheAuditError::MisplacedKey {
+            key: 9,
+            resident_on: NodeId(1),
+            owner: Some(NodeId(0)),
+        };
+        assert!(misplaced.to_string().contains("key 9"));
+        let accounting = CacheAuditError::ByteAccountingMismatch {
+            node: NodeId(2),
+            counted: 10,
+            recorded: 20,
+        };
+        assert!(accounting.to_string().contains("n2"));
+        assert!(CacheAuditError::Window { what: "probe" }
+            .to_string()
+            .contains("probe"));
+        assert!(CacheAuditError::NodeWithoutBucket { node: NodeId(3) }
+            .to_string()
+            .contains("n3"));
     }
 
     #[test]
@@ -1441,7 +1709,7 @@ mod tests {
         let mut cache = ElasticCache::new(cfg_records(64));
         cache.query(5, 100, rec);
         let only = cache.nodes().next().map(|(id, _)| id).unwrap();
-        cache.fail_node(only);
+        let _ = cache.fail_node(only);
         assert_eq!(cache.node_count(), 1);
         cache.validate();
         assert!(cache.lookup(5).is_none());

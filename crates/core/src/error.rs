@@ -30,6 +30,14 @@ pub enum CacheError {
     /// GBA-Insert looped more than the sanity bound without converging —
     /// indicates a mis-configured capacity far below the record size.
     SplitLoopExceeded,
+    /// The coordinator's cross-structure bookkeeping was found inconsistent
+    /// mid-operation (e.g. the ring resolved a key to an inactive node).
+    /// Always a bug in this crate, never a caller error — surfaced as a
+    /// typed value so a long-running cache degrades instead of aborting.
+    Internal {
+        /// The invariant the coordinator expected to hold.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -45,6 +53,9 @@ impl fmt::Display for CacheError {
                 write!(f, "bucket {bucket} cannot be split further")
             }
             Self::SplitLoopExceeded => write!(f, "GBA-insert split loop exceeded sanity bound"),
+            Self::Internal { what } => {
+                write!(f, "internal cache invariant violated: {what}")
+            }
         }
     }
 }
@@ -65,7 +76,12 @@ mod tests {
         assert!(CacheError::KeyOutOfRange { key: 9, r: 4 }
             .to_string()
             .contains("[0, 4)"));
-        assert!(CacheError::CannotSplit { bucket: 3 }.to_string().contains("3"));
+        assert!(CacheError::CannotSplit { bucket: 3 }
+            .to_string()
+            .contains("3"));
         assert!(!CacheError::SplitLoopExceeded.to_string().is_empty());
+        assert!(CacheError::Internal { what: "probe" }
+            .to_string()
+            .contains("probe"));
     }
 }

@@ -40,7 +40,9 @@
 //! assert_eq!(cache.metrics().misses, 1);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod adaptive;
 mod config;
@@ -56,7 +58,7 @@ mod window;
 
 pub use adaptive::{AdaptiveWindowConfig, WindowController};
 pub use config::{CacheConfig, WindowConfig};
-pub use elastic::{ElasticCache, FailureReport, NodeId};
+pub use elastic::{CacheAuditError, ElasticCache, FailureReport, NodeId};
 pub use error::CacheError;
 pub use lru::Lru;
 pub use metrics::Metrics;

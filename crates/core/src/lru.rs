@@ -81,10 +81,14 @@ impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Lru<K, V> {
         if let Some(&idx) = self.map.get(&key) {
             self.unlink(idx);
             self.push_front(idx);
-            let entry = self.slab[idx as usize].as_mut().expect("live entry");
-            let old = std::mem::replace(&mut entry.value, value);
-            self.bytes = self.bytes - old.byte_size() as u64 + add;
-            return Some(old);
+            // The map guarantees the slot is live; a dead slot would mean a
+            // corrupt map → slab link, checked by the audit in debug builds.
+            debug_assert!(self.slab[idx as usize].is_some(), "mapped key in dead slot");
+            if let Some(entry) = self.slab[idx as usize].as_mut() {
+                let old = std::mem::replace(&mut entry.value, value);
+                self.bytes = self.bytes - old.byte_size() as u64 + add;
+                return Some(old);
+            }
         }
         let idx = if let Some(i) = self.free.pop() {
             i
@@ -108,7 +112,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Lru<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
-        let entry = self.slab[idx as usize].take().expect("live entry");
+        let entry = self.slab[idx as usize].take()?;
         self.free.push(idx);
         self.bytes -= entry.value.byte_size() as u64;
         Some(entry.value)
@@ -120,7 +124,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Lru<K, V> {
             return None;
         }
         let idx = self.tail;
-        let entry = self.slab[idx as usize].take().expect("live tail");
+        let entry = self.slab[idx as usize].take()?;
         self.unlink_taken(idx, entry.prev, entry.next);
         self.map.remove(&entry.key);
         self.free.push(idx);
@@ -142,41 +146,47 @@ impl<K: std::hash::Hash + Eq + Clone, V: ByteSize> Lru<K, V> {
     }
 
     fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let e = self.slab[idx as usize].as_ref().expect("live entry");
-            (e.prev, e.next)
+        let Some((prev, next)) = self.slab[idx as usize].as_ref().map(|e| (e.prev, e.next)) else {
+            return;
         };
         self.unlink_taken(idx, prev, next);
-        let e = self.slab[idx as usize].as_mut().expect("live entry");
-        e.prev = NIL;
-        e.next = NIL;
+        if let Some(e) = self.slab[idx as usize].as_mut() {
+            e.prev = NIL;
+            e.next = NIL;
+        }
     }
 
     fn unlink_taken(&mut self, idx: u32, prev: u32, next: u32) {
-        if prev != NIL {
-            self.slab[prev as usize].as_mut().expect("live prev").next = next;
-        } else if self.head == idx {
-            self.head = next;
+        if prev == NIL {
+            if self.head == idx {
+                self.head = next;
+            }
+        } else if let Some(p) = self.slab[prev as usize].as_mut() {
+            p.next = next;
         }
-        if next != NIL {
-            self.slab[next as usize].as_mut().expect("live next").prev = prev;
-        } else if self.tail == idx {
-            self.tail = prev;
+        if next == NIL {
+            if self.tail == idx {
+                self.tail = prev;
+            }
+        } else if let Some(n) = self.slab[next as usize].as_mut() {
+            n.prev = prev;
         }
     }
 
     fn push_front(&mut self, idx: u32) {
         let old_head = self.head;
-        {
-            let e = self.slab[idx as usize].as_mut().expect("live entry");
+        if let Some(e) = self.slab[idx as usize].as_mut() {
             e.prev = NIL;
             e.next = old_head;
         }
-        if old_head != NIL {
-            self.slab[old_head as usize]
-                .as_mut()
-                .expect("live head")
-                .prev = idx;
+        // NIL (u32::MAX) is never a valid slab index, so the old head is
+        // patched only when one exists.
+        if let Some(h) = self
+            .slab
+            .get_mut(old_head as usize)
+            .and_then(Option::as_mut)
+        {
+            h.prev = idx;
         }
         self.head = idx;
         if self.tail == NIL {
@@ -203,7 +213,11 @@ impl<'a, K, V> Iterator for LruIter<'a, K, V> {
         if self.cur == NIL {
             return None;
         }
-        let e = self.lru.slab[self.cur as usize].as_ref().expect("live");
+        let e = self
+            .lru
+            .slab
+            .get(self.cur as usize)
+            .and_then(Option::as_ref)?;
         self.cur = e.next;
         Some((&e.key, &e.value))
     }

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Cumulative cache statistics. Figure harnesses snapshot this each
 /// reporting interval and difference consecutive snapshots.
+#[must_use]
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Total queries observed.
@@ -38,6 +39,10 @@ pub struct Metrics {
     pub tier_hits: u64,
     /// Evicted records written to the persistent overflow tier.
     pub tier_writes: u64,
+    /// Cache admissions abandoned because an internal invariant check
+    /// failed mid-insert; the record was served uncached instead. Always 0
+    /// in a healthy cache — a nonzero value flags a coordinator bug.
+    pub insert_errors: u64,
 }
 
 impl Metrics {
@@ -92,6 +97,7 @@ impl Metrics {
             migration_us: self.migration_us - earlier.migration_us,
             tier_hits: self.tier_hits - earlier.tier_hits,
             tier_writes: self.tier_writes - earlier.tier_writes,
+            insert_errors: self.insert_errors - earlier.insert_errors,
         }
     }
 }

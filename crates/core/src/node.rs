@@ -114,10 +114,7 @@ impl CacheNode {
     /// of Algorithm 2 line 3 — "maintaining an internal structure on the
     /// server which holds the keys' respective object size").
     pub fn bytes_in_range(&self, lo: u64, hi: u64) -> u64 {
-        self.tree
-            .range(lo..=hi)
-            .map(|(_, r)| r.len() as u64)
-            .sum()
+        self.tree.range(lo..=hi).map(|(_, r)| r.len() as u64).sum()
     }
 
     /// Number of records in the inclusive key range.
@@ -140,7 +137,10 @@ impl CacheNode {
 
     /// Remove and return everything (node merge during contraction).
     pub fn drain_all(&mut self) -> Vec<(u64, Record)> {
-        match (self.tree.first_key().copied(), self.tree.last_key().copied()) {
+        match (
+            self.tree.first_key().copied(),
+            self.tree.last_key().copied(),
+        ) {
             (Some(lo), Some(hi)) => self.tree.drain_range(&lo, &hi),
             _ => Vec::new(),
         }

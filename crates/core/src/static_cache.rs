@@ -50,11 +50,14 @@ impl StaticCache {
         let mut ring = HashRing::new(cfg.ring_range);
         let mut nodes = Vec::with_capacity(n_nodes);
         for i in 0..n_nodes {
-            cloud.allocate(cfg.instance_type.clone());
+            // Boot latency is deliberately not charged: a reserved cluster
+            // exists before the experiment starts.
+            let _ = cloud.allocate(cfg.instance_type.clone());
             // Evenly spaced buckets; the last sits at r-1 so arcs tile the
             // line exactly.
             let pos = ((i as u64 + 1) * cfg.ring_range) / n_nodes as u64 - 1;
-            ring.insert_bucket(pos, i).expect("distinct positions");
+            let inserted = ring.insert_bucket(pos, i);
+            debug_assert!(inserted.is_ok(), "evenly spaced positions are distinct");
             nodes.push(Lru::new());
         }
         Self {
@@ -105,9 +108,14 @@ impl StaticCache {
         let t0 = self.clock.now_us();
         self.metrics.baseline_us += uncached_us;
         self.metrics.queries += 1;
-        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        // The ring is populated at construction and never shrinks; an empty
+        // resolution degrades to a miss rather than a crash.
+        let nid = self.ring.node_for_key(key).copied();
         self.clock.advance_us(self.lookup_overhead_us);
-        if let Some(rec) = self.nodes[nid].get(&key).cloned() {
+        let cached = nid
+            .and_then(|n| self.nodes.get_mut(n))
+            .and_then(|node| node.get(&key).cloned());
+        if let Some(rec) = cached {
             self.clock
                 .advance_us(self.net.rtt_us(LOOKUP_REQ_BYTES, rec.len() as u64));
             self.metrics.hits += 1;
@@ -132,17 +140,25 @@ impl StaticCache {
         if size > self.capacity_bytes {
             return;
         }
-        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        let Some(&nid) = self.ring.node_for_key(key) else {
+            return;
+        };
         self.clock
             .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
-        let node = &mut self.nodes[nid];
+        let Some(node) = self.nodes.get_mut(nid) else {
+            return;
+        };
         // Replacement frees the old bytes first.
         let already = node.contains(&key);
         if already {
             node.insert(key, record);
         } else {
             while node.bytes() + size > self.capacity_bytes {
-                node.pop_lru().expect("non-empty while over budget");
+                if node.pop_lru().is_none() {
+                    // Over budget yet empty: corrupt byte accounting. Stop
+                    // displacing rather than spinning forever.
+                    break;
+                }
                 self.metrics.lru_evictions += 1;
             }
             node.insert(key, record);
@@ -154,9 +170,11 @@ impl StaticCache {
     pub fn lookup(&mut self, key: u64) -> Option<Record> {
         let t0 = self.clock.now_us();
         self.metrics.queries += 1;
-        let nid = *self.ring.node_for_key(key).expect("ring populated");
+        let nid = self.ring.node_for_key(key).copied();
         self.clock.advance_us(self.lookup_overhead_us);
-        let found = self.nodes[nid].get(&key).cloned();
+        let found = nid
+            .and_then(|n| self.nodes.get_mut(n))
+            .and_then(|node| node.get(&key).cloned());
         match &found {
             Some(rec) => {
                 self.clock

@@ -94,9 +94,7 @@ impl SlidingWindow {
         self.history
             .iter()
             .enumerate()
-            .map(|(i, slice)| {
-                self.powers[i] * slice.get(&key).copied().unwrap_or(0) as f64
-            })
+            .map(|(i, slice)| self.powers[i] * slice.get(&key).copied().unwrap_or(0) as f64)
             .sum()
     }
 
@@ -143,9 +141,33 @@ impl SlidingWindow {
         }
         let mut expired = Vec::new();
         while self.history.len() > self.m {
-            expired.push(self.history.pop_back().expect("checked len"));
+            let Some(slice) = self.history.pop_back() else {
+                break;
+            };
+            expired.push(slice);
         }
         expired
+    }
+
+    /// Structural self-check: the history never holds more than `m`
+    /// completed slices and the precomputed decay table matches `α^i`.
+    /// Returns a description of the first violation, so callers (the
+    /// cache-wide auditor) can surface it as a typed error.
+    pub fn check_invariants(&self) -> Result<(), &'static str> {
+        if self.history.len() > self.m {
+            return Err("window holds more than m completed slices");
+        }
+        if self.powers.len() != self.m {
+            return Err("decay table length differs from m");
+        }
+        let mut p = 1.0;
+        for &q in &self.powers {
+            if (q - p).abs() > 1e-12 {
+                return Err("decay table out of sync with alpha");
+            }
+            p *= self.alpha;
+        }
+        Ok(())
     }
 
     /// Brute-force reference implementation of `λ` used by the test suite
@@ -290,6 +312,66 @@ mod tests {
     #[should_panic(expected = "decay must be in (0, 1)")]
     fn invalid_alpha_rejected() {
         SlidingWindow::new(5, 1.5, 0.0);
+    }
+
+    #[test]
+    fn empty_window_scores_zero_and_yields_no_victims() {
+        // A window that has never seen a query: λ is 0 everywhere, an
+        // expired-but-empty slice produces no victims, and closing empty
+        // slices never expires anything until the window fills.
+        let mut w = SlidingWindow::new(3, 0.9, 0.5);
+        assert_eq!(w.lambda(42), 0.0);
+        assert_eq!(w.tracked_keys(), 0);
+        assert!(w.victims(&BTreeMap::new()).is_empty());
+        assert!(w.end_slice().is_none());
+        assert!(w.end_slice().is_none());
+        assert!(w.end_slice().is_none());
+        let expired = w.end_slice().expect("window full");
+        assert!(expired.is_empty());
+        assert!(w.victims(&expired).is_empty());
+        w.check_invariants().expect("structurally sound");
+    }
+
+    #[test]
+    fn eviction_threshold_boundary_is_strict() {
+        // Eviction fires iff λ(k) < T_λ (strict). With the baseline
+        // threshold T_λ = α^(m-1), a key queried exactly once in the
+        // *oldest* surviving slice scores λ = α^(m-1) == T_λ and must
+        // survive; a key only in the expired slice scores below and goes.
+        let m = 4;
+        let alpha: f64 = 0.5;
+        let t = alpha.powi(m as i32 - 1); // 0.125
+        let mut w = SlidingWindow::new(m, alpha, t);
+        push_slice(&mut w, &[1]); // key 1: expires with this slice
+        push_slice(&mut w, &[2]); // key 2: will sit at t_m when scored
+        for _ in 0..m - 1 {
+            push_slice(&mut w, &[]);
+        }
+        // Note: the loop above closed m-1 slices after key 2's, so key 1's
+        // slice has expired and key 2's occupies the oldest window slot.
+        assert!((w.lambda(2) - t).abs() < 1e-12, "λ(2) = {}", w.lambda(2));
+        let mut expired = BTreeMap::new();
+        expired.insert(1u64, 1u32);
+        expired.insert(2u64, 1u32);
+        let victims = w.victims(&expired);
+        assert!(victims.contains(&1), "λ(1) < T_λ must evict");
+        assert!(!victims.contains(&2), "λ(2) == T_λ must survive (strict <)");
+    }
+
+    #[test]
+    fn single_slice_window_expires_each_step() {
+        // m = 1 degenerates to "evict anything not re-queried last slice":
+        // T_λ = α^0 = 1, and each closure expires the previous slice.
+        let mut w = SlidingWindow::new(1, 0.7, 1.0);
+        assert!(push_slice(&mut w, &[5]).is_none(), "first slice just fills");
+        let expired = push_slice(&mut w, &[5]).expect("m=1 expires every step");
+        assert!(expired.contains_key(&5));
+        // Key 5 was re-queried in the surviving slice: λ = 1 == T_λ, kept.
+        assert!(w.victims(&expired).is_empty());
+        // Not re-queried this time: λ = 0 < 1, evicted.
+        let expired = push_slice(&mut w, &[]).expect("expiry");
+        assert_eq!(w.victims(&expired), vec![5]);
+        w.check_invariants().expect("structurally sound");
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--port" => {
-                args.port = take("--port")?.parse().map_err(|e| format!("bad port: {e}"))?
+                args.port = take("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad port: {e}"))?
             }
             "--capacity-mb" => {
                 args.capacity_mb = take("--capacity-mb")?

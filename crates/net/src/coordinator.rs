@@ -24,6 +24,13 @@ struct ManagedNode {
     client: RemoteNode,
 }
 
+/// A violated coordinator-internal invariant, surfaced as a typed
+/// [`io::Error`] on the operation that found it (the coordinator keeps
+/// serving; nothing panics).
+fn internal(what: &str) -> io::Error {
+    io::Error::other(format!("coordinator invariant violated: {what}"))
+}
+
 /// The live elastic-cache coordinator.
 pub struct LiveCoordinator {
     ring: HashRing<usize>,
@@ -67,7 +74,7 @@ impl LiveCoordinator {
         coord
             .ring
             .insert_bucket(ring_range - 1, first)
-            .expect("initial bucket");
+            .map_err(|_| internal("fresh ring has a colliding bucket"))?;
         Ok(coord)
     }
 
@@ -87,7 +94,7 @@ impl LiveCoordinator {
         let mut bytes = 0;
         let mut records = 0;
         for id in ids {
-            let (b, r, _) = self.client(id).stats()?;
+            let (b, r, _) = self.client(id)?.stats()?;
             bytes += b;
             records += r;
         }
@@ -102,8 +109,12 @@ impl LiveCoordinator {
             .collect()
     }
 
-    fn client(&mut self, id: usize) -> &mut RemoteNode {
-        &mut self.nodes[id].as_mut().expect("active node").client
+    fn client(&mut self, id: usize) -> io::Result<&mut RemoteNode> {
+        self.nodes
+            .get_mut(id)
+            .and_then(Option::as_mut)
+            .map(|n| &mut n.client)
+            .ok_or_else(|| internal("ring references an inactive node"))
     }
 
     fn spawn_node(&mut self) -> io::Result<usize> {
@@ -119,8 +130,11 @@ impl LiveCoordinator {
         if let Some(w) = &mut self.window {
             w.note_query(key);
         }
-        let nid = *self.ring.node_for_key(key).expect("ring populated");
-        self.client(nid).get(key)
+        let nid = *self
+            .ring
+            .node_for_key(key)
+            .ok_or_else(|| internal("ring has no buckets"))?;
+        self.client(nid)?.get(key)
     }
 
     /// Store `value` under `key`, splitting buckets / spawning servers as
@@ -139,8 +153,11 @@ impl LiveCoordinator {
             ));
         }
         for _ in 0..64 {
-            let nid = *self.ring.node_for_key(key).expect("ring populated");
-            match self.client(nid).put(key, value.clone())? {
+            let nid = *self
+                .ring
+                .node_for_key(key)
+                .ok_or_else(|| internal("ring has no buckets"))?;
+            match self.client(nid)?.put(key, value.clone())? {
                 Status::Ok => return Ok(()),
                 Status::Overflow => self.split_node(nid)?,
                 s => {
@@ -151,41 +168,42 @@ impl LiveCoordinator {
                 }
             }
         }
-        Err(io::Error::other(
-            "GBA split loop exceeded bound",
-        ))
+        Err(io::Error::other("GBA split loop exceeded bound"))
     }
 
     /// Algorithm 1 lines 8–15, over the wire.
     fn split_node(&mut self, nid: usize) -> io::Result<()> {
         let buckets = self.ring.buckets_of_node(&nid);
         // Fullest bucket by resident bytes.
-        let mut b_max = buckets[0];
+        let Some(&first) = buckets.first() else {
+            return Err(internal("active node owns no bucket"));
+        };
+        let mut b_max = first;
         let mut best = 0u64;
         for &b in &buckets {
             let mut bytes = 0;
-            for (lo, hi) in self.spans_of_bucket(b) {
-                bytes += self.client(nid).range_stats(lo, hi)?.0;
+            for (lo, hi) in self.spans_of_bucket(b)? {
+                bytes += self.client(nid)?.range_stats(lo, hi)?.0;
             }
             if bytes >= best {
                 best = bytes;
                 b_max = b;
             }
         }
-        let spans = self.spans_of_bucket(b_max);
+        let spans = self.spans_of_bucket(b_max)?;
         let mut keys = Vec::new();
         for &(lo, hi) in &spans {
-            keys.extend(self.client(nid).keys(lo, hi)?);
+            keys.extend(self.client(nid)?.keys(lo, hi)?);
         }
         if keys.len() < 2 {
             // Whole-bucket relocation fallback (see the simulated cache).
             if buckets.len() < 2 {
-                return Err(io::Error::other(
-                    "single unsplittable bucket",
-                ));
+                return Err(io::Error::other("single unsplittable bucket"));
             }
             let dest = self.migrate(nid, &spans)?;
-            self.ring.remap_bucket(b_max, dest).expect("bucket exists");
+            self.ring
+                .remap_bucket(b_max, dest)
+                .map_err(|_| internal("bucket vanished while relocating it"))?;
             self.splits += 1;
             return Ok(());
         }
@@ -206,7 +224,11 @@ impl LiveCoordinator {
             move_spans.push((lo, hi));
         }
         let dest = self.migrate(nid, &move_spans)?;
-        self.ring.insert_bucket(k_mu, dest).expect("checked free");
+        // Collision with an existing bucket was ruled out when k^µ was
+        // chosen above.
+        self.ring
+            .insert_bucket(k_mu, dest)
+            .map_err(|_| internal("split bucket position already occupied"))?;
         self.splits += 1;
         Ok(())
     }
@@ -216,7 +238,7 @@ impl LiveCoordinator {
     fn migrate(&mut self, src: usize, spans: &[(u64, u64)]) -> io::Result<usize> {
         let mut total = 0u64;
         for &(lo, hi) in spans {
-            total += self.client(src).range_stats(lo, hi)?.0;
+            total += self.client(src)?.range_stats(lo, hi)?.0;
         }
         // Least-loaded other node.
         let mut dest: Option<(usize, u64)> = None;
@@ -224,7 +246,7 @@ impl LiveCoordinator {
             if id == src {
                 continue;
             }
-            let (used, _, _) = self.client(id).stats()?;
+            let (used, _, _) = self.client(id)?.stats()?;
             if dest.is_none_or(|(_, best)| used < best) {
                 dest = Some((id, used));
             }
@@ -234,13 +256,13 @@ impl LiveCoordinator {
             _ => self.spawn_node()?,
         };
         for &(lo, hi) in spans {
-            let records = self.client(src).sweep(lo, hi)?;
+            let records = self.client(src)?.sweep(lo, hi)?;
             for (k, v) in records {
-                let status = self.client(dest).put(k, v)?;
+                let status = self.client(dest)?.put(k, v)?;
                 if status != Status::Ok {
-                    return Err(io::Error::other(
-                        format!("migration put failed: {status:?}"),
-                    ));
+                    return Err(io::Error::other(format!(
+                        "migration put failed: {status:?}"
+                    )));
                 }
             }
         }
@@ -257,14 +279,17 @@ impl LiveCoordinator {
             return Ok(());
         };
         self.expirations += 1;
-        let victims = self
-            .window
-            .as_ref()
-            .expect("window present")
-            .victims(&expired);
+        // Score against the window that remains, then drop its borrow
+        // before talking to the nodes.
+        let victims = match &self.window {
+            Some(w) => w.victims(&expired),
+            None => Vec::new(),
+        };
         for key in victims {
-            let nid = *self.ring.node_for_key(key).expect("ring populated");
-            let _ = self.client(nid).remove(key)?;
+            let Some(&nid) = self.ring.node_for_key(key) else {
+                continue;
+            };
+            let _ = self.client(nid)?.remove(key)?;
         }
         if self.expirations.is_multiple_of(self.contraction_epsilon) {
             self.try_contract()?;
@@ -280,7 +305,7 @@ impl LiveCoordinator {
         }
         let mut loads = Vec::with_capacity(ids.len());
         for id in ids {
-            let (used, _, _) = self.client(id).stats()?;
+            let (used, _, _) = self.client(id)?.stats()?;
             loads.push((used, id));
         }
         loads.sort();
@@ -292,24 +317,30 @@ impl LiveCoordinator {
         }
         // Drain a into b.
         let hi = self.ring_range - 1;
-        let records = self.client(a).sweep(0, hi)?;
+        let records = self.client(a)?.sweep(0, hi)?;
         for (k, v) in records {
-            let status = self.client(b).put(k, v)?;
+            let status = self.client(b)?.put(k, v)?;
             if status != Status::Ok {
                 return Err(io::Error::other("merge put failed"));
             }
         }
         for bucket in self.ring.buckets_of_node(&a) {
-            self.ring.remap_bucket(bucket, b).expect("bucket exists");
+            self.ring
+                .remap_bucket(bucket, b)
+                .map_err(|_| internal("bucket vanished during merge"))?;
         }
         // Coalesce redundant buckets (see the simulated coordinator).
         for bucket in self.ring.buckets_of_node(&b) {
             if self.ring.len() <= 1 {
                 break;
             }
-            let succ = self.ring.successor(bucket).expect("bucket exists");
+            let Ok(succ) = self.ring.successor(bucket) else {
+                break;
+            };
             if succ != bucket && self.ring.node_of_bucket(succ) == Some(&b) {
-                self.ring.remove_bucket(bucket).expect("bucket exists");
+                self.ring
+                    .remove_bucket(bucket)
+                    .map_err(|_| internal("bucket vanished while coalescing"))?;
             }
         }
         if let Some(mut dead) = self.nodes[a].take() {
@@ -332,10 +363,13 @@ impl LiveCoordinator {
     }
 
     /// Circular spans of the arc owned by bucket `b`.
-    fn spans_of_bucket(&self, b: u64) -> Vec<(u64, u64)> {
-        let pred = self.ring.predecessor(b).expect("bucket exists");
+    fn spans_of_bucket(&self, b: u64) -> io::Result<Vec<(u64, u64)>> {
+        let pred = self
+            .ring
+            .predecessor(b)
+            .map_err(|_| internal("bucket vanished while computing its arc"))?;
         let r = self.ring_range;
-        if pred == b {
+        Ok(if pred == b {
             if b == r - 1 {
                 vec![(0, r - 1)]
             } else {
@@ -347,7 +381,7 @@ impl LiveCoordinator {
             vec![(0, b)]
         } else {
             vec![(pred + 1, r - 1), (0, b)]
-        }
+        })
     }
 }
 

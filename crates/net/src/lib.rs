@@ -29,7 +29,9 @@
 //! coord.shutdown().unwrap();
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod coordinator;

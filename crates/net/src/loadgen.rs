@@ -30,6 +30,7 @@ struct WorkerStats {
 
 /// Aggregated load-test report.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct LoadReport {
     /// Total operations completed.
     pub ops: u64,
@@ -94,7 +95,11 @@ pub fn run_load<N: Clone + Eq + Send + Sync>(
                         None => match RemoteNode::connect(addr) {
                             Ok(c) => {
                                 conns.push((addr, c));
-                                &mut conns.last_mut().expect("just pushed").1
+                                let Some((_, conn)) = conns.last_mut() else {
+                                    stats.errors += 1;
+                                    continue;
+                                };
+                                conn
                             }
                             Err(_) => {
                                 stats.errors += 1;

@@ -479,10 +479,7 @@ mod tests {
 
     #[test]
     fn stats_roundtrip() {
-        assert_eq!(
-            decode_stats(encode_stats(10, 2, 100)),
-            Some((10, 2, 100))
-        );
+        assert_eq!(decode_stats(encode_stats(10, 2, 100)), Some((10, 2, 100)));
         assert_eq!(decode_stats(Bytes::from_static(&[0; 23])), None);
     }
 

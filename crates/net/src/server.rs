@@ -210,6 +210,41 @@ mod tests {
     }
 
     #[test]
+    fn malformed_frames_get_bad_request_and_connection_survives() {
+        use crate::protocol::{read_frame, write_frame, Status};
+
+        let mut server = CacheServer::spawn(10_000, 16).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+
+        // Unknown opcode.
+        write_frame(&mut raw, &[0xFF, 1, 2, 3]).unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(Status::from_u8(resp[0]), Some(Status::BadRequest));
+
+        // Known opcode (Get) with a truncated body.
+        write_frame(&mut raw, &[0x01, 0xAB]).unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(Status::from_u8(resp[0]), Some(Status::BadRequest));
+
+        // Empty payload.
+        write_frame(&mut raw, &[]).unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(Status::from_u8(resp[0]), Some(Status::BadRequest));
+
+        // The same connection still serves well-formed requests, and the
+        // node is untouched.
+        let req = Request::Ping.encode();
+        write_frame(&mut raw, &req).unwrap();
+        let resp = read_frame(&mut raw).unwrap();
+        assert_eq!(Status::from_u8(resp[0]), Some(Status::Ok));
+
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        let (used, count, _) = client.stats().unwrap();
+        assert_eq!((used, count), (0, 0), "garbage must not create records");
+        server.stop();
+    }
+
+    #[test]
     fn overflow_is_reported_not_stored() {
         let mut server = CacheServer::spawn(100, 8).unwrap();
         let mut client = RemoteNode::connect(server.addr()).unwrap();

@@ -11,11 +11,12 @@ use proptest::prelude::*;
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
         any::<u64>().prop_map(|key| Request::Get { key }),
-        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200))
-            .prop_map(|(key, v)| Request::Put {
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(key, v)| {
+            Request::Put {
                 key,
                 value: Bytes::from(v),
-            }),
+            }
+        }),
         any::<u64>().prop_map(|key| Request::Remove { key }),
         (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Request::Sweep { lo, hi }),
         (any::<u64>(), any::<u64>()).prop_map(|(lo, hi)| Request::Keys { lo, hi }),

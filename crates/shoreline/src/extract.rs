@@ -268,7 +268,10 @@ mod tests {
             ys.iter().cloned().fold(f32::INFINITY, f32::min),
             ys.iter().cloned().fold(f32::NEG_INFINITY, f32::max),
         );
-        assert!(hi - lo >= 14.0, "contour does not span the tile: {lo}..{hi}");
+        assert!(
+            hi - lo >= 14.0,
+            "contour does not span the tile: {lo}..{hi}"
+        );
     }
 
     #[test]

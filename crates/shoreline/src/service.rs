@@ -41,12 +41,15 @@ impl ShorelineService {
     /// The paper's configuration: 23 s mean execution, < 1 KB results,
     /// 8-bit global grid (64 Ki keys) with no time axis.
     pub fn paper_default(seed: u64) -> Self {
-        Self::new(seed, Linearizer::new(
-            GeoGrid::global(8),
-            TimeGrid::disabled(),
-            Curve::Morton,
-            Scheme::TimeMajor,
-        ))
+        Self::new(
+            seed,
+            Linearizer::new(
+                GeoGrid::global(8),
+                TimeGrid::disabled(),
+                Curve::Morton,
+                Scheme::TimeMajor,
+            ),
+        )
     }
 
     /// A service over a custom linearizer (key space).
@@ -78,7 +81,8 @@ impl ShorelineService {
         let ctm = self.archive.tile(ix, iy);
         let t = self.linearizer.time().slot_start(slot);
         // Phase-shift the gauge by location so tiles see different stages.
-        let tide = TideModel::typical_at((ix as f64 * 0.37 + iy as f64 * 0.61) % std::f64::consts::TAU);
+        let tide =
+            TideModel::typical_at((ix as f64 * 0.37 + iy as f64 * 0.61) % std::f64::consts::TAU);
         let level = tide.level_at(t) as f32;
         let shoreline = extract(&ctm, level, self.max_result_bytes);
         ServiceOutput {

@@ -35,7 +35,9 @@
 //! assert!((lon + 122.67).abs() < 360.0 / 256.0);
 //! ```
 
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod hilbert;
 pub mod linear;

@@ -171,12 +171,7 @@ mod tests {
     use super::*;
 
     fn lin(curve: Curve, scheme: Scheme) -> Linearizer {
-        Linearizer::new(
-            GeoGrid::global(8),
-            TimeGrid::new(0, 3600, 8),
-            curve,
-            scheme,
-        )
+        Linearizer::new(GeoGrid::global(8), TimeGrid::new(0, 3600, 8), curve, scheme)
     }
 
     #[test]

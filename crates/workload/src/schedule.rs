@@ -91,10 +91,7 @@ impl RateSchedule {
                 from: 250,
                 to: 50,
             },
-            Phase::Flat {
-                steps: 1,
-                rate: 50,
-            },
+            Phase::Flat { steps: 1, rate: 50 },
         ])
     }
 

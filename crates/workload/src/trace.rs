@@ -61,7 +61,12 @@ impl Trace {
     pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
         let mut w = BufWriter::new(w);
         writeln!(w, "# elastic-cloud-cache query trace v1")?;
-        writeln!(w, "# {} queries over {} time steps", self.len(), self.steps())?;
+        writeln!(
+            w,
+            "# {} queries over {} time steps",
+            self.len(),
+            self.steps()
+        )?;
         for &(step, key) in &self.events {
             writeln!(w, "{step},{key}")?;
         }
@@ -85,7 +90,9 @@ impl Trace {
                     format!("line {}: {msg}: {line:?}", no + 1),
                 )
             };
-            let (s, k) = line.split_once(',').ok_or_else(|| bad("expected step,key"))?;
+            let (s, k) = line
+                .split_once(',')
+                .ok_or_else(|| bad("expected step,key"))?;
             let step: u64 = s.trim().parse().map_err(|_| bad("bad step"))?;
             let key: u64 = k.trim().parse().map_err(|_| bad("bad key"))?;
             if step < last_step {

@@ -1,0 +1,706 @@
+//! Source-level lint engine behind `cargo xtask lint`.
+//!
+//! The pass walks `crates/*/src`, strips comments and string literals with a
+//! lightweight scanner, skips `#[cfg(test)]` modules, and enforces the
+//! repo's correctness rules (see DESIGN.md, "Invariants & static analysis"):
+//!
+//! * **no-panic** — library code of `ecc-core`, `ecc-net`, `ecc-chash` and
+//!   `ecc-cloudsim` must not call `.unwrap()` / `.expect(..)` or invoke
+//!   `panic!` / `todo!` / `unimplemented!` / `dbg!`; fallible paths return
+//!   `CacheError` / protocol errors instead. (`assert!` family stays legal:
+//!   invariant auditors are supposed to assert.)
+//! * **no-wallclock** — `Instant::now` / `SystemTime::now` are forbidden
+//!   outside `crates/bench`, the load generator and `src/bin` entry points;
+//!   simulated time must flow through `ecc_cloudsim::clock`.
+//! * **deny-unsafe** — every crate root must carry `#![deny(unsafe_code)]`
+//!   (or `forbid`).
+//! * **must-use** — public result-bearing types (names ending in `Receipt`,
+//!   `Report`, `Metrics`, `Stats`, `Billing`) must be `#[must_use]` so
+//!   simulation outcomes cannot be silently dropped.
+//!
+//! A finding can be waived for one line with a trailing
+//! `// xtask: allow(<rule>)` comment stating the reason.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must be panic-free.
+const PANIC_FREE_CRATES: &[&str] = &["core", "net", "chash", "cloudsim"];
+
+/// Crates exempt from the wall-clock rule wholesale (measurement harnesses).
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+
+/// Files exempt from the wall-clock rule: they intentionally measure real
+/// elapsed time (the live-cluster load generator).
+const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/net/src/loadgen.rs"];
+
+/// Name suffixes of result-bearing types that must be `#[must_use]`.
+const MUST_USE_SUFFIXES: &[&str] = &["Receipt", "Report", "Metrics", "Stats", "Billing"];
+
+/// One lint rule; `Display` gives its diagnostic slug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Panicking call in library code that must return typed errors.
+    NoPanic,
+    /// Wall-clock read outside the measurement harness.
+    NoWallClock,
+    /// Crate root missing `#![deny(unsafe_code)]`.
+    DenyUnsafe,
+    /// Result-bearing public type missing `#[must_use]`.
+    MustUse,
+}
+
+impl Rule {
+    /// The slug accepted by `// xtask: allow(<slug>)`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NoWallClock => "no-wallclock",
+            Rule::DenyUnsafe => "deny-unsafe",
+            Rule::MustUse => "must-use",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One diagnostic: file, 1-based line, rule and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Which rules apply to one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// Enforce the no-panic rule.
+    pub panics: bool,
+    /// Enforce the no-wallclock rule.
+    pub wallclock: bool,
+    /// Enforce `#[must_use]` coverage.
+    pub must_use: bool,
+    /// Require `#![deny(unsafe_code)]` (crate roots only).
+    pub deny_unsafe: bool,
+}
+
+/// Decide the policy for a workspace-relative path such as
+/// `crates/core/src/elastic.rs`. Returns `None` for files the pass ignores.
+pub fn policy_for(rel_path: &str) -> Option<Policy> {
+    let rel = rel_path.replace('\\', "/");
+    let mut parts = rel.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    let krate = parts.next()?;
+    if parts.next() != Some("src") {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+    let is_lib_root = rel.ends_with("/src/lib.rs");
+    let wallclock_exempt = WALLCLOCK_EXEMPT_CRATES.contains(&krate)
+        || WALLCLOCK_EXEMPT_FILES.contains(&rel.as_str())
+        || is_bin;
+    let panic_free = PANIC_FREE_CRATES.contains(&krate) && !is_bin;
+    Some(Policy {
+        panics: panic_free,
+        wallclock: !wallclock_exempt,
+        must_use: PANIC_FREE_CRATES.contains(&krate),
+        deny_unsafe: is_lib_root,
+    })
+}
+
+/// Replace comments and string/char literals with spaces, preserving line
+/// structure, so substring detectors cannot fire inside prose or literals.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Normal => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                }
+                'r' | 'b' => {
+                    // Possible raw string r"..", r#".."#, br".." etc.
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && (c == 'r' || bytes.get(i + 1) == Some(&'r')) {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                        state = State::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with '
+                    // within a few chars ('a', '\n', '\u{..}').
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        state = State::Char;
+                        out.push(' ');
+                    } else {
+                        out.push('\'');
+                    }
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Normal;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    state = State::Normal;
+                    out.push('"');
+                }
+                '\n' => out.push('\n'),
+                _ => out.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    // Check for closing hashes.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Normal;
+                        continue;
+                    }
+                }
+                if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::Char => {
+                if c == '\\' && next.is_some() {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Normal;
+                }
+                out.push(' ');
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when `hay[pos..]` starts a macro invocation of `name` (i.e. is
+/// `name!` not preceded by an identifier character).
+fn is_macro_call(hay: &str, pos: usize, name: &str) -> bool {
+    if pos > 0 {
+        if let Some(prev) = hay[..pos].chars().next_back() {
+            if prev.is_alphanumeric() || prev == '_' {
+                return false;
+            }
+        }
+    }
+    hay[pos + name.len()..].starts_with('!')
+}
+
+fn find_macro(line: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(off) = line[start..].find(name) {
+        let pos = start + off;
+        if is_macro_call(line, pos, name) {
+            return true;
+        }
+        start = pos + name.len();
+    }
+    false
+}
+
+/// Scan one file's source text under `policy`; `rel_path` is used for
+/// diagnostics and must be workspace-relative.
+pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = strip_comments_and_strings(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+
+    if policy.deny_unsafe
+        && !src.contains("#![deny(unsafe_code)]")
+        && !src.contains("#![forbid(unsafe_code)]")
+    {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: Rule::DenyUnsafe,
+            message: "crate root must carry `#![deny(unsafe_code)]`".into(),
+        });
+    }
+
+    // Track `#[cfg(test)] mod { .. }` regions via brace depth.
+    let mut depth: i64 = 0;
+    let mut cfg_test_pending = false;
+    let mut skip_above_depth: Option<i64> = None;
+
+    for (idx, stripped_line) in stripped_lines.iter().enumerate() {
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        let line_no = idx + 1;
+
+        let in_test_code = skip_above_depth.is_some();
+        if !in_test_code {
+            if stripped_line.contains("#[cfg(test)]") {
+                cfg_test_pending = true;
+            } else if cfg_test_pending {
+                let t = stripped_line.trim_start();
+                if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                    skip_above_depth = Some(depth);
+                    cfg_test_pending = false;
+                } else if !t.is_empty() && !t.starts_with("#[") {
+                    // The cfg(test) applied to a non-module item (fn, use…);
+                    // stay conservative and keep linting.
+                    cfg_test_pending = false;
+                }
+            }
+        }
+        let in_test_code = skip_above_depth.is_some();
+
+        for c in stripped_line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = skip_above_depth {
+                        if depth <= d {
+                            skip_above_depth = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if in_test_code {
+            continue;
+        }
+
+        let allowed = |rule: Rule| raw_line.contains(&format!("xtask: allow({})", rule.slug()));
+
+        if policy.panics && !allowed(Rule::NoPanic) {
+            if stripped_line.contains(".unwrap()") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::NoPanic,
+                    message: "`.unwrap()` in library code — return a typed error (`CacheError`, \
+                              `RingError`, protocol status) instead"
+                        .into(),
+                });
+            }
+            if stripped_line.contains(".expect(") {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::NoPanic,
+                    message: "`.expect(..)` in library code — return a typed error instead".into(),
+                });
+            }
+            for mac in ["panic", "todo", "unimplemented", "dbg"] {
+                if find_macro(stripped_line, mac) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::NoPanic,
+                        message: format!("`{mac}!` in library code — return a typed error instead"),
+                    });
+                }
+            }
+        }
+
+        if policy.wallclock && !allowed(Rule::NoWallClock) {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if stripped_line.contains(pat) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::NoWallClock,
+                        message: format!(
+                            "`{pat}` outside the measurement harness — simulated time must \
+                             go through `ecc_cloudsim::clock::SimClock`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if policy.must_use && !allowed(Rule::MustUse) {
+            if let Some(name) = pub_type_name(stripped_line) {
+                if MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s))
+                    && !attr_block_has_must_use(&raw_lines, idx)
+                {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::MustUse,
+                        message: format!(
+                            "result-bearing type `{name}` must be `#[must_use]` so simulation \
+                             outcomes cannot be silently dropped"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Extract `Name` from a `pub struct Name` / `pub enum Name` declaration line.
+fn pub_type_name(stripped_line: &str) -> Option<&str> {
+    let t = stripped_line.trim_start();
+    let rest = t
+        .strip_prefix("pub struct ")
+        .or_else(|| t.strip_prefix("pub enum "))?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    if end == 0 {
+        None
+    } else {
+        Some(&rest[..end])
+    }
+}
+
+/// Walk the contiguous attribute/doc block above `decl_idx` looking for
+/// `#[must_use`.
+fn attr_block_has_must_use(raw_lines: &[&str], decl_idx: usize) -> bool {
+    let mut i = decl_idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines[i].trim_start();
+        if t.starts_with("#[") || t.starts_with("///") || t.ends_with("]") && t.starts_with("#") {
+            if t.contains("#[must_use") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run the full lint pass over a workspace root. Returns all findings;
+/// `files_scanned` reports coverage for the summary line.
+pub fn run_lint(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let crates_dir = workspace_root.join("crates");
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(policy) = policy_for(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(path)?;
+        scanned += 1;
+        findings.extend(scan_source(&rel, &src, policy));
+    }
+    Ok((findings, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB_POLICY: Policy = Policy {
+        panics: true,
+        wallclock: true,
+        must_use: true,
+        deny_unsafe: false,
+    };
+
+    #[test]
+    fn flags_unwrap_with_file_and_line() {
+        let src = "#![deny(unsafe_code)]\nfn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let f = scan_source("crates/core/src/x.rs", src, LIB_POLICY);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert_eq!(f[0].rule, Rule::NoPanic);
+        assert_eq!(f[0].file, "crates/core/src/x.rs");
+    }
+
+    #[test]
+    fn flags_expect_panic_todo_dbg() {
+        let src = "fn f() {\n    let _ = o.expect(\"boom\");\n    panic!(\"x\");\n    todo!();\n    dbg!(1);\n}\n";
+        let f = scan_source("f.rs", src, LIB_POLICY);
+        let rules: Vec<usize> = f.iter().map(|x| x.line).collect();
+        assert_eq!(rules, vec![2, 3, 4, 5]);
+        assert!(f.iter().all(|x| x.rule == Rule::NoPanic));
+    }
+
+    #[test]
+    fn asserts_are_not_panics() {
+        let src =
+            "fn f() {\n    assert!(true);\n    assert_eq!(1, 1);\n    debug_assert!(cond());\n}\n";
+        assert!(scan_source("f.rs", src, LIB_POLICY).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_doctests_are_exempt() {
+        let src = "//! docs: call `.unwrap()` and panic!\n\
+                   /// ```\n/// x.unwrap();\n/// ```\n\
+                   fn f() {\n    let s = \".unwrap() panic! Instant::now\";\n\
+                   /* block .unwrap() */\n    let _ = s;\n}\n";
+        assert!(scan_source("f.rs", src, LIB_POLICY).is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_exempt() {
+        let src = "fn f() -> &'static str {\n    r#\"contains .unwrap() and panic!\"#\n}\n";
+        assert!(scan_source("f.rs", src, LIB_POLICY).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn lib_fn() -> u32 { 1 }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n        panic!(\"in tests it's fine\");\n    }\n}\n";
+        assert!(scan_source("f.rs", src, LIB_POLICY).is_empty());
+    }
+
+    #[test]
+    fn code_after_test_module_is_linted_again() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = scan_source("f.rs", src, LIB_POLICY);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 5);
+    }
+
+    #[test]
+    fn wallclock_is_flagged() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    let s = std::time::SystemTime::now();\n}\n";
+        let f = scan_source("f.rs", src, LIB_POLICY);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::NoWallClock));
+    }
+
+    #[test]
+    fn allow_comment_waives_one_line() {
+        let src = "fn f() {\n    x.unwrap(); // xtask: allow(no-panic) — infallible by construction\n    y.unwrap()\n}\n";
+        let f = scan_source("f.rs", src, LIB_POLICY);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn must_use_suffix_types_need_attribute() {
+        let bad = "pub struct LoadReport {\n    pub n: u64,\n}\n";
+        let good = "#[must_use]\npub struct LoadReport {\n    pub n: u64,\n}\n";
+        let doc_between = "#[must_use = \"reports must be consumed\"]\n/// Docs.\n#[derive(Debug)]\npub struct BillingStats;\n";
+        assert_eq!(scan_source("f.rs", bad, LIB_POLICY).len(), 1);
+        assert!(scan_source("f.rs", good, LIB_POLICY).is_empty());
+        assert!(scan_source("f.rs", doc_between, LIB_POLICY).is_empty());
+    }
+
+    #[test]
+    fn lib_roots_require_deny_unsafe() {
+        let policy = Policy {
+            deny_unsafe: true,
+            ..LIB_POLICY
+        };
+        let f = scan_source("crates/core/src/lib.rs", "//! lib\n", policy);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::DenyUnsafe);
+        let ok = scan_source("crates/core/src/lib.rs", "#![deny(unsafe_code)]\n", policy);
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn policies_match_the_repo_layout() {
+        // Library code of the four protected crates: full checks.
+        let p = policy_for("crates/core/src/elastic.rs").unwrap();
+        assert!(p.panics && p.wallclock && p.must_use && !p.deny_unsafe);
+        assert!(policy_for("crates/chash/src/ring.rs").unwrap().panics);
+        assert!(policy_for("crates/net/src/server.rs").unwrap().panics);
+        // Crate roots additionally require deny(unsafe_code).
+        assert!(policy_for("crates/core/src/lib.rs").unwrap().deny_unsafe);
+        // bptree etc.: no panic rule, but wall-clock still applies.
+        let p = policy_for("crates/bptree/src/tree.rs").unwrap();
+        assert!(!p.panics && p.wallclock);
+        // The load generator measures real time on purpose.
+        assert!(!policy_for("crates/net/src/loadgen.rs").unwrap().wallclock);
+        assert!(policy_for("crates/net/src/loadgen.rs").unwrap().panics);
+        // Binaries may touch real time and unwrap CLI setup.
+        let p = policy_for("crates/net/src/bin/cache_server.rs").unwrap();
+        assert!(!p.panics && !p.wallclock);
+        // bench is a measurement harness.
+        assert!(
+            !policy_for("crates/bench/src/bin/fig_a1.rs")
+                .unwrap()
+                .wallclock
+        );
+        // Non-source files are ignored.
+        assert!(policy_for("crates/core/Cargo.toml").is_none());
+        assert!(policy_for("README.md").is_none());
+    }
+
+    #[test]
+    fn end_to_end_on_a_temp_tree_exits_dirty() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-test-{}", std::process::id()));
+        let src_dir = root.join("crates/core/src");
+        std::fs::create_dir_all(&src_dir).unwrap();
+        std::fs::write(
+            src_dir.join("lib.rs"),
+            "#![deny(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let (findings, scanned) = run_lint(&root).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+        assert_eq!(scanned, 1);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].file, "crates/core/src/lib.rs");
+        assert_eq!(findings[0].line, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//! * `lint` — run the repo's static-analysis pass over `crates/*/src`
+//!   (see [`xtask::run_lint`]); prints `file:line: [rule] message`
+//!   diagnostics and exits nonzero when violations exist.
+
+#![deny(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown xtask subcommand `{other}`");
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    // xtask lives at <root>/crates/xtask, so the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."));
+    match xtask::run_lint(root) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("xtask lint: {scanned} files scanned, clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "xtask lint: {} violation(s) across {scanned} scanned files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -32,11 +32,7 @@ fn main() {
 
     // Quiet phase: sparse interest over the whole map. Storm phase:
     // hotspot around the affected region (keys clustered), 5x the rate.
-    let quiet = QueryStream::new(
-        RateSchedule::constant(50),
-        KeyDist::uniform(32 * 1024),
-        1,
-    );
+    let quiet = QueryStream::new(RateSchedule::constant(50), KeyDist::uniform(32 * 1024), 1);
     let storm = QueryStream::new(
         RateSchedule::constant(250),
         KeyDist::hotspot(32 * 1024, 2048, 0.8),
@@ -70,7 +66,10 @@ fn main() {
         );
     };
 
-    println!("{:<22} {:>8} {:>9} {:>10} {:>6} {:>10}", "phase", "queries", "hit-rate", "speedup", "nodes", "evictions");
+    println!(
+        "{:<22} {:>8} {:>9} {:>10} {:>6} {:>10}",
+        "phase", "queries", "hit-rate", "speedup", "nodes", "evictions"
+    );
     run_phase("baseline interest", &quiet, 100, &mut cache);
     run_phase("disaster query storm", &storm, 200, &mut cache);
     run_phase("waning interest", &quiet, 300, &mut cache);

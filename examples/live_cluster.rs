@@ -72,14 +72,8 @@ fn main() -> std::io::Result<()> {
     ring.insert_bucket((1 << 13) - 1, 0).unwrap();
     ring.insert_bucket((1 << 14) - 1, 1).unwrap();
     let addrs = [s1.addr(), s2.addr()];
-    let report = elastic_cloud_cache::net::loadgen::run_load(
-        &ring,
-        |n| addrs[*n],
-        4,
-        8_000,
-        1 << 12,
-        512,
-    )?;
+    let report =
+        elastic_cloud_cache::net::loadgen::run_load(&ring, |n| addrs[*n], 4, 8_000, 1 << 12, 512)?;
     let (p50, p95, p99) = report.latency_us;
     println!(
         "{} ops in {:.2} s  ->  {:.0} ops/s, hit rate {:.1} %, latency p50/p95/p99 = {}/{}/{} µs",

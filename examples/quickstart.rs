@@ -48,7 +48,12 @@ fn main() {
 
     // 4. What did that cost?
     let m = cache.metrics();
-    println!("\nhits: {}  misses: {}  speedup so far: {:.2}x", m.hits, m.misses, m.speedup());
+    println!(
+        "\nhits: {}  misses: {}  speedup so far: {:.2}x",
+        m.hits,
+        m.misses,
+        m.speedup()
+    );
     println!(
         "fleet: {} node(s), bill: ${:.3}",
         cache.node_count(),

@@ -74,8 +74,7 @@ fn live_cluster_survives_a_grow_evict_contract_cycle() {
     assert!(peak >= 4, "expected growth, got {peak}");
 
     // Keep half the keys warm across slice boundaries.
-    let (warm, cold): (Vec<u64>, Vec<u64>) =
-        keys.iter().partition(|&&k| k % 2 == 0);
+    let (warm, cold): (Vec<u64>, Vec<u64>) = keys.iter().partition(|&&k| k % 2 == 0);
     for _ in 0..4 {
         for &k in &warm {
             assert!(live.get(k).unwrap().is_some(), "warm key {k} lost");

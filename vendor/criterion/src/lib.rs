@@ -1,0 +1,226 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides just enough of the criterion 0.5 API for the workspace's
+//! `benches/micro.rs` to compile and produce useful ns/iter numbers:
+//! groups, parameterized benchmark IDs, `iter`/`iter_batched`, throughput
+//! annotations and the `criterion_group!`/`criterion_main!` macros.
+//! No statistics engine, no HTML reports — a calibrated timing loop that
+//! prints one line per benchmark.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup allocations; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// A fresh input for every routine call.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-benchmark timing driver handed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last run.
+    ns_per_iter: f64,
+}
+
+/// Target wall-clock budget per benchmark; tiny because the shim only needs
+/// order-of-magnitude numbers, not criterion-grade confidence intervals.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    /// Time `routine` in a calibrated loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in ~1ms?
+        let mut n: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(1) || n >= (1 << 24) {
+                let per = dt.as_nanos() as f64 / n as f64;
+                let total = (MEASURE_BUDGET.as_nanos() as f64 / per.max(0.5)) as u64;
+                let iters = total.clamp(n, 1 << 26);
+                let t1 = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.ns_per_iter = t1.elapsed().as_nanos() as f64 / iters as f64;
+                return;
+            }
+            n *= 4;
+        }
+    }
+
+    /// Time `routine` over inputs built by `setup` (setup excluded from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut spent = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while spent < MEASURE_BUDGET && iters < 10_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            spent += t0.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput unit.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark that takes an input parameter by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        self.report(&name.to_string(), &bencher);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let ns = bencher.ns_per_iter;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 / (ns * 1e-9);
+                println!("{}/{id}: {ns:.1} ns/iter ({rate:.0} elem/s)", self.name);
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 / (ns * 1e-9) / (1 << 20) as f64;
+                println!("{}/{id}: {ns:.1} ns/iter ({rate:.1} MiB/s)", self.name);
+            }
+            _ => println!("{}/{id}: {ns:.1} ns/iter", self.name),
+        }
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        self.benchmark_group(label.clone()).bench_function(label, f);
+        self
+    }
+
+    /// Accept and ignore criterion CLI arguments (e.g. from `cargo bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

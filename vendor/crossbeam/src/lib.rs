@@ -1,0 +1,121 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::channel` is used by this workspace (the load generator's
+//! worker-to-collector stats channel), so this shim maps `bounded` /
+//! `unbounded` onto `std::sync::mpsc` channels with crossbeam's
+//! cloneable-sender API.
+
+#![deny(unsafe_code)]
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a channel; cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Receive without blocking, if a value is ready.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+
+    /// Draining iterator over a [`Receiver`].
+    #[derive(Debug)]
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    /// Create a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Create a channel with unbounded capacity.
+    ///
+    /// Backed by a generously sized sync channel; the workspace only moves
+    /// a handful of aggregate stats structs through it.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(1 << 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_collects_all() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).ok())
+            })
+            .collect();
+        drop(tx);
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        for h in handles {
+            h.join().ok();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate reimplements
+//! the slice of the proptest 1.x API the workspace's property tests use:
+//! the [`proptest!`] macro (with `#![proptest_config]`, `name in strategy`
+//! and `name: Type` bindings), [`strategy::Strategy`] with `prop_map` /
+//! `boxed`, range and tuple strategies, `any::<T>()`, weighted
+//! [`prop_oneof!`], `proptest::collection::{vec, btree_set}`,
+//! `prop::sample::Index`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! * **No shrinking.** Failing inputs are reported as-is. Because every
+//!   case's RNG is seeded deterministically from the test's module path and
+//!   case index, failures reproduce exactly on re-run.
+//! * `prop_assert*` panics (instead of routing a `TestCaseError`), which is
+//!   strictly more permissive for call sites inside plain closures.
+//! * Case count comes from `ProptestConfig::with_cases`, defaulting to 256,
+//!   overridable via the `PROPTEST_CASES` environment variable.
+
+#![deny(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prelude::prop` re-export module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Define property tests: each case samples the declared strategies and runs
+/// the body; the whole test fails on the first failing case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.effective_cases() {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                // One closure per case so `prop_assume!` can early-return.
+                #[allow(clippy::redundant_closure_call)]
+                (|| {
+                    $crate::__proptest_bind!(__rng; $($params)*);
+                    $body
+                })();
+            }
+        }
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose among strategies, optionally `weight => strategy` weighted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

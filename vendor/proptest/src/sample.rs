@@ -1,0 +1,25 @@
+//! `prop::sample`: index selection into runtime-sized collections.
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+
+/// An arbitrary index, resolved against a concrete length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `[0, size)`.
+    ///
+    /// # Panics
+    /// Panics if `size` is zero, matching real proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.0 % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
