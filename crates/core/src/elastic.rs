@@ -437,11 +437,14 @@ impl ElasticCache {
             let nid = *self.ring.node_for_key(key).ok_or(CacheError::Internal {
                 what: "ring has no buckets",
             })?;
-            // Replacement never overflows (byte delta <= size), so only a
-            // genuinely new record triggers the overflow test.
+            // A replacement is charged only for its byte *growth*: an
+            // existing record's bytes are freed by the overwrite, so the
+            // overflow test applies to `size - old_size`. A growing
+            // replacement that no longer fits triggers a split like any
+            // other overflow.
             let node = self.try_node(nid)?;
-            let is_replacement = node.get(key).is_some();
-            if is_replacement || node.fits(size) {
+            let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
+            if node.fits(size.saturating_sub(old_size)) {
                 self.try_node_mut(nid)?.insert(key, record.clone());
                 self.place_replica(key, &record);
                 #[cfg(debug_assertions)]
@@ -480,6 +483,17 @@ impl ElasticCache {
         let Some(target) = self.replica_target(key) else {
             return;
         };
+        // The target drifts as the ring splits and merges; copies placed at
+        // earlier targets would otherwise linger and could be promoted over
+        // a fresher primary on failure recovery. Sweep every node first —
+        // including the target, so a replica that then fails to fit leaves
+        // no copy rather than a stale one. The fleet is small.
+        let active: Vec<NodeId> = self.nodes().map(|(id, _)| id).collect();
+        for other in active {
+            if let Some(n) = self.node_at_mut(other) {
+                n.remove_replica(key);
+            }
+        }
         let wire = record.len() as u64 + RECORD_WIRE_OVERHEAD;
         self.clock.advance_us(self.net.t_net_us(wire));
         if let Some(node) = self.node_at_mut(target) {
@@ -1702,6 +1716,58 @@ mod tests {
         assert_eq!(cache.metrics().tier_hits, 0);
         // The tier was consulted (one GET) even though it was empty.
         assert_eq!(cache.tier().unwrap().gets(), 1);
+    }
+
+    #[test]
+    fn growing_replacement_splits_instead_of_overflowing() {
+        // Regression (simtest elastic/1): a replacement used to be accepted
+        // unconditionally, pushing its node over capacity. Fill one node
+        // exactly, then grow a resident record in place: the overflow must
+        // trigger a split, and the audit must stay clean throughout.
+        let mut cache = ElasticCache::new(cfg_records(8));
+        for k in 0..8u64 {
+            cache.insert(k * 100, rec()).unwrap();
+        }
+        assert_eq!(cache.node_count(), 1);
+        cache.insert(0, Record::filler(300)).unwrap();
+        assert!(cache.node_count() >= 2, "growth must split, not overflow");
+        assert_eq!(cache.lookup(0).map(|r| r.len()), Some(300));
+        cache.validate();
+    }
+
+    #[test]
+    fn failure_recovery_never_promotes_a_stale_replica() {
+        // Regression (simtest elastic/153): the replica target drifts as
+        // the ring splits, so a replaced record's original copy survived on
+        // a former target and failure recovery promoted the outdated
+        // payload. After a replacement there must be at most one replica
+        // copy fleet-wide, holding the fresh bytes.
+        let mut c = cfg_records(8);
+        c.replicate = true;
+        let mut cache = ElasticCache::new(c);
+        for k in 0..12u64 {
+            cache.insert(k * 80, rec()).unwrap();
+        }
+        assert!(cache.node_count() >= 2);
+        cache.insert(5, Record::filler(60)).unwrap();
+        // More growth reshapes the ring and drifts key 5's replica target.
+        for k in 0..12u64 {
+            cache.insert(k * 80 + 40, rec()).unwrap();
+        }
+        cache.insert(5, Record::filler(90)).unwrap();
+        let copies: Vec<usize> = cache
+            .nodes()
+            .filter_map(|(_, n)| n.get_replica(5).map(Record::len))
+            .collect();
+        assert!(copies.len() <= 1, "key 5 replicated {} times", copies.len());
+        assert!(copies.iter().all(|&l| l == 90), "stale copy: {copies:?}");
+        // Failing the primary serves the fresh bytes or nothing at all.
+        let owner = *cache.ring().node_for_key(5).unwrap();
+        let _ = cache.fail_node(owner);
+        if let Some(r) = cache.lookup(5) {
+            assert_eq!(r.len(), 90, "recovery promoted a stale replica");
+        }
+        cache.validate();
     }
 
     #[test]

@@ -148,15 +148,24 @@ impl StaticCache {
         let Some(node) = self.nodes.get_mut(nid) else {
             return;
         };
-        // Replacement frees the old bytes first.
+        // Replacement frees the old bytes first — but a *growing*
+        // replacement can still overflow the node, so displacement runs in
+        // both arms (after the overwrite for replacements, so the fresh
+        // record is MRU and never displaces itself).
         let already = node.contains(&key);
         if already {
             node.insert(key, record);
-        } else {
-            while node.bytes() + size > self.capacity_bytes {
+            while node.bytes() > self.capacity_bytes {
                 if node.pop_lru().is_none() {
                     // Over budget yet empty: corrupt byte accounting. Stop
                     // displacing rather than spinning forever.
+                    break;
+                }
+                self.metrics.lru_evictions += 1;
+            }
+        } else {
+            while node.bytes() + size > self.capacity_bytes {
+                if node.pop_lru().is_none() {
                     break;
                 }
                 self.metrics.lru_evictions += 1;
@@ -288,6 +297,24 @@ mod tests {
             (rate - expect).abs() < 0.05,
             "hit rate {rate:.3}, expected ≈ {expect:.3}"
         );
+    }
+
+    #[test]
+    fn growing_replacement_displaces_lru_records() {
+        // Regression (simtest static/7): replacements used to skip LRU
+        // displacement entirely, overflowing the node. A 100 B → 250 B
+        // replacement on a full 400 B node must displace the two
+        // least-recently-used records and never the fresh one.
+        let mut cache = StaticCache::new(&cfg_records(4), 1);
+        for k in 0..4u64 {
+            cache.insert(k, Record::filler(100));
+        }
+        cache.insert(3, Record::filler(250));
+        assert!(cache.total_bytes() <= 400);
+        assert_eq!(cache.metrics().lru_evictions, 2);
+        assert_eq!(cache.lookup(3).map(|r| r.len()), Some(250));
+        assert!(cache.lookup(0).is_none(), "LRU key 0 should be displaced");
+        assert!(cache.lookup(2).is_some(), "recent key 2 should survive");
     }
 
     #[test]

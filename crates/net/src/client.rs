@@ -2,6 +2,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 use crate::protocol::{
     decode_keys, decode_range_stats, decode_records, decode_stats, read_frame, write_frame,
@@ -21,6 +22,23 @@ impl RemoteNode {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(RemoteNode { addr, stream })
+    }
+
+    /// Connect with a connection timeout and the same bound on every
+    /// subsequent read, so a node that accepts but never answers surfaces
+    /// as a [`io::ErrorKind::WouldBlock`] / [`io::ErrorKind::TimedOut`]
+    /// error instead of hanging the caller forever.
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<RemoteNode> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(RemoteNode { addr, stream })
+    }
+
+    /// Bound how long any single response read may block (`None` removes
+    /// the bound).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// The server's address.

@@ -351,6 +351,38 @@ impl LiveCoordinator {
         Ok(())
     }
 
+    /// Audit coordinator-wide invariants: the ring partitions the hash
+    /// line, every bucket maps to a live server, every live server owns at
+    /// least one bucket, and no server reports more resident bytes than its
+    /// capacity. Returns a typed [`io::Error`] on the first violation (the
+    /// simulation harness promotes this to a hard failure after every
+    /// event).
+    pub fn check_invariants(&mut self) -> io::Result<()> {
+        self.ring
+            .check_invariants()
+            .map_err(|e| internal(&format!("ring audit: {e}")))?;
+        let active = self.active_ids();
+        for (pos, &nid) in self.ring.buckets() {
+            if !active.contains(&nid) {
+                return Err(internal(&format!(
+                    "bucket {pos} references inactive node {nid}"
+                )));
+            }
+        }
+        for id in active {
+            if self.ring.buckets_of_node(&id).is_empty() {
+                return Err(internal(&format!("live node {id} owns no bucket")));
+            }
+            let (used, _, cap) = self.client(id)?.stats()?;
+            if used > cap {
+                return Err(internal(&format!(
+                    "node {id} holds {used} B over its {cap} B capacity"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Stop every cache server.
     pub fn shutdown(&mut self) -> io::Result<()> {
         for slot in &mut self.nodes {

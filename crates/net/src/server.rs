@@ -139,8 +139,11 @@ fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Respo
         Request::Put { key, value } => {
             let mut node = node.lock();
             let size = value.len() as u64;
-            let replacing = node.get(key).is_some();
-            if !replacing && !node.fits(size) {
+            // A replacement frees the old record's bytes, so only the byte
+            // *growth* counts against capacity; a growing replacement that
+            // no longer fits is refused like any other overflow.
+            let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
+            if !node.fits(size.saturating_sub(old_size)) {
                 return Response::status(Status::Overflow);
             }
             node.insert(key, Record::from_vec(value.to_vec()));
@@ -253,6 +256,23 @@ mod tests {
         assert_eq!(client.get(2).unwrap(), None);
         // Replacement of an existing key is always accepted.
         assert_eq!(client.put(1, vec![0; 90]).unwrap(), Status::Ok);
+        server.stop();
+    }
+
+    #[test]
+    fn replacement_growth_past_capacity_overflows() {
+        // Regression (simtest proto/6, live/16): the Put handler used to
+        // treat any replacement as free, letting a record grow past the
+        // node's capacity. Growth within budget stays Ok; growth past it
+        // must be refused and leave the old record intact.
+        let mut server = CacheServer::spawn(100, 8).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        assert_eq!(client.put(1, vec![7; 60]).unwrap(), Status::Ok);
+        assert_eq!(client.put(1, vec![7; 100]).unwrap(), Status::Ok);
+        assert_eq!(client.put(1, vec![7; 101]).unwrap(), Status::Overflow);
+        assert_eq!(client.get(1).unwrap(), Some(vec![7; 100]));
+        let (used, count, _) = client.stats().unwrap();
+        assert_eq!((used, count), (100, 1));
         server.stop();
     }
 

@@ -1,0 +1,101 @@
+//! Coordinator/server fault-path tests: a misbehaving peer — half-written
+//! frames, vanishing clients, nodes that accept but never answer — must
+//! never wedge the server or hang the client. After every injected fault a
+//! *fresh* client performs a full put/get round-trip to prove the server is
+//! still serving.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use ecc_net::client::RemoteNode;
+use ecc_net::protocol::{write_frame, Request, Status};
+use ecc_net::server::CacheServer;
+
+/// The post-fault liveness probe every test ends with.
+fn assert_still_serving(server: &CacheServer, key: u64) {
+    let mut client = RemoteNode::connect(server.addr()).expect("fresh connection after the fault");
+    assert!(client.ping().expect("ping after the fault"));
+    assert_eq!(
+        client.put(key, vec![key as u8; 16]).expect("put"),
+        Status::Ok
+    );
+    assert_eq!(client.get(key).expect("get"), Some(vec![key as u8; 16]));
+}
+
+#[test]
+fn half_written_frame_does_not_wedge_the_server() {
+    let mut server = CacheServer::spawn(10_000, 8).expect("spawn");
+
+    // Promise a 100-byte frame, deliver 10, and vanish. The connection
+    // thread blocks in read_exact until the socket closes, then must treat
+    // the truncation as EOF — not corrupt shared state or spin.
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    raw.write_all(&100u32.to_le_bytes()).expect("length prefix");
+    raw.write_all(&[0xAB; 10]).expect("partial body");
+    raw.flush().expect("flush");
+    drop(raw);
+
+    assert_still_serving(&server, 1);
+    server.stop();
+}
+
+#[test]
+fn client_disconnect_mid_response_does_not_wedge_the_server() {
+    let mut server = CacheServer::spawn(1 << 20, 8).expect("spawn");
+
+    // Park a large record so the response spans many TCP segments.
+    let mut loader = RemoteNode::connect(server.addr()).expect("connect");
+    assert_eq!(
+        loader.put(7, vec![0x5A; 512 * 1024]).expect("put"),
+        Status::Ok
+    );
+    drop(loader);
+
+    // Request it over a raw socket and slam the connection before reading
+    // a single response byte: the server's write hits a reset pipe.
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut raw, &Request::Get { key: 7 }.encode()).expect("request");
+    drop(raw);
+
+    assert_still_serving(&server, 2);
+    server.stop();
+}
+
+#[test]
+fn never_answering_node_times_out_instead_of_hanging() {
+    // A "node" that accepts connections and then goes silent — the
+    // black-hole failure mode a coordinator must bound with timeouts.
+    let sink = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = sink.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        // Keep the accepted socket alive so the client sees an open,
+        // silent peer rather than a reset.
+        let held = sink.accept();
+        std::thread::sleep(Duration::from_secs(1));
+        drop(held);
+    });
+
+    let timeout = Duration::from_millis(200);
+    let mut client = RemoteNode::connect_with_timeout(addr, timeout).expect("connect");
+    let t0 = Instant::now();
+    let err = client.get(1).expect_err("a silent peer must not answer");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "expected a timeout, got {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "client hung on a silent peer for {:?}",
+        t0.elapsed()
+    );
+    hold.join().expect("sink thread");
+
+    // A healthy server next to the black hole is unaffected.
+    let mut server = CacheServer::spawn(10_000, 8).expect("spawn");
+    assert_still_serving(&server, 3);
+    server.stop();
+}

@@ -1,0 +1,235 @@
+//! The elastic-family harness: drives an [`ElasticCache`] through a
+//! schedule and checks every step against the flat-map + model-window
+//! oracle and the PR-1 invariant auditors (promoted to hard failures).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ecc_cloudsim::{BootLatency, InstanceType, NetModel, SimClock};
+use ecc_core::{CacheConfig, ElasticCache, NodeId, Record, WindowConfig};
+
+use crate::event::{record_bytes, Schedule, SimConfig, SimEvent};
+use crate::model::ModelWindow;
+use crate::runner::SimFailure;
+
+/// Virtual service time charged per cache miss (constant; latency does not
+/// affect the correctness oracles).
+const SERVICE_US: u64 = 1_000;
+
+/// Map a schedule config onto a full [`CacheConfig`].
+pub fn cache_config(cfg: &SimConfig) -> CacheConfig {
+    CacheConfig {
+        ring_range: cfg.ring,
+        node_capacity_bytes: cfg.cap,
+        btree_order: cfg.ord.max(4),
+        instance_type: InstanceType::custom("sim.node", cfg.cap, 1_000),
+        boot_latency: if cfg.boot_us == 0 {
+            BootLatency::instant()
+        } else {
+            BootLatency::fixed(cfg.boot_us)
+        },
+        net: NetModel::instant(),
+        merge_fill_threshold: 0.65,
+        contraction_epsilon: cfg.eps.max(1),
+        window: (cfg.m > 0).then(|| WindowConfig {
+            slices: cfg.m,
+            alpha: cfg.alpha(),
+            threshold: None,
+        }),
+        min_nodes: cfg.min_nodes.max(1),
+        lookup_overhead_us: 0,
+        seed: 7,
+        warm_pool: cfg.warm,
+        proactive_split_fill: (cfg.pf_pct > 0).then(|| cfg.pf_pct as f64 / 100.0),
+        adaptive_window: None,
+        replicate: cfg.replicate,
+        overflow_tier: None,
+    }
+}
+
+/// All resident primaries as `key -> payload bytes`, read without touching
+/// the window, clock, or metrics.
+fn resident(cache: &ElasticCache) -> BTreeMap<u64, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for (_, node) in cache.nodes() {
+        for (&k, rec) in node.iter() {
+            out.insert(k, rec.as_slice().to_vec());
+        }
+    }
+    out
+}
+
+/// Run one elastic-family schedule to completion or first divergence.
+pub fn run(s: &Schedule) -> Result<(), SimFailure> {
+    let cfg = &s.cfg;
+    let clock = SimClock::new();
+    let mut cache = ElasticCache::with_clock(cache_config(cfg), clock.clone());
+    let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut window = (cfg.m > 0).then(|| ModelWindow::new(cfg.m, cfg.alpha(), cfg.threshold()));
+    let mut model_evictions = 0u64;
+
+    for (step, ev) in s.events.iter().enumerate() {
+        let fail = |what: String| SimFailure::at(step, what);
+        match *ev {
+            SimEvent::Query { key, len } => {
+                let key = key % cfg.ring;
+                if let Some(w) = &mut window {
+                    w.note(key);
+                }
+                let expect_hit = model.get(&key).cloned();
+                let produced = record_bytes(key, len, step);
+                let errors_before = cache.metrics().insert_errors;
+                let produced_for_miss = produced.clone();
+                let rec = cache.query(key, SERVICE_US, move || Record::from_vec(produced_for_miss));
+                match expect_hit {
+                    Some(want) => {
+                        if rec.as_slice() != want.as_slice() {
+                            return Err(fail(format!(
+                                "query({key}) should hit with {}B but served {}B \
+                                 (record lost or stale)",
+                                want.len(),
+                                rec.len()
+                            )));
+                        }
+                    }
+                    None => {
+                        if rec.as_slice() != produced.as_slice() {
+                            return Err(fail(format!(
+                                "query({key}) should miss and serve the fresh record \
+                                 but returned different bytes (phantom hit)"
+                            )));
+                        }
+                        let admitted =
+                            len as u64 <= cfg.cap && cache.metrics().insert_errors == errors_before;
+                        if admitted {
+                            model.insert(key, produced);
+                        }
+                    }
+                }
+            }
+            SimEvent::Insert { key, len } => {
+                let key = key % cfg.ring;
+                let bytes = record_bytes(key, len, step);
+                // A rejected insert leaves the model unchanged.
+                if cache.insert(key, Record::from_vec(bytes.clone())).is_ok() {
+                    model.insert(key, bytes);
+                }
+            }
+            SimEvent::Lookup { key } => {
+                let key = key % cfg.ring;
+                if let Some(w) = &mut window {
+                    w.note(key);
+                }
+                let got = cache.lookup(key).map(|r| r.as_slice().to_vec());
+                let want = model.get(&key).cloned();
+                if got != want {
+                    return Err(fail(format!(
+                        "lookup({key}) returned {:?}B, model says {:?}B",
+                        got.map(|v| v.len()),
+                        want.map(|v| v.len())
+                    )));
+                }
+            }
+            SimEvent::EndStep => {
+                cache.end_time_step();
+                if let Some(w) = &mut window {
+                    if let Some(expired) = w.end_slice() {
+                        for k in w.victims(&expired) {
+                            if model.remove(&k).is_some() {
+                                model_evictions += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            SimEvent::FailNode { nth } => {
+                let active: Vec<NodeId> = cache.nodes().map(|(id, _)| id).collect();
+                if active.is_empty() {
+                    return Err(fail("no active node to fail".into()));
+                }
+                let target = active[nth as usize % active.len()];
+                let pre_keys: Vec<u64> = cache
+                    .nodes()
+                    .find(|(id, _)| *id == target)
+                    .map(|(_, n)| n.iter().map(|(&k, _)| k).collect())
+                    .unwrap_or_default();
+                let outcome = cache.fail_node(target);
+                let survivors: BTreeSet<u64> = resident(&cache).into_keys().collect();
+                let recovered = pre_keys.iter().filter(|k| survivors.contains(k)).count();
+                if outcome.records_recovered != recovered
+                    || outcome.records_lost != pre_keys.len() - recovered
+                {
+                    return Err(fail(format!(
+                        "fail_node({target}) reported lost={} recovered={} but the fleet \
+                         actually retained {recovered} of {} resident records",
+                        outcome.records_lost,
+                        outcome.records_recovered,
+                        pre_keys.len()
+                    )));
+                }
+                model.retain(|k, _| survivors.contains(k));
+            }
+            SimEvent::AdvanceClock { us } => {
+                clock.advance_us(us);
+            }
+            other => {
+                return Err(fail(format!(
+                    "event {other:?} is not part of the elastic family"
+                )));
+            }
+        }
+
+        // Oracle 2: the PR-1 invariant auditors, as hard assertions.
+        if let Err(e) = cache.check_invariants() {
+            return Err(fail(format!("invariant violated: {e}")));
+        }
+        // Oracle 1: full differential content sweep against the flat model.
+        let actual = resident(&cache);
+        if actual != model {
+            return Err(fail(content_divergence(&actual, &model)));
+        }
+        let m = cache.metrics();
+        if m.hits + m.misses != m.queries {
+            return Err(fail(format!(
+                "metrics out of balance: {} hits + {} misses != {} queries",
+                m.hits, m.misses, m.queries
+            )));
+        }
+        if m.evictions != model_evictions {
+            return Err(fail(format!(
+                "cache evicted {} records, model predicted {model_evictions}",
+                m.evictions
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Human-readable summary of the first difference between the cache's
+/// resident content and the model's.
+pub fn content_divergence(
+    actual: &BTreeMap<u64, Vec<u8>>,
+    model: &BTreeMap<u64, Vec<u8>>,
+) -> String {
+    for (k, v) in model {
+        match actual.get(k) {
+            None => return format!("key {k} in model ({}B) but missing from cache", v.len()),
+            Some(a) if a != v => {
+                return format!(
+                    "key {k} holds {}B in cache but model expects {}B (stale payload)",
+                    a.len(),
+                    v.len()
+                )
+            }
+            Some(_) => {}
+        }
+    }
+    for (k, v) in actual {
+        if !model.contains_key(k) {
+            return format!(
+                "key {k} resident in cache ({}B) but absent from model",
+                v.len()
+            );
+        }
+    }
+    "content diverged (unlocalised)".into()
+}

@@ -1,0 +1,135 @@
+//! The proto-family harness: frame-level fault injection against one real
+//! [`CacheServer`] over a loopback socket, with a [`ModelServer`] oracle
+//! predicting the exact response — status *and* body — for every frame.
+//!
+//! The trick that makes faults checkable: the oracle decodes the *mutated*
+//! bytes in-process with the production [`Request::decode`], so it knows
+//! precisely what the server will see (a corrupt byte may turn a `Put` into
+//! a `RangeStats`, or into garbage ⇒ `BadRequest`).
+
+use std::net::TcpStream;
+
+use bytes::Bytes;
+use ecc_net::protocol::{read_frame, write_frame, Request, Response};
+use ecc_net::server::CacheServer;
+
+use crate::event::{record_bytes, Fault, Schedule, SimEvent, WireOp};
+use crate::model::ModelServer;
+use crate::runner::SimFailure;
+
+/// Build the well-formed request for a wire op at schedule position `step`.
+fn request_for(op: WireOp, step: usize) -> Request {
+    match op {
+        WireOp::Get { key } => Request::Get { key },
+        WireOp::Put { key, len } => Request::Put {
+            key,
+            value: Bytes::from(record_bytes(key, len, step)),
+        },
+        WireOp::Remove { key } => Request::Remove { key },
+        WireOp::Sweep { lo, hi } => Request::Sweep { lo, hi },
+        WireOp::Keys { lo, hi } => Request::Keys { lo, hi },
+        WireOp::Stats => Request::Stats,
+        WireOp::Ping => Request::Ping,
+    }
+}
+
+/// Apply a fault to an encoded payload. Returns `None` when the frame is
+/// dropped entirely, otherwise the (possibly mutated) payload and how many
+/// times to send it.
+fn apply_fault(fault: Fault, payload: &[u8]) -> Option<(Vec<u8>, usize)> {
+    match fault {
+        Fault::None => Some((payload.to_vec(), 1)),
+        Fault::Corrupt { pos, xor } => {
+            let mut p = payload.to_vec();
+            if !p.is_empty() {
+                let i = pos as usize % p.len();
+                p[i] ^= xor;
+            }
+            Some((p, 1))
+        }
+        Fault::Truncate { len } => {
+            let mut p = payload.to_vec();
+            p.truncate(len as usize);
+            Some((p, 1))
+        }
+        Fault::Duplicate => Some((payload.to_vec(), 2)),
+        Fault::Drop => None,
+    }
+}
+
+/// Run one proto-family schedule to completion or first divergence.
+pub fn run(s: &Schedule) -> Result<(), SimFailure> {
+    let cfg = &s.cfg;
+
+    let mut server = CacheServer::spawn(cfg.cap, cfg.ord.max(4))
+        .map_err(|e| SimFailure::infra(format!("server spawn failed: {e}")))?;
+    let mut stream = TcpStream::connect(server.addr())
+        .map_err(|e| SimFailure::infra(format!("connect failed: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let mut model = ModelServer::new(cfg.cap);
+    let mut shut_down = false;
+
+    'schedule: for (step, ev) in s.events.iter().enumerate() {
+        let fail = |what: String| SimFailure::at(step, what);
+        let SimEvent::Frame { fault, op } = *ev else {
+            return Err(fail(format!(
+                "event {ev:?} is not part of the proto family"
+            )));
+        };
+        let payload = request_for(op, step).encode();
+        let Some((mutated, copies)) = apply_fault(fault, &payload) else {
+            continue; // dropped frame: neither side sees anything
+        };
+        for _ in 0..copies {
+            // The oracle sees exactly what the server will decode.
+            let decoded = Request::decode(Bytes::from(mutated.clone()));
+            let is_shutdown = matches!(decoded, Some(Request::Shutdown));
+            let want = model.respond(decoded);
+            write_frame(&mut stream, &mutated).map_err(|e| fail(format!("send failed: {e}")))?;
+            let raw = read_frame(&mut stream)
+                .map_err(|e| fail(format!("server stopped answering: {e}")))?;
+            let got =
+                Response::decode(raw).ok_or_else(|| fail("undecodable response frame".into()))?;
+            if got != want {
+                return Err(fail(format!(
+                    "response diverged for {op:?} under {fault:?}: server said \
+                     ({:?}, {}B body), model predicts ({:?}, {}B body)",
+                    got.status,
+                    got.body.len(),
+                    want.status,
+                    want.body.len()
+                )));
+            }
+            if is_shutdown {
+                // A corrupt byte turned the opcode into Shutdown: the server
+                // acknowledged and is closing; nothing further can be sent.
+                shut_down = true;
+                break 'schedule;
+            }
+        }
+    }
+
+    if !shut_down {
+        // Final accounting handshake on the same connection.
+        let payload = Request::Stats.encode();
+        let want = model.respond(Some(Request::Stats));
+        write_frame(&mut stream, &payload)
+            .map_err(|e| SimFailure::end(format!("final stats send failed: {e}")))?;
+        let raw = read_frame(&mut stream)
+            .map_err(|e| SimFailure::end(format!("final stats read failed: {e}")))?;
+        let got = Response::decode(raw)
+            .ok_or_else(|| SimFailure::end("undecodable final stats response".into()))?;
+        if got != want {
+            return Err(SimFailure::end(format!(
+                "final stats diverged: server {:?}, model {:?} (used={} records={})",
+                got.body,
+                want.body,
+                model.used(),
+                model.len()
+            )));
+        }
+    }
+    drop(stream);
+    server.stop();
+    Ok(())
+}

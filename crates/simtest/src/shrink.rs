@@ -1,0 +1,106 @@
+//! Delta-debugging shrinker: reduce a failing schedule to a (locally)
+//! minimal event list that still fails.
+//!
+//! Greedy chunk-halving: try removing runs of events, largest runs first,
+//! re-running the harness on each candidate; keep any removal that still
+//! fails. Terminates at a 1-minimal schedule (no single event can be
+//! removed) or when the run budget is exhausted — either way the result is
+//! a valid failing schedule, never worse than the input.
+
+use crate::event::Schedule;
+
+/// Shrink `orig` with at most `max_runs` candidate executions.
+/// `still_fails` must return `true` when a candidate schedule reproduces
+/// the failure.
+pub fn shrink(
+    orig: &Schedule,
+    mut still_fails: impl FnMut(&Schedule) -> bool,
+    max_runs: usize,
+) -> Schedule {
+    let mut current = orig.clone();
+    let mut runs = 0usize;
+    let mut chunk = (current.events.len() / 2).max(1);
+    loop {
+        let mut progress = false;
+        let mut start = 0usize;
+        while start < current.events.len() {
+            if runs >= max_runs {
+                return current;
+            }
+            let end = (start + chunk).min(current.events.len());
+            let keep: Vec<bool> = (0..current.events.len())
+                .map(|i| i < start || i >= end)
+                .collect();
+            let candidate = current.subset(&keep);
+            runs += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                progress = true;
+                // Indices shifted left; retry the same start position.
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk > 1 {
+            chunk = (chunk / 2).max(1);
+        } else if !progress {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Family, SimConfig, SimEvent};
+
+    fn sched(n: usize) -> Schedule {
+        Schedule {
+            family: Family::Elastic,
+            cfg: SimConfig::base(),
+            events: (0..n).map(|i| SimEvent::Lookup { key: i as u64 }).collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_event() {
+        // "Fails" iff key 13 is present.
+        let guilty = |s: &Schedule| {
+            s.events
+                .iter()
+                .any(|e| matches!(e, SimEvent::Lookup { key: 13 }))
+        };
+        let out = shrink(&sched(40), guilty, 10_000);
+        assert_eq!(out.events, vec![SimEvent::Lookup { key: 13 }]);
+    }
+
+    #[test]
+    fn shrinks_an_ordered_pair_to_two_events() {
+        // "Fails" iff key 5 appears before key 30 — order-dependent bugs
+        // must keep both events, in order.
+        let guilty = |s: &Schedule| {
+            let a = s
+                .events
+                .iter()
+                .position(|e| matches!(e, SimEvent::Lookup { key: 5 }));
+            let b = s
+                .events
+                .iter()
+                .position(|e| matches!(e, SimEvent::Lookup { key: 30 }));
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        };
+        let out = shrink(&sched(40), guilty, 10_000);
+        assert_eq!(
+            out.events,
+            vec![SimEvent::Lookup { key: 5 }, SimEvent::Lookup { key: 30 }]
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_still_returns_a_failing_schedule() {
+        let guilty = |s: &Schedule| !s.events.is_empty();
+        let out = shrink(&sched(64), guilty, 3);
+        assert!(!out.events.is_empty());
+        assert!(out.events.len() <= 64);
+    }
+}

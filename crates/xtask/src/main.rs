@@ -4,35 +4,49 @@
 //! * `lint` — run the repo's static-analysis pass over `crates/*/src`
 //!   (see [`xtask::run_lint`]); prints `file:line: [rule] message`
 //!   diagnostics and exits nonzero when violations exist.
+//! * `simtest [--seeds N] [--live-every K]` — run the deterministic
+//!   cluster-simulation battery (`crates/simtest`) over seeds `0..N`;
+//!   failures are shrunk, printed as replayable SIMSEEDs, and written
+//!   under `target/simtest/`.
+//! * `simtest --replay '<SIMSEED>'` — re-run one schedule exactly.
 
 #![deny(unsafe_code)]
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use ecc_simtest::{check_seed, run_schedule, QuietPanics, Schedule, SeedOutcome};
+
+const USAGE: &str =
+    "usage: cargo xtask <lint | simtest [--seeds N] [--live-every K] [--replay SIMSEED]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("simtest") => simtest(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint() -> ExitCode {
-    // xtask lives at <root>/crates/xtask, so the workspace root is two up.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+/// xtask lives at `<root>/crates/xtask`, so the workspace root is two up.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .unwrap_or_else(|| Path::new("."));
-    match xtask::run_lint(root) {
+        .unwrap_or_else(|| Path::new("."))
+}
+
+fn lint() -> ExitCode {
+    match xtask::run_lint(workspace_root()) {
         Ok((findings, scanned)) => {
             for f in &findings {
                 println!("{f}");
@@ -50,6 +64,116 @@ fn lint() -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn simtest(args: &[String]) -> ExitCode {
+    let mut seeds = 500u64;
+    let mut live_every = 8u64;
+    let mut replay: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => return usage_error("--seeds takes an integer"),
+            },
+            "--live-every" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => live_every = n,
+                _ => return usage_error("--live-every takes a positive integer"),
+            },
+            "--replay" => match it.next() {
+                Some(s) => replay = Some(s.clone()),
+                None => return usage_error("--replay takes a SIMSEED string"),
+            },
+            other => return usage_error(&format!("unknown simtest flag `{other}`")),
+        }
+    }
+
+    if let Some(seed_str) = replay {
+        return replay_one(&seed_str);
+    }
+
+    let out_dir = workspace_root().join("target").join("simtest");
+    let _quiet = QuietPanics::install();
+    let mut failures: Vec<SeedOutcome> = Vec::new();
+    for seed in 0..seeds {
+        let include_live = seed % live_every == 0;
+        failures.extend(check_seed(seed, include_live));
+        if (seed + 1) % 100 == 0 {
+            println!(
+                "simtest: {}/{seeds} seeds, {} failure(s)",
+                seed + 1,
+                failures.len()
+            );
+        }
+    }
+    drop(_quiet);
+
+    if failures.is_empty() {
+        println!("simtest: {seeds} seeds passed across all families");
+        return ExitCode::SUCCESS;
+    }
+    for f in &failures {
+        eprintln!("simtest FAILURE [{}/{}] {}", f.family, f.seed, f.failure);
+        eprintln!("  original : {}", f.original.encode());
+        eprintln!("  shrunken : {}", f.shrunken.encode());
+        if let Err(e) = write_failure(&out_dir, f) {
+            eprintln!("  (could not write failure file: {e})");
+        }
+    }
+    eprintln!(
+        "simtest: {} failure(s) over {seeds} seeds; shrunken schedules in {}",
+        failures.len(),
+        out_dir.display()
+    );
+    ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("xtask simtest: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Persist one failure as `target/simtest/<family>-<seed>.txt` so CI can
+/// upload it as an artifact.
+fn write_failure(dir: &Path, f: &SeedOutcome) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}-{}.txt", f.family, f.seed));
+    let body = format!(
+        "family   : {}\nseed     : {}\nfailure  : {}\noriginal : {}\nshrunken : {}\n\n\
+         replay with:\n  cargo xtask simtest --replay '{}'\n",
+        f.family,
+        f.seed,
+        f.failure,
+        f.original.encode(),
+        f.shrunken.encode(),
+        f.shrunken.encode(),
+    );
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+fn replay_one(seed_str: &str) -> ExitCode {
+    let sched = match Schedule::decode(seed_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simtest: bad SIMSEED: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Canonical-encoding check: what we replay is exactly what was printed.
+    println!("replaying: {}", sched.encode());
+    match run_schedule(&sched) {
+        Ok(()) => {
+            println!("simtest replay: schedule passed");
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            eprintln!("simtest replay: {f}");
             ExitCode::FAILURE
         }
     }
