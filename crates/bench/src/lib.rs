@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod perf;
+
 use std::io::Write;
 use std::path::Path;
 

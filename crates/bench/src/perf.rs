@@ -1,0 +1,378 @@
+//! The `cargo xtask bench` performance harness.
+//!
+//! Micro benches cover the three measured hot paths (window note/expire,
+//! protocol encode/decode, elastic insert/lookup) plus the sequential
+//! baselines they are compared against; one macro bench drives a live
+//! coordinator cluster through the load generator. Results are emitted as
+//! `results/bench.json` rows of `{name, ops, ops_per_sec, p50_ns, p99_ns}`
+//! so before/after runs and future PRs stay comparable.
+//!
+//! Pairs share a `*_rescore`/`*_incremental` or `*_sequential`/`*_batched`
+//! suffix; [`speedup`] reads the ratio between them.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use bytes::Bytes;
+use ecc_core::{ElasticCache, Record, SlidingWindow};
+use ecc_net::client::RemoteNode;
+use ecc_net::coordinator::LiveCoordinator;
+use ecc_net::loadgen::run_load;
+use ecc_net::protocol::Request;
+use ecc_net::server::CacheServer;
+
+use crate::paper_cfg;
+
+/// One benchmark row, as serialized into `results/bench.json`.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench identifier (stable across PRs — comparisons key on it).
+    pub name: String,
+    /// Total individual operations performed while timed.
+    pub ops: u64,
+    /// Operations per second over the timed portion.
+    pub ops_per_sec: f64,
+    /// Median per-iteration latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-iteration latency in nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Per-iteration latency accumulator; only time spent inside
+/// [`Samples::time`] counts toward throughput, so refill/setup work
+/// between iterations stays out of the measurement.
+struct Samples {
+    lat_ns: Vec<u64>,
+}
+
+impl Samples {
+    fn new(iters: u64) -> Self {
+        Self {
+            lat_ns: Vec::with_capacity(iters as usize),
+        }
+    }
+
+    /// Time one iteration.
+    fn time<T>(&mut self, op: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = op();
+        self.lat_ns.push(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Fold into a result row; `ops_per_iter` scales iteration count to
+    /// individual operations (keys scored, records evicted, …).
+    fn finish(mut self, name: &str, ops_per_iter: u64) -> BenchResult {
+        let total_ns: u64 = self.lat_ns.iter().sum();
+        let ops = self.lat_ns.len() as u64 * ops_per_iter;
+        self.lat_ns.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if self.lat_ns.is_empty() {
+                0
+            } else {
+                self.lat_ns[((self.lat_ns.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        BenchResult {
+            name: name.to_string(),
+            ops,
+            ops_per_sec: ops as f64 / (total_ns as f64 / 1e9).max(1e-9),
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+        }
+    }
+}
+
+/// Workload knobs for one harness run; `--smoke` shrinks everything to a
+/// few seconds for CI while keeping every bench exercised.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// CI-sized run.
+    pub smoke: bool,
+}
+
+impl BenchOptions {
+    fn pick(self, smoke: u64, full: u64) -> u64 {
+        if self.smoke {
+            smoke
+        } else {
+            full
+        }
+    }
+}
+
+/// Run the full suite; ordering is stable so JSON diffs stay readable.
+pub fn run_benches(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
+    let mut results = Vec::new();
+    results.extend(bench_window(opts));
+    results.push(bench_protocol(opts));
+    results.extend(bench_elastic(opts));
+    results.extend(bench_wire_eviction(opts)?);
+    results.push(bench_live_cluster(opts)?);
+    Ok(results)
+}
+
+/// Slice-expiry scoring: the pre-incremental full `lambda()` rescan of
+/// every expired key vs the occurrence-index `victims()` threshold scan.
+fn bench_window(opts: BenchOptions) -> Vec<BenchResult> {
+    let iters = opts.pick(30, 200);
+    let keys_per_slice = opts.pick(512, 2048);
+    let m = 16usize;
+    let alpha = 0.9f64;
+    let threshold = alpha.powi(3);
+
+    let run = |incremental: bool, name: &str| -> BenchResult {
+        let mut w = SlidingWindow::new(m, alpha, threshold);
+        // Each slice notes a rotating quarter of the key space, so every
+        // key recurs in 4 of the 16 live slices — victims and survivors
+        // both occur.
+        let key_space = keys_per_slice * 4;
+        let mut next = 0u64;
+        let note_slice = |w: &mut SlidingWindow, next: &mut u64| {
+            for i in 0..keys_per_slice {
+                w.note_query((*next + i) % key_space);
+            }
+            *next = (*next + keys_per_slice) % key_space;
+        };
+        for _ in 0..m {
+            note_slice(&mut w, &mut next);
+            let _ = w.end_slice();
+        }
+        let mut samples = Samples::new(iters);
+        for _ in 0..iters {
+            note_slice(&mut w, &mut next);
+            samples.time(|| {
+                if let Some(expired) = w.end_slice() {
+                    let evictable = if incremental {
+                        w.victims(&expired).len()
+                    } else {
+                        expired
+                            .keys()
+                            .filter(|&&k| w.lambda(k) < w.threshold())
+                            .count()
+                    };
+                    std::hint::black_box(evictable);
+                }
+            });
+        }
+        samples.finish(name, keys_per_slice)
+    };
+
+    vec![
+        run(false, "window_expiry_rescore"),
+        run(true, "window_expiry_incremental"),
+    ]
+}
+
+/// Wire-format cost of one 128-record `PutMany` frame: encode into a
+/// reused buffer, then decode it back.
+fn bench_protocol(opts: BenchOptions) -> BenchResult {
+    let iters = opts.pick(500, 5_000);
+    let items: Vec<(u64, Bytes)> = (0..128u64)
+        .map(|k| (k, Bytes::from(vec![0xAB; 64])))
+        .collect();
+    let req = Request::PutMany { items };
+    let mut buf = Vec::new();
+    let mut samples = Samples::new(iters);
+    for _ in 0..iters {
+        samples.time(|| {
+            buf.clear();
+            req.encode_into(&mut buf);
+            std::hint::black_box(Request::decode(&buf[..]));
+        });
+    }
+    samples.finish("proto_putmany_roundtrip", 128)
+}
+
+/// In-process elastic cache: insert throughput, then lookup throughput
+/// over the resident set.
+fn bench_elastic(opts: BenchOptions) -> Vec<BenchResult> {
+    let n = opts.pick(5_000, 50_000);
+    let key_space = 1u64 << 16;
+    let mut cache = ElasticCache::new(paper_cfg(key_space, None));
+    let mut insert = Samples::new(n);
+    for i in 0..n {
+        let key = (i * 7919) % key_space;
+        let rec = Record::from_vec(vec![(i % 251) as u8; 128]);
+        insert.time(|| {
+            let _ = std::hint::black_box(cache.insert(key, rec));
+        });
+    }
+    let mut lookup = Samples::new(n);
+    for i in 0..n {
+        let key = (i * 7919) % key_space;
+        lookup.time(|| {
+            std::hint::black_box(cache.lookup(key));
+        });
+    }
+    vec![
+        insert.finish("elastic_insert", 1),
+        lookup.finish("elastic_lookup", 1),
+    ]
+}
+
+/// Evicting a victim set over the wire: one blocking `Remove` round-trip
+/// per key vs a single `EvictMany` frame. The refill between iterations
+/// is untimed.
+fn bench_wire_eviction(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
+    let iters = opts.pick(5, 30);
+    let victims = opts.pick(128, 256);
+    let keys: Vec<u64> = (0..victims).collect();
+    let server = CacheServer::spawn(64 << 20, 64)?;
+    let mut client = RemoteNode::connect(server.addr())?;
+
+    let refill = |client: &mut RemoteNode| -> io::Result<()> {
+        let items: Vec<(u64, Bytes)> = keys
+            .iter()
+            .map(|&k| (k, Bytes::from(vec![(k % 251) as u8; 64])))
+            .collect();
+        client.put_many(items)?;
+        Ok(())
+    };
+
+    let mut seq = Samples::new(iters);
+    for _ in 0..iters {
+        refill(&mut client)?;
+        seq.time(|| -> io::Result<()> {
+            for &k in &keys {
+                client.remove(k)?;
+            }
+            Ok(())
+        })?;
+    }
+    let mut batched = Samples::new(iters);
+    for _ in 0..iters {
+        refill(&mut client)?;
+        batched.time(|| -> io::Result<()> {
+            std::hint::black_box(client.evict_many(&keys)?);
+            Ok(())
+        })?;
+    }
+    Ok(vec![
+        seq.finish("wire_evict_sequential", victims),
+        batched.finish("wire_evict_batched", victims),
+    ])
+}
+
+/// Macro bench: a live coordinator cluster (grown by real GBA splits)
+/// under the concurrent load generator's GET/PUT-on-miss traffic.
+fn bench_live_cluster(opts: BenchOptions) -> io::Result<BenchResult> {
+    let total_ops = opts.pick(2_000, 20_000);
+    let mut coord = LiveCoordinator::start(1 << 16, 64 << 10)?;
+    // Force a few splits so the fan-out paths actually span nodes.
+    for k in 0..600u64 {
+        coord.put(k * 100 + 1, vec![(k % 251) as u8; 256])?;
+    }
+    let node_unavailable = || io::Error::other("ring references a node with no address");
+    let report = {
+        let coord = &coord;
+        run_load(
+            coord.ring(),
+            |id| {
+                coord
+                    .node_addr(*id)
+                    .unwrap_or_else(|| std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+            },
+            4,
+            total_ops,
+            1 << 12,
+            128,
+        )?
+    };
+    if report.errors > 0 {
+        return Err(node_unavailable());
+    }
+    coord.shutdown()?;
+    Ok(BenchResult {
+        name: "live_cluster_loadgen".to_string(),
+        ops: report.ops,
+        ops_per_sec: report.throughput(),
+        p50_ns: report.latency_us.0 * 1_000,
+        p99_ns: report.latency_us.2 * 1_000,
+    })
+}
+
+/// Throughput ratio `fast / slow` between two named rows, when both exist.
+pub fn speedup(results: &[BenchResult], fast: &str, slow: &str) -> Option<f64> {
+    let find = |n: &str| results.iter().find(|r| r.name == n);
+    let (f, s) = (find(fast)?, find(slow)?);
+    if s.ops_per_sec <= 0.0 {
+        return None;
+    }
+    Some(f.ops_per_sec / s.ops_per_sec)
+}
+
+/// Serialize rows as `{"benches": [...]}` (hand-rolled: the workspace
+/// vendors no JSON serializer, and the schema is flat).
+pub fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops\": {}, \"ops_per_sec\": {:.1}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.name,
+            r.ops,
+            r.ops_per_sec,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Write the JSON report, creating parent directories as needed.
+pub fn write_json(path: &Path, results: &[BenchResult]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, to_json(results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_serializes() {
+        let results = run_benches(BenchOptions { smoke: true }).expect("bench suite");
+        assert!(results.len() >= 6);
+        for r in &results {
+            assert!(r.ops > 0, "{}: zero ops", r.name);
+            assert!(r.ops_per_sec > 0.0, "{}: zero throughput", r.name);
+            assert!(r.p50_ns <= r.p99_ns, "{}: p50 > p99", r.name);
+        }
+        let json = to_json(&results);
+        assert!(json.contains("\"benches\""));
+        assert!(json.contains("window_expiry_incremental"));
+        // Every row closes; the list is well-formed enough for jq.
+        assert_eq!(json.matches("{\"name\"").count(), results.len());
+    }
+
+    #[test]
+    fn speedup_reads_ratio_between_rows() {
+        let rows = vec![
+            BenchResult {
+                name: "fast".into(),
+                ops: 10,
+                ops_per_sec: 300.0,
+                p50_ns: 1,
+                p99_ns: 2,
+            },
+            BenchResult {
+                name: "slow".into(),
+                ops: 10,
+                ops_per_sec: 100.0,
+                p50_ns: 3,
+                p99_ns: 4,
+            },
+        ];
+        let s = speedup(&rows, "fast", "slow").expect("ratio");
+        assert!((s - 3.0).abs() < 1e-9);
+        assert!(speedup(&rows, "fast", "missing").is_none());
+    }
+}

@@ -14,9 +14,23 @@
 //! decay is amortized in older slices), so a key keeps its cache residency
 //! by being re-queried.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// The global sliding window of queried keys.
+///
+/// Alongside the per-slice maps the window maintains a per-key *occurrence
+/// index*: for every key resident anywhere in the completed window, the
+/// `(epoch, count)` pairs of the slices it appears in, oldest first. Each
+/// `(key, slice)` occurrence is pushed exactly once (at `end_slice`) and
+/// popped exactly once (when its slice expires), so maintenance is O(1)
+/// amortized per recorded query, and scoring a key is O(occurrences of the
+/// key) instead of O(m) map lookups — `victims()` becomes a threshold scan.
+///
+/// Summing only the slices a key actually appears in, newest first, is
+/// *bit-identical* to the full newest-to-oldest sum in [`Self::lambda`]:
+/// every skipped term is `α^i · 0 = +0.0`, and `x + 0.0 == x` exactly for
+/// the non-negative partial sums that arise here. The simtest bit-exact
+/// window oracle relies on this.
 #[derive(Debug, Clone)]
 pub struct SlidingWindow {
     m: usize,
@@ -28,6 +42,13 @@ pub struct SlidingWindow {
     history: VecDeque<BTreeMap<u64, u32>>,
     /// Precomputed decay powers `α^0 … α^(m-1)`.
     powers: Vec<f64>,
+    /// Epoch assigned to the next completed slice. Epochs are contiguous:
+    /// `history.front()` holds epoch `next_epoch - 1`, `history.back()`
+    /// holds epoch `next_epoch - history.len()`.
+    next_epoch: u64,
+    /// Per-key occurrence index over the completed window: `(epoch, count)`
+    /// pairs, front = oldest. Keys with no in-window occurrence are absent.
+    occ: HashMap<u64, VecDeque<(u64, u32)>>,
 }
 
 impl SlidingWindow {
@@ -53,6 +74,8 @@ impl SlidingWindow {
             current: BTreeMap::new(),
             history: VecDeque::with_capacity(m + 1),
             powers,
+            next_epoch: 0,
+            occ: HashMap::new(),
         }
     }
 
@@ -81,15 +104,43 @@ impl SlidingWindow {
     /// keys with [`SlidingWindow::victims`].
     pub fn end_slice(&mut self) -> Option<BTreeMap<u64, u32>> {
         let completed = std::mem::take(&mut self.current);
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        for (&key, &count) in &completed {
+            self.occ.entry(key).or_default().push_back((epoch, count));
+        }
         self.history.push_front(completed);
         if self.history.len() > self.m {
-            self.history.pop_back()
+            self.expire_back()
         } else {
             None
         }
     }
 
-    /// The eviction score `λ(k)` over the current window.
+    /// Pop the oldest completed slice and retire its occurrence-index
+    /// entries. The expired slice's epoch is `next_epoch - history.len()`
+    /// (epochs are contiguous), computed before the pop.
+    fn expire_back(&mut self) -> Option<BTreeMap<u64, u32>> {
+        let expired_epoch = self.next_epoch - self.history.len() as u64;
+        let slice = self.history.pop_back()?;
+        for key in slice.keys() {
+            if let Some(entries) = self.occ.get_mut(key) {
+                while entries.front().is_some_and(|&(e, _)| e <= expired_epoch) {
+                    entries.pop_front();
+                }
+                if entries.is_empty() {
+                    self.occ.remove(key);
+                }
+            }
+        }
+        Some(slice)
+    }
+
+    /// The eviction score `λ(k)` over the current window, computed the slow
+    /// way: one map lookup per window slice, O(m·log n). Kept as the
+    /// secondary oracle for the incremental scorer (and for callers probing
+    /// arbitrary keys off the hot path); eviction itself goes through
+    /// [`Self::lambda_incremental`].
     pub fn lambda(&self, key: u64) -> f64 {
         self.history
             .iter()
@@ -98,27 +149,48 @@ impl SlidingWindow {
             .sum()
     }
 
+    /// The eviction score `λ(k)` from the per-key occurrence index:
+    /// O(occurrences of `key`) with a single hash lookup, no per-slice map
+    /// walks. Bit-identical to [`Self::lambda`] — the skipped slices
+    /// contribute exact `+0.0` terms (see the struct docs).
+    pub fn lambda_incremental(&self, key: u64) -> f64 {
+        let Some(entries) = self.occ.get(&key) else {
+            // Bit-faithful to `lambda()`: an empty `.sum()` folds from f64's
+            // additive identity -0.0, while any added term — even `α^i · 0`
+            // — flips it to +0.0. The index is empty iff the key is absent
+            // from every completed slice.
+            return if self.history.is_empty() { -0.0 } else { 0.0 };
+        };
+        let newest = self.next_epoch - 1;
+        let mut sum = 0.0;
+        // Newest-to-oldest, matching `lambda()`'s summation order exactly.
+        for &(epoch, count) in entries.iter().rev() {
+            sum += self.powers[(newest - epoch) as usize] * count as f64;
+        }
+        sum
+    }
+
     /// Keys of an expired slice whose `λ` falls below `T_λ` — the set to
-    /// evict from the cache.
+    /// evict from the cache. A threshold scan over the occurrence index:
+    /// O(Σ occurrences of the expired keys), not O(|expired|·m·log n).
     pub fn victims(&self, expired: &BTreeMap<u64, u32>) -> Vec<u64> {
         expired
             .keys()
             .copied()
-            .filter(|&k| self.lambda(k) < self.threshold)
+            .filter(|&k| self.lambda_incremental(k) < self.threshold)
             .collect()
     }
 
-    /// Number of distinct keys currently tracked anywhere in the window.
+    /// Number of distinct keys currently tracked anywhere in the window:
+    /// the occurrence index already holds every key of the completed
+    /// slices, so only the open slice needs a membership probe each.
     pub fn tracked_keys(&self) -> usize {
-        let mut keys: Vec<u64> = self
-            .history
-            .iter()
-            .chain(std::iter::once(&self.current))
-            .flat_map(|s| s.keys().copied())
-            .collect();
-        keys.sort_unstable();
-        keys.dedup();
-        keys.len()
+        self.occ.len()
+            + self
+                .current
+                .keys()
+                .filter(|k| !self.occ.contains_key(k))
+                .count()
     }
 
     /// Resize the window to `new_m` slices (dynamic window sizing, the
@@ -141,7 +213,7 @@ impl SlidingWindow {
         }
         let mut expired = Vec::new();
         while self.history.len() > self.m {
-            let Some(slice) = self.history.pop_back() else {
+            let Some(slice) = self.expire_back() else {
                 break;
             };
             expired.push(slice);
@@ -166,6 +238,32 @@ impl SlidingWindow {
                 return Err("decay table out of sync with alpha");
             }
             p *= self.alpha;
+        }
+        // The occurrence index must mirror the completed slices exactly:
+        // every (key, slice) pair indexed once with the right epoch and
+        // count, and nothing else.
+        let mut indexed: usize = 0;
+        let newest = self.next_epoch.wrapping_sub(1);
+        for (age, slice) in self.history.iter().enumerate() {
+            let epoch = newest - age as u64;
+            for (key, &count) in slice {
+                let found = self
+                    .occ
+                    .get(key)
+                    .and_then(|entries| entries.iter().find(|&&(e, _)| e == epoch));
+                match found {
+                    Some(&(_, c)) if c == count => indexed += 1,
+                    Some(_) => return Err("occurrence index holds a stale count"),
+                    None => return Err("occurrence index missing a resident key"),
+                }
+            }
+        }
+        let total: usize = self.occ.values().map(VecDeque::len).sum();
+        if total != indexed {
+            return Err("occurrence index holds entries for expired slices");
+        }
+        if self.occ.values().any(VecDeque::is_empty) {
+            return Err("occurrence index retains an empty per-key deque");
         }
         Ok(())
     }
@@ -404,6 +502,70 @@ mod tests {
         assert!(push_slice(&mut w, &[]).is_none());
         assert!(push_slice(&mut w, &[]).is_none());
         assert!(push_slice(&mut w, &[]).is_some());
+    }
+
+    #[test]
+    fn incremental_lambda_is_bit_exact_under_churn() {
+        // The hot-path scorer must agree with the full O(m·log n) scan to
+        // the last bit — including across shrink-then-grow resizes — or the
+        // simtest bit-exact oracle would flag eviction divergence.
+        let mut w = SlidingWindow::new(6, 0.93, 0.5);
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rand = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..200u64 {
+            for _ in 0..rand() % 8 {
+                w.note_query(rand() % 40);
+            }
+            let _ = w.end_slice();
+            if round % 31 == 17 {
+                let _ = w.set_slices((rand() % 9 + 1) as usize);
+            }
+            w.check_invariants().expect("occurrence index in sync");
+            for k in 0..40u64 {
+                assert_eq!(
+                    w.lambda(k).to_bits(),
+                    w.lambda_incremental(k).to_bits(),
+                    "round {round}, key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn victims_use_the_occurrence_index() {
+        // Same decisions as the full rescore on a window where some expired
+        // keys are still resident and some are gone entirely.
+        let m = 4;
+        let alpha: f64 = 0.9;
+        let mut w = SlidingWindow::new(m, alpha, alpha.powi(m as i32 - 1));
+        push_slice(&mut w, &[1, 2]);
+        push_slice(&mut w, &[2]);
+        push_slice(&mut w, &[3]);
+        push_slice(&mut w, &[]);
+        let expired = push_slice(&mut w, &[]).expect("expiry");
+        let fast = w.victims(&expired);
+        let slow: Vec<u64> = expired
+            .keys()
+            .copied()
+            .filter(|&k| w.lambda(k) < w.threshold())
+            .collect();
+        assert_eq!(fast, slow);
+        w.check_invariants().expect("structurally sound");
+    }
+
+    #[test]
+    fn tracked_keys_counts_current_and_history_overlap_once() {
+        let mut w = SlidingWindow::new(3, 0.9, 0.0);
+        push_slice(&mut w, &[1, 2]);
+        // Key 2 re-queried in the open slice must not double-count.
+        w.note_query(2);
+        w.note_query(9);
+        assert_eq!(w.tracked_keys(), 3);
     }
 
     #[test]

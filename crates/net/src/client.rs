@@ -4,16 +4,28 @@ use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+use bytes::Bytes;
+
 use crate::protocol::{
-    decode_keys, decode_range_stats, decode_records, decode_stats, read_frame, write_frame,
-    Request, Response, Status,
+    decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
+    decode_statuses, read_frame_into, write_frame_buffered, Request, Status,
 };
 
 /// A persistent connection to a cache server.
+///
+/// The handle owns a read and a write buffer that are reused across
+/// requests, so steady-state calls perform no per-frame allocations on
+/// the framing path.
 #[derive(Debug)]
 pub struct RemoteNode {
     addr: SocketAddr,
     stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+}
+
+fn bad_frame(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
 }
 
 impl RemoteNode {
@@ -21,7 +33,12 @@ impl RemoteNode {
     pub fn connect(addr: SocketAddr) -> io::Result<RemoteNode> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(RemoteNode { addr, stream })
+        Ok(RemoteNode {
+            addr,
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+        })
     }
 
     /// Connect with a connection timeout and the same bound on every
@@ -32,7 +49,12 @@ impl RemoteNode {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
-        Ok(RemoteNode { addr, stream })
+        Ok(RemoteNode {
+            addr,
+            stream,
+            rbuf: Vec::new(),
+            wbuf: Vec::new(),
+        })
     }
 
     /// Bound how long any single response read may block (`None` removes
@@ -46,72 +68,134 @@ impl RemoteNode {
         self.addr
     }
 
-    fn call(&mut self, req: Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &req.encode())?;
-        let frame = read_frame(&mut self.stream)?;
-        Response::decode(frame)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad response frame"))
+    /// One request/response exchange through the reused buffers; the
+    /// returned body borrows from the connection's read buffer.
+    fn call(&mut self, req: &Request) -> io::Result<(Status, &[u8])> {
+        write_frame_buffered(&mut self.stream, &mut self.wbuf, |b| req.encode_into(b))?;
+        read_frame_into(&mut self.stream, &mut self.rbuf)?;
+        let (&status_byte, body) = self
+            .rbuf
+            .split_first()
+            .ok_or_else(|| bad_frame("empty response frame"))?;
+        let status =
+            Status::from_u8(status_byte).ok_or_else(|| bad_frame("bad response status"))?;
+        Ok((status, body))
     }
 
     /// Look up a key.
     pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
-        let resp = self.call(Request::Get { key })?;
-        Ok(match resp.status {
-            Status::Ok => Some(resp.body.to_vec()),
+        let (status, body) = self.call(&Request::Get { key })?;
+        Ok(match status {
+            Status::Ok => Some(body.to_vec()),
             _ => None,
         })
     }
 
     /// Store a record; returns the server's verdict (`Ok` or `Overflow`).
     pub fn put(&mut self, key: u64, value: Vec<u8>) -> io::Result<Status> {
-        let resp = self.call(Request::Put {
+        let (status, _) = self.call(&Request::Put {
             key,
             value: value.into(),
         })?;
-        Ok(resp.status)
+        Ok(status)
     }
 
     /// Remove a key; `true` if it was present.
     pub fn remove(&mut self, key: u64) -> io::Result<bool> {
-        Ok(self.call(Request::Remove { key })?.status == Status::Ok)
+        Ok(self.call(&Request::Remove { key })?.0 == Status::Ok)
+    }
+
+    /// Store a batch of records in one frame. Returns the server's
+    /// per-item verdicts (`Ok` / `Overflow`) in request order; a refused
+    /// item never fails the batch or the connection.
+    pub fn put_many(&mut self, items: Vec<(u64, Bytes)>) -> io::Result<Vec<Status>> {
+        let expected = items.len();
+        let (status, body) = self.call(&Request::PutMany { items })?;
+        if status != Status::Ok {
+            return Err(bad_frame("put-many rejected"));
+        }
+        let statuses = decode_statuses(body).ok_or_else(|| bad_frame("bad put-many body"))?;
+        if statuses.len() != expected {
+            return Err(bad_frame("put-many status count mismatch"));
+        }
+        Ok(statuses)
+    }
+
+    /// Look up a batch of keys in one frame; entries are in request order.
+    pub fn get_many(&mut self, keys: &[u64]) -> io::Result<Vec<Option<Vec<u8>>>> {
+        let (status, body) = self.call(&Request::GetMany {
+            keys: keys.to_vec(),
+        })?;
+        if status != Status::Ok {
+            return Err(bad_frame("get-many rejected"));
+        }
+        let entries = decode_get_many(body).ok_or_else(|| bad_frame("bad get-many body"))?;
+        if entries.len() != keys.len() {
+            return Err(bad_frame("get-many entry count mismatch"));
+        }
+        Ok(entries)
+    }
+
+    /// Remove a batch of keys in one frame; per-key verdicts (`Ok` =
+    /// removed, `NotFound` = absent) in request order.
+    pub fn evict_many(&mut self, keys: &[u64]) -> io::Result<Vec<Status>> {
+        let (status, body) = self.call(&Request::EvictMany {
+            keys: keys.to_vec(),
+        })?;
+        if status != Status::Ok {
+            return Err(bad_frame("evict-many rejected"));
+        }
+        let statuses = decode_statuses(body).ok_or_else(|| bad_frame("bad evict-many body"))?;
+        if statuses.len() != keys.len() {
+            return Err(bad_frame("evict-many status count mismatch"));
+        }
+        Ok(statuses)
     }
 
     /// Destructively read all records in `[lo, hi]`.
     pub fn sweep(&mut self, lo: u64, hi: u64) -> io::Result<Vec<(u64, Vec<u8>)>> {
-        let resp = self.call(Request::Sweep { lo, hi })?;
-        decode_records(resp.body)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad sweep body"))
+        let (status, body) = self.call(&Request::Sweep { lo, hi })?;
+        if status != Status::Ok {
+            return Err(bad_frame("sweep rejected"));
+        }
+        decode_records(body).ok_or_else(|| bad_frame("bad sweep body"))
     }
 
     /// List keys in `[lo, hi]`.
     pub fn keys(&mut self, lo: u64, hi: u64) -> io::Result<Vec<u64>> {
-        let resp = self.call(Request::Keys { lo, hi })?;
-        decode_keys(resp.body)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad keys body"))
+        let (status, body) = self.call(&Request::Keys { lo, hi })?;
+        if status != Status::Ok {
+            return Err(bad_frame("keys rejected"));
+        }
+        decode_keys(body).ok_or_else(|| bad_frame("bad keys body"))
     }
 
     /// `(bytes, records)` resident in `[lo, hi]`.
     pub fn range_stats(&mut self, lo: u64, hi: u64) -> io::Result<(u64, u64)> {
-        let resp = self.call(Request::RangeStats { lo, hi })?;
-        decode_range_stats(resp.body)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad range-stats body"))
+        let (status, body) = self.call(&Request::RangeStats { lo, hi })?;
+        if status != Status::Ok {
+            return Err(bad_frame("range-stats rejected"));
+        }
+        decode_range_stats(body).ok_or_else(|| bad_frame("bad range-stats body"))
     }
 
     /// `(used_bytes, record_count, capacity_bytes)`.
     pub fn stats(&mut self) -> io::Result<(u64, u64, u64)> {
-        let resp = self.call(Request::Stats)?;
-        decode_stats(resp.body)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad stats body"))
+        let (status, body) = self.call(&Request::Stats)?;
+        if status != Status::Ok {
+            return Err(bad_frame("stats rejected"));
+        }
+        decode_stats(body).ok_or_else(|| bad_frame("bad stats body"))
     }
 
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<bool> {
-        Ok(self.call(Request::Ping)?.status == Status::Ok)
+        Ok(self.call(&Request::Ping)?.0 == Status::Ok)
     }
 
     /// Ask the server to stop.
     pub fn shutdown(&mut self) -> io::Result<()> {
-        let _ = self.call(Request::Shutdown)?;
+        let _ = self.call(&Request::Shutdown)?;
         Ok(())
     }
 }

@@ -8,14 +8,23 @@
 //! writer, as in the paper (queries are "first sent to a coordinating
 //! compute node").
 
+use std::collections::HashMap;
 use std::io;
+use std::net::SocketAddr;
 
+use bytes::Bytes;
 use ecc_chash::HashRing;
 use ecc_core::SlidingWindow;
 
 use crate::client::RemoteNode;
 use crate::protocol::Status;
 use crate::server::CacheServer;
+
+/// Flush a migration/merge `PutMany` batch once it holds this many items…
+const PUT_BATCH_MAX_ITEMS: usize = 512;
+/// …or this many payload bytes, whichever comes first (keeps frames well
+/// under [`crate::protocol::MAX_FRAME`]).
+const PUT_BATCH_MAX_BYTES: usize = 1 << 20;
 
 /// One managed node: the in-process server plus the coordinator's client
 /// connection to it.
@@ -29,6 +38,20 @@ struct ManagedNode {
 /// serving; nothing panics).
 fn internal(what: &str) -> io::Error {
     io::Error::other(format!("coordinator invariant violated: {what}"))
+}
+
+/// Send one `PutMany` frame and fail with `what` on any per-item refusal.
+fn flush_put_batch(
+    client: &mut RemoteNode,
+    batch: Vec<(u64, Bytes)>,
+    what: &str,
+) -> io::Result<()> {
+    for status in client.put_many(batch)? {
+        if status != Status::Ok {
+            return Err(io::Error::other(format!("{what}: {status:?}")));
+        }
+    }
+    Ok(())
 }
 
 /// The live elastic-cache coordinator.
@@ -88,17 +111,60 @@ impl LiveCoordinator {
         self.nodes.iter().filter(|n| n.is_some()).count()
     }
 
-    /// Total `(bytes, records)` across nodes.
+    /// Read-only view of the hash ring (load generators route with it).
+    pub fn ring(&self) -> &HashRing<usize> {
+        &self.ring
+    }
+
+    /// Address of node `id`'s cache server, if it is active.
+    pub fn node_addr(&self, id: usize) -> Option<SocketAddr> {
+        self.nodes
+            .get(id)
+            .and_then(Option::as_ref)
+            .map(|n| n.server.addr())
+    }
+
+    /// Total `(bytes, records)` across nodes, collected with one
+    /// concurrent stats fan-out instead of sequential round-trips.
     pub fn totals(&mut self) -> io::Result<(u64, u64)> {
-        let ids = self.active_ids();
+        let stats = self.fan_out(|_, client| client.stats())?;
         let mut bytes = 0;
         let mut records = 0;
-        for id in ids {
-            let (b, r, _) = self.client(id)?.stats()?;
+        for (_, (b, r, _)) in stats {
             bytes += b;
             records += r;
         }
         Ok((bytes, records))
+    }
+
+    /// Run `f` against every active node's client concurrently (one scoped
+    /// thread per node) and collect `(node_id, result)` pairs. The first
+    /// node error wins; all threads are joined either way.
+    fn fan_out<T, F>(&mut self, f: F) -> io::Result<Vec<(usize, T)>>
+    where
+        T: Send,
+        F: Fn(usize, &mut RemoteNode) -> io::Result<T> + Sync,
+    {
+        let f = &f;
+        let mut out = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .nodes
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(id, slot)| slot.as_mut().map(|n| (id, &mut n.client)))
+                .map(|(id, client)| s.spawn(move || (id, f(id, client))))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok((id, Ok(v))) => out.push((id, v)),
+                    Ok((_, Err(e))) => return Err(e),
+                    Err(_) => return Err(internal("fan-out worker panicked")),
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
     }
 
     fn active_ids(&self) -> Vec<usize> {
@@ -234,19 +300,20 @@ impl LiveCoordinator {
     }
 
     /// Algorithm 2 over the wire: sweep `spans` off `src` and put them on
-    /// the least-loaded other node (or a freshly spawned one).
+    /// the least-loaded other node (or a freshly spawned one). The sweep
+    /// travels back as record batches and lands on `dest` as chunked
+    /// `PutMany` frames instead of one round-trip per record.
     fn migrate(&mut self, src: usize, spans: &[(u64, u64)]) -> io::Result<usize> {
         let mut total = 0u64;
         for &(lo, hi) in spans {
             total += self.client(src)?.range_stats(lo, hi)?.0;
         }
-        // Least-loaded other node.
+        // Least-loaded other node, by one concurrent stats fan-out.
         let mut dest: Option<(usize, u64)> = None;
-        for id in self.active_ids() {
+        for (id, (used, _, _)) in self.fan_out(|_, client| client.stats())? {
             if id == src {
                 continue;
             }
-            let (used, _, _) = self.client(id)?.stats()?;
             if dest.is_none_or(|(_, best)| used < best) {
                 dest = Some((id, used));
             }
@@ -257,16 +324,30 @@ impl LiveCoordinator {
         };
         for &(lo, hi) in spans {
             let records = self.client(src)?.sweep(lo, hi)?;
-            for (k, v) in records {
-                let status = self.client(dest)?.put(k, v)?;
-                if status != Status::Ok {
-                    return Err(io::Error::other(format!(
-                        "migration put failed: {status:?}"
-                    )));
-                }
-            }
+            self.put_all(dest, records, "migration put failed")?;
         }
         Ok(dest)
+    }
+
+    /// Push `records` onto node `dest` as chunked `PutMany` frames; any
+    /// per-item refusal aborts with `what` (migration and merges move
+    /// records the destination was sized to hold, so refusal is a bug).
+    fn put_all(&mut self, dest: usize, records: Vec<(u64, Vec<u8>)>, what: &str) -> io::Result<()> {
+        let client = self.client(dest)?;
+        let mut batch: Vec<(u64, Bytes)> = Vec::new();
+        let mut batch_bytes = 0usize;
+        for (k, v) in records {
+            batch_bytes += v.len();
+            batch.push((k, Bytes::from(v)));
+            if batch.len() >= PUT_BATCH_MAX_ITEMS || batch_bytes >= PUT_BATCH_MAX_BYTES {
+                flush_put_batch(client, std::mem::take(&mut batch), what)?;
+                batch_bytes = 0;
+            }
+        }
+        if !batch.is_empty() {
+            flush_put_batch(client, batch, what)?;
+        }
+        Ok(())
     }
 
     /// Close a time slice: evict expired keys, contract every `ε`
@@ -285,11 +366,21 @@ impl LiveCoordinator {
             Some(w) => w.victims(&expired),
             None => Vec::new(),
         };
+        // Group victims by owning node: O(nodes) batched `EvictMany`
+        // frames fanned out concurrently, instead of one blocking
+        // round-trip per victim.
+        let mut batches: HashMap<usize, Vec<u64>> = HashMap::new();
         for key in victims {
-            let Some(&nid) = self.ring.node_for_key(key) else {
-                continue;
-            };
-            let _ = self.client(nid)?.remove(key)?;
+            if let Some(&nid) = self.ring.node_for_key(key) {
+                batches.entry(nid).or_default().push(key);
+            }
+        }
+        if !batches.is_empty() {
+            let batches = &batches;
+            self.fan_out(|id, client| match batches.get(&id) {
+                Some(keys) => client.evict_many(keys).map(|_| ()),
+                None => Ok(()),
+            })?;
         }
         if self.expirations.is_multiple_of(self.contraction_epsilon) {
             self.try_contract()?;
@@ -299,14 +390,13 @@ impl LiveCoordinator {
 
     /// Merge the two least-loaded nodes when their data fits the threshold.
     pub fn try_contract(&mut self) -> io::Result<()> {
-        let ids = self.active_ids();
-        if ids.len() < 2 {
+        let mut loads: Vec<(u64, usize)> = self
+            .fan_out(|_, client| client.stats())?
+            .into_iter()
+            .map(|(id, (used, _, _))| (used, id))
+            .collect();
+        if loads.len() < 2 {
             return Ok(());
-        }
-        let mut loads = Vec::with_capacity(ids.len());
-        for id in ids {
-            let (used, _, _) = self.client(id)?.stats()?;
-            loads.push((used, id));
         }
         loads.sort();
         let (a_used, a) = loads[0];
@@ -318,12 +408,7 @@ impl LiveCoordinator {
         // Drain a into b.
         let hi = self.ring_range - 1;
         let records = self.client(a)?.sweep(0, hi)?;
-        for (k, v) in records {
-            let status = self.client(b)?.put(k, v)?;
-            if status != Status::Ok {
-                return Err(io::Error::other("merge put failed"));
-            }
-        }
+        self.put_all(b, records, "merge put failed")?;
         for bucket in self.ring.buckets_of_node(&a) {
             self.ring
                 .remap_bucket(bucket, b)
@@ -373,7 +458,8 @@ impl LiveCoordinator {
             if self.ring.buckets_of_node(&id).is_empty() {
                 return Err(internal(&format!("live node {id} owns no bucket")));
             }
-            let (used, _, cap) = self.client(id)?.stats()?;
+        }
+        for (id, (used, _, cap)) in self.fan_out(|_, client| client.stats())? {
             if used > cap {
                 return Err(internal(&format!(
                     "node {id} holds {used} B over its {cap} B capacity"

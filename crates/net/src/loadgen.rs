@@ -18,6 +18,11 @@ use ecc_chash::HashRing;
 
 use crate::client::RemoteNode;
 
+/// Bound applied to each worker connection's connect *and* every
+/// subsequent response read, so a node that wedges mid-run surfaces as a
+/// counted error on that op instead of hanging the worker forever.
+const NODE_IO_TIMEOUT: Duration = Duration::from_secs(5);
+
 /// One worker's accumulated results.
 #[derive(Debug, Clone, Default)]
 struct WorkerStats {
@@ -92,7 +97,7 @@ pub fn run_load<N: Clone + Eq + Send + Sync>(
                     let addr = addr_of(node);
                     let conn = match conns.iter_mut().find(|(a, _)| *a == addr) {
                         Some((_, c)) => c,
-                        None => match RemoteNode::connect(addr) {
+                        None => match RemoteNode::connect_with_timeout(addr, NODE_IO_TIMEOUT) {
                             Ok(c) => {
                                 conns.push((addr, c));
                                 let Some((_, conn)) = conns.last_mut() else {
@@ -178,6 +183,21 @@ mod tests {
         assert!(report.throughput() > 100.0, "{report:?}");
         let (p50, p95, p99) = report.latency_us;
         assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    #[test]
+    fn workers_reuse_connections_instead_of_reconnecting() {
+        let s = CacheServer::spawn(1 << 20, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(64);
+        ring.insert_bucket(63, 0).unwrap();
+        let addr = s.addr();
+        let report = run_load(&ring, |_| addr, 3, 600, 64, 16).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(
+            s.connections_accepted(),
+            3,
+            "600 ops from 3 workers must ride 3 persistent connections"
+        );
     }
 
     #[test]

@@ -35,6 +35,13 @@ pub enum Op {
     /// Report `(bytes, records)` resident in an inclusive key range — the
     /// coordinator's split planning (bucket fullness `||b||`).
     RangeStats = 0x09,
+    /// Store a batch of records in one frame; per-item status response.
+    PutMany = 0x0A,
+    /// Look up a batch of keys in one frame; per-item value response.
+    GetMany = 0x0B,
+    /// Remove a batch of keys in one frame (the coordinator's batched
+    /// slice-expiry eviction); per-item status response.
+    EvictMany = 0x0C,
 }
 
 impl Op {
@@ -50,6 +57,9 @@ impl Op {
             0x07 => Op::Ping,
             0x08 => Op::Shutdown,
             0x09 => Op::RangeStats,
+            0x0A => Op::PutMany,
+            0x0B => Op::GetMany,
+            0x0C => Op::EvictMany,
             _ => return None,
         })
     }
@@ -130,12 +140,37 @@ pub enum Request {
         /// Inclusive upper bound.
         hi: u64,
     },
+    /// Store a batch of records. The response is `Ok` with one status byte
+    /// per item (`Ok` / `Overflow`): a refused item never fails the batch.
+    PutMany {
+        /// `(key, value)` pairs, applied in order.
+        items: Vec<(u64, Bytes)>,
+    },
+    /// Look up a batch of keys. The response is `Ok` with one
+    /// present/absent entry per key, in request order.
+    GetMany {
+        /// Keys to look up.
+        keys: Vec<u64>,
+    },
+    /// Remove a batch of keys. The response is `Ok` with one status byte
+    /// per key (`Ok` = removed, `NotFound` = absent).
+    EvictMany {
+        /// Keys to remove.
+        keys: Vec<u64>,
+    },
 }
 
 impl Request {
     /// Serialize to a frame payload (opcode + body).
     pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::new();
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        Bytes::from(b)
+    }
+
+    /// Append the frame payload to a caller-owned buffer — the allocation-
+    /// free path used by the per-connection write buffers.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
         match self {
             Request::Get { key } => {
                 b.put_u8(Op::Get as u8);
@@ -168,13 +203,37 @@ impl Request {
             Request::Stats => b.put_u8(Op::Stats as u8),
             Request::Ping => b.put_u8(Op::Ping as u8),
             Request::Shutdown => b.put_u8(Op::Shutdown as u8),
+            Request::PutMany { items } => {
+                b.put_u8(Op::PutMany as u8);
+                b.put_u32_le(items.len() as u32);
+                for (k, v) in items {
+                    b.put_u64_le(*k);
+                    b.put_u32_le(v.len() as u32);
+                    b.put_slice(v);
+                }
+            }
+            Request::GetMany { keys } => {
+                b.put_u8(Op::GetMany as u8);
+                b.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    b.put_u64_le(*k);
+                }
+            }
+            Request::EvictMany { keys } => {
+                b.put_u8(Op::EvictMany as u8);
+                b.put_u32_le(keys.len() as u32);
+                for k in keys {
+                    b.put_u64_le(*k);
+                }
+            }
         }
-        b.freeze()
     }
 
-    /// Parse a frame payload.
-    pub fn decode(mut payload: Bytes) -> Option<Request> {
-        if payload.is_empty() {
+    /// Parse a frame payload. Generic over [`Buf`] so the server can
+    /// decode straight out of its reused per-connection read buffer
+    /// (`&frame[..]`) as well as from an owned [`Bytes`].
+    pub fn decode<B: Buf>(mut payload: B) -> Option<Request> {
+        if !payload.has_remaining() {
             return None;
         }
         let op = Op::from_u8(payload.get_u8())?;
@@ -192,9 +251,10 @@ impl Request {
                     return None;
                 }
                 let key = payload.get_u64_le();
+                let len = payload.remaining();
                 Request::Put {
                     key,
-                    value: payload,
+                    value: payload.copy_to_bytes(len),
                 }
             }
             Op::Remove => {
@@ -235,8 +295,55 @@ impl Request {
             Op::Stats => Request::Stats,
             Op::Ping => Request::Ping,
             Op::Shutdown => Request::Shutdown,
+            Op::PutMany => {
+                if payload.remaining() < 4 {
+                    return None;
+                }
+                let count = payload.get_u32_le() as usize;
+                // A corrupt length prefix cannot demand more items than the
+                // remaining bytes could possibly hold (12 B per item floor),
+                // so a hostile count never drives a huge allocation.
+                if count > payload.remaining() / 12 {
+                    return None;
+                }
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    if payload.remaining() < 12 {
+                        return None;
+                    }
+                    let key = payload.get_u64_le();
+                    let len = payload.get_u32_le() as usize;
+                    if payload.remaining() < len {
+                        return None;
+                    }
+                    items.push((key, payload.copy_to_bytes(len)));
+                }
+                if payload.has_remaining() {
+                    return None;
+                }
+                Request::PutMany { items }
+            }
+            Op::GetMany => Request::GetMany {
+                keys: decode_key_batch(&mut payload)?,
+            },
+            Op::EvictMany => Request::EvictMany {
+                keys: decode_key_batch(&mut payload)?,
+            },
         })
     }
+}
+
+/// Parse a `u32 count` + `count × u64` key batch, rejecting length
+/// prefixes that disagree with the actual payload size.
+fn decode_key_batch<B: Buf>(payload: &mut B) -> Option<Vec<u64>> {
+    if payload.remaining() < 4 {
+        return None;
+    }
+    let count = payload.get_u32_le() as usize;
+    if payload.remaining() != count.checked_mul(8)? {
+        return None;
+    }
+    Some((0..count).map(|_| payload.get_u64_le()).collect())
 }
 
 /// A parsed response.
@@ -273,6 +380,13 @@ impl Response {
         b.freeze()
     }
 
+    /// Append the frame payload to a caller-owned buffer — the allocation-
+    /// free path used by the per-connection write buffers.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.put_u8(self.status as u8);
+        b.put_slice(&self.body);
+    }
+
     /// Parse a frame payload.
     pub fn decode(mut payload: Bytes) -> Option<Response> {
         if payload.is_empty() {
@@ -299,8 +413,10 @@ pub fn encode_records(records: &[(u64, Vec<u8>)]) -> Bytes {
     b.freeze()
 }
 
-/// Decode a record batch.
-pub fn decode_records(mut body: Bytes) -> Option<Vec<(u64, Vec<u8>)>> {
+/// Decode a record batch. Generic over [`Buf`] so callers can decode from
+/// an owned [`Bytes`] or borrow straight out of a reused read buffer
+/// (`&frame[..]`).
+pub fn decode_records<B: Buf>(mut body: B) -> Option<Vec<(u64, Vec<u8>)>> {
     if body.remaining() < 4 {
         return None;
     }
@@ -334,15 +450,8 @@ pub fn encode_keys(keys: &[u64]) -> Bytes {
 }
 
 /// Decode a key list.
-pub fn decode_keys(mut body: Bytes) -> Option<Vec<u64>> {
-    if body.remaining() < 4 {
-        return None;
-    }
-    let count = body.get_u32_le() as usize;
-    if body.remaining() != count * 8 {
-        return None;
-    }
-    Some((0..count).map(|_| body.get_u64_le()).collect())
+pub fn decode_keys<B: Buf>(mut body: B) -> Option<Vec<u64>> {
+    decode_key_batch(&mut body)
 }
 
 /// Encode range statistics.
@@ -354,7 +463,7 @@ pub fn encode_range_stats(bytes: u64, records: u64) -> Bytes {
 }
 
 /// Decode range statistics as `(bytes, records)`.
-pub fn decode_range_stats(mut body: Bytes) -> Option<(u64, u64)> {
+pub fn decode_range_stats<B: Buf>(mut body: B) -> Option<(u64, u64)> {
     if body.remaining() != 16 {
         return None;
     }
@@ -371,11 +480,89 @@ pub fn encode_stats(used: u64, count: u64, capacity: u64) -> Bytes {
 }
 
 /// Decode node statistics as `(used, count, capacity)`.
-pub fn decode_stats(mut body: Bytes) -> Option<(u64, u64, u64)> {
+pub fn decode_stats<B: Buf>(mut body: B) -> Option<(u64, u64, u64)> {
     if body.remaining() != 24 {
         return None;
     }
     Some((body.get_u64_le(), body.get_u64_le(), body.get_u64_le()))
+}
+
+/// Encode a per-item status list (the `PutMany`/`EvictMany` response
+/// body): `u32` count, then one status byte per item in request order.
+pub fn encode_statuses(statuses: &[Status]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + statuses.len());
+    b.put_u32_le(statuses.len() as u32);
+    for s in statuses {
+        b.put_u8(*s as u8);
+    }
+    b.freeze()
+}
+
+/// Decode a per-item status list.
+pub fn decode_statuses<B: Buf>(mut body: B) -> Option<Vec<Status>> {
+    if body.remaining() < 4 {
+        return None;
+    }
+    let count = body.get_u32_le() as usize;
+    if body.remaining() != count {
+        return None;
+    }
+    (0..count).map(|_| Status::from_u8(body.get_u8())).collect()
+}
+
+/// Encode a `GetMany` response body: `u32` count, then per entry a
+/// status byte (`Ok` = present, `NotFound` = absent) followed — only
+/// when present — by `u32 len` and the value bytes.
+pub fn encode_get_many(entries: &[Option<Vec<u8>>]) -> Bytes {
+    let mut b = BytesMut::new();
+    b.put_u32_le(entries.len() as u32);
+    for e in entries {
+        match e {
+            Some(v) => {
+                b.put_u8(Status::Ok as u8);
+                b.put_u32_le(v.len() as u32);
+                b.put_slice(v);
+            }
+            None => b.put_u8(Status::NotFound as u8),
+        }
+    }
+    b.freeze()
+}
+
+/// Decode a `GetMany` response body; entries are in request order.
+pub fn decode_get_many<B: Buf>(mut body: B) -> Option<Vec<Option<Vec<u8>>>> {
+    if body.remaining() < 4 {
+        return None;
+    }
+    let count = body.get_u32_le() as usize;
+    // Each entry consumes at least its status byte.
+    if count > body.remaining() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        if !body.has_remaining() {
+            return None;
+        }
+        match Status::from_u8(body.get_u8())? {
+            Status::Ok => {
+                if body.remaining() < 4 {
+                    return None;
+                }
+                let len = body.get_u32_le() as usize;
+                if body.remaining() < len {
+                    return None;
+                }
+                out.push(Some(body.copy_to_bytes(len).to_vec()));
+            }
+            Status::NotFound => out.push(None),
+            _ => return None,
+        }
+    }
+    if body.has_remaining() {
+        return None;
+    }
+    Some(out)
 }
 
 /// Write one `[u32 len][payload]` frame.
@@ -388,6 +575,14 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
 
 /// Read one `[u32 len][payload]` frame.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    let mut buf = Vec::new();
+    read_frame_into(r, &mut buf)?;
+    Ok(Bytes::from(buf))
+}
+
+/// Read one frame's payload into a caller-owned buffer, reusing its
+/// allocation across frames. The buffer is resized to the payload length.
+pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<()> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf);
@@ -397,9 +592,33 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
             format!("frame of {len} bytes exceeds limit"),
         ));
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Bytes::from(payload))
+    buf.resize(len as usize, 0);
+    r.read_exact(buf)
+}
+
+/// Assemble `[u32 len][payload]` in a reusable scratch buffer and write it
+/// with a single `write_all` — the allocation-free counterpart of
+/// [`write_frame`]. `fill` appends the payload bytes to the (cleared)
+/// scratch buffer after the 4-byte length placeholder; the prefix is
+/// back-filled once the payload length is known.
+pub fn write_frame_buffered<W: Write>(
+    w: &mut W,
+    scratch: &mut Vec<u8>,
+    fill: impl FnOnce(&mut Vec<u8>),
+) -> io::Result<()> {
+    scratch.clear();
+    scratch.extend_from_slice(&[0u8; 4]);
+    fill(scratch);
+    let len = (scratch.len() - 4) as u32;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    scratch[..4].copy_from_slice(&len.to_le_bytes());
+    w.write_all(scratch)?;
+    w.flush()
 }
 
 #[cfg(test)]
@@ -481,6 +700,115 @@ mod tests {
     fn stats_roundtrip() {
         assert_eq!(decode_stats(encode_stats(10, 2, 100)), Some((10, 2, 100)));
         assert_eq!(decode_stats(Bytes::from_static(&[0; 23])), None);
+    }
+
+    #[test]
+    fn batch_requests_roundtrip() {
+        let cases = vec![
+            Request::PutMany {
+                items: vec![
+                    (1, Bytes::from_static(b"a")),
+                    (2, Bytes::new()),
+                    (u64::MAX, Bytes::from_static(b"abcdef")),
+                ],
+            },
+            Request::PutMany { items: vec![] },
+            Request::GetMany {
+                keys: vec![3, 1, 4, 1, 5],
+            },
+            Request::GetMany { keys: vec![] },
+            Request::EvictMany {
+                keys: vec![9, u64::MAX],
+            },
+        ];
+        for req in cases {
+            let enc = req.encode();
+            assert_eq!(Request::decode(enc), Some(req));
+        }
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        // Truncated PutMany: count says 2 but only one item follows.
+        let one = Request::PutMany {
+            items: vec![(7, Bytes::from_static(b"xy"))],
+        }
+        .encode();
+        let mut forged = one.to_vec();
+        forged[1..5].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(Request::decode(Bytes::from(forged)), None);
+
+        // Hostile count prefix far larger than the payload could hold:
+        // must reject before allocating.
+        let mut huge = vec![Op::PutMany as u8];
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(Bytes::from(huge.clone())), None);
+        huge[0] = Op::GetMany as u8;
+        assert_eq!(Request::decode(Bytes::from(huge.clone())), None);
+        huge[0] = Op::EvictMany as u8;
+        assert_eq!(Request::decode(Bytes::from(huge)), None);
+
+        // Trailing garbage after a well-formed batch.
+        let mut trailing = Request::EvictMany { keys: vec![1] }.encode().to_vec();
+        trailing.push(0);
+        assert_eq!(Request::decode(Bytes::from(trailing)), None);
+
+        // Item length prefix overruns the payload.
+        let mut overrun = vec![Op::PutMany as u8];
+        overrun.extend_from_slice(&1u32.to_le_bytes());
+        overrun.extend_from_slice(&5u64.to_le_bytes());
+        overrun.extend_from_slice(&100u32.to_le_bytes());
+        overrun.extend_from_slice(b"short");
+        assert_eq!(Request::decode(Bytes::from(overrun)), None);
+    }
+
+    #[test]
+    fn status_lists_roundtrip() {
+        let statuses = vec![Status::Ok, Status::Overflow, Status::NotFound];
+        assert_eq!(decode_statuses(encode_statuses(&statuses)), Some(statuses));
+        assert_eq!(decode_statuses(encode_statuses(&[])), Some(vec![]));
+        // Count prefix disagrees with the body length.
+        assert_eq!(decode_statuses(Bytes::from_static(&[2, 0, 0, 0, 0])), None);
+        // Unknown status byte.
+        assert_eq!(
+            decode_statuses(Bytes::from_static(&[1, 0, 0, 0, 0xEE])),
+            None
+        );
+    }
+
+    #[test]
+    fn get_many_bodies_roundtrip() {
+        let entries = vec![Some(vec![1u8, 2, 3]), None, Some(vec![]), None];
+        let enc = encode_get_many(&entries);
+        assert_eq!(decode_get_many(enc.clone()), Some(entries));
+        assert_eq!(decode_get_many(encode_get_many(&[])), Some(vec![]));
+        // Truncated mid-value.
+        assert_eq!(decode_get_many(enc.slice(0..enc.len() - 1)), None);
+        // Hostile count prefix.
+        assert_eq!(
+            decode_get_many(Bytes::from_static(&[0xFF, 0xFF, 0xFF, 0xFF])),
+            None
+        );
+    }
+
+    #[test]
+    fn buffered_frame_io_roundtrips() {
+        let mut wire = Vec::new();
+        let mut scratch = vec![0xAA; 64]; // dirty scratch must not leak
+        write_frame_buffered(&mut wire, &mut scratch, |b| {
+            b.extend_from_slice(b"first");
+        })
+        .unwrap();
+        write_frame_buffered(&mut wire, &mut scratch, |b| {
+            b.extend_from_slice(b"second payload");
+        })
+        .unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut buf = Vec::new();
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, b"first");
+        read_frame_into(&mut cursor, &mut buf).unwrap();
+        assert_eq!(buf, b"second payload");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -15,14 +15,15 @@ use ecc_core::{CacheNode, Record};
 use parking_lot::Mutex;
 
 use crate::protocol::{
-    encode_keys, encode_range_stats, encode_records, encode_stats, read_frame, write_frame,
-    Request, Response, Status,
+    encode_get_many, encode_keys, encode_range_stats, encode_records, encode_stats,
+    encode_statuses, read_frame_into, write_frame_buffered, Request, Response, Status,
 };
 
 /// A running cache server (one node of the cooperative cache).
 pub struct CacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -43,6 +44,7 @@ impl CacheServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
         let node = Arc::new(Mutex::new(CacheNode::new(
             InstanceId(0),
             capacity_bytes,
@@ -50,6 +52,7 @@ impl CacheServer {
         )));
 
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_count = Arc::clone(&connections);
         let accept_thread = std::thread::Builder::new()
             .name(format!("ecc-server-{}", addr.port()))
             .spawn(move || {
@@ -58,6 +61,7 @@ impl CacheServer {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    accept_count.fetch_add(1, Ordering::Relaxed);
                     // Request/response framing interacts badly with Nagle +
                     // delayed ACK (~40 ms per exchange); flush eagerly.
                     let _ = stream.set_nodelay(true);
@@ -72,6 +76,7 @@ impl CacheServer {
         Ok(CacheServer {
             addr,
             shutdown,
+            connections,
             accept_thread: Some(accept_thread),
         })
     }
@@ -79,6 +84,13 @@ impl CacheServer {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// How many client connections the listener has accepted so far —
+    /// lets tests verify that clients actually reuse connections instead
+    /// of reconnecting per request.
+    pub fn connections_accepted(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
     }
 
     /// Stop accepting and join the accept thread. Idempotent.
@@ -100,26 +112,31 @@ impl Drop for CacheServer {
     }
 }
 
-/// Handle one client connection until EOF or shutdown.
+/// Handle one client connection until EOF or shutdown. The read and
+/// write buffers live for the whole connection and are reused across
+/// frames, so steady-state request handling performs no per-frame
+/// allocations on the framing path.
 fn serve_connection(
     mut stream: TcpStream,
     node: &Mutex<CacheNode>,
     shutdown: &AtomicBool,
 ) -> io::Result<()> {
+    let mut rbuf = Vec::new();
+    let mut wbuf = Vec::new();
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
+        match read_frame_into(&mut stream, &mut rbuf) {
+            Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
+        }
+        let (resp, is_shutdown) = match Request::decode(&rbuf[..]) {
+            Some(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (handle(req, node, shutdown), is_shutdown)
+            }
+            None => (Response::status(Status::BadRequest), false),
         };
-        let Some(req) = Request::decode(frame) else {
-            let resp = Response::status(Status::BadRequest);
-            write_frame(&mut stream, &resp.encode())?;
-            continue;
-        };
-        let is_shutdown = matches!(req, Request::Shutdown);
-        let resp = handle(req, node, shutdown);
-        write_frame(&mut stream, &resp.encode())?;
+        write_frame_buffered(&mut stream, &mut wbuf, |b| resp.encode_into(b))?;
         if is_shutdown {
             return Ok(());
         }
@@ -138,16 +155,7 @@ fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Respo
         }
         Request::Put { key, value } => {
             let mut node = node.lock();
-            let size = value.len() as u64;
-            // A replacement frees the old record's bytes, so only the byte
-            // *growth* counts against capacity; a growing replacement that
-            // no longer fits is refused like any other overflow.
-            let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
-            if !node.fits(size.saturating_sub(old_size)) {
-                return Response::status(Status::Overflow);
-            }
-            node.insert(key, Record::from_vec(value.to_vec()));
-            Response::status(Status::Ok)
+            Response::status(put_record(&mut node, key, &value))
         }
         Request::Remove { key } => {
             let mut node = node.lock();
@@ -155,6 +163,38 @@ fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Respo
                 Some(_) => Response::status(Status::Ok),
                 None => Response::status(Status::NotFound),
             }
+        }
+        Request::PutMany { items } => {
+            // One lock acquisition for the whole batch: per-item verdicts,
+            // a refused item never aborts the rest of the batch.
+            let mut node = node.lock();
+            let statuses: Vec<Status> = items
+                .iter()
+                .map(|(key, value)| put_record(&mut node, *key, value))
+                .collect();
+            Response::ok(encode_statuses(&statuses))
+        }
+        Request::GetMany { keys } => {
+            let node = node.lock();
+            let entries: Vec<Option<Vec<u8>>> = keys
+                .iter()
+                .map(|&k| node.get(k).map(|r| r.as_slice().to_vec()))
+                .collect();
+            Response::ok(encode_get_many(&entries))
+        }
+        Request::EvictMany { keys } => {
+            let mut node = node.lock();
+            let statuses: Vec<Status> = keys
+                .iter()
+                .map(|&k| {
+                    if node.remove(k).is_some() {
+                        Status::Ok
+                    } else {
+                        Status::NotFound
+                    }
+                })
+                .collect();
+            Response::ok(encode_statuses(&statuses))
         }
         Request::Sweep { lo, hi } => {
             let mut node = node.lock();
@@ -190,6 +230,20 @@ fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Respo
             Response::status(Status::Ok)
         }
     }
+}
+
+/// Store one record under the capacity rule shared by `Put` and
+/// `PutMany`: a replacement frees the old record's bytes, so only the
+/// byte *growth* counts against capacity; a growing replacement that no
+/// longer fits is refused like any other overflow.
+fn put_record(node: &mut CacheNode, key: u64, value: &[u8]) -> Status {
+    let size = value.len() as u64;
+    let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
+    if !node.fits(size.saturating_sub(old_size)) {
+        return Status::Overflow;
+    }
+    node.insert(key, Record::from_vec(value.to_vec()));
+    Status::Ok
 }
 
 #[cfg(test)]

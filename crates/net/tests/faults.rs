@@ -8,8 +8,9 @@ use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
+use bytes::Bytes;
 use ecc_net::client::RemoteNode;
-use ecc_net::protocol::{write_frame, Request, Status};
+use ecc_net::protocol::{read_frame, write_frame, Op, Request, Status};
 use ecc_net::server::CacheServer;
 
 /// The post-fault liveness probe every test ends with.
@@ -59,6 +60,86 @@ fn client_disconnect_mid_response_does_not_wedge_the_server() {
     drop(raw);
 
     assert_still_serving(&server, 2);
+    server.stop();
+}
+
+#[test]
+fn truncated_put_many_is_rejected_whole() {
+    let mut server = CacheServer::spawn(10_000, 8).expect("spawn");
+
+    // A complete frame whose PutMany payload lies: the count promises two
+    // items but the body carries one. The server must reject the whole
+    // batch (no partial application) and keep the connection alive.
+    let mut payload = vec![Op::PutMany as u8];
+    payload.extend_from_slice(&2u32.to_le_bytes());
+    payload.extend_from_slice(&41u64.to_le_bytes());
+    payload.extend_from_slice(&3u32.to_le_bytes());
+    payload.extend_from_slice(b"abc");
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+    write_frame(&mut raw, &payload).expect("send");
+    let resp = read_frame(&mut raw).expect("response");
+    assert_eq!(Status::from_u8(resp[0]), Some(Status::BadRequest));
+
+    // The same connection still answers, and not even the first (fully
+    // present) item of the bad batch was applied.
+    write_frame(&mut raw, &Request::Get { key: 41 }.encode()).expect("probe");
+    let resp = read_frame(&mut raw).expect("probe response");
+    assert_eq!(Status::from_u8(resp[0]), Some(Status::NotFound));
+
+    assert_still_serving(&server, 4);
+    server.stop();
+}
+
+#[test]
+fn oversized_batch_count_prefix_is_rejected_without_allocating() {
+    let mut server = CacheServer::spawn(10_000, 8).expect("spawn");
+    let mut raw = TcpStream::connect(server.addr()).expect("connect");
+
+    // A hostile count prefix (u32::MAX items in a 4-byte body) must be
+    // refused up front — were the server to trust it, the reservation
+    // alone would be a multi-GB allocation.
+    for op in [Op::PutMany, Op::GetMany, Op::EvictMany] {
+        let mut payload = vec![op as u8];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        write_frame(&mut raw, &payload).expect("send");
+        let resp = read_frame(&mut raw).expect("response");
+        assert_eq!(
+            Status::from_u8(resp[0]),
+            Some(Status::BadRequest),
+            "{op:?} with a hostile count must be rejected"
+        );
+    }
+
+    assert_still_serving(&server, 5);
+    server.stop();
+}
+
+#[test]
+fn batch_partial_failure_reports_per_item_status_and_connection_survives() {
+    // Capacity fits the first record but not the second: the batch must
+    // come back [Ok, Overflow, Ok] — a refused item is a verdict, not an
+    // error, and the connection keeps serving.
+    let mut server = CacheServer::spawn(100, 8).expect("spawn");
+    let mut client = RemoteNode::connect(server.addr()).expect("connect");
+    let statuses = client
+        .put_many(vec![
+            (1, Bytes::from(vec![0xA1; 60])),
+            (2, Bytes::from(vec![0xA2; 60])),
+            (3, Bytes::from(vec![0xA3; 10])),
+        ])
+        .expect("put_many");
+    assert_eq!(statuses, vec![Status::Ok, Status::Overflow, Status::Ok]);
+    assert_eq!(client.get(1).expect("get"), Some(vec![0xA1; 60]));
+    assert_eq!(client.get(2).expect("get"), None);
+    assert_eq!(client.get(3).expect("get"), Some(vec![0xA3; 10]));
+
+    // Mixed present/absent eviction: per-key verdicts in request order.
+    let verdicts = client.evict_many(&[2, 1, 3]).expect("evict_many");
+    assert_eq!(verdicts, vec![Status::NotFound, Status::Ok, Status::Ok]);
+    let entries = client.get_many(&[1, 2, 3]).expect("get_many");
+    assert_eq!(entries, vec![None, None, None]);
+
+    assert_still_serving(&server, 6);
     server.stop();
 }
 

@@ -3,8 +3,9 @@
 
 use bytes::Bytes;
 use ecc_net::protocol::{
-    decode_keys, decode_range_stats, decode_records, decode_stats, encode_keys, encode_records,
-    encode_stats, read_frame, write_frame, Request, Response, Status,
+    decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
+    decode_statuses, encode_get_many, encode_keys, encode_records, encode_stats, encode_statuses,
+    read_frame, write_frame, Request, Response, Status,
 };
 use proptest::prelude::*;
 
@@ -24,6 +25,18 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Ping),
         Just(Request::Shutdown),
+        proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..20,
+        )
+        .prop_map(|items| Request::PutMany {
+            items: items
+                .into_iter()
+                .map(|(k, v)| (k, Bytes::from(v)))
+                .collect(),
+        }),
+        proptest::collection::vec(any::<u64>(), 0..50).prop_map(|keys| Request::GetMany { keys }),
+        proptest::collection::vec(any::<u64>(), 0..50).prop_map(|keys| Request::EvictMany { keys }),
     ]
 }
 
@@ -69,6 +82,40 @@ proptest! {
         let _ = decode_keys(Bytes::from(bytes.clone()));
         let _ = decode_stats(Bytes::from(bytes.clone()));
         let _ = decode_range_stats(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn batch_body_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = decode_statuses(Bytes::from(bytes.clone()));
+        let _ = decode_get_many(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn status_lists_roundtrip(
+        statuses in proptest::collection::vec(
+            prop_oneof![
+                Just(Status::Ok),
+                Just(Status::NotFound),
+                Just(Status::Overflow),
+                Just(Status::BadRequest),
+            ],
+            0..100,
+        ),
+    ) {
+        prop_assert_eq!(decode_statuses(encode_statuses(&statuses)), Some(statuses));
+    }
+
+    #[test]
+    fn get_many_bodies_roundtrip(
+        entries in proptest::collection::vec(
+            prop_oneof![
+                2 => proptest::collection::vec(any::<u8>(), 0..64).prop_map(Some),
+                1 => Just(None),
+            ],
+            0..30,
+        ),
+    ) {
+        prop_assert_eq!(decode_get_many(encode_get_many(&entries)), Some(entries));
     }
 
     #[test]

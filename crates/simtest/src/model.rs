@@ -16,7 +16,8 @@ use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use ecc_net::protocol::{
-    encode_keys, encode_range_stats, encode_records, encode_stats, Request, Response, Status,
+    encode_get_many, encode_keys, encode_range_stats, encode_records, encode_stats,
+    encode_statuses, Request, Response, Status,
 };
 
 /// Independent reimplementation of the sliding-window eviction scorer.
@@ -256,6 +257,43 @@ impl ModelServer {
                 self.map.len() as u64,
                 self.capacity,
             )),
+            Request::PutMany { items } => {
+                // Per-item verdicts with the same growth-charged capacity
+                // rule as a single Put; a refused item never aborts the
+                // batch.
+                let statuses: Vec<Status> = items
+                    .into_iter()
+                    .map(|(key, value)| {
+                        let size = value.len() as u64;
+                        let old = self.map.get(&key).map(|v| v.len() as u64).unwrap_or(0);
+                        if self.used - old + size > self.capacity {
+                            return Status::Overflow;
+                        }
+                        self.used = self.used - old + size;
+                        self.map.insert(key, value.to_vec());
+                        Status::Ok
+                    })
+                    .collect();
+                Response::ok(encode_statuses(&statuses))
+            }
+            Request::GetMany { keys } => {
+                let entries: Vec<Option<Vec<u8>>> =
+                    keys.iter().map(|k| self.map.get(k).cloned()).collect();
+                Response::ok(encode_get_many(&entries))
+            }
+            Request::EvictMany { keys } => {
+                let statuses: Vec<Status> = keys
+                    .iter()
+                    .map(|k| match self.map.remove(k) {
+                        Some(v) => {
+                            self.used -= v.len() as u64;
+                            Status::Ok
+                        }
+                        None => Status::NotFound,
+                    })
+                    .collect();
+                Response::ok(encode_statuses(&statuses))
+            }
             Request::Ping => Response::status(Status::Ok),
             Request::Shutdown => Response::status(Status::Ok),
         }

@@ -9,22 +9,27 @@
 //!   failures are shrunk, printed as replayable SIMSEEDs, and written
 //!   under `target/simtest/`.
 //! * `simtest --replay '<SIMSEED>'` — re-run one schedule exactly.
+//! * `bench [--smoke] [--json [PATH]]` — run the performance harness
+//!   (`crates/bench/src/perf.rs`) and optionally write
+//!   `results/bench.json`; `--smoke` is the seconds-long CI profile.
 
 #![deny(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use ecc_bench::perf::{run_benches, speedup, write_json, BenchOptions};
 use ecc_simtest::{check_seed, run_schedule, QuietPanics, Schedule, SeedOutcome};
 
-const USAGE: &str =
-    "usage: cargo xtask <lint | simtest [--seeds N] [--live-every K] [--replay SIMSEED]>";
+const USAGE: &str = "usage: cargo xtask <lint | simtest [--seeds N] [--live-every K] \
+     [--replay SIMSEED] | bench [--smoke] [--json [PATH]]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("simtest") => simtest(&args[1..]),
+        Some("bench") => bench(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             eprintln!("{USAGE}");
@@ -67,6 +72,74 @@ fn lint() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn bench(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    let mut json: Option<PathBuf> = None;
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => {
+                json = Some(match it.peek() {
+                    Some(p) if !p.starts_with("--") => {
+                        PathBuf::from(it.next().unwrap_or(&String::new()))
+                    }
+                    _ => workspace_root().join("results").join("bench.json"),
+                });
+            }
+            other => {
+                eprintln!("xtask bench: unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let profile = if smoke { "smoke" } else { "full" };
+    println!("bench: running {profile} profile…");
+    let results = match run_benches(BenchOptions { smoke }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<28} {:>12} {:>14} {:>12} {:>12}",
+        "bench", "ops", "ops/sec", "p50_ns", "p99_ns"
+    );
+    for r in &results {
+        println!(
+            "{:<28} {:>12} {:>14.1} {:>12} {:>12}",
+            r.name, r.ops, r.ops_per_sec, r.p50_ns, r.p99_ns
+        );
+    }
+    for (label, fast, slow) in [
+        (
+            "window expiry (incremental vs rescore)",
+            "window_expiry_incremental",
+            "window_expiry_rescore",
+        ),
+        (
+            "wire eviction (batched vs sequential)",
+            "wire_evict_batched",
+            "wire_evict_sequential",
+        ),
+    ] {
+        if let Some(s) = speedup(&results, fast, slow) {
+            println!("speedup: {label}: {s:.1}x");
+        }
+    }
+    if let Some(path) = json {
+        if let Err(e) = write_json(&path, &results) {
+            eprintln!("xtask bench: could not write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("bench: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 fn simtest(args: &[String]) -> ExitCode {
