@@ -57,12 +57,13 @@ fn main() {
             cache.node_count().to_string(),
         ]);
     }
-    write_csv(
+    let csv_path = write_csv(
         "ablation_alloc_latency.csv",
         "boot_secs,speedup,alloc_us,migration_us,overhead_pct,splits,nodes",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\nreading it: boot latency sets split overhead almost entirely; even 160 s boots");
     println!("amortize to a small fraction of total time — the paper's amortization claim.");

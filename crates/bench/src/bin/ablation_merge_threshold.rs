@@ -69,12 +69,13 @@ fn main() {
             format!("{:.4}", m.speedup()),
         ]);
     }
-    write_csv(
+    let csv_path = write_csv(
         "ablation_merge_threshold.csv",
         "threshold,launched,merges,churn,avg_nodes,speedup",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\nreading it: low thresholds never reclaim nodes (cost), high thresholds merge");
     println!("aggressively and re-allocate when load returns (churn); 65 % sits between.");

@@ -68,12 +68,13 @@ fn main() {
     let rows = run_eviction_with_config(cfg, steps, 7, &service);
     rows_csv.push(summarize("adaptive 25..400", &rows));
 
-    write_csv(
+    let csv_path = write_csv(
         "ext_dynamic_window.csv",
         "config,max_speedup,avg_nodes,tail_nodes,node_steps",
         &rows_csv,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\nreading it: the controller should land near fixed-400's speedup while its");
     println!("tail fleet (after interest wanes) approaches fixed-50's — cost without the");

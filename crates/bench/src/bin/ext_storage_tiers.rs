@@ -81,12 +81,13 @@ fn main() {
     run("s3", Some(StorageTier::s3_2010()));
     run("ebs", Some(StorageTier::ebs_2010()));
 
-    write_csv(
+    let csv_path = write_csv(
         "ext_storage_tiers.csv",
         "tier,speedup,service_calls,tier_hits,tier_cost_dollars,compute_dollars,avg_query_secs",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\nreading it: a tier turns every re-miss of an evicted record (23 s of service");
     println!("time) into a storage fetch (ms) for cents of storage — the §IV-D trade-off.");

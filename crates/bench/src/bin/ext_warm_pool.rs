@@ -70,12 +70,13 @@ fn main() {
     run("proactive split 85%", 0, Some(0.85));
     run("pool 1 + proactive", 1, Some(0.85));
 
-    write_csv(
+    let csv_path = write_csv(
         "ext_warm_pool.csv",
         "config,speedup,blocked_alloc_us,splits,nodes,dollars",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\nreading it: 'blocked boot' is allocation latency paid on the query path —");
     println!("a one-standby pool removes nearly all of it for the price of one extra");

@@ -101,12 +101,13 @@ fn main() {
             nodes.to_string(),
         ]);
     }
-    write_csv(
+    let csv_path = write_csv(
         "fig3.csv",
         "queries,static2_speedup,static4_speedup,static8_speedup,gba_speedup,gba_nodes",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!(
         "\npaper reference: static-2 -> 1.15x, static-4 -> 1.34x, static-8 -> 2x, GBA -> 15.2x, 15 nodes"

@@ -89,10 +89,11 @@ fn main() {
         m.queries
     );
 
-    write_csv(
+    let csv_path = write_csv(
         "fig4.csv",
         "split,at_us,alloc_us,migration_us,total_us,records",
         &rows,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 }

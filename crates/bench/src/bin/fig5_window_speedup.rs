@@ -56,12 +56,13 @@ fn main() {
         println!("{line}");
         rows_csv.push(csv);
     }
-    write_csv(
+    let csv_path = write_csv(
         "fig5.csv",
         "step,m50_speedup,m50_nodes,m100_speedup,m100_nodes,m200_speedup,m200_nodes,m400_speedup,m400_nodes",
         &rows_csv,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     println!("\npaper reference: m=50 -> ~1.55x max @ ~2 nodes; m=400 -> ~8x max @ ~6 nodes avg;");
     println!("nodes relax after step 300 but never back to 1 (conservative contraction).");

@@ -50,12 +50,13 @@ fn main() {
         println!("{line}");
         rows_csv.push(csv);
     }
-    write_csv(
+    let csv_path = write_csv(
         "fig6.csv",
         "step,m50_hits,m50_evictions,m100_hits,m100_evictions,m200_hits,m200_evictions,m400_hits,m400_evictions",
         &rows_csv,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     // The paper's headline contrast: eviction trend after the intensive
     // period for the smallest vs the largest window.

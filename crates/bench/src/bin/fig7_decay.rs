@@ -63,12 +63,13 @@ fn main() {
         println!("{line}");
         rows_csv.push(csv);
     }
-    write_csv(
+    let csv_path = write_csv(
         "fig7.csv",
         "step,a99_hits,a99_evictions,a99_nodes,a98_hits,a98_evictions,a98_nodes,a95_hits,a95_evictions,a95_nodes,a93_hits,a93_evictions,a93_nodes",
         &rows_csv,
     )
     .expect("write results");
+    println!("wrote {}", csv_path.display());
 
     let hits: Vec<u64> = all
         .iter()

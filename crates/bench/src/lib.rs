@@ -13,7 +13,7 @@
 pub mod perf;
 
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use ecc_core::{CacheConfig, ElasticCache, Record, StaticCache, WindowConfig};
 use ecc_shoreline::service::ShorelineService;
@@ -237,7 +237,9 @@ pub fn scale_arg() -> f64 {
 }
 
 /// Write a CSV file under `results/`, creating the directory as needed.
-pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) -> std::io::Result<()> {
+/// Returns the written path; announcing it is the caller's job (library
+/// code is print-free under the `no-print` lint).
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
@@ -246,8 +248,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) -> std::io::Res
     for row in rows {
         writeln!(f, "{}", row.join(","))?;
     }
-    eprintln!("wrote {}", path.display());
-    Ok(())
+    Ok(path)
 }
 
 #[cfg(test)]

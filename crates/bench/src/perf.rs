@@ -333,6 +333,93 @@ pub fn write_json(path: &Path, results: &[BenchResult]) -> io::Result<()> {
     std::fs::write(path, to_json(results))
 }
 
+/// Validate serialized report text against the documented schema
+/// (EXPERIMENTS.md §A4): a `benches` array whose every row carries a
+/// non-empty `name`, positive `ops` and `ops_per_sec`, and latency fields
+/// with `p50_ns <= p99_ns`. A missing field, a non-finite number (`NaN`
+/// never survives serialization as valid JSON), or an empty array is an
+/// error. Returns the number of validated rows.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let benches_at = text
+        .find("\"benches\"")
+        .ok_or_else(|| "missing `benches` key".to_string())?;
+    let rest = &text[benches_at..];
+    let open = rest
+        .find('[')
+        .ok_or_else(|| "`benches` is not an array".to_string())?;
+    let close = rest
+        .rfind(']')
+        .ok_or_else(|| "`benches` array never closes".to_string())?;
+    if close < open {
+        return Err("`benches` array never closes".into());
+    }
+    let body = &rest[open + 1..close];
+
+    let mut rows = 0usize;
+    let mut cursor = 0usize;
+    while let Some(start) = body[cursor..].find('{') {
+        let start = cursor + start;
+        let end = body[start..]
+            .find('}')
+            .map(|e| start + e)
+            .ok_or_else(|| format!("row {rows}: unterminated object"))?;
+        let row = &body[start + 1..end];
+        let ctx = |field: &str, what: &str| format!("row {rows} ({field}): {what}");
+
+        let name = field_str(row, "name").ok_or_else(|| ctx("name", "missing"))?;
+        if name.is_empty() {
+            return Err(ctx("name", "empty"));
+        }
+        for field in ["ops", "p50_ns", "p99_ns"] {
+            let v: u64 = field_raw(row, field)
+                .ok_or_else(|| ctx(field, "missing"))?
+                .parse()
+                .map_err(|_| ctx(field, "not an unsigned integer"))?;
+            if field == "ops" && v == 0 {
+                return Err(ctx(field, "zero"));
+            }
+        }
+        let ops_per_sec: f64 = field_raw(row, "ops_per_sec")
+            .ok_or_else(|| ctx("ops_per_sec", "missing"))?
+            .parse()
+            .map_err(|_| ctx("ops_per_sec", "not a number"))?;
+        if !ops_per_sec.is_finite() || ops_per_sec <= 0.0 {
+            return Err(ctx("ops_per_sec", "not finite and positive"));
+        }
+        let p50: u64 = field_raw(row, "p50_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let p99: u64 = field_raw(row, "p99_ns")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if p50 > p99 {
+            return Err(ctx("p50_ns", "exceeds p99_ns"));
+        }
+        rows += 1;
+        cursor = end + 1;
+    }
+    if rows == 0 {
+        return Err("`benches` array is empty".into());
+    }
+    Ok(rows)
+}
+
+/// Extract the raw (unquoted) value text of `"key": value` within one
+/// serialized row, up to the next comma or end of object.
+fn field_raw<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = row.find(&pat)? + pat.len();
+    let rest = row[at..].trim_start();
+    let end = rest.find(',').unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Extract the string value of `"key": "value"` within one serialized row.
+fn field_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let raw = field_raw(row, key)?;
+    raw.strip_prefix('"')?.strip_suffix('"')
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +438,35 @@ mod tests {
         assert!(json.contains("window_expiry_incremental"));
         // Every row closes; the list is well-formed enough for jq.
         assert_eq!(json.matches("{\"name\"").count(), results.len());
+    }
+
+    #[test]
+    fn validate_json_accepts_the_serializer_and_pins_the_schema() {
+        let rows = vec![BenchResult {
+            name: "elastic_insert".into(),
+            ops: 100,
+            ops_per_sec: 5.5,
+            p50_ns: 10,
+            p99_ns: 20,
+        }];
+        assert_eq!(validate_json(&to_json(&rows)), Ok(1));
+
+        // Pinned golden text: this exact shape is the documented schema.
+        let golden = "{\n  \"benches\": [\n    {\"name\": \"x\", \"ops\": 1, \
+                      \"ops_per_sec\": 2.0, \"p50_ns\": 3, \"p99_ns\": 4}\n  ]\n}\n";
+        assert_eq!(validate_json(golden), Ok(1));
+
+        // NaN throughput is a schema violation, not a warning.
+        let nan = golden.replace("2.0", "NaN");
+        assert!(validate_json(&nan).unwrap_err().contains("ops_per_sec"));
+        // A missing field is an error.
+        let missing = golden.replace("\"p99_ns\": 4", "\"other\": 4");
+        assert!(validate_json(&missing).unwrap_err().contains("p99_ns"));
+        // An empty report is an error.
+        assert!(validate_json("{\"benches\": []}").is_err());
+        // Inverted percentiles are an error.
+        let inverted = golden.replace("\"p50_ns\": 3", "\"p50_ns\": 9");
+        assert!(validate_json(&inverted).unwrap_err().contains("p50_ns"));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use ecc_chash::HashRing;
 use ecc_cloudsim::{Event, NetModel, PersistentStore, SimClock, SimCloud, US_PER_SEC};
+use ecc_obs::{ObsEvent, ObsRegistry, TimeSource};
 
 use crate::adaptive::WindowController;
 use crate::config::CacheConfig;
@@ -172,6 +173,8 @@ pub struct ElasticCache {
     tier: Option<PersistentStore>,
     /// Queries observed in the slice currently being recorded.
     slice_queries: u64,
+    /// Flight recorder + latency histograms, stamped off the virtual clock.
+    obs: ObsRegistry,
 }
 
 impl ElasticCache {
@@ -207,6 +210,11 @@ impl ElasticCache {
         warm_pool.replenish(&mut cloud, &cfg.instance_type);
         let controller = cfg.adaptive_window.map(WindowController::new);
         let tier = cfg.overflow_tier.clone().map(PersistentStore::new);
+        let obs = ObsRegistry::new(TimeSource::Sim(clock.clone()));
+        obs.emit(ObsEvent::NodeAlloc {
+            at_us: clock.now_us(),
+            node: 0,
+        });
         Self {
             cfg,
             clock,
@@ -222,6 +230,7 @@ impl ElasticCache {
             controller,
             tier,
             slice_queries: 0,
+            obs,
         }
     }
 
@@ -245,6 +254,11 @@ impl ElasticCache {
     /// The cloud provider (billing, instance table, event trace).
     pub fn cloud(&self) -> &SimCloud {
         &self.cloud
+    }
+
+    /// The observability registry (flight recorder + latency histograms).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
     }
 
     /// The consistent-hash ring.
@@ -332,7 +346,9 @@ impl ElasticCache {
         self.metrics.baseline_us += uncached_us;
         let found = self.lookup_inner(key);
         if let Some(rec) = found {
-            self.metrics.observed_us += self.clock.now_us() - t0;
+            let dt = self.clock.now_us() - t0;
+            self.metrics.observed_us += dt;
+            self.obs.record("cache_query_us:hit", dt);
             return rec;
         }
         // Memory miss: the persistent overflow tier (if any) may still
@@ -348,9 +364,17 @@ impl ElasticCache {
                     Ok(()) | Err(CacheError::RecordTooLarge { .. }) => {}
                     // A failed re-admission must not kill the query path;
                     // the record is served uncached and the fault counted.
-                    Err(_) => self.metrics.insert_errors += 1,
+                    Err(_) => {
+                        self.metrics.insert_errors += 1;
+                        self.obs.emit(ObsEvent::InsertError {
+                            at_us: self.clock.now_us(),
+                            key,
+                        });
+                    }
                 }
-                self.metrics.observed_us += self.clock.now_us() - t0;
+                let dt = self.clock.now_us() - t0;
+                self.metrics.observed_us += dt;
+                self.obs.record("cache_query_us:tier", dt);
                 return rec;
             }
         }
@@ -364,9 +388,17 @@ impl ElasticCache {
             // uncached rather than dying. Any other failure is a coordinator
             // fault — likewise served uncached, and counted so it shows up.
             Err(CacheError::RecordTooLarge { .. }) => {}
-            Err(_) => self.metrics.insert_errors += 1,
+            Err(_) => {
+                self.metrics.insert_errors += 1;
+                self.obs.emit(ObsEvent::InsertError {
+                    at_us: self.clock.now_us(),
+                    key,
+                });
+            }
         }
-        self.metrics.observed_us += self.clock.now_us() - t0;
+        let dt = self.clock.now_us() - t0;
+        self.metrics.observed_us += dt;
+        self.obs.record("cache_query_us:miss", dt);
         rec
     }
 
@@ -553,6 +585,12 @@ impl ElasticCache {
                     what: "bucket vanished while relocating it",
                 })?;
             self.metrics.splits += 1;
+            self.obs.emit(ObsEvent::BucketSplit {
+                at_us: self.clock.now_us(),
+                node: nid.0,
+                new_node: n_dest.0,
+                bucket: b_max,
+            });
             #[cfg(debug_assertions)]
             self.validate();
             return Ok(());
@@ -584,6 +622,12 @@ impl ElasticCache {
                 what: "split bucket position already occupied",
             })?;
         self.metrics.splits += 1;
+        self.obs.emit(ObsEvent::BucketSplit {
+            at_us: self.clock.now_us(),
+            node: nid.0,
+            new_node: n_dest.0,
+            bucket: k_mu,
+        });
         #[cfg(debug_assertions)]
         self.validate();
         Ok(())
@@ -637,6 +681,16 @@ impl ElasticCache {
             duration_us,
             allocated_node: allocated,
         });
+        self.obs.record("migration_sweep_us", duration_us);
+        self.obs.emit(ObsEvent::SweepMigrate {
+            at_us: start_us,
+            src: src.0,
+            dest: dest.0,
+            records: moved_records,
+            bytes: moved_bytes,
+            duration_us,
+            allocated,
+        });
         Ok(dest)
     }
 
@@ -661,7 +715,12 @@ impl ElasticCache {
         };
         let node = CacheNode::new(instance, self.cfg.node_capacity_bytes, self.cfg.btree_order);
         self.nodes.push(Some(node));
-        NodeId((self.nodes.len() - 1) as u32)
+        let id = NodeId((self.nodes.len() - 1) as u32);
+        self.obs.emit(ObsEvent::NodeAlloc {
+            at_us: self.clock.now_us(),
+            node: id.0,
+        });
+        id
     }
 
     /// Allocate a node whose boot proceeds in the (virtual) background —
@@ -676,7 +735,12 @@ impl ElasticCache {
             self.cfg.btree_order,
         );
         self.nodes.push(Some(node));
-        NodeId((self.nodes.len() - 1) as u32)
+        let id = NodeId((self.nodes.len() - 1) as u32);
+        self.obs.emit(ObsEvent::NodeAlloc {
+            at_us: self.clock.now_us(),
+            node: id.0,
+        });
+        id
     }
 
     /// Circular spans of the arc owned by bucket `b`, starting at
@@ -771,6 +835,15 @@ impl ElasticCache {
                 .collect(),
             None => Vec::new(),
         };
+        self.obs.emit(ObsEvent::SliceExpire {
+            at_us: self.clock.now_us(),
+            expiration: self.expirations,
+            victims: victims.len() as u64,
+        });
+        // Keys actually removed, grouped per node, for the EvictBatch
+        // events the simtest differential oracle checks bit-exactly.
+        let mut evicted_by_node: std::collections::BTreeMap<u32, Vec<u64>> =
+            std::collections::BTreeMap::new();
         for key in victims {
             let Some(nid) = self.ring.node_for_key(key).copied() else {
                 continue;
@@ -778,6 +851,7 @@ impl ElasticCache {
             let removed = self.node_at_mut(nid).and_then(|n| n.remove(key));
             if let Some(rec) = removed {
                 self.metrics.evictions += 1;
+                evicted_by_node.entry(nid.0).or_default().push(key);
                 // Write-behind to the overflow tier (off the query
                 // path; the write proceeds between time steps).
                 if let Some(tier) = &mut self.tier {
@@ -796,6 +870,14 @@ impl ElasticCache {
                     }
                 }
             }
+        }
+        let evict_at_us = self.clock.now_us();
+        for (node, keys) in evicted_by_node {
+            self.obs.emit(ObsEvent::EvictBatch {
+                at_us: evict_at_us,
+                node,
+                keys,
+            });
         }
         if self
             .expirations
@@ -853,11 +935,22 @@ impl ElasticCache {
             records: moved,
             duration_us,
         });
+        self.obs.record("migration_sweep_us", duration_us);
+        self.obs.emit(ObsEvent::NodeMerge {
+            at_us: start_us,
+            src: a.0,
+            dest: b.0,
+            records: moved,
+        });
         if let Some(n) = self.node_at(a) {
             let instance = n.instance;
             self.cloud.deallocate(instance);
         }
         self.nodes[a.0 as usize] = None;
+        self.obs.emit(ObsEvent::NodeDealloc {
+            at_us: self.clock.now_us(),
+            node: a.0,
+        });
         self.metrics.merges += 1;
         #[cfg(debug_assertions)]
         self.validate();
@@ -911,6 +1004,10 @@ impl ElasticCache {
             .collect();
         self.cloud.deallocate(instance);
         self.nodes[id.0 as usize] = None;
+        self.obs.emit(ObsEvent::NodeDealloc {
+            at_us: self.clock.now_us(),
+            node: id.0,
+        });
 
         let survivor = match self
             .nodes()

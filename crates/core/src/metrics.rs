@@ -80,24 +80,30 @@ impl Metrics {
     }
 
     /// Counter-wise difference `self - earlier` (for interval reporting).
+    ///
+    /// Saturating: if `earlier` was snapshotted after a counter reset (or
+    /// the operands are swapped), a counter that moved backwards reports 0
+    /// for that interval instead of underflowing.
     pub fn delta(&self, earlier: &Metrics) -> Metrics {
         Metrics {
-            queries: self.queries - earlier.queries,
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            lru_evictions: self.lru_evictions - earlier.lru_evictions,
-            splits: self.splits - earlier.splits,
-            splits_with_allocation: self.splits_with_allocation - earlier.splits_with_allocation,
-            merges: self.merges - earlier.merges,
-            observed_us: self.observed_us - earlier.observed_us,
-            baseline_us: self.baseline_us - earlier.baseline_us,
-            service_us: self.service_us - earlier.service_us,
-            alloc_us: self.alloc_us - earlier.alloc_us,
-            migration_us: self.migration_us - earlier.migration_us,
-            tier_hits: self.tier_hits - earlier.tier_hits,
-            tier_writes: self.tier_writes - earlier.tier_writes,
-            insert_errors: self.insert_errors - earlier.insert_errors,
+            queries: self.queries.saturating_sub(earlier.queries),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            lru_evictions: self.lru_evictions.saturating_sub(earlier.lru_evictions),
+            splits: self.splits.saturating_sub(earlier.splits),
+            splits_with_allocation: self
+                .splits_with_allocation
+                .saturating_sub(earlier.splits_with_allocation),
+            merges: self.merges.saturating_sub(earlier.merges),
+            observed_us: self.observed_us.saturating_sub(earlier.observed_us),
+            baseline_us: self.baseline_us.saturating_sub(earlier.baseline_us),
+            service_us: self.service_us.saturating_sub(earlier.service_us),
+            alloc_us: self.alloc_us.saturating_sub(earlier.alloc_us),
+            migration_us: self.migration_us.saturating_sub(earlier.migration_us),
+            tier_hits: self.tier_hits.saturating_sub(earlier.tier_hits),
+            tier_writes: self.tier_writes.saturating_sub(earlier.tier_writes),
+            insert_errors: self.insert_errors.saturating_sub(earlier.insert_errors),
         }
     }
 }
@@ -151,5 +157,35 @@ mod tests {
         assert_eq!(d.observed_us, 80);
         assert_eq!(d.baseline_us, 400);
         assert!((d.hit_rate() - 11.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_across_a_reset_saturates_instead_of_panicking() {
+        let before_reset = Metrics {
+            queries: 100,
+            hits: 60,
+            misses: 40,
+            observed_us: 5_000,
+            baseline_us: 9_000,
+            evictions: 7,
+            ..Default::default()
+        };
+        // Counters were reset, then moved a little: every field is now
+        // smaller than the stale snapshot.
+        let after_reset = Metrics {
+            queries: 3,
+            hits: 1,
+            misses: 2,
+            observed_us: 90,
+            baseline_us: 150,
+            ..Default::default()
+        };
+        let d = after_reset.delta(&before_reset);
+        assert_eq!(d.queries, 0);
+        assert_eq!(d.hits, 0);
+        assert_eq!(d.misses, 0);
+        assert_eq!(d.observed_us, 0);
+        assert_eq!(d.baseline_us, 0);
+        assert_eq!(d.evictions, 0);
     }
 }

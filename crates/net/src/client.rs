@@ -188,6 +188,16 @@ impl RemoteNode {
         decode_stats(body).ok_or_else(|| bad_frame("bad stats body"))
     }
 
+    /// Fetch the node's observability snapshot (flight-recorder events +
+    /// latency histograms).
+    pub fn obs_dump(&mut self) -> io::Result<ecc_obs::ObsSnapshot> {
+        let (status, body) = self.call(&Request::ObsDump)?;
+        if status != Status::Ok {
+            return Err(bad_frame("obs-dump rejected"));
+        }
+        ecc_obs::decode_dump(body).ok_or_else(|| bad_frame("bad obs-dump body"))
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> io::Result<bool> {
         Ok(self.call(&Request::Ping)?.0 == Status::Ok)

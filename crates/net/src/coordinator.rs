@@ -15,6 +15,7 @@ use std::net::SocketAddr;
 use bytes::Bytes;
 use ecc_chash::HashRing;
 use ecc_core::SlidingWindow;
+use ecc_obs::{ObsEvent, ObsRegistry, ObsSnapshot, TimeSource};
 
 use crate::client::RemoteNode;
 use crate::protocol::Status;
@@ -74,6 +75,8 @@ pub struct LiveCoordinator {
     pub splits: usize,
     /// Node merges performed.
     pub merges: usize,
+    /// Coordinator-side flight recorder + latency histograms.
+    obs: ObsRegistry,
 }
 
 impl LiveCoordinator {
@@ -92,6 +95,7 @@ impl LiveCoordinator {
             nodes_spawned: 0,
             splits: 0,
             merges: 0,
+            obs: ObsRegistry::new(TimeSource::real()),
         };
         let first = coord.spawn_node()?;
         coord
@@ -114,6 +118,23 @@ impl LiveCoordinator {
     /// Read-only view of the hash ring (load generators route with it).
     pub fn ring(&self) -> &HashRing<usize> {
         &self.ring
+    }
+
+    /// The coordinator's own observability registry (structural events,
+    /// fan-out and migration latency histograms).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
+    }
+
+    /// Cluster-wide observability snapshot: fan out `ObsDump` to every
+    /// node, then merge the per-node snapshots with the coordinator's own
+    /// (histograms add bucket-wise, events interleave by timestamp).
+    pub fn cluster_obs(&mut self) -> io::Result<ObsSnapshot> {
+        let mut merged = self.obs.snapshot();
+        for (_, snap) in self.fan_out(|_, client| client.obs_dump())? {
+            merged.merge(&snap);
+        }
+        Ok(merged)
     }
 
     /// Address of node `id`'s cache server, if it is active.
@@ -147,6 +168,7 @@ impl LiveCoordinator {
     {
         let f = &f;
         let mut out = Vec::new();
+        let t0 = self.obs.now_us();
         std::thread::scope(|s| {
             let handles: Vec<_> = self
                 .nodes
@@ -164,6 +186,7 @@ impl LiveCoordinator {
             }
             Ok(())
         })?;
+        self.obs.record("coord_fanout_us", self.obs.now_us() - t0);
         Ok(out)
     }
 
@@ -188,7 +211,12 @@ impl LiveCoordinator {
         let client = RemoteNode::connect(server.addr())?;
         self.nodes.push(Some(ManagedNode { server, client }));
         self.nodes_spawned += 1;
-        Ok(self.nodes.len() - 1)
+        let id = self.nodes.len() - 1;
+        self.obs.emit(ObsEvent::NodeAlloc {
+            at_us: self.obs.now_us(),
+            node: id as u32,
+        });
+        Ok(id)
     }
 
     /// Look up `key` on the owning node.
@@ -271,6 +299,12 @@ impl LiveCoordinator {
                 .remap_bucket(b_max, dest)
                 .map_err(|_| internal("bucket vanished while relocating it"))?;
             self.splits += 1;
+            self.obs.emit(ObsEvent::BucketSplit {
+                at_us: self.obs.now_us(),
+                node: nid as u32,
+                new_node: dest as u32,
+                bucket: b_max,
+            });
             return Ok(());
         }
         let mut mu_idx = keys.len() / 2;
@@ -296,6 +330,12 @@ impl LiveCoordinator {
             .insert_bucket(k_mu, dest)
             .map_err(|_| internal("split bucket position already occupied"))?;
         self.splits += 1;
+        self.obs.emit(ObsEvent::BucketSplit {
+            at_us: self.obs.now_us(),
+            node: nid as u32,
+            new_node: dest as u32,
+            bucket: k_mu,
+        });
         Ok(())
     }
 
@@ -318,14 +358,30 @@ impl LiveCoordinator {
                 dest = Some((id, used));
             }
         }
-        let dest = match dest {
-            Some((id, used)) if used + total <= self.capacity_bytes => id,
-            _ => self.spawn_node()?,
+        let (dest, allocated) = match dest {
+            Some((id, used)) if used + total <= self.capacity_bytes => (id, false),
+            _ => (self.spawn_node()?, true),
         };
+        let t0 = self.obs.now_us();
+        let mut moved_records = 0u64;
+        let mut moved_bytes = 0u64;
         for &(lo, hi) in spans {
             let records = self.client(src)?.sweep(lo, hi)?;
+            moved_records += records.len() as u64;
+            moved_bytes += records.iter().map(|(_, v)| v.len() as u64).sum::<u64>();
             self.put_all(dest, records, "migration put failed")?;
         }
+        let duration_us = self.obs.now_us() - t0;
+        self.obs.record("coord_migrate_us", duration_us);
+        self.obs.emit(ObsEvent::SweepMigrate {
+            at_us: t0,
+            src: src as u32,
+            dest: dest as u32,
+            records: moved_records,
+            bytes: moved_bytes,
+            duration_us,
+            allocated,
+        });
         Ok(dest)
     }
 
@@ -366,6 +422,11 @@ impl LiveCoordinator {
             Some(w) => w.victims(&expired),
             None => Vec::new(),
         };
+        self.obs.emit(ObsEvent::SliceExpire {
+            at_us: self.obs.now_us(),
+            expiration: self.expirations,
+            victims: victims.len() as u64,
+        });
         // Group victims by owning node: O(nodes) batched `EvictMany`
         // frames fanned out concurrently, instead of one blocking
         // round-trip per victim.
@@ -376,11 +437,21 @@ impl LiveCoordinator {
             }
         }
         if !batches.is_empty() {
-            let batches = &batches;
-            self.fan_out(|id, client| match batches.get(&id) {
-                Some(keys) => client.evict_many(keys).map(|_| ()),
-                None => Ok(()),
-            })?;
+            {
+                let batches = &batches;
+                self.fan_out(|id, client| match batches.get(&id) {
+                    Some(keys) => client.evict_many(keys).map(|_| ()),
+                    None => Ok(()),
+                })?;
+            }
+            let at_us = self.obs.now_us();
+            for (nid, keys) in batches {
+                self.obs.emit(ObsEvent::EvictBatch {
+                    at_us,
+                    node: nid as u32,
+                    keys,
+                });
+            }
         }
         if self.expirations.is_multiple_of(self.contraction_epsilon) {
             self.try_contract()?;
@@ -406,9 +477,12 @@ impl LiveCoordinator {
             return Ok(());
         }
         // Drain a into b.
+        let t0 = self.obs.now_us();
         let hi = self.ring_range - 1;
         let records = self.client(a)?.sweep(0, hi)?;
+        let moved = records.len() as u64;
         self.put_all(b, records, "merge put failed")?;
+        self.obs.record("coord_migrate_us", self.obs.now_us() - t0);
         for bucket in self.ring.buckets_of_node(&a) {
             self.ring
                 .remap_bucket(bucket, b)
@@ -428,10 +502,20 @@ impl LiveCoordinator {
                     .map_err(|_| internal("bucket vanished while coalescing"))?;
             }
         }
+        self.obs.emit(ObsEvent::NodeMerge {
+            at_us: t0,
+            src: a as u32,
+            dest: b as u32,
+            records: moved,
+        });
         if let Some(mut dead) = self.nodes[a].take() {
             let _ = dead.client.shutdown();
             dead.server.stop();
         }
+        self.obs.emit(ObsEvent::NodeDealloc {
+            at_us: self.obs.now_us(),
+            node: a as u32,
+        });
         self.merges += 1;
         Ok(())
     }
@@ -565,6 +649,51 @@ mod tests {
         assert_eq!(records, 0, "eviction should have emptied the cache");
         assert!(c.node_count() < grown, "no contraction");
         assert!(c.merges >= 1);
+        c.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cluster_obs_merges_nodes_and_coordinator() {
+        let mut c = LiveCoordinator::start(1 << 16, 1000).unwrap();
+        c.enable_window(2, 0.99, 0.99f64.powi(1));
+        for k in 0..32u64 {
+            if c.get(k * 999).unwrap().is_none() {
+                c.put(k * 999, vec![1; 100]).unwrap();
+            }
+        }
+        for _ in 0..8 {
+            c.end_time_step().unwrap();
+        }
+        let snap = c.cluster_obs().unwrap();
+        let counts = snap.event_counts();
+        // The grow phase split buckets and spawned nodes; the shrink phase
+        // evicted and merged. Every structural family must be on record.
+        assert!(counts.get("bucket_split").copied().unwrap_or(0) >= 1);
+        assert!(counts.get("node_alloc").copied().unwrap_or(0) >= 2);
+        assert!(counts.get("node_merge").copied().unwrap_or(0) >= 1);
+        assert!(counts.get("evict_batch").copied().unwrap_or(0) >= 1);
+        // Every merge pairs with a dealloc of the drained node.
+        assert_eq!(
+            counts.get("node_merge"),
+            counts.get("node_dealloc"),
+            "merge/dealloc pairing broken: {counts:?}"
+        );
+        // Per-node server histograms merged in. The data path is batched
+        // (put_many), and only survivors of the contraction still hold
+        // their registries, so assert on ops the survivor served.
+        let names: Vec<&String> = snap.hists.keys().collect();
+        assert!(
+            snap.hist("server_op_us:put_many").is_some(),
+            "hists: {names:?}"
+        );
+        assert!(snap.hist("coord_fanout_us").is_some());
+        // The exposition renders and carries quantiles + events.
+        let text = snap.render_prometheus();
+        assert!(text.contains("ecc_server_op_us{op=\"put_many\",quantile=\"0.99\"}"));
+        assert!(text.contains("ecc_events_total{type=\"node_merge\"}"));
+        // Events interleave in timestamp order after the merge.
+        let times: Vec<u64> = snap.events.iter().map(|e| e.at_us()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
         c.shutdown().unwrap();
     }
 

@@ -11,10 +11,12 @@
 //! (splits/merges) remain the single coordinator's job, as in the paper.
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use ecc_chash::HashRing;
+use ecc_obs::LogHistogram;
 
 use crate::client::RemoteNode;
 
@@ -30,7 +32,7 @@ struct WorkerStats {
     hits: u64,
     misses: u64,
     errors: u64,
-    latencies_us: Vec<u64>,
+    hist: LogHistogram,
 }
 
 /// Aggregated load-test report.
@@ -49,6 +51,10 @@ pub struct LoadReport {
     pub elapsed: Duration,
     /// Latency percentiles in microseconds: (p50, p95, p99).
     pub latency_us: (u64, u64, u64),
+    /// Full client-side RTT histogram (merged across workers) — the
+    /// mergeable counterpart of `latency_us`, foldable into a cluster
+    /// `ObsSnapshot` under the name `client_rtt_us`.
+    pub hist: LogHistogram,
 }
 
 impl LoadReport {
@@ -56,6 +62,19 @@ impl LoadReport {
     pub fn throughput(&self) -> f64 {
         self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
+}
+
+/// Periodic progress readout handed to [`run_load_with_progress`]'s
+/// callback: a snapshot of the run so far, safe to render as a one-line
+/// live summary.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadProgress {
+    /// Operations completed so far.
+    pub done: u64,
+    /// Operations requested in total.
+    pub total: u64,
+    /// Time since the run started.
+    pub elapsed: Duration,
 }
 
 /// Drive `total_ops` GET-then-PUT-on-miss operations from `clients`
@@ -70,16 +89,53 @@ pub fn run_load<N: Clone + Eq + Send + Sync>(
     key_space: u64,
     value_len: usize,
 ) -> std::io::Result<LoadReport> {
+    run_load_with_progress(
+        ring, addr_of, clients, total_ops, key_space, value_len, None,
+    )
+}
+
+/// [`run_load`], plus an optional `(interval, callback)` pair: a monitor
+/// thread invokes the callback every `interval` with a [`LoadProgress`]
+/// snapshot while the workers run. Diagnostics stay with the caller (a
+/// binary can print a live one-liner; library code stays print-free).
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    total_ops: u64,
+    key_space: u64,
+    value_len: usize,
+    progress: Option<(Duration, &(dyn Fn(LoadProgress) + Sync))>,
+) -> std::io::Result<LoadReport> {
     assert!(clients >= 1, "need at least one client");
     let per_worker = total_ops.div_ceil(clients as u64);
     let (tx, rx) = channel::bounded::<WorkerStats>(clients);
     let start = Instant::now();
+    let done_ops = AtomicU64::new(0);
+    let workers_done = AtomicU64::new(0);
 
     std::thread::scope(|scope| -> std::io::Result<()> {
+        if let Some((interval, callback)) = progress {
+            let done_ops = &done_ops;
+            let workers_done = &workers_done;
+            scope.spawn(move || {
+                while workers_done.load(Ordering::Acquire) < clients as u64 {
+                    std::thread::sleep(interval);
+                    callback(LoadProgress {
+                        done: done_ops.load(Ordering::Relaxed),
+                        total: total_ops,
+                        elapsed: start.elapsed(),
+                    });
+                }
+            });
+        }
         for w in 0..clients {
             let tx = tx.clone();
             let ring = ring.clone();
             let addr_of = &addr_of;
+            let done_ops = &done_ops;
+            let workers_done = &workers_done;
             scope.spawn(move || {
                 let mut stats = WorkerStats::default();
                 // Per-node connections, opened lazily.
@@ -123,9 +179,11 @@ pub fn run_load<N: Clone + Eq + Send + Sync>(
                         }
                         Err(_) => stats.errors += 1,
                     }
-                    stats.latencies_us.push(t0.elapsed().as_micros() as u64);
+                    stats.hist.record(t0.elapsed().as_micros() as u64);
                     stats.ops += 1;
+                    done_ops.fetch_add(1, Ordering::Relaxed);
                 }
+                workers_done.fetch_add(1, Ordering::Release);
                 let _ = tx.send(stats);
             });
         }
@@ -139,24 +197,16 @@ pub fn run_load<N: Clone + Eq + Send + Sync>(
         all.hits += s.hits;
         all.misses += s.misses;
         all.errors += s.errors;
-        all.latencies_us.extend(s.latencies_us);
+        all.hist.merge(&s.hist);
     }
-    all.latencies_us.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if all.latencies_us.is_empty() {
-            0
-        } else {
-            let idx = ((all.latencies_us.len() - 1) as f64 * p).round() as usize;
-            all.latencies_us[idx]
-        }
-    };
     Ok(LoadReport {
         ops: all.ops,
         hits: all.hits,
         misses: all.misses,
         errors: all.errors,
         elapsed: start.elapsed(),
-        latency_us: (pct(0.50), pct(0.95), pct(0.99)),
+        latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
+        hist: all.hist,
     })
 }
 
@@ -198,6 +248,39 @@ mod tests {
             3,
             "600 ops from 3 workers must ride 3 persistent connections"
         );
+    }
+
+    #[test]
+    fn report_histogram_matches_op_count_and_progress_fires() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let s = CacheServer::spawn(1 << 20, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(256);
+        ring.insert_bucket(255, 0).unwrap();
+        let addr = s.addr();
+        let ticks = AtomicU64::new(0);
+        let last_done = AtomicU64::new(0);
+        let cb = |p: LoadProgress| {
+            ticks.fetch_add(1, Ordering::Relaxed);
+            last_done.store(p.done, Ordering::Relaxed);
+            assert_eq!(p.total, 800);
+        };
+        let report = run_load_with_progress(
+            &ring,
+            |_| addr,
+            2,
+            800,
+            256,
+            32,
+            Some((Duration::from_millis(5), &cb)),
+        )
+        .unwrap();
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.hist.count(), report.ops);
+        let (p50, p95, p99) = report.latency_us;
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(ticks.load(Ordering::Relaxed) >= 1, "monitor never ticked");
+        assert!(last_done.load(Ordering::Relaxed) <= 800);
     }
 
     #[test]

@@ -42,9 +42,31 @@ pub enum Op {
     /// Remove a batch of keys in one frame (the coordinator's batched
     /// slice-expiry eviction); per-item status response.
     EvictMany = 0x0C,
+    /// Dump the node's observability snapshot (flight-recorder events +
+    /// latency histograms) as a versioned `ecc-obs` wire blob.
+    ObsDump = 0x0D,
 }
 
 impl Op {
+    /// Stable lowercase name (histogram labels, trace pretty-printing).
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Get => "get",
+            Op::Put => "put",
+            Op::Remove => "remove",
+            Op::Sweep => "sweep",
+            Op::Keys => "keys",
+            Op::Stats => "stats",
+            Op::Ping => "ping",
+            Op::Shutdown => "shutdown",
+            Op::RangeStats => "range_stats",
+            Op::PutMany => "put_many",
+            Op::GetMany => "get_many",
+            Op::EvictMany => "evict_many",
+            Op::ObsDump => "obs_dump",
+        }
+    }
+
     /// Parse an opcode byte.
     pub fn from_u8(b: u8) -> Option<Op> {
         Some(match b {
@@ -60,6 +82,7 @@ impl Op {
             0x0A => Op::PutMany,
             0x0B => Op::GetMany,
             0x0C => Op::EvictMany,
+            0x0D => Op::ObsDump,
             _ => return None,
         })
     }
@@ -158,6 +181,10 @@ pub enum Request {
         /// Keys to remove.
         keys: Vec<u64>,
     },
+    /// Dump the node's observability snapshot. The response is `Ok` with a
+    /// versioned `ecc_obs::wire` blob (see `OBS_DUMP_VERSION`); the body is
+    /// dynamic — histogram contents depend on traffic since startup.
+    ObsDump,
 }
 
 impl Request {
@@ -203,6 +230,7 @@ impl Request {
             Request::Stats => b.put_u8(Op::Stats as u8),
             Request::Ping => b.put_u8(Op::Ping as u8),
             Request::Shutdown => b.put_u8(Op::Shutdown as u8),
+            Request::ObsDump => b.put_u8(Op::ObsDump as u8),
             Request::PutMany { items } => {
                 b.put_u8(Op::PutMany as u8);
                 b.put_u32_le(items.len() as u32);
@@ -295,6 +323,12 @@ impl Request {
             Op::Stats => Request::Stats,
             Op::Ping => Request::Ping,
             Op::Shutdown => Request::Shutdown,
+            Op::ObsDump => {
+                if payload.has_remaining() {
+                    return None;
+                }
+                Request::ObsDump
+            }
             Op::PutMany => {
                 if payload.remaining() < 4 {
                     return None;
@@ -640,6 +674,7 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Shutdown,
+            Request::ObsDump,
         ];
         for req in cases {
             let enc = req.encode();

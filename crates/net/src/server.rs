@@ -12,11 +12,12 @@ use std::thread::JoinHandle;
 
 use ecc_cloudsim::InstanceId;
 use ecc_core::{CacheNode, Record};
+use ecc_obs::{encode_dump, ObsEvent, ObsRegistry, TimeSource};
 use parking_lot::Mutex;
 
 use crate::protocol::{
     encode_get_many, encode_keys, encode_range_stats, encode_records, encode_stats,
-    encode_statuses, read_frame_into, write_frame_buffered, Request, Response, Status,
+    encode_statuses, read_frame_into, write_frame_buffered, Op, Request, Response, Status,
 };
 
 /// A running cache server (one node of the cooperative cache).
@@ -25,6 +26,7 @@ pub struct CacheServer {
     shutdown: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
+    obs: ObsRegistry,
 }
 
 impl CacheServer {
@@ -45,6 +47,7 @@ impl CacheServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
+        let obs = ObsRegistry::new(TimeSource::real());
         let node = Arc::new(Mutex::new(CacheNode::new(
             InstanceId(0),
             capacity_bytes,
@@ -53,6 +56,7 @@ impl CacheServer {
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_count = Arc::clone(&connections);
+        let accept_obs = obs.clone();
         let accept_thread = std::thread::Builder::new()
             .name(format!("ecc-server-{}", addr.port()))
             .spawn(move || {
@@ -67,8 +71,9 @@ impl CacheServer {
                     let _ = stream.set_nodelay(true);
                     let node = Arc::clone(&node);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let conn_obs = accept_obs.clone();
                     std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &node, &conn_shutdown);
+                        let _ = serve_connection(stream, &node, &conn_shutdown, &conn_obs);
                     });
                 }
             })?;
@@ -78,7 +83,14 @@ impl CacheServer {
             shutdown,
             connections,
             accept_thread: Some(accept_thread),
+            obs,
         })
+    }
+
+    /// This node's observability registry (shared with its connection
+    /// threads; the same store the wire `ObsDump` op snapshots).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
     }
 
     /// The address clients connect to.
@@ -120,6 +132,7 @@ fn serve_connection(
     mut stream: TcpStream,
     node: &Mutex<CacheNode>,
     shutdown: &AtomicBool,
+    obs: &ObsRegistry,
 ) -> io::Result<()> {
     let mut rbuf = Vec::new();
     let mut wbuf = Vec::new();
@@ -129,14 +142,28 @@ fn serve_connection(
             Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
             Err(e) => return Err(e),
         }
+        let op_byte = rbuf.first().copied().unwrap_or(0);
+        obs.emit(ObsEvent::FrameRx {
+            at_us: obs.now_us(),
+            op: op_byte,
+            bytes: rbuf.len() as u64,
+        });
+        let t0 = obs.now_us();
         let (resp, is_shutdown) = match Request::decode(&rbuf[..]) {
             Some(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                (handle(req, node, shutdown), is_shutdown)
+                (handle(req, node, shutdown, obs), is_shutdown)
             }
             None => (Response::status(Status::BadRequest), false),
         };
+        let dt = obs.now_us() - t0;
+        obs.record(op_hist_name(Op::from_u8(op_byte)), dt);
         write_frame_buffered(&mut stream, &mut wbuf, |b| resp.encode_into(b))?;
+        obs.emit(ObsEvent::FrameTx {
+            at_us: obs.now_us(),
+            op: op_byte,
+            bytes: resp.body.len() as u64 + 1,
+        });
         if is_shutdown {
             return Ok(());
         }
@@ -144,7 +171,12 @@ fn serve_connection(
 }
 
 /// Execute one request against the node.
-fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Response {
+fn handle(
+    req: Request,
+    node: &Mutex<CacheNode>,
+    shutdown: &AtomicBool,
+    obs: &ObsRegistry,
+) -> Response {
     match req {
         Request::Get { key } => {
             let node = node.lock();
@@ -225,10 +257,35 @@ fn handle(req: Request, node: &Mutex<CacheNode>, shutdown: &AtomicBool) -> Respo
             ))
         }
         Request::Ping => Response::status(Status::Ok),
+        Request::ObsDump => {
+            let snap = obs.snapshot();
+            Response::ok(bytes::Bytes::from(encode_dump(&snap)))
+        }
         Request::Shutdown => {
             shutdown.store(true, Ordering::SeqCst);
             Response::status(Status::Ok)
         }
+    }
+}
+
+/// Static per-op histogram name (`server_op_us:<op>`), so the hot path
+/// never allocates a label string.
+fn op_hist_name(op: Option<Op>) -> &'static str {
+    match op {
+        Some(Op::Get) => "server_op_us:get",
+        Some(Op::Put) => "server_op_us:put",
+        Some(Op::Remove) => "server_op_us:remove",
+        Some(Op::Sweep) => "server_op_us:sweep",
+        Some(Op::Keys) => "server_op_us:keys",
+        Some(Op::Stats) => "server_op_us:stats",
+        Some(Op::Ping) => "server_op_us:ping",
+        Some(Op::Shutdown) => "server_op_us:shutdown",
+        Some(Op::RangeStats) => "server_op_us:range_stats",
+        Some(Op::PutMany) => "server_op_us:put_many",
+        Some(Op::GetMany) => "server_op_us:get_many",
+        Some(Op::EvictMany) => "server_op_us:evict_many",
+        Some(Op::ObsDump) => "server_op_us:obs_dump",
+        None => "server_op_us:bad",
     }
 }
 
@@ -368,6 +425,24 @@ mod tests {
         let mut c = RemoteNode::connect(addr).unwrap();
         let (_, count, _) = c.stats().unwrap();
         assert_eq!(count, 400);
+    }
+
+    #[test]
+    fn obs_dump_reports_per_op_latency_and_frame_events() {
+        let mut server = CacheServer::spawn(10_000, 16).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        client.put(1, b"abc".to_vec()).unwrap();
+        client.get(1).unwrap();
+        client.get(2).unwrap();
+        let snap = client.obs_dump().unwrap();
+        assert_eq!(snap.hist("server_op_us:put").map(|h| h.count()), Some(1));
+        assert_eq!(snap.hist("server_op_us:get").map(|h| h.count()), Some(2));
+        let counts = snap.event_counts();
+        // Rx events for put + 2 gets + the dump itself; Tx lags by the
+        // in-flight dump response.
+        assert_eq!(counts.get("frame_rx"), Some(&4));
+        assert_eq!(counts.get("frame_tx"), Some(&3));
+        server.stop();
     }
 
     #[test]

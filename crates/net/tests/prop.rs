@@ -4,8 +4,8 @@
 use bytes::Bytes;
 use ecc_net::protocol::{
     decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
-    decode_statuses, encode_get_many, encode_keys, encode_records, encode_stats, encode_statuses,
-    read_frame, write_frame, Request, Response, Status,
+    decode_statuses, encode_get_many, encode_keys, encode_range_stats, encode_records,
+    encode_stats, encode_statuses, read_frame, write_frame, Request, Response, Status,
 };
 use proptest::prelude::*;
 
@@ -25,6 +25,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Ping),
         Just(Request::Shutdown),
+        Just(Request::ObsDump),
         proptest::collection::vec(
             (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
             0..20,
@@ -135,8 +136,36 @@ proptest! {
     }
 
     #[test]
+    fn obs_dump_bodies_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = ecc_obs::decode_dump(&bytes);
+    }
+
+    #[test]
     fn stats_roundtrip(used: u64, count: u64, cap: u64) {
         prop_assert_eq!(decode_stats(encode_stats(used, count, cap)), Some((used, count, cap)));
+    }
+
+    /// Adding `ObsDump` (0x0D) must not disturb how any pre-existing
+    /// opcode encodes: the first payload byte is pinned per variant.
+    #[test]
+    fn opcode_bytes_are_stable_across_protocol_growth(req in arb_request()) {
+        let enc = req.encode();
+        let expected = match &req {
+            Request::Get { .. } => 0x01u8,
+            Request::Put { .. } => 0x02,
+            Request::Remove { .. } => 0x03,
+            Request::Sweep { .. } => 0x04,
+            Request::Keys { .. } => 0x05,
+            Request::Stats => 0x06,
+            Request::Ping => 0x07,
+            Request::Shutdown => 0x08,
+            Request::RangeStats { .. } => 0x09,
+            Request::PutMany { .. } => 0x0A,
+            Request::GetMany { .. } => 0x0B,
+            Request::EvictMany { .. } => 0x0C,
+            Request::ObsDump => 0x0D,
+        };
+        prop_assert_eq!(enc.first().copied(), Some(expected));
     }
 
     /// Frames written then read give back the payload; truncated frames
@@ -159,5 +188,71 @@ proptest! {
                 prop_assert!(read_frame(&mut cursor).is_err());
             }
         }
+    }
+}
+
+/// Forward-compatibility guard: response bodies captured from the wire
+/// *before* the `ObsDump` op existed must keep decoding bit-for-bit after
+/// the protocol grew. These byte strings are frozen — if one of these
+/// tests fails, the change broke every deployed peer.
+mod golden_bytes {
+    use super::*;
+
+    /// A pre-ObsDump 24-byte `Stats` body: used=0x0102030405060708,
+    /// count=0x1112131415161718, capacity=0x2122232425262728 (LE).
+    #[test]
+    fn legacy_stats_body_still_decodes() {
+        let frozen: [u8; 24] = [
+            0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // used
+            0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11, // count
+            0x28, 0x27, 0x26, 0x25, 0x24, 0x23, 0x22, 0x21, // capacity
+        ];
+        assert_eq!(
+            decode_stats(Bytes::copy_from_slice(&frozen)),
+            Some((0x0102030405060708, 0x1112131415161718, 0x2122232425262728))
+        );
+        // And the serializer still emits exactly those bytes.
+        assert_eq!(
+            encode_stats(0x0102030405060708, 0x1112131415161718, 0x2122232425262728).as_ref(),
+            &frozen[..]
+        );
+    }
+
+    /// A pre-ObsDump 16-byte `RangeStats` body: bytes=4096, records=7 (LE).
+    #[test]
+    fn legacy_range_stats_body_still_decodes() {
+        let frozen: [u8; 16] = [
+            0x00, 0x10, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // bytes = 4096
+            0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // records = 7
+        ];
+        assert_eq!(
+            decode_range_stats(Bytes::copy_from_slice(&frozen)),
+            Some((4096, 7))
+        );
+        assert_eq!(encode_range_stats(4096, 7).as_ref(), &frozen[..]);
+    }
+
+    /// A pre-ObsDump `Stats` request frame is a single 0x06 byte; a
+    /// pre-ObsDump `RangeStats` request is 0x09 + two LE u64s. Both must
+    /// decode unchanged, and the new opcode must not shadow them.
+    #[test]
+    fn legacy_request_frames_still_decode() {
+        assert_eq!(
+            Request::decode(Bytes::from_static(&[0x06])),
+            Some(Request::Stats)
+        );
+        let mut range = vec![0x09];
+        range.extend_from_slice(&100u64.to_le_bytes());
+        range.extend_from_slice(&200u64.to_le_bytes());
+        assert_eq!(
+            Request::decode(Bytes::from(range)),
+            Some(Request::RangeStats { lo: 100, hi: 200 })
+        );
+        // The new opcode decodes strictly: exactly one byte, no payload.
+        assert_eq!(
+            Request::decode(Bytes::from_static(&[0x0D])),
+            Some(Request::ObsDump)
+        );
+        assert_eq!(Request::decode(Bytes::from_static(&[0x0D, 0x00])), None);
     }
 }

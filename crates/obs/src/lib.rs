@@ -1,0 +1,41 @@
+//! Observability substrate for the elastic cache: flight-recorder event
+//! tracing, log-bucketed latency histograms, and a per-node registry with
+//! a versioned wire dump and Prometheus-style text exposition.
+//!
+//! The paper's evaluation is a story about *when* the cache splits,
+//! migrates, merges and evicts; this crate makes those moments first-class,
+//! timestamped data instead of flat counters:
+//!
+//! * [`ObsEvent`] / [`FlightRecorder`] — a fixed-capacity ring buffer of
+//!   typed structural events (`BucketSplit`, `SweepMigrate`, `NodeMerge`,
+//!   `NodeAlloc`/`NodeDealloc`, `SliceExpire`, `EvictBatch`,
+//!   `FrameRx`/`FrameTx`, `InsertError`), dumpable as JSONL for post-mortem
+//!   analysis and CI artifact upload.
+//! * [`LogHistogram`] — mergeable power-of-two-bucketed latency histograms
+//!   with p50/p90/p99/p99.9 readouts.
+//! * [`ObsRegistry`] — a cheaply cloneable handle bundling one recorder and
+//!   a set of named histograms; [`wire`] serializes its [`ObsSnapshot`] for
+//!   the `ObsDump` protocol op, and [`ObsSnapshot::render_prometheus`]
+//!   renders the merged cluster view as exposition text.
+//!
+//! Timestamps flow through [`TimeSource`]: the simulated cache injects its
+//! `SimClock`, the live TCP path uses a process-relative monotonic reading.
+//! This crate is a measurement harness (like `ecc-bench`) and is therefore
+//! exempt from the `no-wallclock` lint; library crates never read the wall
+//! clock directly — they go through a [`TimeSource`] handed to them.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod event;
+pub mod hist;
+pub mod recorder;
+pub mod registry;
+pub mod wire;
+
+pub use event::ObsEvent;
+pub use hist::LogHistogram;
+pub use recorder::FlightRecorder;
+pub use registry::{ObsRegistry, ObsSnapshot, TimeSource};
+pub use wire::{decode_dump, encode_dump, OBS_DUMP_VERSION};

@@ -1,0 +1,177 @@
+//! Fixed-capacity flight recorder for structural cache events.
+//!
+//! The recorder is a bounded ring: when full, the oldest event is dropped
+//! and a drop counter advances, so a misbehaving run degrades to "recent
+//! history" instead of unbounded memory. Every event gets a monotonically
+//! increasing sequence number; `events_since(seq)` lets incremental readers
+//! (the simtest event-stream oracle) drain exactly the events emitted since
+//! their last look, even across drops.
+
+use std::collections::VecDeque;
+
+use crate::event::ObsEvent;
+
+/// Default ring capacity when none is given.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A bounded ring buffer of [`ObsEvent`]s with stable sequence numbers.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Sequence number the next pushed event will get.
+    next_seq: u64,
+    /// Events dropped because the ring was full.
+    dropped: u64,
+    ring: VecDeque<ObsEvent>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            next_seq: 0,
+            dropped: 0,
+            ring: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, ev: ObsEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+        self.next_seq += 1;
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sequence number the next event will receive (== total events ever
+    /// pushed).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events dropped so far because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sequence number of the oldest event still held.
+    fn first_seq(&self) -> u64 {
+        self.next_seq - self.ring.len() as u64
+    }
+
+    /// All events with sequence number `>= seq` that are still in the ring,
+    /// oldest first. A reader that remembers `next_seq()` between calls sees
+    /// every retained event exactly once.
+    pub fn events_since(&self, seq: u64) -> impl Iterator<Item = (u64, &ObsEvent)> {
+        let first = self.first_seq();
+        let skip = seq.saturating_sub(first) as usize;
+        self.ring
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .map(move |(i, ev)| (first + i as u64, ev))
+    }
+
+    /// Iterate all retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.ring.iter()
+    }
+
+    /// Render the retained events as JSONL, one event per line, oldest
+    /// first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(at_us: u64, node: u32) -> ObsEvent {
+        ObsEvent::NodeAlloc { at_us, node }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5u32 {
+            r.push(alloc(i as u64, i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.next_seq(), 5);
+        let kept: Vec<u64> = r.iter().map(|e| e.at_us()).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn events_since_drains_incrementally() {
+        let mut r = FlightRecorder::new(8);
+        r.push(alloc(0, 0));
+        r.push(alloc(1, 1));
+        let cursor = r.next_seq();
+        assert_eq!(r.events_since(cursor).count(), 0);
+        r.push(alloc(2, 2));
+        r.push(alloc(3, 3));
+        let seen: Vec<(u64, u64)> = r
+            .events_since(cursor)
+            .map(|(s, e)| (s, e.at_us()))
+            .collect();
+        assert_eq!(seen, vec![(2, 2), (3, 3)]);
+        // A cursor older than the retained window just yields everything.
+        let all = r.events_since(0).count();
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_event_parser() {
+        let mut r = FlightRecorder::new(4);
+        r.push(ObsEvent::BucketSplit {
+            at_us: 7,
+            node: 1,
+            new_node: 2,
+            bucket: 99,
+        });
+        r.push(ObsEvent::EvictBatch {
+            at_us: 9,
+            node: 2,
+            keys: vec![1, 2, 3],
+        });
+        let text = r.to_jsonl();
+        let back: Vec<ObsEvent> = text.lines().filter_map(ObsEvent::from_json).collect();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].kind(), "bucket_split");
+        assert_eq!(back[1].kind(), "evict_batch");
+    }
+}

@@ -1,0 +1,307 @@
+//! Per-node observability registry and snapshot aggregation.
+//!
+//! An [`ObsRegistry`] bundles one [`FlightRecorder`] with a set of named
+//! [`LogHistogram`]s behind a cheaply cloneable handle, so a server, its
+//! connection threads, and the coordinator can all write into the same
+//! store. [`ObsSnapshot`] is the immutable, mergeable read-out: the
+//! coordinator fans out `ObsDump` to every node, merges the snapshots, and
+//! renders one cluster-wide Prometheus-style exposition.
+//!
+//! Histogram naming convention: `metric` or `metric:label`. The label part
+//! becomes an `op="label"` Prometheus label, so `server_op_us:get` renders
+//! as `ecc_server_op_us{op="get",...}`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ecc_cloudsim::SimClock;
+use parking_lot::Mutex;
+
+use crate::event::ObsEvent;
+use crate::hist::LogHistogram;
+use crate::recorder::{FlightRecorder, DEFAULT_CAPACITY};
+
+/// Where timestamps come from. Simulated components inject their
+/// [`SimClock`]; the live TCP path uses a process-relative monotonic
+/// reading so library crates never touch the wall clock themselves.
+#[derive(Debug, Clone)]
+pub enum TimeSource {
+    /// Virtual time from the deterministic simulation clock.
+    Sim(SimClock),
+    /// Monotonic micros since the captured epoch.
+    Real(Instant),
+}
+
+impl TimeSource {
+    /// A real-time source anchored at "now".
+    pub fn real() -> Self {
+        TimeSource::Real(Instant::now())
+    }
+
+    /// Current time in microseconds under this source.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            TimeSource::Sim(clock) => clock.now_us(),
+            TimeSource::Real(epoch) => epoch.elapsed().as_micros() as u64,
+        }
+    }
+}
+
+struct Inner {
+    time: TimeSource,
+    recorder: Mutex<FlightRecorder>,
+    hists: Mutex<BTreeMap<String, LogHistogram>>,
+}
+
+/// Shared handle to one node's recorder + histograms. Clones share state.
+#[derive(Clone)]
+pub struct ObsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl ObsRegistry {
+    /// A registry with the default recorder capacity.
+    pub fn new(time: TimeSource) -> Self {
+        Self::with_capacity(time, DEFAULT_CAPACITY)
+    }
+
+    /// A registry whose flight recorder retains at most `capacity` events.
+    pub fn with_capacity(time: TimeSource, capacity: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                time,
+                recorder: Mutex::new(FlightRecorder::new(capacity)),
+                hists: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Current time in microseconds under this registry's source.
+    pub fn now_us(&self) -> u64 {
+        self.inner.time.now_us()
+    }
+
+    /// Record one event into the flight recorder.
+    pub fn emit(&self, ev: ObsEvent) {
+        self.inner.recorder.lock().push(ev);
+    }
+
+    /// Record one latency/size sample into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut hists = self.inner.hists.lock();
+        match hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                hists.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Sequence number the next recorded event will get; pair with
+    /// [`events_since`](Self::events_since) for incremental draining.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.recorder.lock().next_seq()
+    }
+
+    /// Clone out every retained event with sequence number `>= seq`.
+    pub fn events_since(&self, seq: u64) -> Vec<(u64, ObsEvent)> {
+        self.inner
+            .recorder
+            .lock()
+            .events_since(seq)
+            .map(|(s, ev)| (s, ev.clone()))
+            .collect()
+    }
+
+    /// Retained flight-recorder contents as JSONL, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        self.inner.recorder.lock().to_jsonl()
+    }
+
+    /// An immutable read-out of the current state.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        let recorder = self.inner.recorder.lock();
+        ObsSnapshot {
+            dropped: recorder.dropped(),
+            events: recorder.iter().cloned().collect(),
+            hists: self.inner.hists.lock().clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ObsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let recorder = self.inner.recorder.lock();
+        f.debug_struct("ObsRegistry")
+            .field("events", &recorder.len())
+            .field("dropped", &recorder.dropped())
+            .field("hists", &self.inner.hists.lock().len())
+            .finish()
+    }
+}
+
+/// An immutable, mergeable read-out of one (or many, merged) registries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsSnapshot {
+    /// Events lost to ring overflow before this snapshot was taken.
+    pub dropped: u64,
+    /// Named histograms (`metric` or `metric:label`).
+    pub hists: BTreeMap<String, LogHistogram>,
+    /// Retained flight-recorder events, oldest first.
+    pub events: Vec<ObsEvent>,
+}
+
+impl ObsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `other` into `self`: histograms merge bucket-wise by name,
+    /// events concatenate and re-sort by timestamp, drop counts add.
+    pub fn merge(&mut self, other: &ObsSnapshot) {
+        self.dropped += other.dropped;
+        for (name, h) in &other.hists {
+            match self.hists.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.hists.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|ev| ev.at_us());
+    }
+
+    /// Look up a histogram by its full name (`metric` or `metric:label`).
+    pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
+        self.hists.get(name)
+    }
+
+    /// Event counts per kind tag.
+    pub fn event_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for ev in &self.events {
+            *counts.entry(ev.kind()).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    /// Render the snapshot's events as JSONL, one per line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as Prometheus-style exposition text: per-histogram
+    /// count/sum/min/max and p50/p90/p99/p99.9 quantile gauges, plus
+    /// per-kind event totals and the drop counter.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, h) in &self.hists {
+            let (metric, label) = match name.split_once(':') {
+                Some((m, l)) => (m, format!("{{op=\"{l}\"}}")),
+                None => (name.as_str(), String::new()),
+            };
+            let q_label = |q: &str| -> String {
+                match name.split_once(':') {
+                    Some((_, l)) => format!("{{op=\"{l}\",quantile=\"{q}\"}}"),
+                    None => format!("{{quantile=\"{q}\"}}"),
+                }
+            };
+            let _ = writeln!(out, "ecc_{metric}_count{label} {}", h.count());
+            let _ = writeln!(out, "ecc_{metric}_sum{label} {}", h.sum());
+            let _ = writeln!(out, "ecc_{metric}_min{label} {}", h.min().unwrap_or(0));
+            let _ = writeln!(out, "ecc_{metric}_max{label} {}", h.max().unwrap_or(0));
+            let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.5"), h.p50());
+            let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.9"), h.p90());
+            let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.99"), h.p99());
+            let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.999"), h.p999());
+        }
+        for (kind, n) in self.event_counts() {
+            let _ = writeln!(out, "ecc_events_total{{type=\"{kind}\"}} {n}");
+        }
+        let _ = writeln!(out, "ecc_events_dropped_total {}", self.dropped);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_source_tracks_the_clock() {
+        let clock = SimClock::new();
+        let reg = ObsRegistry::new(TimeSource::Sim(clock.clone()));
+        assert_eq!(reg.now_us(), 0);
+        clock.advance_us(1234);
+        assert_eq!(reg.now_us(), 1234);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = ObsRegistry::new(TimeSource::real());
+        let clone = reg.clone();
+        clone.record("server_op_us:get", 42);
+        clone.emit(ObsEvent::NodeAlloc { at_us: 1, node: 0 });
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.hist("server_op_us:get").map(LogHistogram::count),
+            Some(1)
+        );
+        assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn merge_folds_hists_and_events() {
+        let mut a = ObsSnapshot::new();
+        let mut b = ObsSnapshot::new();
+        let mut h1 = LogHistogram::new();
+        h1.record(10);
+        let mut h2 = LogHistogram::new();
+        h2.record(20);
+        h2.record(30);
+        a.hists.insert("x".into(), h1);
+        b.hists.insert("x".into(), h2);
+        a.events.push(ObsEvent::NodeAlloc { at_us: 5, node: 0 });
+        b.events.push(ObsEvent::NodeAlloc { at_us: 2, node: 1 });
+        b.dropped = 3;
+        a.merge(&b);
+        assert_eq!(a.dropped, 3);
+        assert_eq!(a.hists["x"].count(), 3);
+        let times: Vec<u64> = a.events.iter().map(ObsEvent::at_us).collect();
+        assert_eq!(times, vec![2, 5]);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_quantiles_and_event_totals() {
+        let reg = ObsRegistry::new(TimeSource::real());
+        for v in [10u64, 20, 3000] {
+            reg.record("server_op_us:get", v);
+        }
+        reg.record("coord_fanout_us", 77);
+        reg.emit(ObsEvent::BucketSplit {
+            at_us: 1,
+            node: 0,
+            new_node: 1,
+            bucket: 9,
+        });
+        let text = reg.snapshot().render_prometheus();
+        assert!(text.contains("ecc_server_op_us_count{op=\"get\"} 3"));
+        assert!(text.contains("ecc_server_op_us{op=\"get\",quantile=\"0.5\"}"));
+        assert!(text.contains("ecc_server_op_us{op=\"get\",quantile=\"0.99\"}"));
+        assert!(text.contains("ecc_coord_fanout_us_count 1"));
+        assert!(text.contains("ecc_coord_fanout_us{quantile=\"0.999\"}"));
+        assert!(text.contains("ecc_events_total{type=\"bucket_split\"} 1"));
+        assert!(text.contains("ecc_events_dropped_total 0"));
+    }
+}

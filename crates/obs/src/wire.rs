@@ -1,0 +1,158 @@
+//! Versioned serialization of [`ObsSnapshot`] for the `ObsDump` wire op.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u16 version            currently 1
+//! u64 dropped            events lost to ring overflow
+//! u32 hist_count
+//!   per hist: u16 name_len, name bytes (UTF-8),
+//!             LogHistogram wire form (count/sum/min/max/bucket-count/buckets)
+//! u32 event_count
+//!   per event: u32 json_len, JSON bytes (one ObsEvent line, no newline)
+//! ```
+//!
+//! Events travel as their JSONL form so the dump and the on-disk trace share
+//! one schema. A decoder skips event lines whose `type` it does not know —
+//! adding event kinds is a non-breaking change; changing the integer layout
+//! requires bumping [`OBS_DUMP_VERSION`].
+
+use std::collections::BTreeMap;
+
+use crate::event::ObsEvent;
+use crate::hist::{read_u16, read_u32, read_u64, LogHistogram};
+use crate::registry::ObsSnapshot;
+
+/// Current dump format version.
+pub const OBS_DUMP_VERSION: u16 = 1;
+
+/// Serialize a snapshot into the versioned dump form.
+pub fn encode_dump(snap: &ObsSnapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + snap.hists.len() * 600 + snap.events.len() * 96);
+    out.extend_from_slice(&OBS_DUMP_VERSION.to_le_bytes());
+    out.extend_from_slice(&snap.dropped.to_le_bytes());
+    out.extend_from_slice(&(snap.hists.len() as u32).to_le_bytes());
+    for (name, h) in &snap.hists {
+        let name_bytes = name.as_bytes();
+        out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(name_bytes);
+        h.encode_into(&mut out);
+    }
+    out.extend_from_slice(&(snap.events.len() as u32).to_le_bytes());
+    for ev in &snap.events {
+        let json = ev.to_json();
+        out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        out.extend_from_slice(json.as_bytes());
+    }
+    out
+}
+
+/// Decode a versioned dump. `None` on truncation, a version this reader does
+/// not understand, or malformed structure. Unknown event kinds inside a
+/// well-formed dump are skipped, not an error.
+pub fn decode_dump(buf: &[u8]) -> Option<ObsSnapshot> {
+    let mut pos = 0usize;
+    let version = read_u16(buf, &mut pos)?;
+    if version != OBS_DUMP_VERSION {
+        return None;
+    }
+    let dropped = read_u64(buf, &mut pos)?;
+    let hist_count = read_u32(buf, &mut pos)? as usize;
+    // A histogram needs at least 37 bytes on the wire; reject counts the
+    // buffer cannot possibly hold before allocating.
+    if hist_count > buf.len() / 37 + 1 {
+        return None;
+    }
+    let mut hists = BTreeMap::new();
+    for _ in 0..hist_count {
+        let name_len = read_u16(buf, &mut pos)? as usize;
+        let name_bytes = buf.get(pos..pos + name_len)?;
+        pos += name_len;
+        let name = std::str::from_utf8(name_bytes).ok()?.to_owned();
+        let h = LogHistogram::decode_from(buf, &mut pos)?;
+        hists.insert(name, h);
+    }
+    let event_count = read_u32(buf, &mut pos)? as usize;
+    if event_count > buf.len() / 4 + 1 {
+        return None;
+    }
+    let mut events = Vec::new();
+    for _ in 0..event_count {
+        let json_len = read_u32(buf, &mut pos)? as usize;
+        let json_bytes = buf.get(pos..pos + json_len)?;
+        pos += json_len;
+        let line = std::str::from_utf8(json_bytes).ok()?;
+        if let Some(ev) = ObsEvent::from_json(line) {
+            events.push(ev);
+        }
+    }
+    if pos != buf.len() {
+        return None;
+    }
+    Some(ObsSnapshot {
+        dropped,
+        hists,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> ObsSnapshot {
+        let mut snap = ObsSnapshot::new();
+        snap.dropped = 5;
+        let mut h = LogHistogram::new();
+        for v in [1u64, 10, 100, 1000] {
+            h.record(v);
+        }
+        snap.hists.insert("server_op_us:get".into(), h.clone());
+        snap.hists.insert("coord_fanout_us".into(), h);
+        snap.events.push(ObsEvent::BucketSplit {
+            at_us: 3,
+            node: 0,
+            new_node: 1,
+            bucket: 42,
+        });
+        snap.events.push(ObsEvent::EvictBatch {
+            at_us: 9,
+            node: 1,
+            keys: vec![7, 8],
+        });
+        snap
+    }
+
+    #[test]
+    fn dump_roundtrips() {
+        let snap = sample_snapshot();
+        let bytes = encode_dump(&snap);
+        let back = decode_dump(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn wrong_version_and_truncation_are_rejected() {
+        let snap = sample_snapshot();
+        let mut bytes = encode_dump(&snap);
+        for cut in [0, 1, 2, 9, bytes.len() - 1] {
+            assert!(decode_dump(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        bytes[0] = 0xFF;
+        assert!(decode_dump(&bytes).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_dump(&sample_snapshot());
+        bytes.push(0);
+        assert!(decode_dump(&bytes).is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = ObsSnapshot::new();
+        let bytes = encode_dump(&snap);
+        assert_eq!(decode_dump(&bytes).unwrap(), snap);
+    }
+}

@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use ecc_cloudsim::{BootLatency, InstanceType, NetModel, SimClock};
 use ecc_core::{CacheConfig, ElasticCache, NodeId, Record, WindowConfig};
+use ecc_obs::ObsEvent;
 
 use crate::event::{record_bytes, Schedule, SimConfig, SimEvent};
 use crate::model::ModelWindow;
@@ -66,6 +67,9 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
     let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
     let mut window = (cfg.m > 0).then(|| ModelWindow::new(cfg.m, cfg.alpha(), cfg.threshold()));
     let mut model_evictions = 0u64;
+    // Flight-recorder cursor for Oracle 3 (the event stream): drained
+    // incrementally so a long schedule never outruns the bounded ring.
+    let mut obs_cursor = cache.obs().next_seq();
 
     for (step, ev) in s.events.iter().enumerate() {
         let fail = |what: String| SimFailure::at(step, what);
@@ -131,13 +135,61 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
             }
             SimEvent::EndStep => {
                 cache.end_time_step();
+                let mut removed_this_step: Vec<u64> = Vec::new();
                 if let Some(w) = &mut window {
                     if let Some(expired) = w.end_slice() {
                         for k in w.victims(&expired) {
                             if model.remove(&k).is_some() {
                                 model_evictions += 1;
+                                removed_this_step.push(k);
                             }
                         }
+                    }
+                }
+                // Oracle 3: the flight-recorder event stream. Drain every
+                // event since the previous drain and check that (a) the
+                // EvictBatch events name exactly the keys the model just
+                // removed, bit-exactly, and (b) every NodeMerge pairs with
+                // a NodeDealloc of the drained node in the same batch.
+                let drained = cache.obs().events_since(obs_cursor);
+                if let Some(&(first_seq, _)) = drained.first() {
+                    if first_seq != obs_cursor {
+                        return Err(fail(format!(
+                            "flight recorder dropped events {obs_cursor}..{first_seq} \
+                             before the oracle could drain them"
+                        )));
+                    }
+                }
+                obs_cursor = cache.obs().next_seq();
+                let mut evicted_keys: Vec<u64> = Vec::new();
+                let mut merged_srcs: Vec<u32> = Vec::new();
+                let mut deallocs: BTreeSet<u32> = BTreeSet::new();
+                for (_, ev) in &drained {
+                    match ev {
+                        ObsEvent::EvictBatch { keys, .. } => {
+                            evicted_keys.extend_from_slice(keys);
+                        }
+                        ObsEvent::NodeMerge { src, .. } => merged_srcs.push(*src),
+                        ObsEvent::NodeDealloc { node, .. } => {
+                            deallocs.insert(*node);
+                        }
+                        _ => {}
+                    }
+                }
+                evicted_keys.sort_unstable();
+                removed_this_step.sort_unstable();
+                if evicted_keys != removed_this_step {
+                    return Err(fail(format!(
+                        "EvictBatch events name keys {evicted_keys:?} but the model \
+                         evicted {removed_this_step:?}"
+                    )));
+                }
+                for src in merged_srcs {
+                    if !deallocs.contains(&src) {
+                        return Err(fail(format!(
+                            "NodeMerge drained node {src} without a paired NodeDealloc \
+                             in the same step"
+                        )));
                     }
                 }
             }

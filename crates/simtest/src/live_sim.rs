@@ -107,6 +107,47 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
             )));
         }
     }
+    // Observability oracle: the cluster-wide snapshot must aggregate over
+    // the wire (every node's `ObsDump` decodes), the merge count recorded
+    // in the event stream must match the coordinator's own counter, and
+    // every recorded merge must pair with a dealloc of the drained node.
+    let snap = coord
+        .cluster_obs()
+        .map_err(|e| SimFailure::end(format!("cluster obs dump failed: {e}")))?;
+    let counts = snap.event_counts();
+    if snap.dropped > 0 {
+        // Ring overflow would make the exact counts below unsound; live
+        // schedules are far smaller than the recorder, so treat overflow
+        // itself as the failure.
+        return Err(SimFailure::end(format!(
+            "flight recorder overflowed ({} events dropped) on a schedule \
+             that should fit the ring",
+            snap.dropped
+        )));
+    }
+    let merges_seen = counts.get("node_merge").copied().unwrap_or(0);
+    if merges_seen != coord.merges as u64 {
+        return Err(SimFailure::end(format!(
+            "event stream records {merges_seen} NodeMerge events but the \
+             coordinator performed {} merges",
+            coord.merges
+        )));
+    }
+    let deallocs_seen = counts.get("node_dealloc").copied().unwrap_or(0);
+    if deallocs_seen != merges_seen {
+        return Err(SimFailure::end(format!(
+            "{merges_seen} NodeMerge events but {deallocs_seen} NodeDealloc \
+             events: a drained node was not torn down (or torn down twice)"
+        )));
+    }
+    let splits_seen = counts.get("bucket_split").copied().unwrap_or(0);
+    if splits_seen != coord.splits as u64 {
+        return Err(SimFailure::end(format!(
+            "event stream records {splits_seen} BucketSplit events but the \
+             coordinator performed {} splits",
+            coord.splits
+        )));
+    }
     coord
         .shutdown()
         .map_err(|e| SimFailure::infra(format!("shutdown failed: {e}")))?;

@@ -17,6 +17,9 @@
 //! * **must-use** — public result-bearing types (names ending in `Receipt`,
 //!   `Report`, `Metrics`, `Stats`, `Billing`) must be `#[must_use]` so
 //!   simulation outcomes cannot be silently dropped.
+//! * **no-print** — `println!` / `eprintln!` are forbidden in library code
+//!   (`crates/*/src`, binaries exempt); libraries return data and leave
+//!   console output to the `src/bin` / `src/main.rs` entry points.
 //!
 //! A finding can be waived for one line with a trailing
 //! `// xtask: allow(<rule>)` comment stating the reason.
@@ -29,10 +32,12 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free.
-const PANIC_FREE_CRATES: &[&str] = &["core", "net", "chash", "cloudsim"];
+const PANIC_FREE_CRATES: &[&str] = &["core", "net", "chash", "cloudsim", "obs"];
 
-/// Crates exempt from the wall-clock rule wholesale (measurement harnesses).
-const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "xtask"];
+/// Crates exempt from the wall-clock rule wholesale (measurement harnesses;
+/// `obs` owns the `TimeSource::Real` epoch so instrumented crates never
+/// read the wall clock themselves).
+const WALLCLOCK_EXEMPT_CRATES: &[&str] = &["bench", "xtask", "obs"];
 
 /// Files exempt from the wall-clock rule: they intentionally measure real
 /// elapsed time (the live-cluster load generator).
@@ -52,6 +57,9 @@ pub enum Rule {
     DenyUnsafe,
     /// Result-bearing public type missing `#[must_use]`.
     MustUse,
+    /// `println!` / `eprintln!` in library code (diagnostics belong to
+    /// binaries or structured reports, not stdout side effects).
+    NoPrint,
 }
 
 impl Rule {
@@ -62,6 +70,7 @@ impl Rule {
             Rule::NoWallClock => "no-wallclock",
             Rule::DenyUnsafe => "deny-unsafe",
             Rule::MustUse => "must-use",
+            Rule::NoPrint => "no-print",
         }
     }
 }
@@ -106,6 +115,8 @@ pub struct Policy {
     pub must_use: bool,
     /// Require `#![deny(unsafe_code)]` (crate roots only).
     pub deny_unsafe: bool,
+    /// Forbid `println!` / `eprintln!` (library code; binaries exempt).
+    pub prints: bool,
 }
 
 /// Decide the policy for a workspace-relative path such as
@@ -134,6 +145,7 @@ pub fn policy_for(rel_path: &str) -> Option<Policy> {
         wallclock: !wallclock_exempt,
         must_use: PANIC_FREE_CRATES.contains(&krate),
         deny_unsafe: is_lib_root,
+        prints: !is_bin,
     })
 }
 
@@ -444,6 +456,22 @@ pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
             }
         }
 
+        if policy.prints && !allowed(Rule::NoPrint) {
+            for mac in ["println", "eprintln"] {
+                if find_macro(stripped_line, mac) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::NoPrint,
+                        message: format!(
+                            "`{mac}!` in library code — return data to the caller or route \
+                             diagnostics through a binary entry point"
+                        ),
+                    });
+                }
+            }
+        }
+
         if policy.must_use && !allowed(Rule::MustUse) {
             if let Some(name) = pub_type_name(stripped_line) {
                 if MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s))
@@ -559,6 +587,7 @@ mod tests {
         wallclock: true,
         must_use: true,
         deny_unsafe: false,
+        prints: true,
     };
 
     #[test]
@@ -619,6 +648,24 @@ mod tests {
     }
 
     #[test]
+    fn prints_are_flagged_in_lib_code_only() {
+        let src = "fn f() {\n    println!(\"x\");\n    eprintln!(\"y\");\n    print!(\"ok\");\n}\n";
+        let f = scan_source("crates/bench/src/lib.rs", src, LIB_POLICY);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::NoPrint));
+        assert_eq!(f[0].line, 2);
+        assert_eq!(f[1].line, 3);
+        // A comment mentioning println! is not a finding; a waiver works.
+        let waived =
+            "fn f() {\n    // println! is documented here\n    println!(\"x\"); // xtask: allow(no-print) — CLI shim\n}\n";
+        assert!(scan_source("f.rs", waived, LIB_POLICY).is_empty());
+        // Binaries keep their stdout.
+        let bin = policy_for("crates/net/src/bin/cache_server.rs").unwrap();
+        assert!(!bin.prints);
+        assert!(scan_source("crates/net/src/bin/cache_server.rs", src, bin).is_empty());
+    }
+
+    #[test]
     fn wallclock_is_flagged() {
         let src = "fn f() {\n    let t = std::time::Instant::now();\n    let s = std::time::SystemTime::now();\n}\n";
         let f = scan_source("f.rs", src, LIB_POLICY);
@@ -672,6 +719,12 @@ mod tests {
         // The load generator measures real time on purpose.
         assert!(!policy_for("crates/net/src/loadgen.rs").unwrap().wallclock);
         assert!(policy_for("crates/net/src/loadgen.rs").unwrap().panics);
+        // obs is the observability harness: panic-free, owns the wall clock.
+        let p = policy_for("crates/obs/src/registry.rs").unwrap();
+        assert!(p.panics && !p.wallclock && p.prints);
+        // Library code everywhere is print-free; binaries are exempt.
+        assert!(policy_for("crates/bench/src/lib.rs").unwrap().prints);
+        assert!(!policy_for("crates/bench/src/bin/fig_a1.rs").unwrap().prints);
         // Binaries may touch real time and unwrap CLI setup.
         let p = policy_for("crates/net/src/bin/cache_server.rs").unwrap();
         assert!(!p.panics && !p.wallclock);

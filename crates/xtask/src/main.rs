@@ -11,18 +11,23 @@
 //! * `simtest --replay '<SIMSEED>'` — re-run one schedule exactly.
 //! * `bench [--smoke] [--json [PATH]]` — run the performance harness
 //!   (`crates/bench/src/perf.rs`) and optionally write
-//!   `results/bench.json`; `--smoke` is the seconds-long CI profile.
+//!   `results/bench.json`, validated against the documented schema.
+//! * `obs <trace.jsonl>` — pretty-print a flight-recorder trace.
+//! * `obs --smoke` — run a live multi-node cluster through a
+//!   grow/load/shrink cycle and write `target/obs/trace.jsonl` plus
+//!   `target/obs/exposition.txt`, failing unless the trace carries at
+//!   least one split, merge and eviction event.
 
 #![deny(unsafe_code)]
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use ecc_bench::perf::{run_benches, speedup, write_json, BenchOptions};
+use ecc_bench::perf::{run_benches, speedup, validate_json, write_json, BenchOptions};
 use ecc_simtest::{check_seed, run_schedule, QuietPanics, Schedule, SeedOutcome};
 
 const USAGE: &str = "usage: cargo xtask <lint | simtest [--seeds N] [--live-every K] \
-     [--replay SIMSEED] | bench [--smoke] [--json [PATH]]>";
+     [--replay SIMSEED] | bench [--smoke] [--json [PATH]] | obs <TRACE.jsonl | --smoke>>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("simtest") => simtest(&args[1..]),
         Some("bench") => bench(&args[1..]),
+        Some("obs") => obs(&args[1..]),
         Some(other) => {
             eprintln!("unknown xtask subcommand `{other}`");
             eprintln!("{USAGE}");
@@ -137,8 +143,284 @@ fn bench(args: &[String]) -> ExitCode {
             eprintln!("xtask bench: could not write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
-        println!("bench: wrote {}", path.display());
+        // Validate what actually landed on disk against the documented
+        // schema (EXPERIMENTS.md §A4): a missing field or NaN is an error.
+        let written = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask bench: could not re-read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_json(&written) {
+            Ok(rows) => println!("bench: wrote {} ({rows} rows, schema ok)", path.display()),
+            Err(e) => {
+                eprintln!(
+                    "xtask bench: {} violates the bench.json schema: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    ExitCode::SUCCESS
+}
+
+fn obs(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("--smoke") => obs_smoke(),
+        Some(path) => obs_print(Path::new(path)),
+        None => {
+            eprintln!("xtask obs: expected a trace path or --smoke");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pretty-print a JSONL flight-recorder trace: one aligned line per event,
+/// a per-kind tally, and a warning for unparseable lines.
+fn obs_print(path: &Path) -> ExitCode {
+    use ecc_obs::ObsEvent;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask obs: could not read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut counts: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut bad = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ObsEvent::from_json(line) {
+            Some(ev) => {
+                *counts.entry(ev.kind()).or_insert(0) += 1;
+                println!("{:>12} µs  {:<14} {}", ev.at_us(), ev.kind(), describe(&ev));
+            }
+            None => {
+                eprintln!("line {}: unparseable event: {line}", i + 1);
+                bad += 1;
+            }
+        }
+    }
+    println!("---");
+    for (kind, n) in &counts {
+        println!("{kind:<14} {n}");
+    }
+    if bad > 0 {
+        eprintln!("xtask obs: {bad} unparseable line(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One-line human description of an event's payload.
+fn describe(ev: &ecc_obs::ObsEvent) -> String {
+    use ecc_obs::ObsEvent::*;
+    match ev {
+        BucketSplit {
+            node,
+            new_node,
+            bucket,
+            ..
+        } => format!("node {node} → new node {new_node} at bucket {bucket}"),
+        SweepMigrate {
+            src,
+            dest,
+            records,
+            bytes,
+            duration_us,
+            allocated,
+            ..
+        } => format!(
+            "{records} records / {bytes}B from node {src} to node {dest} in {duration_us}µs{}",
+            if *allocated { " (fresh node)" } else { "" }
+        ),
+        NodeMerge {
+            src, dest, records, ..
+        } => format!("node {src} drained ({records} records) into node {dest}"),
+        NodeAlloc { node, .. } => format!("node {node} allocated"),
+        NodeDealloc { node, .. } => format!("node {node} deallocated"),
+        SliceExpire {
+            expiration,
+            victims,
+            ..
+        } => format!("slice {expiration} expired, {victims} victim(s)"),
+        EvictBatch { node, keys, .. } => format!("{} key(s) evicted from node {node}", keys.len()),
+        FrameRx { op, bytes, .. } => format!("op 0x{op:02X}, {bytes}B payload"),
+        FrameTx { op, bytes, .. } => format!("op 0x{op:02X}, {bytes}B response"),
+        InsertError { key, .. } => format!("insert of key {key} failed"),
+    }
+}
+
+/// Live observability smoke: grow a real cluster under coordinator traffic,
+/// hammer it with the load generator (live one-line progress), shrink it
+/// through window evictions, then dump the cluster-wide trace + exposition
+/// and check the acceptance surface.
+fn obs_smoke() -> ExitCode {
+    use ecc_net::coordinator::LiveCoordinator;
+    use ecc_net::loadgen::{run_load_with_progress, LoadProgress};
+    use std::time::Duration;
+
+    let fail = |what: &str| {
+        eprintln!("xtask obs --smoke: {what}");
+        ExitCode::FAILURE
+    };
+
+    // Grow: ~10 records of 100 B per 1000 B node; 32 spread keys force
+    // splits. Every key is noted in the eviction window via the get-miss.
+    let mut coord = match LiveCoordinator::start(1 << 16, 1000) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask obs --smoke: coordinator start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    coord.enable_window(2, 0.99, 0.99);
+    for k in 0..32u64 {
+        match coord.get(k * 999) {
+            Ok(None) => {
+                if let Err(e) = coord.put(k * 999, vec![1; 100]) {
+                    eprintln!("xtask obs --smoke: put failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(Some(_)) => {}
+            Err(e) => {
+                eprintln!("xtask obs --smoke: get failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "obs smoke: grew to {} nodes ({} splits)",
+        coord.node_count(),
+        coord.splits
+    );
+
+    // Load: real client traffic straight at the nodes, with the periodic
+    // one-line live summary from the load generator's progress callback.
+    let ring = coord.ring().clone();
+    let addrs: Vec<Option<std::net::SocketAddr>> = (0..coord.node_count() + 8)
+        .map(|id| coord.node_addr(id))
+        .collect();
+    let progress = |p: LoadProgress| {
+        println!(
+            "obs smoke: load {}/{} ops, {:.1}s elapsed",
+            p.done,
+            p.total,
+            p.elapsed.as_secs_f64()
+        );
+    };
+    let report = match run_load_with_progress(
+        &ring,
+        |id| {
+            addrs
+                .get(*id)
+                .copied()
+                .flatten()
+                .unwrap_or_else(|| std::net::SocketAddr::from(([127, 0, 0, 1], 1)))
+        },
+        4,
+        2000,
+        64,
+        16,
+        Some((Duration::from_millis(200), &progress)),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask obs --smoke: load generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (p50, _, p99) = report.latency_us;
+    println!(
+        "obs smoke: load done — {} ops, {} hits, {} errors, client RTT p50={p50}µs p99={p99}µs",
+        report.ops, report.hits, report.errors
+    );
+
+    // Note the loadgen keys in the window so the shrink phase evicts them.
+    for k in 0..64u64 {
+        if coord.get(k).is_err() {
+            return fail("post-load get failed");
+        }
+    }
+    // Shrink: expire every slice; victims evict, empty nodes merge.
+    for _ in 0..8 {
+        if let Err(e) = coord.end_time_step() {
+            eprintln!("xtask obs --smoke: end_time_step failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "obs smoke: shrank to {} nodes ({} merges)",
+        coord.node_count(),
+        coord.merges
+    );
+
+    // Dump: cluster-wide snapshot (coordinator + every node over the
+    // wire), plus the client-side RTT histogram folded in.
+    let mut snap = match coord.cluster_obs() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask obs --smoke: cluster obs dump failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    snap.hists
+        .insert("client_rtt_us".into(), report.hist.clone());
+    if let Err(e) = coord.shutdown() {
+        eprintln!("xtask obs --smoke: shutdown failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let out_dir = workspace_root().join("target").join("obs");
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("xtask obs --smoke: mkdir failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let trace_path = out_dir.join("trace.jsonl");
+    let expo_path = out_dir.join("exposition.txt");
+    let exposition = snap.render_prometheus();
+    if let Err(e) = std::fs::write(&trace_path, snap.to_jsonl()) {
+        eprintln!("xtask obs --smoke: could not write trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&expo_path, &exposition) {
+        eprintln!("xtask obs --smoke: could not write exposition: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "obs smoke: wrote {} ({} events) and {} ({} histograms)",
+        trace_path.display(),
+        snap.events.len(),
+        expo_path.display(),
+        snap.hists.len()
+    );
+
+    // Acceptance surface: the trace must witness elasticity end to end and
+    // the exposition must carry per-op latency quantiles.
+    let counts = snap.event_counts();
+    for kind in ["bucket_split", "node_merge", "evict_batch"] {
+        if counts.get(kind).copied().unwrap_or(0) == 0 {
+            return fail(&format!("trace has no `{kind}` event"));
+        }
+    }
+    for needle in [
+        "quantile=\"0.5\"",
+        "quantile=\"0.99\"",
+        "ecc_server_op_us",
+        "ecc_client_rtt_us_count",
+    ] {
+        if !exposition.contains(needle) {
+            return fail(&format!("exposition is missing `{needle}`"));
+        }
+    }
+    println!("obs smoke: trace and exposition pass the acceptance checks");
     ExitCode::SUCCESS
 }
 
