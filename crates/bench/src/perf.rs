@@ -12,10 +12,11 @@
 
 use std::io;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use ecc_core::{ElasticCache, Record, SlidingWindow};
+use ecc_cloudsim::InstanceId;
+use ecc_core::{CacheNode, ElasticCache, Record, ShardedNode, SlidingWindow, DEFAULT_STRIPES};
 use ecc_net::client::RemoteNode;
 use ecc_net::coordinator::LiveCoordinator;
 use ecc_net::loadgen::run_load;
@@ -110,7 +111,154 @@ pub fn run_benches(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
     results.extend(bench_elastic(opts));
     results.extend(bench_wire_eviction(opts)?);
     results.push(bench_live_cluster(opts)?);
+    results.extend(bench_node_scaling(opts));
+    results.extend(bench_wire_scaling(opts)?);
     Ok(results)
+}
+
+/// Worker-thread counts for the scaling curves.
+const SCALING_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fold concurrent workers' per-op latencies and the run's wall time into
+/// one row: throughput is aggregate (ops over wall time, not the sum of
+/// per-op latencies, which would cancel the concurrency being measured).
+fn scaling_row(name: &str, mut lat_ns: Vec<u64>, wall: Duration) -> BenchResult {
+    lat_ns.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat_ns.is_empty() {
+            0
+        } else {
+            lat_ns[((lat_ns.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    BenchResult {
+        name: name.to_string(),
+        ops: lat_ns.len() as u64,
+        ops_per_sec: lat_ns.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+    }
+}
+
+/// The tentpole scaling curve: closed-loop GET throughput against one
+/// node's index at 1/2/4/8 worker threads, pre-PR design vs current.
+///
+/// * `node_get_mutex_w{N}` — a faithful in-process reproduction of the
+///   old server read path: one global `Mutex<CacheNode>`, and each GET
+///   memcpys the payload into a fresh response body *while holding the
+///   lock* (what `handle()` did before this change).
+/// * `node_get_sharded_w{N}` — the current path: [`ShardedNode`] stripe
+///   read locks and a refcount-bump [`Record::bytes`] body.
+///
+/// 64 KiB payloads make the eliminated memcpy visible: the copy, not the
+/// B+-tree walk, dominated the old critical section.
+fn bench_node_scaling(opts: BenchOptions) -> Vec<BenchResult> {
+    let per_worker = opts.pick(300, 2_000);
+    let key_space = 64u64;
+    let payload = 64 * 1024;
+    let capacity = key_space * (payload as u64) * 2;
+
+    let mutex_node = parking_lot::Mutex::new(CacheNode::new(InstanceId(0), capacity, 64));
+    let sharded = ShardedNode::new(capacity, 64, DEFAULT_STRIPES);
+    for k in 0..key_space {
+        mutex_node.lock().insert(k, Record::filler(payload));
+        sharded.put(k, Record::filler(payload));
+    }
+
+    // Closed loop: each worker hammers GETs over an LCG key stream and
+    // logs per-op latency; the row's throughput is aggregate wall-clock.
+    let run = |name: &str, workers: usize, get: &(dyn Fn(u64) -> usize + Sync)| -> BenchResult {
+        let start = Instant::now();
+        let lats: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut lat = Vec::with_capacity(per_worker as usize);
+                        let mut state =
+                            0x9E3779B97F4A7C15u64 ^ (w as u64).wrapping_mul(0xA24BAED4963EE407);
+                        for _ in 0..per_worker {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            let key = (state >> 33) % key_space;
+                            let t0 = Instant::now();
+                            std::hint::black_box(get(key));
+                            lat.push(t0.elapsed().as_nanos() as u64);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_default())
+                .collect()
+        });
+        scaling_row(name, lats, start.elapsed())
+    };
+
+    let mut rows = Vec::new();
+    for &w in &SCALING_WORKERS {
+        let mutex_get = |key: u64| -> usize {
+            let node = mutex_node.lock();
+            // xtask: allow(no-payload-copy) — this IS the pre-PR baseline
+            // being measured against.
+            let body = node.get(key).map(|r| Bytes::copy_from_slice(r.as_slice()));
+            body.map(|b| b.len()).unwrap_or(0)
+        };
+        rows.push(run(&format!("node_get_mutex_w{w}"), w, &mutex_get));
+    }
+    for &w in &SCALING_WORKERS {
+        let sharded_get =
+            |key: u64| -> usize { sharded.get(key).map(|r| r.bytes().len()).unwrap_or(0) };
+        rows.push(run(&format!("node_get_sharded_w{w}"), w, &sharded_get));
+    }
+    rows
+}
+
+/// Multi-client closed-loop throughput over the wire: 1/2/4/8 loadgen
+/// workers against a single live server (rows `wire_node_w{N}`), the
+/// end-to-end counterpart of [`bench_node_scaling`]'s in-process curve.
+fn bench_wire_scaling(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
+    let per_worker = opts.pick(250, 2_000);
+    let key_space = 256u64;
+    let value_len = 16 * 1024usize;
+    let server = CacheServer::spawn(key_space * (value_len as u64) * 2, 64)?;
+    let addr = server.addr();
+
+    // Prewarm so the measured runs are (almost) all hits.
+    let mut client = RemoteNode::connect(addr)?;
+    for chunk in (0..key_space).collect::<Vec<_>>().chunks(64) {
+        let items: Vec<(u64, Bytes)> = chunk
+            .iter()
+            .map(|&k| (k, Bytes::from(vec![(k % 251) as u8; value_len])))
+            .collect();
+        client.put_many(items)?;
+    }
+
+    let mut ring: ecc_chash::HashRing<usize> = ecc_chash::HashRing::new(64);
+    ring.insert_bucket(63, 0)
+        .map_err(|e| io::Error::other(format!("ring setup: {e:?}")))?;
+
+    let mut rows = Vec::new();
+    for &w in &SCALING_WORKERS {
+        let report = run_load(
+            &ring,
+            |_| addr,
+            w,
+            per_worker * w as u64,
+            key_space,
+            value_len,
+        )?;
+        rows.push(BenchResult {
+            name: format!("wire_node_w{w}"),
+            ops: report.ops,
+            ops_per_sec: report.throughput(),
+            p50_ns: report.latency_us.0 * 1_000,
+            p99_ns: report.latency_us.2.max(report.latency_us.0) * 1_000,
+        });
+    }
+    Ok(rows)
 }
 
 /// Slice-expiry scoring: the pre-incremental full `lambda()` rescan of

@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::US_PER_SEC;
@@ -84,7 +85,7 @@ impl StorageTier {
 #[derive(Debug)]
 pub struct PersistentStore {
     tier: StorageTier,
-    objects: HashMap<u64, Vec<u8>>,
+    objects: HashMap<u64, Bytes>,
     bytes: u64,
     /// `∫ bytes dt` in byte-microseconds, up to `last_change_us`.
     byte_us: u128,
@@ -144,9 +145,12 @@ impl PersistentStore {
     }
 
     /// Write an object at virtual time `now_us`; returns the modelled
-    /// duration for the caller to charge.
-    pub fn put(&mut self, now_us: u64, key: u64, value: Vec<u8>) -> u64 {
+    /// duration for the caller to charge. The payload is taken as
+    /// refcounted [`Bytes`], so the cache's write-behind eviction path
+    /// shares the record allocation instead of copying it.
+    pub fn put(&mut self, now_us: u64, key: u64, value: impl Into<Bytes>) -> u64 {
         self.settle(now_us);
+        let value = value.into();
         let new_len = value.len() as u64;
         if let Some(old) = self.objects.insert(key, value) {
             self.bytes -= old.len() as u64;
@@ -157,8 +161,8 @@ impl PersistentStore {
     }
 
     /// Read an object at virtual time `now_us`; returns the payload (if
-    /// present) and the modelled duration.
-    pub fn get(&mut self, now_us: u64, key: u64) -> (Option<Vec<u8>>, u64) {
+    /// present, as a refcount-bump clone) and the modelled duration.
+    pub fn get(&mut self, now_us: u64, key: u64) -> (Option<Bytes>, u64) {
         self.gets += 1;
         let found = self.objects.get(&key).cloned();
         let bytes = found.as_ref().map(|v| v.len() as u64).unwrap_or(0);
@@ -207,7 +211,7 @@ mod tests {
         assert_eq!(s.len(), 1);
         assert_eq!(s.bytes(), 3);
         let (got, d) = s.get(10, 7);
-        assert_eq!(got, Some(vec![1, 2, 3]));
+        assert_eq!(got.as_deref(), Some(&[1u8, 2, 3][..]));
         assert!(d >= 2_000);
         assert!(s.delete(20, 7));
         assert!(!s.delete(21, 7));

@@ -358,7 +358,7 @@ impl ElasticCache {
             let (found, dur_us) = tier.get(self.clock.now_us(), key);
             self.clock.advance_us(dur_us);
             if let Some(bytes) = found {
-                let rec = Record::from_vec(bytes);
+                let rec = Record::from_bytes(bytes);
                 self.metrics.tier_hits += 1;
                 match self.insert(key, rec.clone()) {
                     Ok(()) | Err(CacheError::RecordTooLarge { .. }) => {}
@@ -855,7 +855,7 @@ impl ElasticCache {
                 // Write-behind to the overflow tier (off the query
                 // path; the write proceeds between time steps).
                 if let Some(tier) = &mut self.tier {
-                    let dur = tier.put(self.clock.now_us(), key, rec.as_slice().to_vec());
+                    let dur = tier.put(self.clock.now_us(), key, rec.bytes());
                     self.clock.advance_us(dur);
                     self.metrics.tier_writes += 1;
                 }

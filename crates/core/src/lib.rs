@@ -52,6 +52,7 @@ mod lru;
 mod metrics;
 mod node;
 mod record;
+mod shard;
 mod static_cache;
 mod warmpool;
 mod window;
@@ -61,9 +62,10 @@ pub use config::{CacheConfig, WindowConfig};
 pub use elastic::{CacheAuditError, ElasticCache, FailureReport, NodeId};
 pub use error::CacheError;
 pub use lru::Lru;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, NodeCounters, NodeOpStats};
 pub use node::CacheNode;
 pub use record::Record;
+pub use shard::{PutOutcome, ShardAuditError, ShardedNode, DEFAULT_STRIPES};
 pub use static_cache::StaticCache;
 pub use warmpool::WarmPool;
 pub use window::SlidingWindow;

@@ -1,23 +1,29 @@
 //! The cached value type.
 
-use std::sync::Arc;
-
+use bytes::Bytes;
 use ecc_bptree::ByteSize;
 
-/// A cached derived result: an immutable byte payload behind an `Arc`, so
-/// returning a hit to a caller never copies the data (only the simulated
-/// network transfer is charged).
+/// A cached derived result: an immutable byte payload behind a refcounted
+/// [`Bytes`] handle, so every clone — a hit returned to a caller, a
+/// replica placement, a migration sweep, a wire response body — is a
+/// refcount bump, never a memcpy of the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
-    data: Arc<Vec<u8>>,
+    data: Bytes,
 }
 
 impl Record {
-    /// Wrap a payload.
+    /// Wrap an owned payload (takes ownership of the allocation; no copy).
     pub fn from_vec(data: Vec<u8>) -> Self {
         Self {
-            data: Arc::new(data),
+            data: Bytes::from(data),
         }
+    }
+
+    /// Wrap an already-refcounted payload — the zero-copy ingestion path
+    /// from the wire codecs, which decode values as [`Bytes`].
+    pub fn from_bytes(data: Bytes) -> Self {
+        Self { data }
     }
 
     /// A record of `len` identical filler bytes — synthetic workloads.
@@ -28,6 +34,12 @@ impl Record {
     /// The payload bytes.
     pub fn as_slice(&self) -> &[u8] {
         &self.data
+    }
+
+    /// A refcounted view of the payload, sharing the backing allocation —
+    /// the zero-copy egress path for wire response bodies.
+    pub fn bytes(&self) -> Bytes {
+        self.data.clone()
     }
 
     /// Payload length in bytes.
@@ -54,6 +66,12 @@ impl From<Vec<u8>> for Record {
     }
 }
 
+impl From<Bytes> for Record {
+    fn from(b: Bytes) -> Self {
+        Self::from_bytes(b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +92,18 @@ mod tests {
         let c = r.clone();
         assert!(std::ptr::eq(r.as_slice().as_ptr(), c.as_slice().as_ptr()));
         assert_eq!(r, c);
+    }
+
+    #[test]
+    fn bytes_view_shares_the_payload() {
+        let r = Record::filler(512);
+        let b = r.bytes();
+        assert!(std::ptr::eq(r.as_slice().as_ptr(), b.as_ref().as_ptr()));
+        let roundtrip = Record::from_bytes(b);
+        assert!(std::ptr::eq(
+            r.as_slice().as_ptr(),
+            roundtrip.as_slice().as_ptr()
+        ));
     }
 
     #[test]

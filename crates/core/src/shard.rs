@@ -1,0 +1,514 @@
+//! Intra-node concurrency: a hash-striped, atomically-accounted cache
+//! index for the wire server.
+//!
+//! The paper's cache nodes serve "a litany of simultaneous queries"
+//! (§III); a single `Mutex<CacheNode>` serializes them all, so one slow
+//! PUT stalls every concurrent GET on that node. [`ShardedNode`] removes
+//! the global lock:
+//!
+//! * the key space is hash-striped over `stripes` independent B+-trees,
+//!   each behind its own `RwLock`, so point ops on different stripes
+//!   never contend and concurrent GETs of the same stripe share a read
+//!   lock;
+//! * byte/record accounting lives in atomics, so `Stats` never takes any
+//!   lock and a PUT admission decision is a CAS reservation instead of a
+//!   critical section;
+//! * range and structural ops (sweep, keys, range-stats, drain) take a
+//!   node-wide **structural** `RwLock` in write mode, which quiesces the
+//!   point ops (they hold it in read mode) and lets the sweep walk the
+//!   stripes in index order against a stable snapshot.
+//!
+//! **Lock hierarchy** (documented in DESIGN.md §12): `structural` before
+//! any stripe lock; stripe locks only in ascending stripe index; the
+//! accounting atomics participate in no lock order. Point ops hold
+//! `structural.read` + exactly one stripe lock; structural ops hold
+//! `structural.write` + stripes in ascending order, one at a time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ecc_bptree::BPlusTree;
+use ecc_obs::ObsRegistry;
+use parking_lot::RwLock;
+
+use crate::metrics::NodeCounters;
+use crate::record::Record;
+
+/// Default stripe count for the wire server (must be a power of two).
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// Multiplicative (Fibonacci) hash spreading adjacent keys — which the
+/// paper's range semantics make *likely* — across stripes.
+#[inline]
+fn stripe_of(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) as usize & mask
+}
+
+/// Verdict of a capacity-checked insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The record was stored (insert or replacement).
+    Stored,
+    /// Refused: the byte *growth* would overflow the node (the replacement
+    /// rule shared with `CacheNode`: replacing a record frees its bytes).
+    Overflow,
+}
+
+/// What a [`ShardedNode::check_invariants`] audit found inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardAuditError {
+    /// The atomic byte counter disagrees with the stripes' actual total.
+    UsedBytesMismatch {
+        /// Value of the atomic accumulator.
+        accounted: u64,
+        /// Sum of record sizes over every stripe.
+        actual: u64,
+    },
+    /// The atomic record counter disagrees with the stripes' actual total.
+    RecordCountMismatch {
+        /// Value of the atomic accumulator.
+        accounted: u64,
+        /// Number of records over every stripe.
+        actual: u64,
+    },
+    /// Resident bytes exceed the configured capacity.
+    OverCapacity {
+        /// Resident bytes.
+        used: u64,
+        /// The capacity bound.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for ShardAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UsedBytesMismatch { accounted, actual } => {
+                write!(f, "used-bytes atomic {accounted} != stripe total {actual}")
+            }
+            Self::RecordCountMismatch { accounted, actual } => {
+                write!(
+                    f,
+                    "record-count atomic {accounted} != stripe total {actual}"
+                )
+            }
+            Self::OverCapacity { used, capacity } => {
+                write!(f, "node over capacity: {used} > {capacity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardAuditError {}
+
+/// A cache-server index that scales with cores: hash-striped B+-trees,
+/// atomic accounting, and a structural lock for range ops.
+pub struct ShardedNode {
+    capacity_bytes: u64,
+    mask: usize,
+    /// Node-wide order point: read-held by point ops, write-held by
+    /// range/structural ops. See the module docs for the lock hierarchy.
+    structural: RwLock<()>,
+    stripes: Box<[RwLock<BPlusTree<u64, Record>>]>,
+    /// `||n||` — bytes of resident records; PUT admission CAS-reserves
+    /// growth here *before* touching a stripe.
+    used: AtomicU64,
+    /// Resident record count.
+    count: AtomicU64,
+    counters: NodeCounters,
+    /// When present, stripe/structural lock-acquisition waits are recorded
+    /// as `lock_wait_us:{stripe,structural}` histograms.
+    obs: Option<ObsRegistry>,
+}
+
+impl std::fmt::Debug for ShardedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNode")
+            .field("capacity_bytes", &self.capacity_bytes)
+            .field("stripes", &self.stripe_count())
+            .field("used", &self.used_bytes())
+            .field("count", &self.record_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedNode {
+    /// A node with `capacity_bytes` of usable memory, B+-trees of
+    /// `btree_order`, and `stripes` hash stripes (rounded up to a power
+    /// of two, minimum 1).
+    pub fn new(capacity_bytes: u64, btree_order: usize, stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        let stripes: Vec<RwLock<BPlusTree<u64, Record>>> = (0..n)
+            .map(|_| RwLock::new(BPlusTree::new(btree_order)))
+            .collect();
+        Self {
+            capacity_bytes,
+            mask: n - 1,
+            structural: RwLock::new(()),
+            stripes: stripes.into_boxed_slice(),
+            used: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            counters: NodeCounters::new(),
+            obs: None,
+        }
+    }
+
+    /// Attach an observability registry; subsequent lock acquisitions
+    /// record their wait time under `lock_wait_us:{stripe,structural}`.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsRegistry) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Number of hash stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// `⌈n⌉` — the capacity in bytes (lock-free).
+    #[inline]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// `||n||` — resident bytes (lock-free).
+    #[inline]
+    pub fn used_bytes(&self) -> u64 {
+        self.used.load(Ordering::Acquire)
+    }
+
+    /// Resident record count (lock-free).
+    #[inline]
+    pub fn record_count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Cumulative per-op counters (lock-free).
+    pub fn counters(&self) -> &NodeCounters {
+        &self.counters
+    }
+
+    /// Record how long one lock acquisition waited.
+    #[inline]
+    fn note_wait(&self, name: &'static str, t0: Option<u64>) {
+        if let (Some(obs), Some(t0)) = (&self.obs, t0) {
+            obs.record(name, obs.now_us().saturating_sub(t0));
+        }
+    }
+
+    /// Timestamp before a lock acquisition (None when unobserved).
+    #[inline]
+    fn wait_start(&self) -> Option<u64> {
+        self.obs.as_ref().map(|o| o.now_us())
+    }
+
+    /// Look up a record; the returned clone shares the payload allocation
+    /// (refcount bump, no memcpy). Takes `structural.read` + one stripe
+    /// read lock — concurrent GETs never exclude each other.
+    pub fn get(&self, key: u64) -> Option<Record> {
+        let t0 = self.wait_start();
+        let _structural = self.structural.read();
+        self.note_wait("lock_wait_us:structural", t0);
+        let t1 = self.wait_start();
+        let stripe = self.stripes[stripe_of(key, self.mask)].read();
+        self.note_wait("lock_wait_us:stripe", t1);
+        let found = stripe.get(&key).cloned();
+        self.counters.note_get(found.is_some());
+        found
+    }
+
+    /// Store a record under the replacement-growth capacity rule: only the
+    /// byte growth over any existing record counts against capacity, and a
+    /// growing replacement that no longer fits is refused with the old
+    /// record left intact. Admission is a CAS reservation on the byte
+    /// atomic — concurrent PUTs on different stripes cannot jointly
+    /// overshoot the capacity.
+    pub fn put(&self, key: u64, record: Record) -> PutOutcome {
+        let t0 = self.wait_start();
+        let _structural = self.structural.read();
+        self.note_wait("lock_wait_us:structural", t0);
+        let t1 = self.wait_start();
+        let mut stripe = self.stripes[stripe_of(key, self.mask)].write();
+        self.note_wait("lock_wait_us:stripe", t1);
+
+        let new_len = record.len() as u64;
+        // Stable while this stripe's write lock is held: all mutations of
+        // `key` go through this stripe.
+        let old_len = stripe.get(&key).map(|r| r.len() as u64);
+        let growth = new_len.saturating_sub(old_len.unwrap_or(0));
+        if growth > 0 {
+            let reserve = self
+                .used
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |u| {
+                    let grown = u.checked_add(growth)?;
+                    (grown <= self.capacity_bytes).then_some(grown)
+                });
+            if reserve.is_err() {
+                self.counters.note_overflow();
+                return PutOutcome::Overflow;
+            }
+        }
+        let shrink = old_len.unwrap_or(0).saturating_sub(new_len);
+        if shrink > 0 {
+            self.used.fetch_sub(shrink, Ordering::AcqRel);
+        }
+        if stripe.insert(key, record).is_none() {
+            self.count.fetch_add(1, Ordering::AcqRel);
+        }
+        self.counters.note_put();
+        PutOutcome::Stored
+    }
+
+    /// Remove a record; returns it (payload shared, not copied).
+    pub fn remove(&self, key: u64) -> Option<Record> {
+        let t0 = self.wait_start();
+        let _structural = self.structural.read();
+        self.note_wait("lock_wait_us:structural", t0);
+        let t1 = self.wait_start();
+        let mut stripe = self.stripes[stripe_of(key, self.mask)].write();
+        self.note_wait("lock_wait_us:stripe", t1);
+        let removed = stripe.remove(&key);
+        if let Some(rec) = &removed {
+            self.used.fetch_sub(rec.len() as u64, Ordering::AcqRel);
+            self.count.fetch_sub(1, Ordering::AcqRel);
+            self.counters.note_remove();
+        }
+        removed
+    }
+
+    /// Run `f` under the structural write lock — point ops are quiesced
+    /// (they hold `structural.read`) for the duration.
+    fn with_structural<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = self.wait_start();
+        let _structural = self.structural.write();
+        self.note_wait("lock_wait_us:structural", t0);
+        f()
+    }
+
+    /// Remove and return all records in the inclusive key range, in key
+    /// order — the destructive half of Sweep-and-Migrate (Algorithm 2).
+    pub fn drain_range(&self, lo: u64, hi: u64) -> Vec<(u64, Record)> {
+        self.with_structural(|| {
+            let mut out: Vec<(u64, Record)> = Vec::new();
+            for stripe in self.stripes.iter() {
+                out.extend(stripe.write().drain_range(&lo, &hi));
+            }
+            let (bytes, records) = out
+                .iter()
+                .fold((0u64, 0u64), |(b, n), (_, r)| (b + r.len() as u64, n + 1));
+            self.used.fetch_sub(bytes, Ordering::AcqRel);
+            self.count.fetch_sub(records, Ordering::AcqRel);
+            self.counters.note_sweep();
+            out.sort_unstable_by_key(|(k, _)| *k);
+            out
+        })
+    }
+
+    /// Keys in the inclusive range, in order (split planning).
+    pub fn keys_in_range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        self.with_structural(|| {
+            let mut keys: Vec<u64> = Vec::new();
+            for stripe in self.stripes.iter() {
+                keys.extend(stripe.read().keys_in_range(lo..=hi));
+            }
+            keys.sort_unstable();
+            keys
+        })
+    }
+
+    /// `(bytes, records)` resident in the inclusive range (bucket fullness
+    /// `||b||` for the coordinator's split planning).
+    pub fn range_stats(&self, lo: u64, hi: u64) -> (u64, u64) {
+        self.with_structural(|| {
+            let mut bytes = 0u64;
+            let mut records = 0u64;
+            for stripe in self.stripes.iter() {
+                let tree = stripe.read();
+                for (_, r) in tree.range(lo..=hi) {
+                    bytes += r.len() as u64;
+                    records += 1;
+                }
+            }
+            (bytes, records)
+        })
+    }
+
+    /// Verify that the atomic accounting matches the stripes' actual
+    /// contents and that capacity holds. Takes the structural write lock,
+    /// so it sees a quiesced node.
+    pub fn check_invariants(&self) -> Result<(), ShardAuditError> {
+        self.with_structural(|| {
+            let mut bytes = 0u64;
+            let mut records = 0u64;
+            for stripe in self.stripes.iter() {
+                let tree = stripe.read();
+                bytes += tree.bytes();
+                records += tree.len() as u64;
+            }
+            let used = self.used.load(Ordering::Acquire);
+            let count = self.count.load(Ordering::Acquire);
+            if used != bytes {
+                return Err(ShardAuditError::UsedBytesMismatch {
+                    accounted: used,
+                    actual: bytes,
+                });
+            }
+            if count != records {
+                return Err(ShardAuditError::RecordCountMismatch {
+                    accounted: count,
+                    actual: records,
+                });
+            }
+            if used > self.capacity_bytes {
+                return Err(ShardAuditError::OverCapacity {
+                    used,
+                    capacity: self.capacity_bytes,
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Validate stripe B+-tree structure and accounting (tests; panics on
+    /// violation like `CacheNode::validate`).
+    pub fn validate(&self) {
+        self.with_structural(|| {
+            for stripe in self.stripes.iter() {
+                stripe.read().validate();
+            }
+        });
+        if let Err(e) = self.check_invariants() {
+            panic!("sharded node audit failed: {e}"); // xtask: allow(no-panic) — validate() is the panicking audit wrapper
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn point_ops_account_bytes_and_count() {
+        let n = ShardedNode::new(1000, 8, 4);
+        assert_eq!(n.put(1, Record::filler(300)), PutOutcome::Stored);
+        assert_eq!(n.put(2, Record::filler(300)), PutOutcome::Stored);
+        assert_eq!(n.used_bytes(), 600);
+        assert_eq!(n.record_count(), 2);
+        assert_eq!(n.get(1).map(|r| r.len()), Some(300));
+        assert_eq!(n.get(99), None);
+        assert_eq!(n.remove(1).map(|r| r.len()), Some(300));
+        assert_eq!(n.remove(1), None);
+        assert_eq!(n.used_bytes(), 300);
+        assert_eq!(n.record_count(), 1);
+        n.validate();
+        let c = n.counters().snapshot();
+        assert_eq!((c.gets, c.hits, c.puts, c.removes), (2, 1, 2, 1));
+    }
+
+    #[test]
+    fn replacement_growth_rule_matches_cache_node() {
+        let n = ShardedNode::new(100, 8, 4);
+        assert_eq!(n.put(1, Record::filler(60)), PutOutcome::Stored);
+        // Growth within budget: 60 -> 100.
+        assert_eq!(n.put(1, Record::filler(100)), PutOutcome::Stored);
+        // Growth past capacity: refused, old record intact.
+        assert_eq!(n.put(1, Record::filler(101)), PutOutcome::Overflow);
+        assert_eq!(n.get(1).map(|r| r.len()), Some(100));
+        assert_eq!(n.used_bytes(), 100);
+        // Shrinking replacement frees bytes.
+        assert_eq!(n.put(1, Record::filler(10)), PutOutcome::Stored);
+        assert_eq!(n.used_bytes(), 10);
+        assert_eq!(n.counters().snapshot().overflows, 1);
+        n.validate();
+    }
+
+    #[test]
+    fn fresh_insert_past_capacity_is_refused() {
+        let n = ShardedNode::new(100, 8, 2);
+        assert_eq!(n.put(1, Record::filler(60)), PutOutcome::Stored);
+        assert_eq!(n.put(2, Record::filler(60)), PutOutcome::Overflow);
+        assert_eq!(n.get(2), None);
+        assert_eq!(n.record_count(), 1);
+        n.validate();
+    }
+
+    #[test]
+    fn range_ops_span_stripes_in_key_order() {
+        let n = ShardedNode::new(1 << 20, 8, 8);
+        for k in 0..100u64 {
+            assert_eq!(n.put(k, Record::filler(10)), PutOutcome::Stored);
+        }
+        assert_eq!(n.keys_in_range(95, 200), vec![95, 96, 97, 98, 99]);
+        assert_eq!(n.range_stats(0, 49), (500, 50));
+        let drained = n.drain_range(10, 19);
+        assert_eq!(drained.len(), 10);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(n.record_count(), 90);
+        assert_eq!(n.used_bytes(), 900);
+        // Inverted range drains nothing.
+        assert!(n.drain_range(50, 40).is_empty());
+        n.validate();
+    }
+
+    #[test]
+    fn get_clone_shares_the_payload() {
+        let n = ShardedNode::new(1 << 20, 8, 4);
+        let rec = Record::filler(4096);
+        let ptr = rec.as_slice().as_ptr();
+        n.put(7, rec);
+        let hit = n.get(7).expect("present");
+        assert!(std::ptr::eq(ptr, hit.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn concurrent_puts_cannot_jointly_overshoot_capacity() {
+        // 8 threads race 200 distinct 64-byte inserts into a node with
+        // room for exactly 100 of them; the CAS reservation must admit at
+        // most 100 and the audit must balance.
+        let n = Arc::new(ShardedNode::new(6400, 8, 8));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let n = Arc::clone(&n);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let _ = n.put(t * 1000 + i, Record::filler(64));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer");
+        }
+        assert!(n.used_bytes() <= 6400);
+        assert_eq!(n.used_bytes(), n.record_count() * 64);
+        n.check_invariants().expect("audit");
+    }
+
+    #[test]
+    fn stats_need_no_locks_while_a_sweep_runs() {
+        let n = Arc::new(ShardedNode::new(1 << 20, 8, 4));
+        for k in 0..512u64 {
+            n.put(k, Record::filler(32));
+        }
+        let reader = {
+            let n = Arc::clone(&n);
+            std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let used = n.used_bytes();
+                    let count = n.record_count();
+                    assert!(used <= n.capacity_bytes());
+                    assert!(count <= 512);
+                }
+            })
+        };
+        for _ in 0..16 {
+            let drained = n.drain_range(0, 511);
+            for (k, r) in drained {
+                n.put(k, r);
+            }
+        }
+        reader.join().expect("reader");
+        n.check_invariants().expect("audit");
+    }
+}

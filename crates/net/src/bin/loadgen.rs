@@ -1,0 +1,228 @@
+//! Closed-loop load generator against one cache server.
+//!
+//! ```text
+//! cargo run --release -p ecc-net --bin loadgen -- \
+//!     [--workers 4] [--ops 20000] [--keys 1024] [--value-len 1024] \
+//!     [--addr HOST:PORT | --spawn] [--json PATH]
+//! ```
+//!
+//! `--workers N` runs N closed-loop worker threads (each a persistent
+//! connection issuing GET-then-PUT-on-miss). With `--spawn` (the default
+//! when no `--addr` is given) an ephemeral server is started in-process,
+//! which is how the scaling smoke run in CI uses it.
+//!
+//! The final summary merges the server's `ObsDump` snapshot with the
+//! client-side RTT histograms: the merged histogram lands under
+//! `client_rtt_us` and each worker's under `client_rtt_us:w<i>`, so a
+//! straggling worker is visible next to the server's per-op latency.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use ecc_chash::HashRing;
+use ecc_net::client::RemoteNode;
+use ecc_net::loadgen::run_load;
+use ecc_net::server::CacheServer;
+use ecc_obs::ObsSnapshot;
+
+struct Args {
+    workers: usize,
+    ops: u64,
+    keys: u64,
+    value_len: usize,
+    addr: Option<SocketAddr>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workers: 4,
+        ops: 20_000,
+        keys: 1024,
+        value_len: 1024,
+        addr: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = take("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?
+            }
+            "--ops" => {
+                args.ops = take("--ops")?
+                    .parse()
+                    .map_err(|e| format!("bad op count: {e}"))?
+            }
+            "--keys" => {
+                args.keys = take("--keys")?
+                    .parse()
+                    .map_err(|e| format!("bad key space: {e}"))?
+            }
+            "--value-len" => {
+                args.value_len = take("--value-len")?
+                    .parse()
+                    .map_err(|e| format!("bad value length: {e}"))?
+            }
+            "--addr" => {
+                args.addr = Some(
+                    take("--addr")?
+                        .parse()
+                        .map_err(|e| format!("bad address: {e}"))?,
+                )
+            }
+            "--spawn" => args.addr = None,
+            "--json" => args.json = Some(take("--json")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--workers N] [--ops N] [--keys N] [--value-len N] \
+                     [--addr HOST:PORT | --spawn] [--json PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.workers == 0 {
+        return Err("--workers must be positive".to_string());
+    }
+    if args.keys == 0 {
+        return Err("--keys must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Target: an existing server, or an ephemeral in-process one.
+    let mut spawned: Option<CacheServer> = None;
+    let addr = match args.addr {
+        Some(a) => a,
+        None => {
+            // Capacity sized to hold the whole key space at this value
+            // length, so the run measures latency, not overflow refusals.
+            let capacity = (args.keys * (args.value_len as u64 + 64)).max(1 << 20);
+            match CacheServer::spawn(capacity, 64) {
+                Ok(s) => {
+                    let a = s.addr();
+                    spawned = Some(s);
+                    a
+                }
+                Err(e) => {
+                    eprintln!("failed to spawn server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let mut ring: HashRing<usize> = HashRing::new(1 << 12);
+    if let Err(e) = ring.insert_bucket((1 << 12) - 1, 0) {
+        eprintln!("ring setup failed: {e:?}");
+        return ExitCode::FAILURE;
+    }
+    let report = match run_load(
+        &ring,
+        |_| addr,
+        args.workers,
+        args.ops,
+        args.keys,
+        args.value_len,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Merge the server's view with the client-side RTTs into one summary.
+    let mut snap = RemoteNode::connect(addr)
+        .and_then(|mut c| c.obs_dump())
+        .unwrap_or_else(|_| ObsSnapshot::new());
+    snap.hists
+        .insert("client_rtt_us".to_string(), report.hist.clone());
+    for (i, h) in report.worker_hists.iter().enumerate() {
+        snap.hists.insert(format!("client_rtt_us:w{i}"), h.clone());
+    }
+
+    let (p50, p95, p99) = report.latency_us;
+    println!(
+        "loadgen: {} workers, {} ops in {:.2?} -> {:.0} ops/s (hits {}, misses {}, errors {})",
+        args.workers,
+        report.ops,
+        report.elapsed,
+        report.throughput(),
+        report.hits,
+        report.misses,
+        report.errors,
+    );
+    println!("client RTT p50/p95/p99: {p50}/{p95}/{p99} us");
+    for (i, h) in report.worker_hists.iter().enumerate() {
+        println!(
+            "  worker {i}: {} ops, p50 {} us, p99 {} us",
+            h.count(),
+            h.p50(),
+            h.p99()
+        );
+    }
+    for name in [
+        "server_op_us:get",
+        "server_op_us:put",
+        "lock_wait_us:stripe",
+    ] {
+        if let Some(h) = snap.hist(name) {
+            println!("  {name}: count {}, p99 {} us", h.count(), h.p99());
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut doc = String::new();
+        doc.push_str("{\n");
+        doc.push_str(&format!("  \"workers\": {},\n", args.workers));
+        doc.push_str(&format!("  \"ops\": {},\n", report.ops));
+        doc.push_str(&format!("  \"errors\": {},\n", report.errors));
+        doc.push_str(&format!(
+            "  \"throughput_ops_per_sec\": {:.1},\n",
+            report.throughput()
+        ));
+        doc.push_str(&format!(
+            "  \"rtt_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n"
+        ));
+        doc.push_str("  \"obs\": [\n");
+        let n = snap.hists.len();
+        for (i, (name, h)) in snap.hists.iter().enumerate() {
+            let sep = if i + 1 == n { "" } else { "," };
+            doc.push_str(&format!(
+                "    {{\"hist\": \"{name}\", \"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}{sep}\n",
+                h.count(),
+                h.p50(),
+                h.p99()
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("summary written to {path}");
+    }
+
+    if report.errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    drop(spawned);
+    ExitCode::SUCCESS
+}

@@ -79,6 +79,14 @@ impl RemoteNode {
             .ok_or_else(|| bad_frame("empty response frame"))?;
         let status =
             Status::from_u8(status_byte).ok_or_else(|| bad_frame("bad response status"))?;
+        if status == Status::Busy {
+            // The server is at its connection bound; it sent this one
+            // frame and closed. Surface it as a refusal, not a payload.
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "server at connection capacity",
+            ));
+        }
         Ok((status, body))
     }
 

@@ -55,6 +55,11 @@ pub struct LoadReport {
     /// mergeable counterpart of `latency_us`, foldable into a cluster
     /// `ObsSnapshot` under the name `client_rtt_us`.
     pub hist: LogHistogram,
+    /// Per-worker RTT histograms, one per closed-loop worker in spawn
+    /// order. `hist` is exactly their merge; keeping the parts lets a
+    /// report expose per-worker tails (a straggling worker is invisible
+    /// in the merged histogram).
+    pub worker_hists: Vec<LogHistogram>,
 }
 
 impl LoadReport {
@@ -192,12 +197,14 @@ pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
     drop(tx);
 
     let mut all = WorkerStats::default();
+    let mut worker_hists = Vec::with_capacity(clients);
     while let Ok(s) = rx.recv() {
         all.ops += s.ops;
         all.hits += s.hits;
         all.misses += s.misses;
         all.errors += s.errors;
         all.hist.merge(&s.hist);
+        worker_hists.push(s.hist);
     }
     Ok(LoadReport {
         ops: all.ops,
@@ -207,6 +214,7 @@ pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
         elapsed: start.elapsed(),
         latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
         hist: all.hist,
+        worker_hists,
     })
 }
 
@@ -277,6 +285,10 @@ mod tests {
         .unwrap();
         assert_eq!(report.errors, 0);
         assert_eq!(report.hist.count(), report.ops);
+        // The merged histogram is exactly the per-worker parts.
+        assert_eq!(report.worker_hists.len(), 2);
+        let parts: u64 = report.worker_hists.iter().map(|h| h.count()).sum();
+        assert_eq!(parts, report.hist.count());
         let (p50, p95, p99) = report.latency_us;
         assert!(p50 <= p95 && p95 <= p99);
         assert!(ticks.load(Ordering::Relaxed) >= 1, "monitor never ticked");

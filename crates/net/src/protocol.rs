@@ -101,6 +101,10 @@ pub enum Status {
     Overflow = 0x02,
     /// Malformed request.
     BadRequest = 0x03,
+    /// Connection refused: the server is at its concurrent-connection
+    /// limit. Sent once as the only frame on the refused connection,
+    /// before any request is read, then the connection is closed.
+    Busy = 0x04,
 }
 
 impl Status {
@@ -111,6 +115,7 @@ impl Status {
             0x01 => Status::NotFound,
             0x02 => Status::Overflow,
             0x03 => Status::BadRequest,
+            0x04 => Status::Busy,
             _ => return None,
         })
     }
@@ -435,14 +440,16 @@ impl Response {
 }
 
 /// Encode a record batch (sweep response body): `u32` count, then per
-/// record `u64 key`, `u32 len`, bytes.
-pub fn encode_records(records: &[(u64, Vec<u8>)]) -> Bytes {
+/// record `u64 key`, `u32 len`, bytes. Generic over the payload's borrow
+/// so callers can encode straight from `Record`/`Bytes` views without an
+/// intermediate `Vec<u8>` copy per record.
+pub fn encode_records<T: AsRef<[u8]>>(records: &[(u64, T)]) -> Bytes {
     let mut b = BytesMut::new();
     b.put_u32_le(records.len() as u32);
     for (k, v) in records {
         b.put_u64_le(*k);
-        b.put_u32_le(v.len() as u32);
-        b.put_slice(v);
+        b.put_u32_le(v.as_ref().len() as u32);
+        b.put_slice(v.as_ref());
     }
     b.freeze()
 }
@@ -546,16 +553,17 @@ pub fn decode_statuses<B: Buf>(mut body: B) -> Option<Vec<Status>> {
 
 /// Encode a `GetMany` response body: `u32` count, then per entry a
 /// status byte (`Ok` = present, `NotFound` = absent) followed — only
-/// when present — by `u32 len` and the value bytes.
-pub fn encode_get_many(entries: &[Option<Vec<u8>>]) -> Bytes {
+/// when present — by `u32 len` and the value bytes. Generic over the
+/// payload's borrow so the server encodes straight from `Bytes` views.
+pub fn encode_get_many<T: AsRef<[u8]>>(entries: &[Option<T>]) -> Bytes {
     let mut b = BytesMut::new();
     b.put_u32_le(entries.len() as u32);
     for e in entries {
         match e {
             Some(v) => {
                 b.put_u8(Status::Ok as u8);
-                b.put_u32_le(v.len() as u32);
-                b.put_slice(v);
+                b.put_u32_le(v.as_ref().len() as u32);
+                b.put_slice(v.as_ref());
             }
             None => b.put_u8(Status::NotFound as u8),
         }
@@ -689,6 +697,7 @@ mod tests {
             Status::NotFound,
             Status::Overflow,
             Status::BadRequest,
+            Status::Busy,
         ] {
             let resp = Response {
                 status,
@@ -816,7 +825,10 @@ mod tests {
         let entries = vec![Some(vec![1u8, 2, 3]), None, Some(vec![]), None];
         let enc = encode_get_many(&entries);
         assert_eq!(decode_get_many(enc.clone()), Some(entries));
-        assert_eq!(decode_get_many(encode_get_many(&[])), Some(vec![]));
+        assert_eq!(
+            decode_get_many(encode_get_many::<Vec<u8>>(&[])),
+            Some(vec![])
+        );
         // Truncated mid-value.
         assert_eq!(decode_get_many(enc.slice(0..enc.len() - 1)), None);
         // Hostile count prefix.

@@ -3,6 +3,14 @@
 //! "The cache server is automatically fetched from a remote location on the
 //! startup of a new Cloud instance" (paper §III-A) — here, spawning a
 //! server thread plays the role of booting that instance.
+//!
+//! The node serves "a litany of simultaneous queries" (§III): connections
+//! each get a thread (bounded by [`CacheServer::spawn_bounded`]'s limit)
+//! and share a [`ShardedNode`] — hash-striped locks plus atomic accounting
+//! — so concurrent GETs on different keys proceed in parallel and a slow
+//! PUT stalls only its own stripe, not the node. Response bodies are
+//! refcounted [`bytes::Bytes`] views of the stored records: a GET never
+//! memcpys the payload.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -10,23 +18,38 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ecc_cloudsim::InstanceId;
-use ecc_core::{CacheNode, Record};
+use ecc_core::{PutOutcome, Record, ShardedNode, DEFAULT_STRIPES};
 use ecc_obs::{encode_dump, ObsEvent, ObsRegistry, TimeSource};
-use parking_lot::Mutex;
 
 use crate::protocol::{
     encode_get_many, encode_keys, encode_range_stats, encode_records, encode_stats,
     encode_statuses, read_frame_into, write_frame_buffered, Op, Request, Response, Status,
 };
 
+/// Default bound on concurrent client connections. Above it the accept
+/// loop answers with a single [`Status::Busy`] frame and closes, so a
+/// connection flood degrades into clean refusals instead of unbounded
+/// thread spawning.
+pub const DEFAULT_MAX_CONNECTIONS: u64 = 256;
+
 /// A running cache server (one node of the cooperative cache).
 pub struct CacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
+    refused: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
     obs: ObsRegistry,
+}
+
+/// Decrements the live-connection gauge when a connection thread exits,
+/// however it exits.
+struct ConnSlot(Arc<AtomicU64>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl CacheServer {
@@ -37,26 +60,40 @@ impl CacheServer {
     }
 
     /// Bind a listener on an explicit address (deployment entry point; see
-    /// the `cache_server` binary).
+    /// the `cache_server` binary) with the default connection bound.
     pub fn spawn_on<A: std::net::ToSocketAddrs>(
         addr: A,
         capacity_bytes: u64,
         btree_order: usize,
     ) -> io::Result<CacheServer> {
+        Self::spawn_bounded(addr, capacity_bytes, btree_order, DEFAULT_MAX_CONNECTIONS)
+    }
+
+    /// Bind a listener with an explicit bound on concurrent connections.
+    /// Connections past the bound receive one [`Status::Busy`] frame and
+    /// are closed without being served (and without counting as accepted).
+    pub fn spawn_bounded<A: std::net::ToSocketAddrs>(
+        addr: A,
+        capacity_bytes: u64,
+        btree_order: usize,
+        max_connections: u64,
+    ) -> io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
+        let refused = Arc::new(AtomicU64::new(0));
         let obs = ObsRegistry::new(TimeSource::real());
-        let node = Arc::new(Mutex::new(CacheNode::new(
-            InstanceId(0),
-            capacity_bytes,
-            btree_order,
-        )));
+        let node = Arc::new(
+            ShardedNode::new(capacity_bytes, btree_order, DEFAULT_STRIPES).with_obs(obs.clone()),
+        );
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_count = Arc::clone(&connections);
+        let refused_count = Arc::clone(&refused);
         let accept_obs = obs.clone();
+        let live = Arc::new(AtomicU64::new(0));
+        let max_connections = max_connections.max(1);
         let accept_thread = std::thread::Builder::new()
             .name(format!("ecc-server-{}", addr.port()))
             .spawn(move || {
@@ -64,15 +101,29 @@ impl CacheServer {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break;
                     }
-                    let Ok(stream) = conn else { continue };
-                    accept_count.fetch_add(1, Ordering::Relaxed);
+                    let Ok(mut stream) = conn else { continue };
                     // Request/response framing interacts badly with Nagle +
                     // delayed ACK (~40 ms per exchange); flush eagerly.
                     let _ = stream.set_nodelay(true);
+                    // Reserve a connection slot before spawning; on refusal
+                    // send one Busy frame so the client sees a protocol
+                    // answer, not a silent hangup.
+                    if live.fetch_add(1, Ordering::AcqRel) >= max_connections {
+                        let _slot = ConnSlot(Arc::clone(&live));
+                        refused_count.fetch_add(1, Ordering::Relaxed);
+                        let mut buf = Vec::new();
+                        let _ = write_frame_buffered(&mut stream, &mut buf, |b| {
+                            Response::status(Status::Busy).encode_into(b)
+                        });
+                        continue;
+                    }
+                    let slot = ConnSlot(Arc::clone(&live));
+                    accept_count.fetch_add(1, Ordering::Relaxed);
                     let node = Arc::clone(&node);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
                     let conn_obs = accept_obs.clone();
                     std::thread::spawn(move || {
+                        let _slot = slot;
                         let _ = serve_connection(stream, &node, &conn_shutdown, &conn_obs);
                     });
                 }
@@ -82,6 +133,7 @@ impl CacheServer {
             addr,
             shutdown,
             connections,
+            refused,
             accept_thread: Some(accept_thread),
             obs,
         })
@@ -100,9 +152,15 @@ impl CacheServer {
 
     /// How many client connections the listener has accepted so far —
     /// lets tests verify that clients actually reuse connections instead
-    /// of reconnecting per request.
+    /// of reconnecting per request. Refused connections are not counted.
     pub fn connections_accepted(&self) -> u64 {
         self.connections.load(Ordering::Relaxed)
+    }
+
+    /// How many connections were refused with a `Busy` frame because the
+    /// concurrent-connection bound was reached.
+    pub fn connections_refused(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
     }
 
     /// Stop accepting and join the accept thread. Idempotent.
@@ -130,7 +188,7 @@ impl Drop for CacheServer {
 /// allocations on the framing path.
 fn serve_connection(
     mut stream: TcpStream,
-    node: &Mutex<CacheNode>,
+    node: &ShardedNode,
     shutdown: &AtomicBool,
     obs: &ObsRegistry,
 ) -> io::Result<()> {
@@ -170,52 +228,39 @@ fn serve_connection(
     }
 }
 
-/// Execute one request against the node.
-fn handle(
-    req: Request,
-    node: &Mutex<CacheNode>,
-    shutdown: &AtomicBool,
-    obs: &ObsRegistry,
-) -> Response {
+/// Execute one request against the node. Point ops take only the key's
+/// stripe lock; Stats reads atomics with no lock at all; range ops
+/// (Sweep/Keys/RangeStats) serialize behind the structural lock.
+fn handle(req: Request, node: &ShardedNode, shutdown: &AtomicBool, obs: &ObsRegistry) -> Response {
     match req {
-        Request::Get { key } => {
-            let node = node.lock();
-            match node.get(key) {
-                Some(rec) => Response::ok(bytes::Bytes::copy_from_slice(rec.as_slice())),
-                None => Response::status(Status::NotFound),
-            }
-        }
-        Request::Put { key, value } => {
-            let mut node = node.lock();
-            Response::status(put_record(&mut node, key, &value))
-        }
-        Request::Remove { key } => {
-            let mut node = node.lock();
-            match node.remove(key) {
-                Some(_) => Response::status(Status::Ok),
-                None => Response::status(Status::NotFound),
-            }
-        }
+        Request::Get { key } => match node.get(key) {
+            // The body shares the stored record's allocation: the only
+            // payload copy on a GET is the kernel socket write.
+            Some(rec) => Response::ok(rec.bytes()),
+            None => Response::status(Status::NotFound),
+        },
+        Request::Put { key, value } => Response::status(put_record(node, key, value)),
+        Request::Remove { key } => match node.remove(key) {
+            Some(_) => Response::status(Status::Ok),
+            None => Response::status(Status::NotFound),
+        },
         Request::PutMany { items } => {
-            // One lock acquisition for the whole batch: per-item verdicts,
-            // a refused item never aborts the rest of the batch.
-            let mut node = node.lock();
+            // Per-item verdicts: a refused item never aborts the rest of
+            // the batch.
             let statuses: Vec<Status> = items
-                .iter()
-                .map(|(key, value)| put_record(&mut node, *key, value))
+                .into_iter()
+                .map(|(key, value)| put_record(node, key, value))
                 .collect();
             Response::ok(encode_statuses(&statuses))
         }
         Request::GetMany { keys } => {
-            let node = node.lock();
-            let entries: Vec<Option<Vec<u8>>> = keys
+            let entries: Vec<Option<bytes::Bytes>> = keys
                 .iter()
-                .map(|&k| node.get(k).map(|r| r.as_slice().to_vec()))
+                .map(|&k| node.get(k).map(|r| r.bytes()))
                 .collect();
             Response::ok(encode_get_many(&entries))
         }
         Request::EvictMany { keys } => {
-            let mut node = node.lock();
             let statuses: Vec<Status> = keys
                 .iter()
                 .map(|&k| {
@@ -229,33 +274,23 @@ fn handle(
             Response::ok(encode_statuses(&statuses))
         }
         Request::Sweep { lo, hi } => {
-            let mut node = node.lock();
-            let records: Vec<(u64, Vec<u8>)> = node
+            let records: Vec<(u64, bytes::Bytes)> = node
                 .drain_range(lo, hi)
                 .into_iter()
-                .map(|(k, r)| (k, r.as_slice().to_vec()))
+                .map(|(k, r)| (k, r.bytes()))
                 .collect();
             Response::ok(encode_records(&records))
         }
-        Request::Keys { lo, hi } => {
-            let node = node.lock();
-            Response::ok(encode_keys(&node.keys_in_range(lo, hi)))
-        }
+        Request::Keys { lo, hi } => Response::ok(encode_keys(&node.keys_in_range(lo, hi))),
         Request::RangeStats { lo, hi } => {
-            let node = node.lock();
-            Response::ok(encode_range_stats(
-                node.bytes_in_range(lo, hi),
-                node.count_in_range(lo, hi) as u64,
-            ))
+            let (bytes, records) = node.range_stats(lo, hi);
+            Response::ok(encode_range_stats(bytes, records))
         }
-        Request::Stats => {
-            let node = node.lock();
-            Response::ok(encode_stats(
-                node.used_bytes(),
-                node.record_count() as u64,
-                node.capacity_bytes(),
-            ))
-        }
+        Request::Stats => Response::ok(encode_stats(
+            node.used_bytes(),
+            node.record_count(),
+            node.capacity_bytes(),
+        )),
         Request::Ping => Response::status(Status::Ok),
         Request::ObsDump => {
             let snap = obs.snapshot();
@@ -292,15 +327,13 @@ fn op_hist_name(op: Option<Op>) -> &'static str {
 /// Store one record under the capacity rule shared by `Put` and
 /// `PutMany`: a replacement frees the old record's bytes, so only the
 /// byte *growth* counts against capacity; a growing replacement that no
-/// longer fits is refused like any other overflow.
-fn put_record(node: &mut CacheNode, key: u64, value: &[u8]) -> Status {
-    let size = value.len() as u64;
-    let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
-    if !node.fits(size.saturating_sub(old_size)) {
-        return Status::Overflow;
+/// longer fits is refused like any other overflow. The decoded `Bytes`
+/// value becomes the stored payload directly — no copy.
+fn put_record(node: &ShardedNode, key: u64, value: bytes::Bytes) -> Status {
+    match node.put(key, Record::from_bytes(value)) {
+        PutOutcome::Stored => Status::Ok,
+        PutOutcome::Overflow => Status::Overflow,
     }
-    node.insert(key, Record::from_vec(value.to_vec()));
-    Status::Ok
 }
 
 #[cfg(test)]
@@ -428,6 +461,53 @@ mod tests {
     }
 
     #[test]
+    fn connections_past_the_bound_get_a_busy_frame() {
+        use crate::protocol::read_frame;
+
+        let mut server = CacheServer::spawn_bounded(("127.0.0.1", 0), 10_000, 16, 2).unwrap();
+        let mut a = RemoteNode::connect(server.addr()).unwrap();
+        let mut b = RemoteNode::connect(server.addr()).unwrap();
+        assert!(a.ping().unwrap());
+        assert!(b.ping().unwrap());
+
+        // Third connection: one Busy frame, then EOF.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let frame = read_frame(&mut raw).unwrap();
+        assert_eq!(Status::from_u8(frame[0]), Some(Status::Busy));
+        assert_eq!(frame.len(), 1);
+        assert_eq!(
+            read_frame(&mut raw).map_err(|e| e.kind()).err(),
+            Some(io::ErrorKind::UnexpectedEof)
+        );
+
+        assert_eq!(server.connections_accepted(), 2);
+        assert_eq!(server.connections_refused(), 1);
+
+        // Admitted connections are unaffected, and closing one frees the
+        // slot for a new client.
+        assert!(a.ping().unwrap());
+        drop(b);
+        let admitted = (0..50).find_map(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let mut c = RemoteNode::connect(server.addr()).ok()?;
+            c.ping().ok()
+        });
+        assert_eq!(admitted, Some(true), "freed slot must admit a new client");
+        server.stop();
+    }
+
+    #[test]
+    fn client_maps_busy_to_connection_refused() {
+        let mut server = CacheServer::spawn_bounded(("127.0.0.1", 0), 10_000, 16, 1).unwrap();
+        let mut a = RemoteNode::connect(server.addr()).unwrap();
+        assert!(a.ping().unwrap());
+        let mut b = RemoteNode::connect(server.addr()).unwrap();
+        let err = b.ping().expect_err("refused connection must error");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        server.stop();
+    }
+
+    #[test]
     fn obs_dump_reports_per_op_latency_and_frame_events() {
         let mut server = CacheServer::spawn(10_000, 16).unwrap();
         let mut client = RemoteNode::connect(server.addr()).unwrap();
@@ -437,6 +517,13 @@ mod tests {
         let snap = client.obs_dump().unwrap();
         assert_eq!(snap.hist("server_op_us:put").map(|h| h.count()), Some(1));
         assert_eq!(snap.hist("server_op_us:get").map(|h| h.count()), Some(2));
+        // The sharded node records its lock waits into the same registry.
+        assert!(
+            snap.hist("lock_wait_us:stripe")
+                .map(|h| h.count())
+                .unwrap_or(0)
+                > 0
+        );
         let counts = snap.event_counts();
         // Rx events for put + 2 gets + the dump itself; Tx lags by the
         // in-flight dump response.

@@ -20,6 +20,15 @@
 //! * **no-print** — `println!` / `eprintln!` are forbidden in library code
 //!   (`crates/*/src`, binaries exempt); libraries return data and leave
 //!   console output to the `src/bin` / `src/main.rs` entry points.
+//! * **no-std-mutex** — `std::sync::Mutex` / `std::sync::RwLock` are
+//!   forbidden in `ecc-core` and `ecc-net`: the data path standardizes on
+//!   `parking_lot` (no poisoning, so lock acquisition can't force panic
+//!   paths into panic-free crates) and on atomics for counters.
+//! * **no-payload-copy** — `.to_vec()` / `Bytes::copy_from_slice` are
+//!   forbidden in the data-path hot files (server, shard, node, record,
+//!   lru): record payloads are refcounted `Bytes`; cloning there must be
+//!   a refcount bump, never a memcpy. Client/protocol decode paths that
+//!   legitimately materialize owned data are not in the hot set.
 //!
 //! A finding can be waived for one line with a trailing
 //! `// xtask: allow(<rule>)` comment stating the reason.
@@ -46,6 +55,19 @@ const WALLCLOCK_EXEMPT_FILES: &[&str] = &["crates/net/src/loadgen.rs"];
 /// Name suffixes of result-bearing types that must be `#[must_use]`.
 const MUST_USE_SUFFIXES: &[&str] = &["Receipt", "Report", "Metrics", "Stats", "Billing"];
 
+/// Crates whose library code must not use `std::sync` locks.
+const STD_MUTEX_FREE_CRATES: &[&str] = &["core", "net"];
+
+/// Data-path hot files where payload memcpys are forbidden: every payload
+/// hand-off here must be a refcounted `Bytes` clone.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/net/src/server.rs",
+    "crates/core/src/shard.rs",
+    "crates/core/src/node.rs",
+    "crates/core/src/record.rs",
+    "crates/core/src/lru.rs",
+];
+
 /// One lint rule; `Display` gives its diagnostic slug.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -60,6 +82,13 @@ pub enum Rule {
     /// `println!` / `eprintln!` in library code (diagnostics belong to
     /// binaries or structured reports, not stdout side effects).
     NoPrint,
+    /// `std::sync::Mutex` / `std::sync::RwLock` in the data-path crates
+    /// (poisoning forces panic paths; the repo standardizes on
+    /// `parking_lot`).
+    NoStdMutex,
+    /// Payload memcpy (`.to_vec()` / `Bytes::copy_from_slice`) in a
+    /// data-path hot file where clones must be refcount bumps.
+    NoPayloadCopy,
 }
 
 impl Rule {
@@ -71,6 +100,8 @@ impl Rule {
             Rule::DenyUnsafe => "deny-unsafe",
             Rule::MustUse => "must-use",
             Rule::NoPrint => "no-print",
+            Rule::NoStdMutex => "no-std-mutex",
+            Rule::NoPayloadCopy => "no-payload-copy",
         }
     }
 }
@@ -117,6 +148,10 @@ pub struct Policy {
     pub deny_unsafe: bool,
     /// Forbid `println!` / `eprintln!` (library code; binaries exempt).
     pub prints: bool,
+    /// Forbid `std::sync::Mutex` / `std::sync::RwLock` (data-path crates).
+    pub std_mutex: bool,
+    /// Forbid payload memcpys (data-path hot files).
+    pub payload_copy: bool,
 }
 
 /// Decide the policy for a workspace-relative path such as
@@ -146,6 +181,8 @@ pub fn policy_for(rel_path: &str) -> Option<Policy> {
         must_use: PANIC_FREE_CRATES.contains(&krate),
         deny_unsafe: is_lib_root,
         prints: !is_bin,
+        std_mutex: STD_MUTEX_FREE_CRATES.contains(&krate) && !is_bin,
+        payload_copy: HOT_PATH_FILES.contains(&rel.as_str()),
     })
 }
 
@@ -472,6 +509,39 @@ pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
             }
         }
 
+        if policy.std_mutex && !allowed(Rule::NoStdMutex) {
+            for pat in ["std::sync::Mutex", "std::sync::RwLock"] {
+                if stripped_line.contains(pat) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::NoStdMutex,
+                        message: format!(
+                            "`{pat}` in a data-path crate — use `parking_lot` (no lock \
+                             poisoning, so acquisition can't force a panic path) or atomics"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if policy.payload_copy && !allowed(Rule::NoPayloadCopy) {
+            for pat in [".to_vec()", "Bytes::copy_from_slice"] {
+                if stripped_line.contains(pat) {
+                    findings.push(Finding {
+                        file: rel_path.to_string(),
+                        line: line_no,
+                        rule: Rule::NoPayloadCopy,
+                        message: format!(
+                            "`{pat}` in a data-path hot file — payloads are refcounted \
+                             `Bytes`; clone the handle (`Record::bytes()`) instead of \
+                             copying the bytes"
+                        ),
+                    });
+                }
+            }
+        }
+
         if policy.must_use && !allowed(Rule::MustUse) {
             if let Some(name) = pub_type_name(stripped_line) {
                 if MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s))
@@ -588,6 +658,8 @@ mod tests {
         must_use: true,
         deny_unsafe: false,
         prints: true,
+        std_mutex: false,
+        payload_copy: false,
     };
 
     #[test]
@@ -705,6 +777,40 @@ mod tests {
     }
 
     #[test]
+    fn std_sync_locks_are_flagged_in_data_path_crates() {
+        let policy = Policy {
+            std_mutex: true,
+            ..LIB_POLICY
+        };
+        let src = "use std::sync::Mutex;\nfn f() {\n    let _l: std::sync::RwLock<()> = Default::default();\n}\n";
+        let f = scan_source("crates/net/src/x.rs", src, policy);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::NoStdMutex));
+        // Atomics and parking_lot stay legal.
+        let ok = "use std::sync::atomic::AtomicU64;\nuse parking_lot::RwLock;\n";
+        assert!(scan_source("crates/net/src/x.rs", ok, policy).is_empty());
+        // A waiver works.
+        let waived = "use std::sync::Mutex; // xtask: allow(no-std-mutex) — FFI boundary\n";
+        assert!(scan_source("crates/net/src/x.rs", waived, policy).is_empty());
+    }
+
+    #[test]
+    fn payload_copies_are_flagged_in_hot_files() {
+        let policy = Policy {
+            payload_copy: true,
+            ..LIB_POLICY
+        };
+        let src = "fn f(r: &Record) -> Vec<u8> {\n    let b = Bytes::copy_from_slice(r.as_slice());\n    r.as_slice().to_vec()\n}\n";
+        let f = scan_source("crates/net/src/server.rs", src, policy);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.rule == Rule::NoPayloadCopy));
+        // The refcount-bump path is legal; test modules are exempt.
+        let ok = "fn f(r: &Record) -> Bytes { r.bytes() }\n\
+                  #[cfg(test)]\nmod tests {\n    fn t() { let _ = b\"x\".to_vec(); }\n}\n";
+        assert!(scan_source("crates/net/src/server.rs", ok, policy).is_empty());
+    }
+
+    #[test]
     fn policies_match_the_repo_layout() {
         // Library code of the four protected crates: full checks.
         let p = policy_for("crates/core/src/elastic.rs").unwrap();
@@ -734,6 +840,26 @@ mod tests {
                 .unwrap()
                 .wallclock
         );
+        // Data-path crates ban std::sync locks; measurement crates don't.
+        assert!(policy_for("crates/core/src/shard.rs").unwrap().std_mutex);
+        assert!(policy_for("crates/net/src/server.rs").unwrap().std_mutex);
+        assert!(!policy_for("crates/bench/src/perf.rs").unwrap().std_mutex);
+        assert!(
+            !policy_for("crates/net/src/bin/cache_server.rs")
+                .unwrap()
+                .std_mutex
+        );
+        // Payload copies are banned exactly in the hot files.
+        assert!(policy_for("crates/net/src/server.rs").unwrap().payload_copy);
+        assert!(policy_for("crates/core/src/shard.rs").unwrap().payload_copy);
+        assert!(policy_for("crates/core/src/lru.rs").unwrap().payload_copy);
+        assert!(
+            !policy_for("crates/net/src/protocol.rs")
+                .unwrap()
+                .payload_copy,
+            "client-side decode legitimately materializes owned data"
+        );
+        assert!(!policy_for("crates/net/src/client.rs").unwrap().payload_copy);
         // Non-source files are ignored.
         assert!(policy_for("crates/core/Cargo.toml").is_none());
         assert!(policy_for("README.md").is_none());

@@ -133,6 +133,21 @@ fn bench(args: &[String]) -> ExitCode {
             "wire_evict_batched",
             "wire_evict_sequential",
         ),
+        (
+            "node GET @1 worker (sharded vs mutex)",
+            "node_get_sharded_w1",
+            "node_get_mutex_w1",
+        ),
+        (
+            "node GET @4 workers (sharded vs mutex)",
+            "node_get_sharded_w4",
+            "node_get_mutex_w4",
+        ),
+        (
+            "node GET @8 workers (sharded vs mutex)",
+            "node_get_sharded_w8",
+            "node_get_mutex_w8",
+        ),
     ] {
         if let Some(s) = speedup(&results, fast, slow) {
             println!("speedup: {label}: {s:.1}x");
