@@ -48,6 +48,7 @@ mod adaptive;
 mod config;
 mod elastic;
 mod error;
+pub mod lockorder;
 mod lru;
 mod metrics;
 mod node;
@@ -61,6 +62,7 @@ pub use adaptive::{AdaptiveWindowConfig, WindowController};
 pub use config::{CacheConfig, WindowConfig};
 pub use elastic::{CacheAuditError, ElasticCache, FailureReport, NodeId};
 pub use error::CacheError;
+pub use lockorder::{LockClass, LockOrderViolation, LockToken};
 pub use lru::Lru;
 pub use metrics::{Metrics, NodeCounters, NodeOpStats};
 pub use node::CacheNode;

@@ -1,0 +1,260 @@
+//! Debug-build runtime lock-order auditor for the `ShardedNode` lock
+//! hierarchy.
+//!
+//! The hierarchy (DESIGN.md §13, enforced statically by
+//! `cargo xtask analyze`) is:
+//!
+//! 1. [`LockClass::Structural`] — the node-wide order point — is acquired
+//!    first or not at all;
+//! 2. [`LockClass::Stripe`]`(i)` locks are acquired in strictly ascending
+//!    index order, and never before `Structural` on the same thread.
+//!
+//! The static pass proves the discipline for the textual idioms it can
+//! see; this module closes the gap at runtime for everything else (new
+//! call paths, refactors, the future reactor's worker threads). Each
+//! thread keeps a thread-local stack of held lock classes; acquiring a
+//! class whose rank is not strictly above every held class yields a typed
+//! [`LockOrderViolation`] — and [`acquire`] panics on it under
+//! `cfg(debug_assertions)`.
+//!
+//! **Release builds compile the auditor out completely**: the thread-local
+//! is absent, [`LockToken`] is a zero-sized type with an empty `Drop`, and
+//! every function body reduces to a constant. The bench-smoke envelope
+//! check (`cargo xtask bench --smoke --check-envelope`) guards against the
+//! auditor ever leaking into the release hot path.
+
+use std::fmt;
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+
+/// A lock's place in the `ShardedNode` hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockClass {
+    /// The node-wide structural `RwLock` — always first.
+    Structural,
+    /// The stripe lock with this index — after `Structural`, ascending.
+    Stripe(usize),
+}
+
+impl LockClass {
+    /// Total order of the hierarchy: `Structural` below every stripe,
+    /// stripes by index. An acquisition is legal iff its rank is strictly
+    /// above every rank already held by the thread (equality would be a
+    /// recursive acquisition, which deadlocks once a writer queues).
+    fn rank(self) -> (u8, usize) {
+        match self {
+            LockClass::Structural => (0, 0),
+            LockClass::Stripe(i) => (1, i),
+        }
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockClass::Structural => f.write_str("structural"),
+            LockClass::Stripe(i) => write!(f, "stripe[{i}]"),
+        }
+    }
+}
+
+/// A lock-hierarchy inversion detected by the auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockOrderViolation {
+    /// Lock classes the thread already held, in acquisition order.
+    pub held: Vec<LockClass>,
+    /// The class whose acquisition violated the hierarchy.
+    pub acquiring: LockClass,
+}
+
+impl fmt::Display for LockOrderViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acquiring {} while holding [", self.acquiring)?;
+        for (i, c) in self.held.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        f.write_str("] — the order is structural → stripes ascending")
+    }
+}
+
+impl std::error::Error for LockOrderViolation {}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Lock classes held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII witness of one audited acquisition: dropping it pops the class
+/// from the thread's held stack. Zero-sized (and `Drop` is empty) in
+/// release builds.
+#[must_use]
+#[derive(Debug)]
+pub struct LockToken {
+    #[cfg(debug_assertions)]
+    class: Option<LockClass>,
+}
+
+impl Drop for LockToken {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        if let Some(class) = self.class.take() {
+            HELD.with(|h| {
+                let mut held = h.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&c| c == class) {
+                    held.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// True when the auditor is active (debug builds only).
+#[inline]
+pub const fn is_enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+/// Record the acquisition of `class`, returning a typed violation if it
+/// breaks the hierarchy. In release builds this always succeeds and does
+/// nothing.
+#[inline]
+pub fn try_acquire(class: LockClass) -> Result<LockToken, LockOrderViolation> {
+    #[cfg(debug_assertions)]
+    {
+        let conflict = HELD.with(|h| {
+            let held = h.borrow();
+            if held.iter().any(|c| c.rank() >= class.rank()) {
+                Some(held.clone())
+            } else {
+                None
+            }
+        });
+        if let Some(held) = conflict {
+            return Err(LockOrderViolation {
+                held,
+                acquiring: class,
+            });
+        }
+        HELD.with(|h| h.borrow_mut().push(class));
+        Ok(LockToken { class: Some(class) })
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = class;
+        Ok(LockToken {})
+    }
+}
+
+/// Record the acquisition of `class`; panics on a hierarchy violation in
+/// debug builds (compiled out in release). Call immediately *before* the
+/// real lock call so the deadlock is reported instead of hit.
+#[inline]
+pub fn acquire(class: LockClass) -> LockToken {
+    match try_acquire(class) {
+        Ok(token) => token,
+        Err(v) => {
+            // Release builds cannot reach this arm: try_acquire is
+            // infallible there.
+            panic!("lock-order violation: {v}") // xtask: allow(no-panic) — debug-build auditor fails fast by design
+        }
+    }
+}
+
+/// Lock classes currently held by this thread (empty in release builds).
+pub fn held() -> Vec<LockClass> {
+    #[cfg(debug_assertions)]
+    {
+        HELD.with(|h| h.borrow().clone())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        Vec::new()
+    }
+}
+
+/// Assert the thread holds no audited locks — request boundaries in the
+/// server and fan-out joins in the coordinator are quiescent points; a
+/// guard surviving one is a leak. No-op in release builds.
+#[inline]
+pub fn assert_quiescent() {
+    #[cfg(debug_assertions)]
+    {
+        let leaked = held();
+        if !leaked.is_empty() {
+            panic!("lock guard(s) leaked across a quiescent point: {leaked:?}") // xtask: allow(no-panic) — debug-build auditor fails fast by design
+        }
+    }
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_order_is_accepted() {
+        let s = try_acquire(LockClass::Structural).expect("structural first");
+        let a = try_acquire(LockClass::Stripe(0)).expect("stripe after structural");
+        let b = try_acquire(LockClass::Stripe(3)).expect("ascending stripes");
+        assert_eq!(
+            held(),
+            vec![
+                LockClass::Structural,
+                LockClass::Stripe(0),
+                LockClass::Stripe(3)
+            ]
+        );
+        drop(b);
+        drop(a);
+        drop(s);
+        assert_quiescent();
+    }
+
+    #[test]
+    fn inversion_yields_a_typed_violation() {
+        // The seeded bug of the ISSUE-6 regression pair: a stripe guard
+        // held, then `structural` — the same shape as the
+        // `bad_lock_inversion.rs` fixture the static pass must flag.
+        let stripe = try_acquire(LockClass::Stripe(1)).expect("stripe alone is fine");
+        let err = try_acquire(LockClass::Structural).expect_err("inversion must be caught");
+        assert_eq!(err.acquiring, LockClass::Structural);
+        assert_eq!(err.held, vec![LockClass::Stripe(1)]);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("structural") && msg.contains("stripe[1]"),
+            "{msg}"
+        );
+        drop(stripe);
+        assert_quiescent();
+    }
+
+    #[test]
+    fn descending_and_recursive_stripes_are_violations() {
+        let hi = try_acquire(LockClass::Stripe(5)).expect("first stripe");
+        assert!(try_acquire(LockClass::Stripe(3)).is_err(), "descending");
+        assert!(try_acquire(LockClass::Stripe(5)).is_err(), "recursive");
+        assert!(try_acquire(LockClass::Stripe(6)).is_ok(), "ascending");
+        drop(hi);
+    }
+
+    #[test]
+    fn acquire_panics_on_inversion() {
+        let _structural_after = try_acquire(LockClass::Stripe(0)).expect("stripe");
+        let result = std::panic::catch_unwind(|| acquire(LockClass::Structural));
+        assert!(result.is_err(), "acquire must panic on inversion in debug");
+    }
+
+    #[test]
+    fn tokens_pop_out_of_order_safely() {
+        let s = try_acquire(LockClass::Structural).expect("structural");
+        let a = try_acquire(LockClass::Stripe(0)).expect("stripe 0");
+        drop(s); // dropped before the stripe token — still accounted
+        assert_eq!(held(), vec![LockClass::Stripe(0)]);
+        drop(a);
+        assert_quiescent();
+    }
+}

@@ -30,6 +30,7 @@ use ecc_bptree::BPlusTree;
 use ecc_obs::ObsRegistry;
 use parking_lot::RwLock;
 
+use crate::lockorder::{self, LockClass};
 use crate::metrics::NodeCounters;
 use crate::record::Record;
 
@@ -207,10 +208,13 @@ impl ShardedNode {
     /// read lock — concurrent GETs never exclude each other.
     pub fn get(&self, key: u64) -> Option<Record> {
         let t0 = self.wait_start();
+        let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
         self.note_wait("lock_wait_us:structural", t0);
         let t1 = self.wait_start();
-        let stripe = self.stripes[stripe_of(key, self.mask)].read();
+        let idx = stripe_of(key, self.mask);
+        let _order_t = lockorder::acquire(LockClass::Stripe(idx));
+        let stripe = self.stripes[idx].read();
         self.note_wait("lock_wait_us:stripe", t1);
         let found = stripe.get(&key).cloned();
         self.counters.note_get(found.is_some());
@@ -225,10 +229,13 @@ impl ShardedNode {
     /// overshoot the capacity.
     pub fn put(&self, key: u64, record: Record) -> PutOutcome {
         let t0 = self.wait_start();
+        let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
         self.note_wait("lock_wait_us:structural", t0);
         let t1 = self.wait_start();
-        let mut stripe = self.stripes[stripe_of(key, self.mask)].write();
+        let idx = stripe_of(key, self.mask);
+        let _order_t = lockorder::acquire(LockClass::Stripe(idx));
+        let mut stripe = self.stripes[idx].write();
         self.note_wait("lock_wait_us:stripe", t1);
 
         let new_len = record.len() as u64;
@@ -262,10 +269,13 @@ impl ShardedNode {
     /// Remove a record; returns it (payload shared, not copied).
     pub fn remove(&self, key: u64) -> Option<Record> {
         let t0 = self.wait_start();
+        let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
         self.note_wait("lock_wait_us:structural", t0);
         let t1 = self.wait_start();
-        let mut stripe = self.stripes[stripe_of(key, self.mask)].write();
+        let idx = stripe_of(key, self.mask);
+        let _order_t = lockorder::acquire(LockClass::Stripe(idx));
+        let mut stripe = self.stripes[idx].write();
         self.note_wait("lock_wait_us:stripe", t1);
         let removed = stripe.remove(&key);
         if let Some(rec) = &removed {
@@ -280,6 +290,7 @@ impl ShardedNode {
     /// (they hold `structural.read`) for the duration.
     fn with_structural<T>(&self, f: impl FnOnce() -> T) -> T {
         let t0 = self.wait_start();
+        let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.write();
         self.note_wait("lock_wait_us:structural", t0);
         f()
@@ -290,7 +301,8 @@ impl ShardedNode {
     pub fn drain_range(&self, lo: u64, hi: u64) -> Vec<(u64, Record)> {
         self.with_structural(|| {
             let mut out: Vec<(u64, Record)> = Vec::new();
-            for stripe in self.stripes.iter() {
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 out.extend(stripe.write().drain_range(&lo, &hi));
             }
             let (bytes, records) = out
@@ -308,7 +320,8 @@ impl ShardedNode {
     pub fn keys_in_range(&self, lo: u64, hi: u64) -> Vec<u64> {
         self.with_structural(|| {
             let mut keys: Vec<u64> = Vec::new();
-            for stripe in self.stripes.iter() {
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 keys.extend(stripe.read().keys_in_range(lo..=hi));
             }
             keys.sort_unstable();
@@ -322,7 +335,8 @@ impl ShardedNode {
         self.with_structural(|| {
             let mut bytes = 0u64;
             let mut records = 0u64;
-            for stripe in self.stripes.iter() {
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 let tree = stripe.read();
                 for (_, r) in tree.range(lo..=hi) {
                     bytes += r.len() as u64;
@@ -340,7 +354,8 @@ impl ShardedNode {
         self.with_structural(|| {
             let mut bytes = 0u64;
             let mut records = 0u64;
-            for stripe in self.stripes.iter() {
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 let tree = stripe.read();
                 bytes += tree.bytes();
                 records += tree.len() as u64;
@@ -373,7 +388,8 @@ impl ShardedNode {
     /// violation like `CacheNode::validate`).
     pub fn validate(&self) {
         self.with_structural(|| {
-            for stripe in self.stripes.iter() {
+            for (i, stripe) in self.stripes.iter().enumerate() {
+                let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 stripe.read().validate();
             }
         });

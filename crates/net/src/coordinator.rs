@@ -186,6 +186,9 @@ impl LiveCoordinator {
             }
             Ok(())
         })?;
+        // Fan-out joins are quiescent points: no worker may leak a node
+        // lock guard past its join. Debug-build check, no-op in release.
+        ecc_core::lockorder::assert_quiescent();
         self.obs.record("coord_fanout_us", self.obs.now_us() - t0);
         Ok(out)
     }

@@ -98,7 +98,10 @@ impl CacheServer {
             .name(format!("ecc-server-{}", addr.port()))
             .spawn(move || {
                 for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::SeqCst) {
+                    // Acquire pairs with the Release/AcqRel writers of the
+                    // shutdown flag; the accept loop only needs to observe
+                    // the flag and everything published before it was set.
+                    if accept_shutdown.load(Ordering::Acquire) {
                         break;
                     }
                     let Ok(mut stream) = conn else { continue };
@@ -165,7 +168,10 @@ impl CacheServer {
 
     /// Stop accepting and join the accept thread. Idempotent.
     pub fn stop(&mut self) {
-        if self.shutdown.swap(true, Ordering::SeqCst) {
+        // AcqRel: the swap both publishes the stop (Release, seen by the
+        // accept loop's Acquire load) and observes a concurrent stop()
+        // (Acquire), making the join-once idempotence race-free.
+        if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         // Unblock the accept loop.
@@ -214,6 +220,11 @@ fn serve_connection(
             }
             None => (Response::status(Status::BadRequest), false),
         };
+        // Request boundary: every `handle()` must return with all
+        // ShardedNode guards released — a guard surviving to the frame
+        // write would block every other connection on that stripe.
+        // Debug-build check, compiled out in release.
+        ecc_core::lockorder::assert_quiescent();
         let dt = obs.now_us() - t0;
         obs.record(op_hist_name(Op::from_u8(op_byte)), dt);
         write_frame_buffered(&mut stream, &mut wbuf, |b| resp.encode_into(b))?;
@@ -297,7 +308,9 @@ fn handle(req: Request, node: &ShardedNode, shutdown: &AtomicBool, obs: &ObsRegi
             Response::ok(bytes::Bytes::from(encode_dump(&snap)))
         }
         Request::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
+            // Release pairs with the accept loop's Acquire load; no
+            // total order with unrelated atomics is needed.
+            shutdown.store(true, Ordering::Release);
             Response::status(Status::Ok)
         }
     }

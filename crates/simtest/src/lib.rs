@@ -23,6 +23,7 @@
 pub mod elastic_sim;
 pub mod event;
 pub mod gen;
+pub mod interleave;
 pub mod live_sim;
 pub mod model;
 pub mod proto_sim;
@@ -32,5 +33,9 @@ pub mod static_sim;
 
 pub use event::{Family, Fault, Schedule, SimConfig, SimEvent, WireOp, SIMSEED_VERSION};
 pub use gen::generate;
+pub use interleave::{
+    explore_admission, explore_node_ops, is_seeded_bug, run_interleave, AdmissionImpl,
+    AdmissionModel, ExploreConfig, ExploreReport, ModelOp, ScheduleFailure,
+};
 pub use runner::{check_seed, run_schedule, QuietPanics, SeedOutcome, SimFailure};
-pub use shrink::shrink;
+pub use shrink::{shrink, shrink_items};

@@ -9,29 +9,32 @@
 
 use crate::event::Schedule;
 
-/// Shrink `orig` with at most `max_runs` candidate executions.
-/// `still_fails` must return `true` when a candidate schedule reproduces
-/// the failure.
-pub fn shrink(
-    orig: &Schedule,
-    mut still_fails: impl FnMut(&Schedule) -> bool,
+/// Shrink an arbitrary item list with at most `max_runs` candidate
+/// executions. `still_fails` must return `true` when a candidate list
+/// reproduces the failure. Greedy chunk-halving, identical to [`shrink`]
+/// but usable for any sequence — the interleaving explorer shrinks
+/// thread-choice schedules with it.
+pub fn shrink_items<T: Clone>(
+    orig: &[T],
+    mut still_fails: impl FnMut(&[T]) -> bool,
     max_runs: usize,
-) -> Schedule {
-    let mut current = orig.clone();
+) -> Vec<T> {
+    let mut current: Vec<T> = orig.to_vec();
     let mut runs = 0usize;
-    let mut chunk = (current.events.len() / 2).max(1);
+    let mut chunk = (current.len() / 2).max(1);
     loop {
         let mut progress = false;
         let mut start = 0usize;
-        while start < current.events.len() {
+        while start < current.len() {
             if runs >= max_runs {
                 return current;
             }
-            let end = (start + chunk).min(current.events.len());
-            let keep: Vec<bool> = (0..current.events.len())
-                .map(|i| i < start || i >= end)
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(current[end..].iter())
+                .cloned()
                 .collect();
-            let candidate = current.subset(&keep);
             runs += 1;
             if still_fails(&candidate) {
                 current = candidate;
@@ -46,6 +49,34 @@ pub fn shrink(
         } else if !progress {
             return current;
         }
+    }
+}
+
+/// Shrink `orig` with at most `max_runs` candidate executions.
+/// `still_fails` must return `true` when a candidate schedule reproduces
+/// the failure.
+pub fn shrink(
+    orig: &Schedule,
+    mut still_fails: impl FnMut(&Schedule) -> bool,
+    max_runs: usize,
+) -> Schedule {
+    let template = orig.clone();
+    let events = shrink_items(
+        &orig.events,
+        |candidate| {
+            let sched = Schedule {
+                family: template.family,
+                cfg: template.cfg.clone(),
+                events: candidate.to_vec(),
+            };
+            still_fails(&sched)
+        },
+        max_runs,
+    );
+    Schedule {
+        family: template.family,
+        cfg: template.cfg,
+        events,
     }
 }
 

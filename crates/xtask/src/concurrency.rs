@@ -1,0 +1,821 @@
+//! Concurrency-soundness passes built on the token-level lexer.
+//!
+//! PR 5 gave `ShardedNode` a documented lock hierarchy (`structural`
+//! before any stripe lock; stripe locks in ascending index order) and a
+//! lock-free accounting scheme — but nothing *enforced* the discipline.
+//! These passes check it at lint time, before the event-driven reactor
+//! multiplies the thread count:
+//!
+//! * **lock-order** / **stripe-order** — within any function of
+//!   `crates/core` / `crates/net`, `structural` must never be acquired
+//!   while a stripe guard is live, and stripe locks must be taken in
+//!   ascending index order (descending iterations over the stripe array
+//!   are flagged at the acquisition site).
+//! * **seqcst-justify** — every `Ordering::SeqCst` must carry a
+//!   `// seqcst:` justification comment on its own or the preceding
+//!   line; everything else should be `Acquire`/`Release`/`AcqRel`.
+//! * **mixed-ordering** — one atomic field accessed with `Relaxed` in
+//!   one place and a synchronizing ordering elsewhere is a latent race:
+//!   either the field publishes data (every access synchronizes) or it
+//!   is a statistic (every access relaxed).
+//! * **guard-across-io** — on hot-path files, no lock guard may be live
+//!   across frame or socket I/O (`read_frame*` / `write_frame*` /
+//!   `.send(` / `.flush(` …): a guard held across a blocking syscall is
+//!   the pitfall that will kill the reactor (pelikan transcript, PR 5).
+//!
+//! The passes are heuristic but sound for the repo's idiom: guards are
+//! bound with single-line `let g = <lock>.read()/.write()/.lock();`
+//! statements and die at the end of their block (or at `drop(g)`). A
+//! finding can be waived per line with `// xtask: allow(<rule>)`.
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::{line_infos, Finding, Rule};
+
+/// Which concurrency passes apply to one source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcPolicy {
+    /// Enforce the structural-before-stripe lock hierarchy.
+    pub lock_order: bool,
+    /// Enforce the SeqCst-justification and mixed-ordering rules.
+    pub atomics: bool,
+    /// Forbid guards held across frame/socket I/O.
+    pub guard_io: bool,
+}
+
+/// Crates whose lock acquisitions must follow the ShardedNode hierarchy.
+const LOCK_ORDER_CRATES: &[&str] = &["core", "net"];
+
+/// Crates audited for atomic-ordering discipline (the data path plus the
+/// observability layer and the virtual clock).
+const ATOMIC_CRATES: &[&str] = &["core", "net", "obs", "cloudsim"];
+
+/// Files where a guard across blocking I/O is a hot-path bug.
+const GUARD_IO_FILES: &[&str] = &[
+    "crates/net/src/server.rs",
+    "crates/net/src/coordinator.rs",
+    "crates/net/src/client.rs",
+    "crates/core/src/shard.rs",
+];
+
+/// Frame/socket I/O markers for the guard-across-io pass.
+const IO_PATTERNS: &[&str] = &[
+    "read_frame",
+    "write_frame",
+    ".send(",
+    ".recv(",
+    ".write_all(",
+    ".read_exact(",
+    ".read_to_end(",
+    ".flush(",
+    "TcpStream::connect",
+];
+
+/// Atomic accessor methods whose argument lists carry `Ordering` values.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// The five atomic orderings (anything else after `Ordering::` — e.g.
+/// `std::cmp::Ordering::Less` — is ignored).
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Decide the concurrency policy for a workspace-relative path. Returns
+/// `None` for files outside `crates/*/src` and for binary entry points.
+pub fn conc_policy_for(rel_path: &str) -> Option<ConcPolicy> {
+    let rel = rel_path.replace('\\', "/");
+    let mut parts = rel.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    let krate = parts.next()?;
+    if parts.next() != Some("src") {
+        return None;
+    }
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/src/main.rs");
+    if is_bin {
+        return None;
+    }
+    Some(ConcPolicy {
+        lock_order: LOCK_ORDER_CRATES.contains(&krate),
+        atomics: ATOMIC_CRATES.contains(&krate),
+        guard_io: GUARD_IO_FILES.contains(&rel.as_str()),
+    })
+}
+
+/// Run every applicable concurrency pass over one file.
+pub fn analyze_source(rel_path: &str, src: &str, policy: ConcPolicy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = lexer::strip_via_lexer(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let infos = line_infos(&stripped_lines);
+    let in_test: Vec<bool> = infos.iter().map(|i| i.in_test).collect();
+    let depths: Vec<i64> = infos.iter().map(|i| i.depth).collect();
+
+    if policy.lock_order || policy.guard_io {
+        lock_passes(
+            rel_path,
+            &raw_lines,
+            &stripped_lines,
+            &in_test,
+            &depths,
+            policy,
+            &mut findings,
+        );
+    }
+    if policy.atomics {
+        atomic_pass(rel_path, src, &raw_lines, &in_test, &mut findings);
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Lock class of one acquisition site, as far as the text tells us.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LockSite {
+    /// The node-wide `structural` order point.
+    Structural,
+    /// A stripe lock; `Some(i)` when the index is a literal.
+    Stripe(Option<usize>),
+    /// Some other lock (`Mutex::lock` on an unknown receiver).
+    Other,
+}
+
+/// A live guard binding.
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    class: LockSite,
+    index: Option<usize>,
+    depth: i64,
+}
+
+/// A loop variable iterating over the stripe array.
+#[derive(Debug)]
+struct StripeIter {
+    name: String,
+    descending: bool,
+    depth: i64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lock_passes(
+    rel_path: &str,
+    raw_lines: &[&str],
+    stripped_lines: &[&str],
+    in_test: &[bool],
+    depths: &[i64],
+    policy: ConcPolicy,
+    findings: &mut Vec<Finding>,
+) {
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut iters: Vec<StripeIter> = Vec::new();
+
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        let depth = depths.get(idx).copied().unwrap_or(0);
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        let line_no = idx + 1;
+
+        // A guard (or registered stripe iterator) dies when control leaves
+        // the block it was bound in.
+        guards.retain(|g| depth >= g.depth);
+        iters.retain(|it| depth >= it.depth);
+
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+
+        // Explicit early release.
+        if let Some(pos) = line.find("drop(") {
+            let arg: String = line[pos + 5..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            guards.retain(|g| g.name != arg);
+        }
+
+        // Register stripe-iterating loop variables.
+        if let Some((vars, expr)) = parse_for_loop(line) {
+            if expr.contains("stripes") {
+                let descending = expr.contains(".rev()");
+                for v in vars {
+                    iters.push(StripeIter {
+                        name: v,
+                        descending,
+                        depth: depth + 1,
+                    });
+                }
+            }
+        }
+
+        let allowed = |rule: Rule| raw_line.contains(&format!("xtask: allow({})", rule.slug()));
+
+        // Guard-across-I/O: any live guard plus frame/socket I/O on the
+        // same line is a blocking call under a lock.
+        if policy.guard_io && !guards.is_empty() && !allowed(Rule::GuardAcrossIo) {
+            if let Some(pat) = IO_PATTERNS.iter().find(|p| line.contains(*p)) {
+                let held = guard_names(&guards);
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::GuardAcrossIo,
+                    message: format!(
+                        "`{pat}` I/O while lock guard(s) [{held}] are live — drop the guard \
+                         before blocking (a lock held across a syscall stalls every thread \
+                         behind it)"
+                    ),
+                });
+            }
+        }
+
+        // Acquisition sites on this line.
+        for acq in find_acquisitions(line) {
+            let class = classify(&acq.receiver, &iters);
+            let (class, descending) = class;
+
+            if policy.lock_order && !allowed(Rule::StripeOrder) && descending {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::StripeOrder,
+                    message: format!(
+                        "stripe lock acquired via `{}` inside a descending iteration over \
+                         the stripe array — stripe locks must be taken in ascending index \
+                         order",
+                        acq.receiver
+                    ),
+                });
+            }
+
+            if policy.lock_order && class != LockSite::Other {
+                check_order(rel_path, line_no, raw_line, class, &guards, findings);
+            }
+
+            // Terminal `let g = <lock>.read();` binds a live guard.
+            if acq.binds {
+                if let Some(name) = binding_name(line) {
+                    let index = match class {
+                        LockSite::Stripe(i) => i,
+                        _ => None,
+                    };
+                    guards.push(Guard {
+                        name,
+                        class,
+                        index,
+                        depth,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Comma-joined guard names for diagnostics.
+fn guard_names(guards: &[Guard]) -> String {
+    guards
+        .iter()
+        .map(|g| g.name.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Enforce the hierarchy at one acquisition site.
+fn check_order(
+    rel_path: &str,
+    line_no: usize,
+    raw_line: &str,
+    class: LockSite,
+    guards: &[Guard],
+    findings: &mut Vec<Finding>,
+) {
+    let allowed = |rule: Rule| raw_line.contains(&format!("xtask: allow({})", rule.slug()));
+    match class {
+        LockSite::Structural => {
+            if !allowed(Rule::LockOrder)
+                && guards
+                    .iter()
+                    .any(|g| matches!(g.class, LockSite::Structural | LockSite::Stripe(_)))
+            {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: line_no,
+                    rule: Rule::LockOrder,
+                    message: format!(
+                        "`structural` acquired while guard(s) [{}] are live — the hierarchy \
+                         is structural → stripe, never the reverse (deadlock with any \
+                         writer waiting behind the held guard)",
+                        guard_names(guards)
+                    ),
+                });
+            }
+        }
+        LockSite::Stripe(new_idx) => {
+            if allowed(Rule::StripeOrder) {
+                return;
+            }
+            for g in guards {
+                if let LockSite::Stripe(_) = g.class {
+                    let out_of_order = match (g.index, new_idx) {
+                        (Some(held), Some(new)) => new <= held,
+                        // A second stripe lock with statically unordered
+                        // indices cannot be proven ascending.
+                        _ => true,
+                    };
+                    if out_of_order {
+                        findings.push(Finding {
+                            file: rel_path.to_string(),
+                            line: line_no,
+                            rule: Rule::StripeOrder,
+                            message: format!(
+                                "stripe lock acquired while stripe guard `{}` is live and \
+                                 the index order cannot be proven ascending — acquire \
+                                 stripes in ascending index order only",
+                                g.name
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        LockSite::Other => {}
+    }
+}
+
+/// One `.read()` / `.write()` / `.lock()` call site on a line.
+struct Acquisition {
+    receiver: String,
+    /// True when the call terminates a `let` statement (`… .read();`),
+    /// i.e. the guard outlives the expression.
+    binds: bool,
+}
+
+/// Find lock-acquisition call sites (`.read()` / `.write()` / `.lock()`
+/// with an empty argument list, which distinguishes them from socket
+/// `.read(buf)` / `.write(buf)`).
+fn find_acquisitions(line: &str) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for method in [".read()", ".write()", ".lock()"] {
+        let mut start = 0;
+        while let Some(off) = line[start..].find(method) {
+            let pos = start + off;
+            let receiver = receiver_before(line, pos);
+            if !receiver.is_empty() {
+                let rest = line[pos + method.len()..].trim_start();
+                let binds = line.trim_start().starts_with("let ") && rest.starts_with(';');
+                out.push(Acquisition { receiver, binds });
+            }
+            start = pos + method.len();
+        }
+    }
+    out
+}
+
+/// Walk backwards from the `.` of a method call to extract the receiver
+/// expression (identifiers, paths, and bracketed index/call groups).
+fn receiver_before(line: &str, dot_pos: usize) -> String {
+    let b = line.as_bytes();
+    let mut j = dot_pos;
+    while j > 0 {
+        let c = b[j - 1] as char;
+        if c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == ':' {
+            j -= 1;
+            continue;
+        }
+        if c == ']' || c == ')' {
+            let (open, close) = if c == ']' { (b'[', b']') } else { (b'(', b')') };
+            let mut depth = 1i32;
+            j -= 1;
+            while j > 0 && depth > 0 {
+                let ch = b[j - 1];
+                if ch == close {
+                    depth += 1;
+                } else if ch == open {
+                    depth -= 1;
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    line[j..dot_pos].to_string()
+}
+
+/// Classify a receiver; the bool is "acquired inside a descending stripe
+/// iteration".
+fn classify(receiver: &str, iters: &[StripeIter]) -> (LockSite, bool) {
+    if receiver.contains("structural") {
+        return (LockSite::Structural, false);
+    }
+    if receiver.contains("stripes") {
+        return (LockSite::Stripe(literal_index(receiver)), false);
+    }
+    // A bare identifier bound by `for <var> in …stripes…`.
+    let base = receiver.split(['.', ':']).next().unwrap_or("");
+    if let Some(it) = iters.iter().find(|it| it.name == base) {
+        return (LockSite::Stripe(None), it.descending);
+    }
+    (LockSite::Other, false)
+}
+
+/// Extract a literal index from `…stripes[<n>]…`, if present.
+fn literal_index(receiver: &str) -> Option<usize> {
+    let pos = receiver.find("stripes[")?;
+    let inner = &receiver[pos + "stripes[".len()..];
+    let end = inner.find(']')?;
+    inner[..end].trim().parse().ok()
+}
+
+/// Parse `for <vars> in <expr>` into the loop variables and the iterated
+/// expression.
+fn parse_for_loop(line: &str) -> Option<(Vec<String>, String)> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("for ")?;
+    let in_pos = rest.find(" in ")?;
+    let vars: Vec<String> = rest[..in_pos]
+        .trim_matches(|c| c == '(' || c == ')' || c == ' ')
+        .split(',')
+        .map(|v| v.trim().trim_start_matches("mut ").to_string())
+        .filter(|v| !v.is_empty() && v != "_")
+        .collect();
+    let expr = rest[in_pos + 4..].to_string();
+    Some((vars, expr))
+}
+
+/// Extract `<name>` from a `let [mut] <name> = …;` line.
+fn binding_name(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let eq = rest.find('=')?;
+    let name = rest[..eq].trim().trim_start_matches("mut ").trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Token-level atomic-ordering audit: SeqCst justification and per-field
+/// mixed-ordering detection.
+fn atomic_pass(
+    rel_path: &str,
+    src: &str,
+    raw_lines: &[&str],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    // Significant tokens only, with their line numbers.
+    let toks: Vec<Token<'_>> = lexer::lex(src)
+        .into_iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment { .. }
+            )
+        })
+        .collect();
+
+    // Innermost pending atomic call: (field, paren depth at which its
+    // argument list closes).
+    let mut call_stack: Vec<(String, i32)> = Vec::new();
+    let mut paren_depth: i32 = 0;
+    // field -> (orderings seen, first line seen)
+    let mut fields: std::collections::BTreeMap<String, (Vec<&'static str>, usize)> =
+        std::collections::BTreeMap::new();
+
+    let is_test_line = |line: u32| in_test.get(line as usize - 1).copied().unwrap_or(false);
+    let line_allows = |line: u32, rule: Rule| {
+        raw_lines
+            .get(line as usize - 1)
+            .is_some_and(|l| l.contains(&format!("xtask: allow({})", rule.slug())))
+    };
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokenKind::Punct => match t.text {
+                "(" => paren_depth += 1,
+                ")" => {
+                    paren_depth -= 1;
+                    while call_stack
+                        .last()
+                        .is_some_and(|&(_, close_at)| paren_depth < close_at)
+                    {
+                        call_stack.pop();
+                    }
+                }
+                _ => {}
+            },
+            TokenKind::Ident => {
+                // `Ordering :: <X>` — attribute to the innermost call.
+                if t.text == "Ordering"
+                    && toks.get(i + 1).is_some_and(|p| p.text == ":")
+                    && toks.get(i + 2).is_some_and(|p| p.text == ":")
+                {
+                    if let Some(ord) = toks.get(i + 3) {
+                        if let Some(&known) = ORDERINGS.iter().find(|&&o| o == ord.text) {
+                            if !is_test_line(ord.line) {
+                                if known == "SeqCst"
+                                    && !seqcst_justified(raw_lines, ord.line)
+                                    && !line_allows(ord.line, Rule::SeqCstJustify)
+                                {
+                                    findings.push(Finding {
+                                        file: rel_path.to_string(),
+                                        line: ord.line as usize,
+                                        rule: Rule::SeqCstJustify,
+                                        message: "`Ordering::SeqCst` without a `// seqcst:` \
+                                                  justification — downgrade to Acquire/Release/\
+                                                  AcqRel or document why a total order is needed"
+                                            .into(),
+                                    });
+                                }
+                                if let Some((field, _)) = call_stack.last() {
+                                    let entry = fields
+                                        .entry(field.clone())
+                                        .or_insert_with(|| (Vec::new(), ord.line as usize));
+                                    if !entry.0.contains(&known) {
+                                        entry.0.push(known);
+                                    }
+                                }
+                            }
+                        }
+                        i += 4;
+                        continue;
+                    }
+                }
+                // `<recv> . <atomic_method> (` opens an atomic call.
+                if ATOMIC_METHODS.contains(&t.text)
+                    && toks.get(i + 1).is_some_and(|p| p.text == "(")
+                    && i >= 2
+                    && toks[i - 1].text == "."
+                {
+                    if let Some(field) = field_of(&toks, i - 1) {
+                        // The argument list closes when depth returns to
+                        // the current depth (the `(` is consumed next).
+                        call_stack.push((field, paren_depth + 1));
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    for (field, (orderings, first_line)) in &fields {
+        let relaxed = orderings.contains(&"Relaxed");
+        let syncing = orderings.iter().any(|&o| o != "Relaxed");
+        if relaxed && syncing && !line_allows(*first_line as u32, Rule::MixedOrdering) {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: *first_line,
+                rule: Rule::MixedOrdering,
+                message: format!(
+                    "atomic field `{field}` mixes Relaxed with synchronizing orderings \
+                     ({orderings:?}) — pick one contract: publish (Acquire/Release) or \
+                     statistic (Relaxed everywhere)"
+                ),
+            });
+        }
+    }
+}
+
+/// The field identifier a `.` at token index `dot_idx` selects — e.g.
+/// `self.used.load(..)` → `used`; `live.fetch_add(..)` → `live`;
+/// `self.0.fetch_sub(..)` → `0`.
+fn field_of(toks: &[Token<'_>], dot_idx: usize) -> Option<String> {
+    let prev = toks.get(dot_idx.checked_sub(1)?)?;
+    match prev.kind {
+        TokenKind::Ident | TokenKind::Num => Some(prev.text.to_string()),
+        _ => None,
+    }
+}
+
+/// A SeqCst use is justified by a `// seqcst:` comment on the same or the
+/// immediately preceding source line.
+fn seqcst_justified(raw_lines: &[&str], line: u32) -> bool {
+    let idx = line as usize - 1;
+    let same = raw_lines.get(idx).is_some_and(|l| l.contains("seqcst:"));
+    let above = idx > 0
+        && raw_lines
+            .get(idx - 1)
+            .is_some_and(|l| l.contains("seqcst:"));
+    same || above
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: ConcPolicy = ConcPolicy {
+        lock_order: true,
+        atomics: true,
+        guard_io: true,
+    };
+
+    fn rules(findings: &[Finding]) -> Vec<(usize, Rule)> {
+        findings.iter().map(|f| (f.line, f.rule)).collect()
+    }
+
+    #[test]
+    fn correct_hierarchy_is_clean() {
+        let src = "\
+fn get(&self, key: u64) -> Option<Record> {
+    let _structural = self.structural.read();
+    let stripe = self.stripes[stripe_of(key, self.mask)].read();
+    stripe.get(&key).cloned()
+}
+fn sweep(&self) {
+    let _structural = self.structural.write();
+    for (i, stripe) in self.stripes.iter().enumerate() {
+        let tree = stripe.read();
+        tree.validate();
+    }
+}
+";
+        assert!(analyze_source("crates/core/src/x.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn structural_after_stripe_is_an_inversion() {
+        let src = "\
+fn bad(&self) {
+    let stripe = self.stripes[0].read();
+    let _structural = self.structural.write();
+}
+";
+        let f = analyze_source("crates/core/src/x.rs", src, ALL);
+        assert_eq!(rules(&f), vec![(3, Rule::LockOrder)]);
+    }
+
+    #[test]
+    fn descending_stripe_indices_are_flagged() {
+        let src = "\
+fn bad(&self) {
+    let a = self.stripes[3].write();
+    let b = self.stripes[1].write();
+}
+fn also_bad(&self) {
+    for stripe in self.stripes.iter().rev() {
+        let t = stripe.read();
+    }
+}
+fn fine(&self) {
+    let a = self.stripes[1].write();
+    let b = self.stripes[3].write();
+}
+";
+        let f = analyze_source("crates/core/src/x.rs", src, ALL);
+        assert_eq!(
+            rules(&f),
+            vec![(3, Rule::StripeOrder), (7, Rule::StripeOrder)]
+        );
+    }
+
+    #[test]
+    fn guard_across_io_is_flagged_and_drop_releases() {
+        let src = "\
+fn bad(&self, stream: &mut TcpStream) {
+    let g = self.state.lock();
+    write_frame(stream, &g.buf);
+}
+fn good(&self, stream: &mut TcpStream) {
+    let g = self.state.lock();
+    let body = g.buf.clone();
+    drop(g);
+    write_frame(stream, &body);
+}
+";
+        let f = analyze_source("crates/net/src/server.rs", src, ALL);
+        assert_eq!(rules(&f), vec![(3, Rule::GuardAcrossIo)]);
+    }
+
+    #[test]
+    fn guard_dies_with_its_block() {
+        let src = "\
+fn ok(&self, stream: &mut TcpStream) {
+    {
+        let g = self.state.lock();
+        g.touch();
+    }
+    write_frame(stream, b\"x\");
+}
+";
+        assert!(analyze_source("crates/net/src/server.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn unjustified_seqcst_is_flagged_justified_is_not() {
+        let src = "\
+fn f(&self) {
+    self.flag.store(true, Ordering::SeqCst);
+    // seqcst: the flag orders against the epoch counter below.
+    self.flag2.store(true, Ordering::SeqCst);
+    self.n.fetch_add(1, Ordering::Relaxed);
+}
+";
+        let f = analyze_source("crates/core/src/x.rs", src, ALL);
+        assert_eq!(rules(&f), vec![(2, Rule::SeqCstJustify)]);
+    }
+
+    #[test]
+    fn mixed_ordering_on_one_field_is_flagged() {
+        let src = "\
+fn f(&self) {
+    self.used.store(1, Ordering::Relaxed);
+}
+fn g(&self) -> u64 {
+    self.used.load(Ordering::Acquire)
+}
+fn consistent(&self) -> u64 {
+    self.count.fetch_add(1, Ordering::AcqRel);
+    self.count.load(Ordering::Acquire)
+}
+";
+        let f = analyze_source("crates/core/src/x.rs", src, ALL);
+        assert_eq!(rules(&f), vec![(2, Rule::MixedOrdering)]);
+    }
+
+    #[test]
+    fn multiline_atomic_calls_attribute_orderings() {
+        // rustfmt wraps long receivers; the token walk must still see
+        // `used.fetch_update(AcqRel, Acquire, ..)` as one call.
+        let src = "\
+fn f(&self) {
+    let r = self
+        .used
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |u| {
+            u.checked_add(1)
+        });
+    self.used.load(Ordering::Acquire);
+}
+";
+        assert!(analyze_source("crates/core/src/x.rs", src, ALL).is_empty());
+        // …and a Relaxed load elsewhere on the same field is a mix.
+        let mixed = format!("{src}fn g(&self) -> u64 {{ self.used.load(Ordering::Relaxed) }}\n");
+        let f = analyze_source("crates/core/src/x.rs", &mixed, ALL);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::MixedOrdering);
+    }
+
+    #[test]
+    fn waivers_and_test_modules_are_respected() {
+        let src = "\
+fn f(&self) {
+    self.flag.store(true, Ordering::SeqCst); // xtask: allow(seqcst-justify) — cross-crate fence
+}
+#[cfg(test)]
+mod tests {
+    fn t(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        let stripe = self.stripes[0].read();
+        let _structural = self.structural.write();
+    }
+}
+";
+        assert!(analyze_source("crates/core/src/x.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn socket_read_write_with_args_are_not_lock_acquisitions() {
+        let src = "\
+fn f(stream: &mut TcpStream, buf: &mut [u8]) {
+    stream.read(buf).ok();
+    stream.write(buf).ok();
+}
+";
+        assert!(analyze_source("crates/net/src/server.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn policies_match_the_repo_layout() {
+        let p = conc_policy_for("crates/core/src/shard.rs").unwrap();
+        assert!(p.lock_order && p.atomics && p.guard_io);
+        let p = conc_policy_for("crates/net/src/server.rs").unwrap();
+        assert!(p.lock_order && p.atomics && p.guard_io);
+        let p = conc_policy_for("crates/net/src/protocol.rs").unwrap();
+        assert!(p.lock_order && p.atomics && !p.guard_io);
+        let p = conc_policy_for("crates/obs/src/registry.rs").unwrap();
+        assert!(!p.lock_order && p.atomics && !p.guard_io);
+        let p = conc_policy_for("crates/bptree/src/tree.rs").unwrap();
+        assert!(!p.lock_order && !p.atomics && !p.guard_io);
+        assert!(conc_policy_for("crates/net/src/bin/cache_server.rs").is_none());
+        assert!(conc_policy_for("README.md").is_none());
+    }
+}

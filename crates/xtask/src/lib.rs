@@ -37,6 +37,9 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod concurrency;
+pub mod lexer;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -89,6 +92,21 @@ pub enum Rule {
     /// Payload memcpy (`.to_vec()` / `Bytes::copy_from_slice`) in a
     /// data-path hot file where clones must be refcount bumps.
     NoPayloadCopy,
+    /// Lock-hierarchy inversion: `structural` acquired while a stripe (or
+    /// another structural) guard is live. See DESIGN.md §13.
+    LockOrder,
+    /// Stripe locks acquired out of ascending-index order (or inside a
+    /// descending iteration over the stripe array).
+    StripeOrder,
+    /// `Ordering::SeqCst` without a `// seqcst:` justification comment —
+    /// downgrade to `Acquire`/`Release`/`AcqRel` or justify the fence.
+    SeqCstJustify,
+    /// The same atomic field mixed `Relaxed` with synchronizing orderings
+    /// — one side of the pair is lying about what it synchronizes.
+    MixedOrdering,
+    /// A `MutexGuard`/`RwLock` guard held live across frame or socket
+    /// I/O on a hot-path file (the blocking-under-lock reactor killer).
+    GuardAcrossIo,
 }
 
 impl Rule {
@@ -102,6 +120,11 @@ impl Rule {
             Rule::NoPrint => "no-print",
             Rule::NoStdMutex => "no-std-mutex",
             Rule::NoPayloadCopy => "no-payload-copy",
+            Rule::LockOrder => "lock-order",
+            Rule::StripeOrder => "stripe-order",
+            Rule::SeqCstJustify => "seqcst-justify",
+            Rule::MixedOrdering => "mixed-ordering",
+            Rule::GuardAcrossIo => "guard-across-io",
         }
     }
 }
@@ -225,6 +248,16 @@ pub fn strip_comments_and_strings(src: &str) -> String {
                     state = State::Str;
                     out.push('"');
                 }
+                'r' | 'b'
+                    if i > 0
+                        && bytes
+                            .get(i - 1)
+                            .is_some_and(|p| p.is_alphanumeric() || *p == '_') =>
+                {
+                    // Mid-identifier `r`/`b` (`bar`, `0b1010`) never opens
+                    // a raw or byte string.
+                    out.push(c);
+                }
                 'r' | 'b' => {
                     // Possible raw string r"..", r#".."#, br".." etc.
                     let mut j = i + 1;
@@ -298,7 +331,9 @@ pub fn strip_comments_and_strings(src: &str) -> String {
                 '\\' => {
                     out.push(' ');
                     if next.is_some() {
-                        out.push(' ');
+                        // A `\<newline>` string continuation must keep its
+                        // newline, or every later line number shifts.
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
                         i += 2;
                         continue;
                     }
@@ -378,38 +413,35 @@ fn find_macro(line: &str, name: &str) -> bool {
     false
 }
 
-/// Scan one file's source text under `policy`; `rel_path` is used for
-/// diagnostics and must be workspace-relative.
-pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let stripped = strip_comments_and_strings(src);
-    let raw_lines: Vec<&str> = src.lines().collect();
-    let stripped_lines: Vec<&str> = stripped.lines().collect();
+/// Per-line view of one source file: the line's comment/string-stripped
+/// text (via the token-level lexer), whether it falls inside a
+/// `#[cfg(test)] mod`, and the brace depth at the start of the line.
+/// Shared by the substring rules and the concurrency passes.
+#[derive(Debug)]
+pub struct LineInfo {
+    /// 0-based index into the stripped line list.
+    pub idx: usize,
+    /// True when this line is inside a `#[cfg(test)]` module.
+    pub in_test: bool,
+    /// Brace depth at the *start* of the line.
+    pub depth: i64,
+}
 
-    if policy.deny_unsafe
-        && !src.contains("#![deny(unsafe_code)]")
-        && !src.contains("#![forbid(unsafe_code)]")
-    {
-        findings.push(Finding {
-            file: rel_path.to_string(),
-            line: 1,
-            rule: Rule::DenyUnsafe,
-            message: "crate root must carry `#![deny(unsafe_code)]`".into(),
-        });
-    }
-
-    // Track `#[cfg(test)] mod { .. }` regions via brace depth.
+/// Compute [`LineInfo`] for every stripped line: `#[cfg(test)] mod`
+/// regions tracked via brace depth, exactly as the lint rules skip them.
+pub fn line_infos(stripped_lines: &[&str]) -> Vec<LineInfo> {
+    let mut infos = Vec::with_capacity(stripped_lines.len());
     let mut depth: i64 = 0;
     let mut cfg_test_pending = false;
     let mut skip_above_depth: Option<i64> = None;
 
     for (idx, stripped_line) in stripped_lines.iter().enumerate() {
-        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
-        let line_no = idx + 1;
-
-        let in_test_code = skip_above_depth.is_some();
-        if !in_test_code {
-            if stripped_line.contains("#[cfg(test)]") {
+        let depth_at_start = depth;
+        if skip_above_depth.is_none() {
+            // `#[cfg(test)]` and compound forms like
+            // `#[cfg(all(test, debug_assertions))]` both gate test-only
+            // modules.
+            if stripped_line.contains("#[cfg(test)]") || stripped_line.contains("#[cfg(all(test") {
                 cfg_test_pending = true;
             } else if cfg_test_pending {
                 let t = stripped_line.trim_start();
@@ -423,7 +455,7 @@ pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
                 }
             }
         }
-        let in_test_code = skip_above_depth.is_some();
+        let in_test = skip_above_depth.is_some();
 
         for c in stripped_line.chars() {
             match c {
@@ -440,7 +472,42 @@ pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
             }
         }
 
-        if in_test_code {
+        infos.push(LineInfo {
+            idx,
+            in_test,
+            depth: depth_at_start,
+        });
+    }
+    infos
+}
+
+/// Scan one file's source text under `policy`; `rel_path` is used for
+/// diagnostics and must be workspace-relative.
+pub fn scan_source(rel_path: &str, src: &str, policy: Policy) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let stripped = lexer::strip_via_lexer(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+
+    if policy.deny_unsafe
+        && !src.contains("#![deny(unsafe_code)]")
+        && !src.contains("#![forbid(unsafe_code)]")
+    {
+        findings.push(Finding {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: Rule::DenyUnsafe,
+            message: "crate root must carry `#![deny(unsafe_code)]`".into(),
+        });
+    }
+
+    for info in line_infos(&stripped_lines) {
+        let idx = info.idx;
+        let stripped_line = stripped_lines[idx];
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        let line_no = idx + 1;
+
+        if info.in_test {
             continue;
         }
 
@@ -646,6 +713,87 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)>
         findings.extend(scan_source(&rel, &src, policy));
     }
     Ok((findings, scanned))
+}
+
+/// Run the concurrency-soundness passes (lock-order, stripe-order,
+/// seqcst-justify, mixed-ordering, guard-across-io) over a workspace root.
+pub fn run_concurrency(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let crates_dir = workspace_root.join("crates");
+    let mut files = Vec::new();
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            rs_files(&src, &mut files)?;
+        }
+    }
+
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path
+            .strip_prefix(workspace_root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Some(policy) = concurrency::conc_policy_for(&rel) else {
+            continue;
+        };
+        if !(policy.lock_order || policy.atomics || policy.guard_io) {
+            continue;
+        }
+        let src = std::fs::read_to_string(path)?;
+        scanned += 1;
+        findings.extend(concurrency::analyze_source(&rel, &src, policy));
+    }
+    Ok((findings, scanned))
+}
+
+/// `cargo xtask analyze`: the style lint plus the concurrency passes in
+/// one sweep. Returns combined findings sorted by (file, line) and the
+/// number of files scanned by the wider of the two passes.
+pub fn run_analyze(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
+    let (mut findings, lint_scanned) = run_lint(workspace_root)?;
+    let (conc, _conc_scanned) = run_concurrency(workspace_root)?;
+    findings.extend(conc);
+    findings.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok((findings, lint_scanned))
+}
+
+/// Serialize findings as a stable JSON array (no serde in this crate):
+/// `[{"file":..,"line":..,"rule":..,"message":..}, ...]`.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}{}\n",
+            esc(&f.file),
+            f.line,
+            f.rule.slug(),
+            esc(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

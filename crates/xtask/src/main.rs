@@ -4,6 +4,15 @@
 //! * `lint` — run the repo's static-analysis pass over `crates/*/src`
 //!   (see [`xtask::run_lint`]); prints `file:line: [rule] message`
 //!   diagnostics and exits nonzero when violations exist.
+//! * `analyze` — the lint pass plus the concurrency-soundness passes
+//!   (lock-order, stripe-order, seqcst-justify, mixed-ordering,
+//!   guard-across-io; see [`xtask::run_concurrency`]); findings are also
+//!   written as JSON to `target/analyze/findings.json`.
+//! * `interleave [--smoke]` — the bounded interleaving explorer over the
+//!   `ShardedNode` admission/ops models (`ecc_simtest::interleave`);
+//!   unexpected failing schedules are shrunk and written under
+//!   `target/interleave/`. The deliberately broken `CheckThenAdd` model
+//!   must fail — an all-green run of it fails the command.
 //! * `simtest [--seeds N] [--live-every K]` — run the deterministic
 //!   cluster-simulation battery (`crates/simtest`) over seeds `0..N`;
 //!   failures are shrunk, printed as replayable SIMSEEDs, and written
@@ -26,13 +35,16 @@ use std::process::ExitCode;
 use ecc_bench::perf::{run_benches, speedup, validate_json, write_json, BenchOptions};
 use ecc_simtest::{check_seed, run_schedule, QuietPanics, Schedule, SeedOutcome};
 
-const USAGE: &str = "usage: cargo xtask <lint | simtest [--seeds N] [--live-every K] \
-     [--replay SIMSEED] | bench [--smoke] [--json [PATH]] | obs <TRACE.jsonl | --smoke>>";
+const USAGE: &str = "usage: cargo xtask <lint | analyze | interleave [--smoke] | simtest \
+     [--seeds N] [--live-every K] [--replay SIMSEED] | bench [--smoke] [--json [PATH]] \
+     [--check-envelope] | obs <TRACE.jsonl | --smoke>>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(),
+        Some("interleave") => interleave(&args[1..]),
         Some("simtest") => simtest(&args[1..]),
         Some("bench") => bench(&args[1..]),
         Some("obs") => obs(&args[1..]),
@@ -80,13 +92,145 @@ fn lint() -> ExitCode {
     }
 }
 
+/// `cargo xtask analyze` — the lint rules plus the concurrency passes,
+/// with findings mirrored to `target/analyze/findings.json` for CI.
+fn analyze() -> ExitCode {
+    let root = workspace_root();
+    match xtask::run_analyze(root) {
+        Ok((findings, scanned)) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            let out_dir = root.join("target").join("analyze");
+            let json = xtask::findings_to_json(&findings);
+            if std::fs::create_dir_all(&out_dir)
+                .and_then(|()| std::fs::write(out_dir.join("findings.json"), json))
+                .is_err()
+            {
+                eprintln!("xtask analyze: warning: could not write findings.json");
+            }
+            if findings.is_empty() {
+                println!("xtask analyze: {scanned} files scanned, clean (lint + concurrency)");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "xtask analyze: {} finding(s) across {scanned} scanned files",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cargo xtask interleave [--smoke]` — run the bounded interleaving
+/// explorer suite; write unexpected failing schedules to
+/// `target/interleave/` for artifact upload.
+fn interleave(args: &[String]) -> ExitCode {
+    let mut smoke = false;
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("xtask interleave: unknown flag `{other}`");
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let profile = if smoke { "smoke" } else { "full" };
+    println!("interleave: exploring ShardedNode models ({profile} profile)…");
+    let reports = ecc_simtest::run_interleave(smoke);
+    let out_dir = workspace_root().join("target").join("interleave");
+    let mut bad = 0usize;
+    for r in &reports {
+        let expected_to_fail = ecc_simtest::is_seeded_bug(r);
+        let status = match (r.failures.is_empty(), expected_to_fail) {
+            (true, false) => {
+                if r.truncated {
+                    "PASS (truncated — not a proof)"
+                } else if r.preemption_bound.is_some() {
+                    "PASS (within preemption bound)"
+                } else {
+                    "PASS (exhaustive)"
+                }
+            }
+            (false, true) => "CAUGHT (seeded bug, as required)",
+            (true, true) => {
+                bad += 1;
+                "BROKEN EXPLORER: seeded bug not caught"
+            }
+            (false, false) => {
+                bad += 1;
+                "FAIL"
+            }
+        };
+        println!(
+            "interleave: {:<44} {:>8} schedule(s)  {status}",
+            r.model, r.schedules
+        );
+        if !r.failures.is_empty() && !expected_to_fail {
+            for f in &r.failures {
+                eprintln!("  reason  : {}", f.reason);
+                eprintln!("  schedule: {:?}", f.choices);
+                eprintln!("  shrunk  : {:?}", f.shrunk);
+            }
+            if let Err(e) = write_interleave_failures(&out_dir, r) {
+                eprintln!("  (could not write failure file: {e})");
+            }
+        }
+    }
+    if bad == 0 {
+        println!("interleave: all models behaved as specified");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "interleave: {bad} model(s) misbehaved; failing schedules in {}",
+            out_dir.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Persist one report's failing schedules for CI artifact upload.
+fn write_interleave_failures(
+    dir: &Path,
+    report: &ecc_simtest::ExploreReport,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let slug: String = report
+        .model
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("{slug}.txt"));
+    let mut body = format!(
+        "model     : {}\nschedules : {}\ntruncated : {}\n\n",
+        report.model, report.schedules, report.truncated
+    );
+    for f in &report.failures {
+        body.push_str(&format!(
+            "reason    : {}\nschedule  : {:?}\nshrunk    : {:?}\n\n",
+            f.reason, f.choices, f.shrunk
+        ));
+    }
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
 fn bench(args: &[String]) -> ExitCode {
     let mut smoke = false;
     let mut json: Option<PathBuf> = None;
+    let mut check_envelope = false;
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--check-envelope" => check_envelope = true,
             "--json" => {
                 json = Some(match it.peek() {
                     Some(p) if !p.starts_with("--") => {
@@ -178,6 +322,68 @@ fn bench(args: &[String]) -> ExitCode {
             }
         }
     }
+    if check_envelope {
+        return check_bench_envelope(&results);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--check-envelope`: assert the debug-only lock-order auditor has not
+/// leaked into this build's hot path.
+///
+/// Two layers: (1) in a release build, `ecc_core::lockorder::is_enabled()`
+/// must be false — the auditor is `cfg(debug_assertions)`-gated and a
+/// release binary carrying it is a build-system bug; (2) the relative
+/// envelope from `results/bench.json` must hold in-run: the sharded node
+/// beats the mutex baseline by ≥ 2x at 4 workers (the committed release
+/// baseline is ~33x, so 2x only trips on a broken hot path, not on a slow
+/// CI runner), and `node_get_sharded_w4` / `wire_node_w1` both exist with
+/// nonzero throughput.
+fn check_bench_envelope(results: &[ecc_bench::perf::BenchResult]) -> ExitCode {
+    let auditor = ecc_core::lockorder::is_enabled();
+    println!(
+        "envelope: lock-order auditor {} in this build profile",
+        if auditor {
+            "ACTIVE (debug)"
+        } else {
+            "compiled out"
+        }
+    );
+    if !cfg!(debug_assertions) && auditor {
+        eprintln!("xtask bench: release build but the lock-order auditor is active");
+        return ExitCode::FAILURE;
+    }
+    if auditor {
+        println!("envelope: debug numbers are informational; ratios still checked");
+    }
+    let ops = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ops_per_sec)
+    };
+    for name in ["node_get_sharded_w4", "node_get_mutex_w4", "wire_node_w1"] {
+        match ops(name) {
+            Some(v) if v > 0.0 => {}
+            _ => {
+                eprintln!("xtask bench: envelope bench `{name}` missing or zero");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let ratio = match (ops("node_get_sharded_w4"), ops("node_get_mutex_w4")) {
+        (Some(s), Some(m)) if m > 0.0 => s / m,
+        _ => 0.0,
+    };
+    println!("envelope: sharded/mutex GET @4 workers = {ratio:.1}x (floor 2.0x)");
+    if ratio < 2.0 {
+        eprintln!(
+            "xtask bench: sharded node regressed to {ratio:.1}x over the mutex baseline — \
+             the auditor (or another change) is stalling the release hot path"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("envelope: ok");
     ExitCode::SUCCESS
 }
 

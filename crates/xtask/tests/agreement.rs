@@ -1,0 +1,134 @@
+//! Pins the token-level lexer against the legacy character-state
+//! stripper: on every source file in the workspace the two must produce
+//! byte-identical output, and the lexer must be lossless (token texts
+//! concatenate back to the input). An adversarial corpus covers the
+//! constructs that historically diverged — raw strings at any hash
+//! depth, nested block comments, byte literals, string continuations,
+//! raw identifiers, and unterminated tokens at EOF.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lexer;
+use xtask::strip_comments_and_strings;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn first_divergence(a: &str, b: &str) -> String {
+    for (n, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}:\n  lexer:    {la:?}\n  stripper: {lb:?}", n + 1);
+        }
+    }
+    format!(
+        "line counts differ: lexer {} vs stripper {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+#[test]
+fn lexer_and_stripper_agree_on_every_workspace_file() {
+    let crates = workspace_root().join("crates");
+    let mut files = Vec::new();
+    rust_sources(&crates, &mut files);
+    files.sort();
+    assert!(
+        files.len() >= 30,
+        "workspace walk found only {} files — wrong root?",
+        files.len()
+    );
+    for path in &files {
+        let src = fs::read_to_string(path).expect("read source");
+        let via_lexer = lexer::strip_via_lexer(&src);
+        let via_stripper = strip_comments_and_strings(&src);
+        assert_eq!(
+            via_lexer,
+            via_stripper,
+            "{}: lexer and legacy stripper diverge at {}",
+            path.display(),
+            first_divergence(&via_lexer, &via_stripper)
+        );
+    }
+}
+
+#[test]
+fn lexer_is_lossless_on_every_workspace_file() {
+    let crates = workspace_root().join("crates");
+    let mut files = Vec::new();
+    rust_sources(&crates, &mut files);
+    for path in &files {
+        let src = fs::read_to_string(path).expect("read source");
+        let rebuilt: String = lexer::lex(&src).iter().map(|t| t.text).collect();
+        assert_eq!(
+            rebuilt,
+            src,
+            "{}: token concatenation does not reproduce the source",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn agreement_on_adversarial_corpus() {
+    const CASES: &[&str] = &[
+        // Raw strings at increasing hash depth, with embedded quotes.
+        r####"let a = r"no hashes"; let b = r#"one " hash"#; let c = r###"deep "## quote"###;"####,
+        // Byte strings and byte raw strings.
+        "let a = b\"bytes \\\" esc\"; let b = br#\"raw bytes\"#;",
+        // Nested block comments with code-looking innards.
+        "/* outer /* inner \"str\" */ still comment */ let x = 1;",
+        // A block comment spanning lines around a raw string.
+        "/* line one\n r\"not a string\" \n*/ let y = 2;\n",
+        // String continuation: backslash-newline inside a literal.
+        "let s = \"start \\\n    end\";\nlet t = 1;\n",
+        // Lifetimes vs char literals, including labels and b-chars.
+        "fn f<'a>(x: &'a u32) { 'outer: loop { break 'outer; } let c = 'q'; let b = b'\\n'; }",
+        // Raw identifiers and idents ending in r/b before quotes.
+        "let r#type = 1; let bar = \"s\"; let nob = b\"t\";",
+        // Numeric literals with letter radixes next to quotes.
+        "let n = 0b1010; let m = 0xfe; let s = \"after\";",
+        // Line comment containing an unbalanced quote.
+        "let x = 1; // it's fine \" really\nlet y = 2;",
+        // Unterminated string at EOF.
+        "let s = \"never closed",
+        // Unterminated raw string at EOF.
+        "let s = r#\"never closed",
+        // Unterminated block comment at EOF.
+        "let x = 1; /* trailing",
+        // Empty string and adjacent quotes.
+        "let e = \"\"; let f = \"\\\"\";",
+    ];
+    for (i, case) in CASES.iter().enumerate() {
+        let via_lexer = lexer::strip_via_lexer(case);
+        let via_stripper = strip_comments_and_strings(case);
+        assert_eq!(
+            via_lexer, via_stripper,
+            "adversarial case {i} diverges: {case:?}"
+        );
+        let rebuilt: String = lexer::lex(case).iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, *case, "adversarial case {i} is not lossless");
+    }
+}

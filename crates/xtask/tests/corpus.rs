@@ -1,0 +1,106 @@
+//! Golden corpus for the concurrency passes.
+//!
+//! Every `bad_*.rs` fixture under `tests/fixtures/` seeds a specific
+//! concurrency bug and must be flagged (zero false negatives); every
+//! `good_*.rs` fixture exercises the blessed idioms and must come back
+//! clean. The full finding set is pinned against `expected.json` so a
+//! pass that silently loosens shows up as a golden diff.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::concurrency::{analyze_source, ConcPolicy};
+use xtask::Rule;
+
+/// Fixtures are analyzed with every pass enabled — they stand in for the
+/// strictest real file (a hot-path file in `crates/core`/`crates/net`).
+const ALL_PASSES: ConcPolicy = ConcPolicy {
+    lock_order: true,
+    atomics: true,
+    guard_io: true,
+};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_sources() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(fixtures_dir()).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("utf-8 fixture name")
+            .to_string();
+        let src = fs::read_to_string(&path).expect("read fixture");
+        out.push((name, src));
+    }
+    out.sort();
+    assert!(out.len() >= 5, "fixture corpus went missing");
+    out
+}
+
+#[test]
+fn corpus_matches_golden_findings() {
+    let mut rows = Vec::new();
+    for (name, src) in fixture_sources() {
+        let rel = format!("fixtures/{name}");
+        for f in analyze_source(&rel, &src, ALL_PASSES) {
+            rows.push(format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+                f.file,
+                f.line,
+                f.rule.slug()
+            ));
+        }
+    }
+    let got = format!("[\n  {}\n]", rows.join(",\n  "));
+    let expected = fs::read_to_string(fixtures_dir().join("expected.json")).expect("expected.json");
+    assert_eq!(
+        got.trim(),
+        expected.trim(),
+        "concurrency findings drifted from the golden corpus; \
+         if the change is intentional, update tests/fixtures/expected.json"
+    );
+}
+
+#[test]
+fn every_bad_fixture_is_flagged_and_every_good_fixture_is_clean() {
+    for (name, src) in fixture_sources() {
+        let rel = format!("fixtures/{name}");
+        let findings = analyze_source(&rel, &src, ALL_PASSES);
+        if name.starts_with("bad_") {
+            assert!(
+                !findings.is_empty(),
+                "{name}: seeded bug not flagged (false negative)"
+            );
+        } else {
+            assert!(
+                findings.is_empty(),
+                "{name}: clean fixture produced findings: {findings:?}"
+            );
+        }
+    }
+}
+
+/// The static half of the seeded lock-order regression pair. The runtime
+/// half — the same Stripe(1)-then-Structural shape hitting the debug-build
+/// auditor — is pinned in `ecc_core::lockorder`'s tests.
+#[test]
+fn seeded_lock_inversion_is_pinned() {
+    let src = fs::read_to_string(fixtures_dir().join("bad_lock_inversion.rs")).expect("fixture");
+    let findings = analyze_source("fixtures/bad_lock_inversion.rs", &src, ALL_PASSES);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == Rule::LockOrder && f.line == 7),
+        "structural-under-stripe inversion must be caught at the \
+         acquisition site; got {findings:?}"
+    );
+}

@@ -1,0 +1,6 @@
+// Fixture: a lock guard held live across frame I/O on a hot-path file —
+// the blocking-under-lock pattern that stalls every thread behind it.
+pub fn flush_locked(&self, stream: &mut TcpStream) {
+    let state = self.inner.lock();
+    write_frame(stream, &state.buf);
+}

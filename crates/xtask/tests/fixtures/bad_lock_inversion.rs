@@ -1,0 +1,9 @@
+// Fixture: the seeded ISSUE-6 lock-order bug — a stripe guard is live
+// when `structural` is acquired. The runtime half of this regression
+// pair is `ecc_core::lockorder::tests::inversion_yields_a_typed_violation`,
+// which pins the identical shape (Stripe(1) held, then Structural).
+pub fn evict_scan(&self) {
+    let stripe = self.stripes[1].read();
+    let _structural = self.structural.write();
+    drop(stripe);
+}

@@ -1,0 +1,9 @@
+// Fixture: an unjustified SeqCst, which also mixes with a Relaxed load
+// of the same atomic field elsewhere in the file.
+pub fn set_ready(&self) {
+    self.ready.store(true, Ordering::SeqCst);
+}
+
+pub fn spin(&self) -> bool {
+    self.ready.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+// Fixture: stripe locks acquired in descending index order — both the
+// literal-index form and a `.rev()` iteration over the stripe array.
+pub fn merge_pair(&self) {
+    let hi = self.stripes[3].write();
+    let lo = self.stripes[1].write();
+    drop(lo);
+    drop(hi);
+}
+
+pub fn sweep_backwards(&self) {
+    for stripe in self.stripes.iter().rev() {
+        let tree = stripe.read();
+        tree.validate();
+    }
+}
