@@ -12,7 +12,8 @@
 //! ```
 
 use ecc_bench::{
-    run_eviction_experiment, scale_arg, smoothed_speedup, write_csv, PaperService, StepRow,
+    fig5_header, fig5_rows, run_eviction_experiment, scale_arg, smoothed_speedup, write_csv,
+    PaperService, StepRow,
 };
 
 fn main() {
@@ -42,26 +43,17 @@ fn main() {
         "step", "m=50 (spd/nodes)", "m=100", "m=200", "m=400"
     );
     let report_every = (steps / 24).max(1);
-    let mut rows_csv: Vec<Vec<String>> = Vec::new();
     for i in (0..steps as usize).step_by(report_every as usize) {
         let mut line = format!("{:>5}", i + 1);
-        let mut csv = vec![(i + 1).to_string()];
         for (_, rows) in &all {
             let r = &rows[i];
             let smooth = smoothed_speedup(rows, i + 1, 10);
             line.push_str(&format!("  {smooth:>8.2} /{:>3}  ", r.nodes));
-            csv.push(format!("{smooth:.4}"));
-            csv.push(r.nodes.to_string());
         }
         println!("{line}");
-        rows_csv.push(csv);
     }
-    let csv_path = write_csv(
-        "fig5.csv",
-        "step,m50_speedup,m50_nodes,m100_speedup,m100_nodes,m200_speedup,m200_nodes,m400_speedup,m400_nodes",
-        &rows_csv,
-    )
-    .expect("write results");
+    let rows_csv = fig5_rows(&all, steps, report_every);
+    let csv_path = write_csv("fig5.csv", &fig5_header(&windows), &rows_csv).expect("write results");
     println!("wrote {}", csv_path.display());
 
     println!("\npaper reference: m=50 -> ~1.55x max @ ~2 nodes; m=400 -> ~8x max @ ~6 nodes avg;");

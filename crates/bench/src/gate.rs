@@ -1,0 +1,526 @@
+//! The scale-regression gate: banked speedups become a test.
+//!
+//! `cargo xtask bench --gate` runs a fresh suite and compares it against
+//! the committed `results/bench_baseline.json`. A hot-path bench on the
+//! [`ALLOWLIST`] that loses more than [`TOLERANCE`] of its ops/sec — or
+//! whose p99 inflates by more than the same fraction — fails the gate with
+//! a per-bench delta table. Benches off the allowlist are reported but
+//! never fatal (macro benches and cold paths are too noisy to gate on).
+//!
+//! Three defenses keep the gate honest on a shared machine without
+//! widening the tolerance: gated comparisons are normalized by the
+//! [`CALIBRATION_BENCH`] machine-drift ratio, p99 inflation must also
+//! clear the absolute [`P99_NOISE_FLOOR_NS`] (µs-bucketed histograms turn
+//! one bucket step into +100% relative), and the xtask driver confirms a
+//! suspected regression by rerunning the suite ([`merge_best`]) before
+//! failing.
+//!
+//! Blessing a new baseline is deliberate: `cargo xtask bench --gate
+//! --bless` overwrites the baseline with the fresh run (see DESIGN.md §14
+//! for when that is legitimate).
+
+use crate::perf::{BenchResult, CALIBRATION_BENCH};
+
+/// Fractional regression tolerated before the gate fails (ISSUE 7: 15%).
+pub const TOLERANCE: f64 = 0.15;
+
+/// Absolute floor a p99 increase must also clear before it counts as a
+/// regression. Wire-bench p99s come from a power-of-two µs histogram, so
+/// the smallest representable tail change near 0.5 ms is a whole-bucket
+/// jump (+100%); in-process p99s at the ns–µs scale swing by scheduler
+/// timeslices on a shared host. Both read as huge *relative* deltas while
+/// being pure measurement noise. Any real tail regression the allowlist
+/// exists to catch — a lock convoy, an extra round trip, a rescore path
+/// creeping back — inflates p99 by well over this floor.
+pub const P99_NOISE_FLOOR_NS: u64 = 750_000;
+
+/// Gated bench names. A trailing `*` matches any suffix, so one entry can
+/// cover a scaling curve (`wire_node_w*` ⇒ `wire_node_w1`…`wire_node_w8`).
+pub const ALLOWLIST: [&str; 4] = [
+    "window_expiry_incremental",
+    "wire_evict_batched",
+    "node_get_sharded_w4",
+    "wire_node_w*",
+];
+
+/// Does `name` match an allowlist `pattern` (exact, or prefix up to `*`)?
+fn matches(pattern: &str, name: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => pattern == name,
+    }
+}
+
+/// Is this bench name gated?
+pub fn is_gated(name: &str) -> bool {
+    ALLOWLIST.iter().any(|p| matches(p, name))
+}
+
+/// Merge several runs of the suite into one best-of row set: per bench
+/// name, the highest ops/sec and the lowest p50/p99 seen across runs.
+/// Best-of-N is the standard de-noising for a shared-machine gate — real
+/// regressions depress *every* run, scheduler interference only some.
+/// Rows keep first-run order; names only some runs produced are appended.
+pub fn merge_best(runs: &[Vec<BenchResult>]) -> Vec<BenchResult> {
+    let mut merged: Vec<BenchResult> = Vec::new();
+    for run in runs {
+        for r in run {
+            match merged.iter_mut().find(|m| m.name == r.name) {
+                Some(m) => {
+                    m.ops_per_sec = m.ops_per_sec.max(r.ops_per_sec);
+                    m.p50_ns = m.p50_ns.min(r.p50_ns);
+                    m.p99_ns = m.p99_ns.min(r.p99_ns);
+                    m.ops = m.ops.max(r.ops);
+                }
+                None => merged.push(r.clone()),
+            }
+        }
+    }
+    merged
+}
+
+/// Merge several runs into one median row set: per bench name, the
+/// median of each field independently. This is what `--bless` commits:
+/// a best-of baseline would lock in the machine's luckiest window as the
+/// bar every later honest run must re-hit, while the median is the
+/// typical state. Ties on even run counts break toward leniency (lower
+/// ops/sec, higher p99) — the gate exists to catch real regressions, not
+/// to win coin flips.
+pub fn merge_median(runs: &[Vec<BenchResult>]) -> Vec<BenchResult> {
+    let mut names: Vec<String> = Vec::new();
+    for run in runs {
+        for r in run {
+            if !names.contains(&r.name) {
+                names.push(r.name.clone());
+            }
+        }
+    }
+    names
+        .into_iter()
+        .filter_map(|name| {
+            let rows: Vec<&BenchResult> =
+                runs.iter().flatten().filter(|r| r.name == name).collect();
+            let first = rows.first()?;
+            let mut ops_per_sec: Vec<f64> = rows.iter().map(|r| r.ops_per_sec).collect();
+            ops_per_sec.sort_by(f64::total_cmp);
+            let mut p50: Vec<u64> = rows.iter().map(|r| r.p50_ns).collect();
+            let mut p99: Vec<u64> = rows.iter().map(|r| r.p99_ns).collect();
+            p50.sort_unstable();
+            p99.sort_unstable();
+            let lo = (rows.len() - 1) / 2;
+            let hi = rows.len() / 2;
+            Some(BenchResult {
+                name: first.name.clone(),
+                ops: first.ops,
+                ops_per_sec: ops_per_sec[lo],
+                p50_ns: p50[hi],
+                p99_ns: p99[hi],
+            })
+        })
+        .collect()
+}
+
+/// The verdict for one bench name present in baseline or current run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or not gated).
+    Ok,
+    /// Gated and regressed beyond tolerance — fails the gate.
+    Regressed,
+    /// Gated, in the baseline, but missing from the fresh run — fails the
+    /// gate (a silently dropped bench must not silently drop its guarantee).
+    MissingCurrent,
+    /// Present in the fresh run but not the baseline — informational; the
+    /// next bless will start gating it.
+    NewInCurrent,
+}
+
+/// One row of the gate report.
+#[derive(Debug, Clone)]
+pub struct GateRow {
+    /// Bench name.
+    pub name: String,
+    /// Whether the allowlist covers this bench.
+    pub gated: bool,
+    /// Baseline ops/sec, if the bench is in the baseline.
+    pub base_ops_per_sec: Option<f64>,
+    /// Fresh-run ops/sec, if the bench ran.
+    pub cur_ops_per_sec: Option<f64>,
+    /// Baseline p99 ns.
+    pub base_p99_ns: Option<u64>,
+    /// Fresh-run p99 ns.
+    pub cur_p99_ns: Option<u64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl GateRow {
+    /// Signed ops/sec delta as a fraction of baseline (−0.2 = 20% slower).
+    pub fn ops_delta(&self) -> Option<f64> {
+        match (self.base_ops_per_sec, self.cur_ops_per_sec) {
+            (Some(b), Some(c)) if b > 0.0 => Some((c - b) / b),
+            _ => None,
+        }
+    }
+
+    /// Signed p99 delta as a fraction of baseline (+0.2 = 20% slower tail).
+    pub fn p99_delta(&self) -> Option<f64> {
+        match (self.base_p99_ns, self.cur_p99_ns) {
+            (Some(b), Some(c)) if b > 0 => Some((c as f64 - b as f64) / b as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Bounds on the machine-drift normalization ratio. The clamp keeps a
+/// corrupt or gamed calibration row from excusing an arbitrary slowdown:
+/// even if the fresh calibration claims the machine is 10× slower, gated
+/// benches still may not lose more than `1 − 0.5·(1 − TOLERANCE)` ≈ 58%.
+pub const DRIFT_CLAMP: (f64, f64) = (0.5, 2.0);
+
+/// The full gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// One row per bench name seen in either run, baseline order first.
+    pub rows: Vec<GateRow>,
+    /// The machine-drift ratio (fresh ÷ baseline [`CALIBRATION_BENCH`]
+    /// ops/sec, clamped to [`DRIFT_CLAMP`]) every gated comparison was
+    /// normalized by; `1.0` when either side lacks the calibration row.
+    pub drift: f64,
+}
+
+impl GateReport {
+    /// Compare a fresh run against the committed baseline.
+    ///
+    /// Gated thresholds are scaled by the calibration ratio: on a shared
+    /// single-core host the whole suite drifts with CPU steal, and the
+    /// [`CALIBRATION_BENCH`] row — which no cache-code change can move —
+    /// measures exactly that drift in each window.
+    pub fn compare(baseline: &[BenchResult], current: &[BenchResult]) -> GateReport {
+        let find = |set: &[BenchResult], name: &str| -> Option<BenchResult> {
+            set.iter().find(|r| r.name == name).cloned()
+        };
+        let cal = |set: &[BenchResult]| -> Option<f64> {
+            find(set, CALIBRATION_BENCH)
+                .map(|r| r.ops_per_sec)
+                .filter(|&v| v > 0.0)
+        };
+        let drift = match (cal(baseline), cal(current)) {
+            (Some(b), Some(c)) => (c / b).clamp(DRIFT_CLAMP.0, DRIFT_CLAMP.1),
+            _ => 1.0,
+        };
+        let mut rows = Vec::new();
+        for b in baseline {
+            let gated = is_gated(&b.name);
+            let cur = find(current, &b.name);
+            let verdict = match &cur {
+                None if gated => Verdict::MissingCurrent,
+                None => Verdict::Ok,
+                Some(c) if gated => {
+                    let ops_regressed = c.ops_per_sec < b.ops_per_sec * drift * (1.0 - TOLERANCE);
+                    let p99_regressed = b.p99_ns > 0
+                        && c.p99_ns as f64 > b.p99_ns as f64 / drift * (1.0 + TOLERANCE)
+                        && c.p99_ns.saturating_sub(b.p99_ns) > P99_NOISE_FLOOR_NS;
+                    if ops_regressed || p99_regressed {
+                        Verdict::Regressed
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+                Some(_) => Verdict::Ok,
+            };
+            rows.push(GateRow {
+                name: b.name.clone(),
+                gated,
+                base_ops_per_sec: Some(b.ops_per_sec),
+                cur_ops_per_sec: cur.as_ref().map(|c| c.ops_per_sec),
+                base_p99_ns: Some(b.p99_ns),
+                cur_p99_ns: cur.as_ref().map(|c| c.p99_ns),
+                verdict,
+            });
+        }
+        for c in current {
+            if baseline.iter().any(|b| b.name == c.name) {
+                continue;
+            }
+            rows.push(GateRow {
+                name: c.name.clone(),
+                gated: is_gated(&c.name),
+                base_ops_per_sec: None,
+                cur_ops_per_sec: Some(c.ops_per_sec),
+                base_p99_ns: None,
+                cur_p99_ns: Some(c.p99_ns),
+                verdict: Verdict::NewInCurrent,
+            });
+        }
+        GateReport { rows, drift }
+    }
+
+    /// Does the gate fail (any gated bench regressed or went missing)?
+    pub fn failed(&self) -> bool {
+        self.rows
+            .iter()
+            .any(|r| matches!(r.verdict, Verdict::Regressed | Verdict::MissingCurrent))
+    }
+
+    /// The rows that fail the gate.
+    pub fn failures(&self) -> impl Iterator<Item = &GateRow> {
+        self.rows
+            .iter()
+            .filter(|r| matches!(r.verdict, Verdict::Regressed | Verdict::MissingCurrent))
+    }
+
+    /// Render the per-bench delta table (the CI artifact on failure).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>14} {:>14} {:>8} {:>8}  verdict\n",
+            "bench", "gated", "base ops/s", "cur ops/s", "Δops", "Δp99"
+        ));
+        let pct = |d: Option<f64>| -> String {
+            match d {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "-".to_string(),
+            }
+        };
+        let num = |v: Option<f64>| -> String {
+            match v {
+                Some(v) => format!("{v:.0}"),
+                None => "-".to_string(),
+            }
+        };
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::MissingCurrent => "MISSING",
+                Verdict::NewInCurrent => "new",
+            };
+            out.push_str(&format!(
+                "{:<28} {:>6} {:>14} {:>14} {:>8} {:>8}  {}\n",
+                r.name,
+                if r.gated { "yes" } else { "no" },
+                num(r.base_ops_per_sec),
+                num(r.cur_ops_per_sec),
+                pct(r.ops_delta()),
+                pct(r.p99_delta()),
+                verdict
+            ));
+        }
+        out.push_str(&format!(
+            "\ngate: tolerance {:.0}% on ops/sec drop and p99 inflation (p99 deltas under \
+             the {} µs jitter floor never fail); machine-drift normalization ×{:.3}; \
+             {} gated, {} failing\n",
+            TOLERANCE * 100.0,
+            P99_NOISE_FLOOR_NS / 1_000,
+            self.drift,
+            self.rows.iter().filter(|r| r.gated).count(),
+            self.failures().count()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, ops_per_sec: f64, p99_ns: u64) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            ops: 1000,
+            ops_per_sec,
+            p50_ns: p99_ns / 2,
+            p99_ns,
+        }
+    }
+
+    #[test]
+    fn merge_best_takes_the_best_field_per_bench() {
+        let run1 = vec![row("a", 1000.0, 2000), row("b", 500.0, 900)];
+        let run2 = vec![row("a", 1200.0, 2500), row("c", 50.0, 10)];
+        let merged = merge_best(&[run1, run2]);
+        // First-run order, later-only names appended.
+        assert_eq!(
+            merged.iter().map(|r| r.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b", "c"]
+        );
+        // Per field: max ops/sec, min p99 — even from different runs.
+        assert_eq!(merged[0].ops_per_sec, 1200.0);
+        assert_eq!(merged[0].p99_ns, 2000);
+        assert_eq!(merged[1].ops_per_sec, 500.0);
+        assert_eq!(merged[2].p99_ns, 10);
+    }
+
+    #[test]
+    fn merge_median_commits_the_typical_run() {
+        let runs = vec![
+            vec![row("a", 900.0, 5000)],
+            vec![row("a", 1000.0, 1000)],
+            vec![row("a", 1100.0, 3000)],
+        ];
+        let merged = merge_median(&runs);
+        assert_eq!(merged[0].ops_per_sec, 1000.0);
+        assert_eq!(merged[0].p99_ns, 3000);
+        // Even run count: ties break lenient — lower ops, higher p99.
+        let runs = vec![vec![row("a", 900.0, 1000)], vec![row("a", 1100.0, 3000)]];
+        let merged = merge_median(&runs);
+        assert_eq!(merged[0].ops_per_sec, 900.0);
+        assert_eq!(merged[0].p99_ns, 3000);
+    }
+
+    #[test]
+    fn allowlist_wildcards_cover_the_scaling_curve() {
+        assert!(is_gated("window_expiry_incremental"));
+        assert!(is_gated("wire_evict_batched"));
+        assert!(is_gated("node_get_sharded_w4"));
+        for w in [1, 2, 4, 8] {
+            assert!(is_gated(&format!("wire_node_w{w}")));
+        }
+        assert!(!is_gated("node_get_mutex_w4"));
+        assert!(!is_gated("wire_evict_sequential"));
+        assert!(!is_gated("window_expiry_rescore"));
+        assert!(!is_gated("proto_putmany_roundtrip"));
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = vec![row("wire_node_w4", 1000.0, 1000)];
+        let cur = vec![row("wire_node_w4", 900.0, 1100)]; // −10% ops, +10% p99
+        let report = GateReport::compare(&base, &cur);
+        assert!(!report.failed(), "{}", report.render());
+        assert_eq!(report.rows[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn ops_regression_beyond_tolerance_fails() {
+        let base = vec![row("wire_node_w4", 1000.0, 1000)];
+        let cur = vec![row("wire_node_w4", 800.0, 1000)]; // −20%
+        let report = GateReport::compare(&base, &cur);
+        assert!(report.failed());
+        assert_eq!(report.rows[0].verdict, Verdict::Regressed);
+        assert!((report.rows[0].ops_delta().unwrap() + 0.2).abs() < 1e-9);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn p99_inflation_beyond_tolerance_fails() {
+        let base = vec![row("window_expiry_incremental", 1000.0, 5_000_000)];
+        let cur = vec![row("window_expiry_incremental", 1000.0, 6_000_000)]; // +20%, +1 ms
+        let report = GateReport::compare(&base, &cur);
+        assert!(report.failed());
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn p99_jitter_below_the_absolute_floor_passes() {
+        // A whole-bucket jump in the µs histogram (+106%) is only +33 µs
+        // in absolute terms — measurement granularity, not a regression.
+        let base = vec![row("wire_node_w1", 1000.0, 31_000)];
+        let cur = vec![row("wire_node_w1", 1000.0, 64_000)];
+        let report = GateReport::compare(&base, &cur);
+        assert!(!report.failed(), "{}", report.render());
+        // Exactly the floor above baseline still passes ("> floor")…
+        let base = vec![row("wire_node_w8", 1000.0, 511_000)];
+        let cur = vec![row("wire_node_w8", 1000.0, 511_000 + P99_NOISE_FLOOR_NS)];
+        assert!(!GateReport::compare(&base, &cur).failed());
+        // …one past it, with the relative check also violated, fails.
+        let cur = vec![row("wire_node_w8", 1000.0, 511_001 + P99_NOISE_FLOOR_NS)];
+        assert!(GateReport::compare(&base, &cur).failed());
+    }
+
+    #[test]
+    fn ungated_benches_never_fail_the_gate() {
+        let base = vec![row("wire_evict_sequential", 1000.0, 1000)];
+        let cur = vec![row("wire_evict_sequential", 10.0, 900_000)]; // 100× worse
+        let report = GateReport::compare(&base, &cur);
+        assert!(!report.failed(), "{}", report.render());
+    }
+
+    #[test]
+    fn missing_gated_bench_fails_and_new_bench_informs() {
+        let base = vec![row("wire_node_w2", 1000.0, 1000)];
+        let cur = vec![row("brand_new_bench", 5.0, 10)];
+        let report = GateReport::compare(&base, &cur);
+        assert!(report.failed());
+        assert_eq!(report.rows[0].verdict, Verdict::MissingCurrent);
+        assert_eq!(report.rows[1].verdict, Verdict::NewInCurrent);
+        // The new bench is not fatal on its own.
+        let only_new = GateReport::compare(&[], &cur);
+        assert!(!only_new.failed());
+    }
+
+    #[test]
+    fn boundary_is_strictly_beyond_fifteen_percent() {
+        // p99 values in the ms range so the absolute jitter floor is not
+        // the binding constraint — this test pins the relative boundary.
+        let base = vec![row("wire_node_w1", 1000.0, 10_000_000)];
+        // Exactly −15% / +15%: passes (the issue says "> 15%").
+        let cur = vec![row("wire_node_w1", 850.0, 11_500_000)];
+        assert!(!GateReport::compare(&base, &cur).failed());
+        let cur = vec![row("wire_node_w1", 849.0, 10_000_000)];
+        assert!(GateReport::compare(&base, &cur).failed());
+        let cur = vec![row("wire_node_w1", 1000.0, 11_500_001)];
+        assert!(GateReport::compare(&base, &cur).failed());
+    }
+
+    #[test]
+    fn calibration_drift_normalizes_a_machine_wide_slowdown() {
+        // Machine 30% slower in the fresh window (calibration 1000 → 700):
+        // a gated bench also down 30% is drift, not a regression…
+        let base = vec![
+            row(CALIBRATION_BENCH, 1000.0, 0),
+            row("wire_node_w4", 500.0, 0),
+        ];
+        let cur = vec![
+            row(CALIBRATION_BENCH, 700.0, 0),
+            row("wire_node_w4", 350.0, 0),
+        ];
+        let report = GateReport::compare(&base, &cur);
+        assert!((report.drift - 0.7).abs() < 1e-9);
+        assert!(!report.failed(), "{}", report.render());
+        // …but a bench that lost far more than the drift still fails.
+        let cur = vec![
+            row(CALIBRATION_BENCH, 700.0, 0),
+            row("wire_node_w4", 250.0, 0),
+        ];
+        assert!(GateReport::compare(&base, &cur).failed());
+    }
+
+    #[test]
+    fn drift_is_clamped_and_defaults_to_unity() {
+        // No calibration row on one side → no normalization.
+        let base = vec![row("wire_node_w4", 1000.0, 0)];
+        let cur = vec![
+            row(CALIBRATION_BENCH, 1.0, 0),
+            row("wire_node_w4", 1000.0, 0),
+        ];
+        assert_eq!(GateReport::compare(&base, &cur).drift, 1.0);
+        // A calibration row claiming a 10× slowdown is clamped: the gated
+        // bench may not hide an arbitrary regression behind it.
+        let base = vec![
+            row(CALIBRATION_BENCH, 1000.0, 0),
+            row("wire_node_w4", 1000.0, 0),
+        ];
+        let cur = vec![
+            row(CALIBRATION_BENCH, 100.0, 0),
+            row("wire_node_w4", 300.0, 0),
+        ];
+        let report = GateReport::compare(&base, &cur);
+        assert_eq!(report.drift, DRIFT_CLAMP.0);
+        assert!(report.failed(), "{}", report.render());
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_json_codec() {
+        use crate::perf::{parse_json, to_json};
+        let base = vec![
+            row("wire_node_w4", 123456.0, 4000),
+            row("window_expiry_incremental", 9999.0, 800),
+        ];
+        let text = to_json(&base);
+        let parsed = parse_json(&text).expect("parse baseline");
+        let report = GateReport::compare(&parsed, &base);
+        assert!(!report.failed(), "{}", report.render());
+    }
+}

@@ -10,7 +10,9 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod gate;
 pub mod perf;
+pub mod scenario;
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -236,19 +238,71 @@ pub fn scale_arg() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Render a CSV document: the header line followed by one line per row.
+/// Column order is exactly the header's — every writer goes through this
+/// function, so reruns of the same experiment are line-diffable.
+///
+/// Returns an error if any row's field count differs from the header's
+/// column count (a silent arity mismatch is how columns drift).
+pub fn csv_text(header: &str, rows: &[Vec<String>]) -> std::io::Result<String> {
+    let cols = header.split(',').count();
+    let mut out = String::with_capacity(rows.len() * 32 + header.len());
+    out.push_str(header);
+    out.push('\n');
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != cols {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("csv row {i} has {} fields, header has {cols}", row.len()),
+            ));
+        }
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// Write a CSV file under `results/`, creating the directory as needed.
 /// Returns the written path; announcing it is the caller's job (library
 /// code is print-free under the `no-print` lint).
 pub fn write_csv(name: &str, header: &str, rows: &[Vec<String>]) -> std::io::Result<PathBuf> {
+    let text = csv_text(header, rows)?;
     let dir = Path::new("results");
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path)?;
-    writeln!(f, "{header}")?;
-    for row in rows {
-        writeln!(f, "{}", row.join(","))?;
-    }
+    f.write_all(text.as_bytes())?;
     Ok(path)
+}
+
+/// The Figure-5 CSV header for a set of window sizes, in sweep order:
+/// `step,m<w>_speedup,m<w>_nodes,…`.
+pub fn fig5_header(windows: &[usize]) -> String {
+    let mut h = String::from("step");
+    for m in windows {
+        h.push_str(&format!(",m{m}_speedup,m{m}_nodes"));
+    }
+    h
+}
+
+/// Build the Figure-5 CSV rows: every `report_every` steps, the 10-step
+/// smoothed speedup and node count of each window's run, in the order the
+/// runs are given. Shared by the `fig5_window_speedup` binary and the
+/// golden-file test, so the committed CSV and the regenerated one come
+/// from one code path.
+pub fn fig5_rows(all: &[(usize, Vec<StepRow>)], steps: u64, report_every: u64) -> Vec<Vec<String>> {
+    let mut rows_csv = Vec::new();
+    for i in (0..steps as usize).step_by(report_every.max(1) as usize) {
+        let mut csv = vec![(i + 1).to_string()];
+        for (_, rows) in all {
+            let r = &rows[i];
+            let smooth = smoothed_speedup(rows, i + 1, 10);
+            csv.push(format!("{smooth:.4}"));
+            csv.push(r.nodes.to_string());
+        }
+        rows_csv.push(csv);
+    }
+    rows_csv
 }
 
 #[cfg(test)]

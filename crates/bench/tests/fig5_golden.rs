@@ -1,0 +1,62 @@
+//! Golden-file test for `results/fig5.csv` regeneration (ISSUE 7
+//! satellite c): the CSV comes out of the same `fig5_header`/`fig5_rows`
+//! code path the binary uses, at a small fixed scale, and must match the
+//! committed golden byte for byte — column order, float formatting and
+//! the underlying simulation are all pinned, so scenario reruns are
+//! diffable.
+//!
+//! To bless a new golden after an intentional change:
+//!
+//! ```text
+//! ECC_BLESS_GOLDEN=1 cargo test -p ecc-bench --test fig5_golden
+//! ```
+
+use ecc_bench::{csv_text, fig5_header, fig5_rows, run_eviction_experiment, PaperService};
+
+const GOLDEN_PATH: &str = "tests/golden/fig5_small.csv";
+
+/// Small-scale fig5 run: two windows, 40 steps, the binary's seeds.
+fn regenerate() -> String {
+    let service = PaperService::new(2010);
+    let windows = [50usize, 100];
+    let steps = 40u64;
+    let all: Vec<_> = windows
+        .iter()
+        .map(|&m| (m, run_eviction_experiment(m, 0.99, steps, 7, &service)))
+        .collect();
+    csv_text(&fig5_header(&windows), &fig5_rows(&all, steps, 4)).expect("well-formed rows")
+}
+
+#[test]
+fn fig5_csv_regeneration_matches_the_golden_file() {
+    let fresh = regenerate();
+    if std::env::var_os("ECC_BLESS_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("golden dir");
+        std::fs::write(GOLDEN_PATH, &fresh).expect("bless golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("missing golden file; bless with ECC_BLESS_GOLDEN=1");
+    assert_eq!(
+        fresh, golden,
+        "fig5 CSV drifted from the golden; if intentional, re-bless \
+         with ECC_BLESS_GOLDEN=1 and commit the diff"
+    );
+}
+
+#[test]
+fn fig5_header_tracks_the_window_sweep() {
+    assert_eq!(
+        fig5_header(&[50, 100, 200, 400]),
+        "step,m50_speedup,m50_nodes,m100_speedup,m100_nodes,\
+         m200_speedup,m200_nodes,m400_speedup,m400_nodes"
+    );
+}
+
+#[test]
+fn csv_text_rejects_arity_mismatches() {
+    let bad = vec![vec!["1".to_string(), "2".to_string()]];
+    assert!(csv_text("a,b,c", &bad).is_err());
+    let good = vec![vec!["1".to_string(), "2".to_string(), "3".to_string()]];
+    assert_eq!(csv_text("a,b,c", &good).unwrap(), "a,b,c\n1,2,3\n");
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p ecc-net --bin loadgen -- \
 //!     [--workers 4] [--ops 20000] [--keys 1024] [--value-len 1024] \
+//!     [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
 //!     [--addr HOST:PORT | --spawn] [--json PATH]
 //! ```
 //!
@@ -10,6 +11,13 @@
 //! connection issuing GET-then-PUT-on-miss). With `--spawn` (the default
 //! when no `--addr` is given) an ephemeral server is started in-process,
 //! which is how the scaling smoke run in CI uses it.
+//!
+//! `--scenario NAME` replays a zoo scenario (`ecc_workload::scenario`)
+//! instead of the uniform GET-then-PUT loop: the event stream is generated
+//! deterministically from `--seed` over `--steps` time steps (defaulting
+//! to the scenario's own horizon) and partitioned across the workers, so
+//! the ops on the wire are a pure function of the seed. `--list-scenarios`
+//! prints the registry and exits.
 //!
 //! The final summary merges the server's `ObsDump` snapshot with the
 //! client-side RTT histograms: the merged histogram lands under
@@ -21,9 +29,10 @@ use std::process::ExitCode;
 
 use ecc_chash::HashRing;
 use ecc_net::client::RemoteNode;
-use ecc_net::loadgen::run_load;
+use ecc_net::loadgen::{run_load, run_scenario_load};
 use ecc_net::server::CacheServer;
 use ecc_obs::ObsSnapshot;
+use ecc_workload::scenario::Scenario;
 
 struct Args {
     workers: usize,
@@ -32,6 +41,9 @@ struct Args {
     value_len: usize,
     addr: Option<SocketAddr>,
     json: Option<String>,
+    scenario: Option<String>,
+    steps: Option<u64>,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +54,9 @@ fn parse_args() -> Result<Args, String> {
         value_len: 1024,
         addr: None,
         json: None,
+        scenario: None,
+        steps: None,
+        seed: 7,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,9 +93,43 @@ fn parse_args() -> Result<Args, String> {
             }
             "--spawn" => args.addr = None,
             "--json" => args.json = Some(take("--json")?),
+            "--scenario" => {
+                let name = take("--scenario")?;
+                if Scenario::by_name(&name).is_none() {
+                    return Err(format!(
+                        "unknown scenario {name:?}; known: {}",
+                        Scenario::names().join(", ")
+                    ));
+                }
+                args.scenario = Some(name);
+            }
+            "--steps" => {
+                args.steps = Some(
+                    take("--steps")?
+                        .parse()
+                        .map_err(|e| format!("bad step count: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--list-scenarios" => {
+                for sc in Scenario::all() {
+                    println!(
+                        "{:<16} {} (default {} steps)",
+                        sc.name(),
+                        sc.summary(),
+                        sc.default_steps()
+                    );
+                }
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--workers N] [--ops N] [--keys N] [--value-len N] \
+                     [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
                      [--addr HOST:PORT | --spawn] [--json PATH]"
                         .to_string(),
                 )
@@ -106,6 +155,22 @@ fn main() -> ExitCode {
         }
     };
 
+    // Resolve the scenario (if any) and pre-generate its event stream —
+    // deterministic from the seed, identical to what cloudsim replays.
+    let scenario = args
+        .scenario
+        .as_deref()
+        .and_then(Scenario::by_name)
+        .map(|sc| {
+            let steps = args.steps.unwrap_or_else(|| sc.default_steps());
+            let events: Vec<_> = sc.events(args.seed, steps).collect();
+            (sc, steps, events)
+        });
+    let key_space = scenario
+        .as_ref()
+        .map(|(sc, _, _)| sc.dist().space())
+        .unwrap_or(args.keys);
+
     // Target: an existing server, or an ephemeral in-process one.
     let mut spawned: Option<CacheServer> = None;
     let addr = match args.addr {
@@ -113,7 +178,7 @@ fn main() -> ExitCode {
         None => {
             // Capacity sized to hold the whole key space at this value
             // length, so the run measures latency, not overflow refusals.
-            let capacity = (args.keys * (args.value_len as u64 + 64)).max(1 << 20);
+            let capacity = (key_space * (args.value_len as u64 + 64)).max(1 << 20);
             match CacheServer::spawn(capacity, 64) {
                 Ok(s) => {
                     let a = s.addr();
@@ -133,14 +198,28 @@ fn main() -> ExitCode {
         eprintln!("ring setup failed: {e:?}");
         return ExitCode::FAILURE;
     }
-    let report = match run_load(
-        &ring,
-        |_| addr,
-        args.workers,
-        args.ops,
-        args.keys,
-        args.value_len,
-    ) {
+    let run_result = match &scenario {
+        Some((sc, steps, events)) => {
+            println!(
+                "loadgen: scenario {} (seed {}, {} steps, {} events): {}",
+                sc.name(),
+                args.seed,
+                steps,
+                events.len(),
+                sc.summary()
+            );
+            run_scenario_load(&ring, |_| addr, args.workers, events, args.value_len)
+        }
+        None => run_load(
+            &ring,
+            |_| addr,
+            args.workers,
+            args.ops,
+            args.keys,
+            args.value_len,
+        ),
+    };
+    let report = match run_result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("load run failed: {e}");
@@ -191,6 +270,14 @@ fn main() -> ExitCode {
     if let Some(path) = &args.json {
         let mut doc = String::new();
         doc.push_str("{\n");
+        if let Some((sc, steps, _)) = &scenario {
+            doc.push_str(&format!(
+                "  \"scenario\": \"{}\",\n  \"seed\": {},\n  \"steps\": {},\n",
+                sc.name(),
+                args.seed,
+                steps
+            ));
+        }
         doc.push_str(&format!("  \"workers\": {},\n", args.workers));
         doc.push_str(&format!("  \"ops\": {},\n", report.ops));
         doc.push_str(&format!("  \"errors\": {},\n", report.errors));

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel;
 use ecc_chash::HashRing;
 use ecc_obs::LogHistogram;
+use ecc_workload::driver::Op;
 
 use crate::client::RemoteNode;
 
@@ -218,6 +219,103 @@ pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
     })
 }
 
+/// Replay a pre-generated scenario event stream (`(step, op, key)` triples
+/// from [`ecc_workload::scenario::Scenario::events`] or a loaded
+/// [`ecc_workload::trace::Trace`]) against live servers.
+///
+/// The stream is partitioned deterministically across `clients` workers
+/// (worker `w` executes events at indices `i ≡ w (mod clients)`), so the
+/// exact multiset of operations on the wire is a pure function of the
+/// scenario seed — only inter-worker interleaving varies run to run.
+/// Reads issue GETs (misses are counted, not repaired, so replays do not
+/// mutate state the trace did not ask for); writes issue PUTs of
+/// `value_len` bytes.
+pub fn run_scenario_load<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    events: &[(u64, Op, u64)],
+    value_len: usize,
+) -> std::io::Result<LoadReport> {
+    assert!(clients >= 1, "need at least one client");
+    let (tx, rx) = channel::bounded::<WorkerStats>(clients);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for w in 0..clients {
+            let tx = tx.clone();
+            let ring = ring.clone();
+            let addr_of = &addr_of;
+            scope.spawn(move || {
+                let mut stats = WorkerStats::default();
+                let mut conns: Vec<(SocketAddr, RemoteNode)> = Vec::new();
+                for &(_, op, key) in events.iter().skip(w).step_by(clients) {
+                    let Some(node) = ring.node_for_key(key) else {
+                        stats.errors += 1;
+                        continue;
+                    };
+                    let addr = addr_of(node);
+                    let conn = match conns.iter_mut().find(|(a, _)| *a == addr) {
+                        Some((_, c)) => c,
+                        None => match RemoteNode::connect_with_timeout(addr, NODE_IO_TIMEOUT) {
+                            Ok(c) => {
+                                conns.push((addr, c));
+                                let Some((_, conn)) = conns.last_mut() else {
+                                    stats.errors += 1;
+                                    continue;
+                                };
+                                conn
+                            }
+                            Err(_) => {
+                                stats.errors += 1;
+                                continue;
+                            }
+                        },
+                    };
+                    let t0 = Instant::now();
+                    match op {
+                        Op::Read => match conn.get(key) {
+                            Ok(Some(_)) => stats.hits += 1,
+                            Ok(None) => stats.misses += 1,
+                            Err(_) => stats.errors += 1,
+                        },
+                        Op::Write => {
+                            if conn.put(key, vec![(key % 251) as u8; value_len]).is_err() {
+                                stats.errors += 1;
+                            }
+                        }
+                    }
+                    stats.hist.record(t0.elapsed().as_micros() as u64);
+                    stats.ops += 1;
+                }
+                let _ = tx.send(stats);
+            });
+        }
+    });
+    drop(tx);
+
+    let mut all = WorkerStats::default();
+    let mut worker_hists = Vec::with_capacity(clients);
+    while let Ok(s) = rx.recv() {
+        all.ops += s.ops;
+        all.hits += s.hits;
+        all.misses += s.misses;
+        all.errors += s.errors;
+        all.hist.merge(&s.hist);
+        worker_hists.push(s.hist);
+    }
+    Ok(LoadReport {
+        ops: all.ops,
+        hits: all.hits,
+        misses: all.misses,
+        errors: all.errors,
+        elapsed: start.elapsed(),
+        latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
+        hist: all.hist,
+        worker_hists,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,6 +391,32 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99);
         assert!(ticks.load(Ordering::Relaxed) >= 1, "monitor never ticked");
         assert!(last_done.load(Ordering::Relaxed) <= 800);
+    }
+
+    #[test]
+    fn scenario_replay_executes_every_traced_op() {
+        use ecc_workload::scenario::Scenario;
+
+        let s = CacheServer::spawn(1 << 22, 64).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(1 << 16);
+        ring.insert_bucket((1 << 16) - 1, 0).unwrap();
+        let addr = s.addr();
+
+        let sc = Scenario::by_name("write_heavy").unwrap();
+        let events: Vec<_> = sc.events(5, 3).collect();
+        let writes = events.iter().filter(|(_, op, _)| *op == Op::Write).count();
+        assert!(writes > 0, "write_heavy scenario produced no writes");
+
+        let report = run_scenario_load(&ring, |_| addr, 3, &events, 32).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.ops as usize, events.len());
+        // Reads are GETs only — hits + misses account for every read.
+        assert_eq!(report.hits + report.misses, (events.len() - writes) as u64);
+
+        // Replaying the same event list performs the same multiset of ops.
+        let again = run_scenario_load(&ring, |_| addr, 2, &events, 32).unwrap();
+        assert_eq!(again.ops as usize, events.len());
+        assert_eq!(again.errors, 0);
     }
 
     #[test]

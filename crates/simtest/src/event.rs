@@ -28,6 +28,10 @@ pub enum Family {
     Proto,
     /// [`ecc_core::StaticCache`] vs. a reference per-node LRU model.
     Static,
+    /// A zoo scenario's op stream (`ecc_workload::scenario`) replayed
+    /// through the elastic harness and its flat-map oracle — realistic
+    /// skew/burst shapes instead of uniform event rolls.
+    Workload,
 }
 
 impl Family {
@@ -38,6 +42,7 @@ impl Family {
             Family::Live => "live",
             Family::Proto => "proto",
             Family::Static => "static",
+            Family::Workload => "workload",
         }
     }
 
@@ -48,12 +53,19 @@ impl Family {
             "live" => Family::Live,
             "proto" => Family::Proto,
             "static" => Family::Static,
+            "workload" => Family::Workload,
             _ => return None,
         })
     }
 
     /// All families, in the order the multi-seed runner executes them.
-    pub const ALL: [Family; 4] = [Family::Elastic, Family::Static, Family::Proto, Family::Live];
+    pub const ALL: [Family; 5] = [
+        Family::Elastic,
+        Family::Workload,
+        Family::Static,
+        Family::Proto,
+        Family::Live,
+    ];
 }
 
 impl fmt::Display for Family {

@@ -2,7 +2,9 @@
 //! deterministic — the same pair always yields the same schedule, on any
 //! machine, so a bare seed number is as replayable as a SIMSEED string.
 
+use ecc_workload::driver::Op;
 use ecc_workload::keys::KeyDist;
+use ecc_workload::scenario::Scenario;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -15,6 +17,7 @@ fn rng_for(family: Family, seed: u64) -> SmallRng {
         Family::Static => 0x53,
         Family::Proto => 0x50,
         Family::Live => 0x4C,
+        Family::Workload => 0x57,
     };
     SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag)
 }
@@ -36,6 +39,7 @@ pub fn generate(family: Family, seed: u64) -> Schedule {
         Family::Static => gen_static(&mut rng),
         Family::Proto => gen_proto(&mut rng),
         Family::Live => gen_live(&mut rng),
+        Family::Workload => gen_workload(&mut rng),
     }
 }
 
@@ -113,6 +117,52 @@ fn record_len(rng: &mut SmallRng, cap: u64) -> u32 {
         rng.gen_range(cap + 1..=cap + 200) as u32
     } else {
         rng.gen_range(20u32..=300)
+    }
+}
+
+/// Replay a deterministic slice of a zoo scenario's op stream through the
+/// elastic event grammar: reads become full cached-service queries, writes
+/// become bare inserts, scenario step boundaries close time slices. The
+/// differential flat-map oracle then audits the cache under realistic
+/// skew/burst shapes (shifting hot sets, flash crowds, tenant mixes) that
+/// the uniform per-event rolls of `gen_elastic` never produce.
+fn gen_workload(rng: &mut SmallRng) -> Schedule {
+    let mut cfg = SimConfig::base();
+    cfg.ring = 1024;
+    cfg.cap = rng.gen_range(1_000u64..=6_000);
+    cfg.m = if rng.gen_bool(0.25) {
+        0
+    } else {
+        rng.gen_range(1usize..=4)
+    };
+    cfg.alpha_pct = rng.gen_range(50u32..=99);
+    cfg.eps = rng.gen_range(1u64..=4);
+
+    let scenarios = Scenario::all();
+    let sc = &scenarios[rng.gen_range(0..scenarios.len())];
+    let scen_seed = rng.gen::<u64>();
+    let steps = rng.gen_range(2u64..=5);
+    // Scenario rates run to thousands of ops per step; cap the schedule so
+    // the battery stays fast and the shrinker's budget stays meaningful.
+    const MAX_OPS: usize = 240;
+    let mut events = Vec::new();
+    let mut last_step = 0u64;
+    for (step, op, key) in sc.events(scen_seed, steps).take(MAX_OPS) {
+        while last_step < step {
+            events.push(SimEvent::EndStep);
+            last_step += 1;
+        }
+        let len = record_len(rng, cfg.cap);
+        events.push(match op {
+            Op::Read => SimEvent::Query { key, len },
+            Op::Write => SimEvent::Insert { key, len },
+        });
+    }
+    events.push(SimEvent::EndStep);
+    Schedule {
+        family: Family::Workload,
+        cfg,
+        events,
     }
 }
 
@@ -282,5 +332,43 @@ mod tests {
         let a = generate(Family::Elastic, 7);
         let b = generate(Family::Static, 7);
         assert_ne!(a.events, b.events);
+    }
+
+    #[test]
+    fn workload_schedules_stay_inside_the_elastic_grammar() {
+        for seed in 0..30u64 {
+            let sched = generate(Family::Workload, seed);
+            assert_eq!(sched.family, Family::Workload);
+            assert!(
+                matches!(sched.events.last(), Some(SimEvent::EndStep)),
+                "seed {seed} does not close its final slice"
+            );
+            for ev in &sched.events {
+                assert!(
+                    matches!(
+                        ev,
+                        SimEvent::Query { .. } | SimEvent::Insert { .. } | SimEvent::EndStep
+                    ),
+                    "seed {seed} produced non-workload event {ev:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_schedules_cover_reads_and_writes() {
+        // Across a handful of seeds the zoo must surface both op kinds
+        // (write_heavy / multi_tenant carry writes; the rest are reads).
+        let (mut reads, mut writes) = (0usize, 0usize);
+        for seed in 0..40u64 {
+            for ev in generate(Family::Workload, seed).events {
+                match ev {
+                    SimEvent::Query { .. } => reads += 1,
+                    SimEvent::Insert { .. } => writes += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(reads > 0 && writes > 0, "reads={reads} writes={writes}");
     }
 }

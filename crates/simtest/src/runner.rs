@@ -77,7 +77,9 @@ fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
 /// failures, so a multi-seed run survives them.
 pub fn run_schedule(s: &Schedule) -> Result<(), SimFailure> {
     let res = catch_unwind(AssertUnwindSafe(|| match s.family {
-        Family::Elastic => elastic_sim::run(s),
+        // Workload schedules use the elastic event subset, so the elastic
+        // harness (and its oracles) executes them unchanged.
+        Family::Elastic | Family::Workload => elastic_sim::run(s),
         Family::Static => static_sim::run(s),
         Family::Proto => proto_sim::run(s),
         Family::Live => live_sim::run(s),

@@ -91,7 +91,12 @@ fn elastic_stale_replica_stays_fixed() {
 #[test]
 fn generation_and_execution_are_deterministic() {
     let _quiet = QuietPanics::install();
-    for family in [Family::Elastic, Family::Static, Family::Proto] {
+    for family in [
+        Family::Elastic,
+        Family::Workload,
+        Family::Static,
+        Family::Proto,
+    ] {
         for seed in [0u64, 3, 17] {
             let a = generate(family, seed);
             let b = generate(family, seed);
@@ -108,7 +113,12 @@ fn generation_and_execution_are_deterministic() {
 #[test]
 fn replay_reproduces_the_generated_schedule() {
     let _quiet = QuietPanics::install();
-    for family in [Family::Elastic, Family::Static, Family::Proto] {
+    for family in [
+        Family::Elastic,
+        Family::Workload,
+        Family::Static,
+        Family::Proto,
+    ] {
         let orig = generate(family, 42);
         let replayed = Schedule::decode(&orig.encode()).expect("self-encoding decodes");
         assert_eq!(orig.family, replayed.family);

@@ -33,6 +33,37 @@ pub enum KeyDist {
         /// Probability a query targets the hot set.
         hot_prob: f64,
     },
+    /// A hot set whose location *rotates* through the key space every
+    /// `rotate_every` time steps — the case that breaks single-copy
+    /// placement (CoT, arXiv:2006.08067): whichever node owns the current
+    /// hot window melts, then the heat moves on. Sampling is step-aware
+    /// via [`KeyDist::sample_at`]; step-blind [`KeyDist::sample`] sees the
+    /// step-0 hot set.
+    ShiftingHotspot {
+        /// Key-space size.
+        space: u64,
+        /// Size of the hot set.
+        hot_keys: u64,
+        /// Probability a query targets the current hot set.
+        hot_prob: f64,
+        /// Steps between hot-set rotations (the set advances by
+        /// `hot_keys` positions each rotation).
+        rotate_every: u64,
+    },
+    /// A weighted mix of tenants, each owning a disjoint contiguous slice
+    /// of the key space with its own inner distribution. Models the
+    /// multi-tenant cloud cache: capacity weights decide how often each
+    /// tenant queries, key slices keep their data disjoint.
+    MultiTenant {
+        /// Total key-space size (sum of tenant spaces).
+        space: u64,
+        /// Per-tenant `(base_key, inner_dist)`; tenant `i` draws from
+        /// `[base, base + inner.space())`.
+        tenants: Vec<(u64, KeyDist)>,
+        /// Cumulative normalized weights for tenant selection
+        /// (`cum_weights[i]` = P(tenant ≤ i)).
+        cum_weights: Vec<f64>,
+    },
 }
 
 impl KeyDist {
@@ -89,17 +120,86 @@ impl KeyDist {
         }
     }
 
+    /// A hot set of `hot_keys` keys hit with probability `hot_prob`,
+    /// rotating forward by `hot_keys` positions every `rotate_every` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty space, `hot_keys` outside `(0, space]`,
+    /// `hot_prob` outside `[0, 1]`, or `rotate_every == 0`.
+    pub fn shifting_hotspot(space: u64, hot_keys: u64, hot_prob: f64, rotate_every: u64) -> Self {
+        assert!(space > 0, "key space must be non-empty");
+        assert!(
+            hot_keys > 0 && hot_keys <= space,
+            "hot set must be within the key space"
+        );
+        assert!((0.0..=1.0).contains(&hot_prob), "probability out of range");
+        assert!(rotate_every > 0, "rotation period must be positive");
+        KeyDist::ShiftingHotspot {
+            space,
+            hot_keys,
+            hot_prob,
+            rotate_every,
+        }
+    }
+
+    /// A multi-tenant mix: each `(weight, dist)` pair is one tenant; the
+    /// tenants' key slices are laid out back to back, and a query picks its
+    /// tenant with probability proportional to `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants` is empty or any weight is non-positive or
+    /// non-finite.
+    pub fn multi_tenant(tenants: Vec<(f64, KeyDist)>) -> Self {
+        assert!(!tenants.is_empty(), "need at least one tenant");
+        assert!(
+            tenants.iter().all(|(w, _)| *w > 0.0 && w.is_finite()),
+            "tenant weights must be positive and finite"
+        );
+        let total_w: f64 = tenants.iter().map(|(w, _)| *w).sum();
+        let mut cum_weights = Vec::with_capacity(tenants.len());
+        let mut acc = 0.0f64;
+        let mut base = 0u64;
+        let mut laid_out = Vec::with_capacity(tenants.len());
+        for (w, dist) in tenants {
+            acc += w / total_w;
+            cum_weights.push(acc);
+            let span = dist.space();
+            laid_out.push((base, dist));
+            base += span;
+        }
+        // Guard against float drift: the last tenant always matches.
+        if let Some(last) = cum_weights.last_mut() {
+            *last = 1.0;
+        }
+        KeyDist::MultiTenant {
+            space: base,
+            tenants: laid_out,
+            cum_weights,
+        }
+    }
+
     /// The key-space size.
     pub fn space(&self) -> u64 {
         match *self {
             KeyDist::Uniform { space }
             | KeyDist::Zipf { space, .. }
-            | KeyDist::Hotspot { space, .. } => space,
+            | KeyDist::Hotspot { space, .. }
+            | KeyDist::ShiftingHotspot { space, .. }
+            | KeyDist::MultiTenant { space, .. } => space,
         }
     }
 
-    /// Draw one key.
+    /// Draw one key, step-blind: shifting hot sets are frozen at step 0.
+    /// Prefer [`KeyDist::sample_at`] when a time step is in scope.
     pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        self.sample_at(rng, 0)
+    }
+
+    /// Draw one key for time step `step`. Time-invariant distributions
+    /// ignore `step` and draw identically to [`KeyDist::sample`].
+    pub fn sample_at(&self, rng: &mut SmallRng, step: u64) -> u64 {
         match self {
             KeyDist::Uniform { space } => rng.gen_range(0..*space),
             KeyDist::Zipf { cdf, .. } => {
@@ -117,6 +217,31 @@ impl KeyDist {
                 } else {
                     rng.gen_range(0..*space)
                 }
+            }
+            KeyDist::ShiftingHotspot {
+                space,
+                hot_keys,
+                hot_prob,
+                rotate_every,
+            } => {
+                if rng.gen::<f64>() < *hot_prob {
+                    let offset = (step / rotate_every).wrapping_mul(*hot_keys) % space;
+                    (offset + rng.gen_range(0..*hot_keys)) % space
+                } else {
+                    rng.gen_range(0..*space)
+                }
+            }
+            KeyDist::MultiTenant {
+                tenants,
+                cum_weights,
+                ..
+            } => {
+                let u: f64 = rng.gen();
+                let i = cum_weights
+                    .partition_point(|&c| c < u)
+                    .min(tenants.len() - 1);
+                let (base, dist) = &tenants[i];
+                base + dist.sample_at(rng, step)
             }
         }
     }
@@ -222,5 +347,92 @@ mod tests {
     #[should_panic(expected = "within the key space")]
     fn oversized_hot_set_rejected() {
         KeyDist::hotspot(10, 11, 0.5);
+    }
+
+    #[test]
+    fn shifting_hotspot_moves_with_the_step() {
+        let d = KeyDist::shifting_hotspot(10_000, 100, 1.0, 5);
+        let mut r = rng(6);
+        // Steps 0..5 draw from [0, 100); steps 5..10 from [100, 200), etc.
+        for _ in 0..500 {
+            assert!(d.sample_at(&mut r, 0) < 100);
+            let k = d.sample_at(&mut r, 7);
+            assert!((100..200).contains(&k), "step 7 drew {k}");
+            let k = d.sample_at(&mut r, 12);
+            assert!((200..300).contains(&k), "step 12 drew {k}");
+        }
+        // Step-blind sampling sees the step-0 hot set.
+        for _ in 0..100 {
+            assert!(d.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn shifting_hotspot_wraps_around_the_space() {
+        let d = KeyDist::shifting_hotspot(250, 100, 1.0, 1);
+        let mut r = rng(7);
+        // Step 2: offset 200, hot window wraps [200, 250) ∪ [0, 50).
+        for _ in 0..500 {
+            let k = d.sample_at(&mut r, 2);
+            assert!(!(50..200).contains(&k), "wrapped window drew {k}");
+        }
+    }
+
+    #[test]
+    fn multi_tenant_respects_weights_and_slices() {
+        let d = KeyDist::multi_tenant(vec![
+            (3.0, KeyDist::uniform(100)),
+            (1.0, KeyDist::uniform(100)),
+        ]);
+        assert_eq!(d.space(), 200);
+        let mut r = rng(8);
+        let n = 40_000;
+        let mut first = 0u64;
+        for _ in 0..n {
+            let k = d.sample_at(&mut r, 3);
+            assert!(k < 200);
+            if k < 100 {
+                first += 1;
+            }
+        }
+        let frac = first as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "tenant-0 fraction {frac}");
+    }
+
+    #[test]
+    fn multi_tenant_inner_dists_keep_their_shape() {
+        // Tenant 1 is a Zipf: its slice must still prefer its low ranks.
+        let d = KeyDist::multi_tenant(vec![
+            (1.0, KeyDist::uniform(50)),
+            (1.0, KeyDist::zipf(1000, 1.2)),
+        ]);
+        let mut r = rng(9);
+        let n = 20_000;
+        let mut tenant1_low = 0u64;
+        let mut tenant1_all = 0u64;
+        for _ in 0..n {
+            let k = d.sample(&mut r);
+            if k >= 50 {
+                tenant1_all += 1;
+                if k < 60 {
+                    tenant1_low += 1;
+                }
+            }
+        }
+        assert!(tenant1_all > 0);
+        let frac = tenant1_low as f64 / tenant1_all as f64;
+        assert!(frac > 0.3, "zipf tenant top-10 mass only {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn empty_tenant_mix_rejected() {
+        KeyDist::multi_tenant(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_tenant_weight_rejected() {
+        KeyDist::multi_tenant(vec![(0.0, KeyDist::uniform(10))]);
     }
 }

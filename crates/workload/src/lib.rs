@@ -18,10 +18,14 @@
 //! * [`keys`] — the randomized key draws (`rand_coordinates`): uniform over
 //!   a 64 K/32 K space as in the paper, plus Zipfian and hotspot
 //!   distributions for sensitivity studies, and
-//! * [`driver`] — an iterator yielding `(time_step, key)` pairs that a
-//!   harness feeds to any cache implementation, and
-//! * [`trace`] — capture/replay of those pairs on disk, for byte-identical
-//!   cross-version comparisons.
+//! * [`driver`] — an iterator yielding `(time_step, key)` pairs — or full
+//!   `(time_step, op, key)` triples once a write ratio is set — that a
+//!   harness feeds to any cache implementation,
+//! * [`trace`] — capture/replay of those events on disk, for byte-identical
+//!   cross-version comparisons, and
+//! * [`scenario`] — the scenario zoo: named bundles of the above
+//!   (shifting hot sets, diurnal waves, flash crowds, multi-tenant mixes)
+//!   shared by cloudsim, `loadgen --scenario` and simtest.
 //!
 //! # Example
 //!
@@ -46,5 +50,6 @@
 
 pub mod driver;
 pub mod keys;
+pub mod scenario;
 pub mod schedule;
 pub mod trace;

@@ -22,12 +22,28 @@ pub enum Phase {
         /// Rate approached by the end of the phase.
         to: u64,
     },
+    /// A diurnal sine wave: `base + amplitude·sin(2π·offset/period)`,
+    /// clamped at zero. Models time-varying request volume (Carlsson/
+    /// Eager, arXiv:1803.03914) — the day/night cycle elasticity policies
+    /// must track without churning.
+    Diurnal {
+        /// How many time steps this phase lasts.
+        steps: u64,
+        /// Mean rate (the wave's midline).
+        base: u64,
+        /// Peak deviation from the midline.
+        amplitude: u64,
+        /// Steps per full day/night cycle.
+        period: u64,
+    },
 }
 
 impl Phase {
     fn steps(&self) -> u64 {
         match *self {
-            Phase::Flat { steps, .. } | Phase::Ramp { steps, .. } => steps,
+            Phase::Flat { steps, .. }
+            | Phase::Ramp { steps, .. }
+            | Phase::Diurnal { steps, .. } => steps,
         }
     }
 
@@ -41,15 +57,42 @@ impl Phase {
                 let t = offset as f64 / (steps - 1) as f64;
                 (from as f64 + (to as f64 - from as f64) * t).round() as u64
             }
+            Phase::Diurnal {
+                base,
+                amplitude,
+                period,
+                ..
+            } => {
+                let period = period.max(1);
+                let t = (offset % period) as f64 / period as f64;
+                let wave = base as f64 + amplitude as f64 * (2.0 * std::f64::consts::PI * t).sin();
+                wave.round().max(0.0) as u64
+            }
         }
     }
 }
 
+/// A flash crowd: a multiplicative arrival spike layered over a baseline
+/// schedule for `[at, at + len)` steps (the paper's shoreline scenario —
+/// a disaster hits and everyone asks for the same map region at once).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Spike {
+    /// First step of the spike (0-based).
+    pub at: u64,
+    /// How many steps the spike lasts.
+    pub len: u64,
+    /// Rate multiplier while the spike is active (×50 in ROADMAP item 5).
+    pub mult: u64,
+}
+
 /// A piecewise rate schedule; steps past the last phase repeat the final
-/// phase's ending rate.
+/// phase's ending rate. Optional [`Spike`] overlays multiply the phase
+/// rate while active (flash crowds).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RateSchedule {
     phases: Vec<Phase>,
+    #[serde(default)]
+    spikes: Vec<Spike>,
 }
 
 impl RateSchedule {
@@ -64,12 +107,53 @@ impl RateSchedule {
             phases.iter().all(|p| p.steps() > 0),
             "phases must last at least one step"
         );
-        Self { phases }
+        Self {
+            phases,
+            spikes: Vec::new(),
+        }
     }
 
     /// A constant rate forever.
     pub fn constant(rate: u64) -> Self {
         Self::new(vec![Phase::Flat { steps: 1, rate }])
+    }
+
+    /// A pure diurnal schedule: `base ± amplitude` over a `period`-step
+    /// cycle, repeating forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn diurnal(base: u64, amplitude: u64, period: u64) -> Self {
+        assert!(period > 0, "diurnal period must be positive");
+        Self::new(vec![Phase::Diurnal {
+            steps: period,
+            base,
+            amplitude,
+            period,
+        }])
+    }
+
+    /// Layer flash-crowd spikes over this schedule: while step ∈
+    /// `[spike.at, spike.at + spike.len)`, the rate is multiplied by
+    /// `spike.mult`. Overlapping spikes compound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spike has zero length or a zero multiplier (use
+    /// `mult = 1` for a no-op, or drop the spike).
+    pub fn with_flash_crowds(mut self, spikes: Vec<Spike>) -> Self {
+        assert!(
+            spikes.iter().all(|s| s.len > 0 && s.mult > 0),
+            "spikes need positive length and multiplier"
+        );
+        self.spikes = spikes;
+        self
+    }
+
+    /// The flash-crowd overlays, if any.
+    pub fn spikes(&self) -> &[Spike] {
+        &self.spikes
     }
 
     /// The eviction-experiment schedule of paper §IV-C:
@@ -102,6 +186,20 @@ impl RateSchedule {
 
     /// Queries per time step at 0-based step `step`.
     pub fn rate_at(&self, step: u64) -> u64 {
+        let base = self.base_rate_at(step);
+        let mult: u64 = self
+            .spikes
+            .iter()
+            .filter(|s| step >= s.at && step - s.at < s.len)
+            .map(|s| s.mult)
+            .product();
+        base.saturating_mul(mult)
+    }
+
+    /// The phase rate at `step`, before any spike overlay. A diurnal phase
+    /// that is also the final phase keeps cycling past the schedule end
+    /// (the wave is periodic); other phase kinds hold their final rate.
+    fn base_rate_at(&self, step: u64) -> u64 {
         let mut offset = step;
         for phase in &self.phases {
             if offset < phase.steps() {
@@ -109,9 +207,13 @@ impl RateSchedule {
             }
             offset -= phase.steps();
         }
-        // Past the end: hold the final rate.
+        // Past the end: a trailing diurnal wave keeps oscillating, other
+        // phases hold their final rate.
         let last = self.phases.last().expect("non-empty");
-        last.rate_at(last.steps() - 1)
+        match last {
+            Phase::Diurnal { steps, .. } => last.rate_at((steps.saturating_sub(1)) + offset + 1),
+            _ => last.rate_at(last.steps() - 1),
+        }
     }
 
     /// Total queries issued over the first `steps` time steps.
@@ -193,5 +295,71 @@ mod tests {
     #[should_panic(expected = "at least one step")]
     fn zero_length_phase_rejected() {
         RateSchedule::new(vec![Phase::Flat { steps: 0, rate: 1 }]);
+    }
+
+    #[test]
+    fn diurnal_wave_peaks_and_troughs() {
+        let s = RateSchedule::diurnal(100, 50, 100);
+        // Midline at the cycle start, peak a quarter in, trough at 3/4.
+        assert_eq!(s.rate_at(0), 100);
+        assert_eq!(s.rate_at(25), 150);
+        assert_eq!(s.rate_at(75), 50);
+        // The wave keeps cycling past the single phase's end.
+        assert_eq!(s.rate_at(125), 150);
+        assert_eq!(s.rate_at(1_000_025), 150);
+    }
+
+    #[test]
+    fn diurnal_never_goes_negative() {
+        let s = RateSchedule::diurnal(10, 50, 40);
+        for step in 0..200 {
+            let _ = s.rate_at(step); // must not panic or wrap
+        }
+        assert_eq!(s.rate_at(30), 0, "trough clamps at zero");
+    }
+
+    #[test]
+    fn flash_crowd_multiplies_only_inside_the_spike() {
+        let s = RateSchedule::constant(50).with_flash_crowds(vec![Spike {
+            at: 10,
+            len: 5,
+            mult: 50,
+        }]);
+        assert_eq!(s.rate_at(9), 50);
+        assert_eq!(s.rate_at(10), 2500);
+        assert_eq!(s.rate_at(14), 2500);
+        assert_eq!(s.rate_at(15), 50);
+        // total_queries integrates the spike.
+        assert_eq!(s.total_queries(20), 50 * 15 + 2500 * 5);
+    }
+
+    #[test]
+    fn overlapping_spikes_compound() {
+        let s = RateSchedule::constant(10).with_flash_crowds(vec![
+            Spike {
+                at: 0,
+                len: 4,
+                mult: 2,
+            },
+            Spike {
+                at: 2,
+                len: 4,
+                mult: 3,
+            },
+        ]);
+        assert_eq!(s.rate_at(0), 20);
+        assert_eq!(s.rate_at(2), 60);
+        assert_eq!(s.rate_at(4), 30);
+        assert_eq!(s.rate_at(6), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn zero_length_spike_rejected() {
+        RateSchedule::constant(1).with_flash_crowds(vec![Spike {
+            at: 0,
+            len: 0,
+            mult: 2,
+        }]);
     }
 }

@@ -3,16 +3,27 @@
 //! Figure runs are reproducible from seeds, but debugging a divergence (or
 //! comparing cache policies on byte-identical inputs across machines and
 //! versions) wants the actual query sequence on disk. A trace is the flat
-//! `(time_step, key)` stream; the format is line-oriented
-//! (`step,key`, `#`-comments allowed) so it can be inspected, diffed and
-//! edited by hand.
+//! `(time_step, op, key)` stream; the format is line-oriented so it can be
+//! inspected, diffed and edited by hand:
+//!
+//! ```text
+//! step,key        # a read (the original v1 form)
+//! step,w,key      # a write
+//! step,r,key      # a read, tagged explicitly
+//! ```
+//!
+//! Read-only traces serialize exactly as the v1 `step,key` format, so
+//! pre-zoo traces replay unchanged and new read-only captures stay
+//! byte-compatible with old readers.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use crate::driver::Op;
 
 /// An in-memory query trace.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Trace {
-    events: Vec<(u64, u64)>,
+    events: Vec<(u64, Op, u64)>,
 }
 
 impl Trace {
@@ -21,15 +32,25 @@ impl Trace {
         Self::default()
     }
 
-    /// Capture a trace from any `(step, key)` iterator (e.g.
-    /// [`crate::driver::QueryStream::take_steps`]).
+    /// Capture a trace from a `(step, key)` iterator (e.g.
+    /// [`crate::driver::QueryStream::take_steps`]); every event is a read.
     ///
     /// # Panics
     ///
     /// Panics if steps are not non-decreasing — a trace must replay in the
     /// order the workload produced it.
     pub fn capture(events: impl IntoIterator<Item = (u64, u64)>) -> Self {
-        let events: Vec<(u64, u64)> = events.into_iter().collect();
+        Self::capture_ops(events.into_iter().map(|(s, k)| (s, Op::Read, k)))
+    }
+
+    /// Capture a trace from a full `(step, op, key)` iterator (e.g.
+    /// [`crate::driver::QueryStream::take_steps_ops`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps are not non-decreasing.
+    pub fn capture_ops(events: impl IntoIterator<Item = (u64, Op, u64)>) -> Self {
+        let events: Vec<(u64, Op, u64)> = events.into_iter().collect();
         assert!(
             events.windows(2).all(|w| w[0].0 <= w[1].0),
             "trace steps must be non-decreasing"
@@ -49,26 +70,44 @@ impl Trace {
 
     /// The last time step (0 if empty).
     pub fn steps(&self) -> u64 {
-        self.events.last().map(|&(s, _)| s + 1).unwrap_or(0)
+        self.events.last().map(|&(s, _, _)| s + 1).unwrap_or(0)
     }
 
-    /// Iterate over `(step, key)` pairs.
+    /// Number of write events.
+    pub fn writes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, op, _)| *op == Op::Write)
+            .count()
+    }
+
+    /// Iterate over `(step, key)` pairs, ops dropped.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.events.iter().map(|&(s, _, k)| (s, k))
+    }
+
+    /// Iterate over full `(step, op, key)` triples.
+    pub fn iter_ops(&self) -> impl Iterator<Item = (u64, Op, u64)> + '_ {
         self.events.iter().copied()
     }
 
-    /// Serialize as `step,key` lines.
+    /// Serialize as trace lines (reads in the v1 `step,key` form, writes
+    /// as `step,w,key`).
     pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
         let mut w = BufWriter::new(w);
         writeln!(w, "# elastic-cloud-cache query trace v1")?;
         writeln!(
             w,
-            "# {} queries over {} time steps",
+            "# {} queries ({} writes) over {} time steps",
             self.len(),
+            self.writes(),
             self.steps()
         )?;
-        for &(step, key) in &self.events {
-            writeln!(w, "{step},{key}")?;
+        for &(step, op, key) in &self.events {
+            match op {
+                Op::Read => writeln!(w, "{step},{key}")?,
+                Op::Write => writeln!(w, "{step},w,{key}")?,
+            }
         }
         w.flush()
     }
@@ -90,16 +129,26 @@ impl Trace {
                     format!("line {}: {msg}: {line:?}", no + 1),
                 )
             };
-            let (s, k) = line
-                .split_once(',')
-                .ok_or_else(|| bad("expected step,key"))?;
-            let step: u64 = s.trim().parse().map_err(|_| bad("bad step"))?;
-            let key: u64 = k.trim().parse().map_err(|_| bad("bad key"))?;
+            let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+            let (s, op, k) = match fields.as_slice() {
+                [s, k] => (*s, Op::Read, *k),
+                [s, t, k] => {
+                    let mut chars = t.chars();
+                    let op = match (chars.next().and_then(Op::from_tag), chars.next()) {
+                        (Some(op), None) => op,
+                        _ => return Err(bad("bad op tag (expected r or w)")),
+                    };
+                    (*s, op, *k)
+                }
+                _ => return Err(bad("expected step,key or step,op,key")),
+            };
+            let step: u64 = s.parse().map_err(|_| bad("bad step"))?;
+            let key: u64 = k.parse().map_err(|_| bad("bad key"))?;
             if step < last_step {
                 return Err(bad("steps went backwards"));
             }
             last_step = step;
-            events.push((step, key));
+            events.push((step, op, key));
         }
         Ok(Trace { events })
     }
@@ -148,12 +197,54 @@ mod tests {
     }
 
     #[test]
-    fn parser_skips_comments_and_rejects_garbage() {
-        let good = "# header\n\n0,5\n0,7\n2,9\n";
-        let t = Trace::read_from(good.as_bytes()).unwrap();
-        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(0, 5), (0, 7), (2, 9)]);
+    fn ops_roundtrip_through_the_text_format() {
+        let stream = QueryStream::new(RateSchedule::constant(6), KeyDist::uniform(1 << 10), 21)
+            .with_write_ratio(0.4);
+        let t = Trace::capture_ops(stream.take_steps_ops(15));
+        assert!(t.writes() > 0, "expected some writes at ratio 0.4");
+        assert!(t.writes() < t.len());
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let back = Trace::read_from(&buf[..]).unwrap();
+        assert_eq!(back, t);
+        let original: Vec<_> = stream.take_steps_ops(15).collect();
+        let replayed: Vec<_> = back.iter_ops().collect();
+        assert_eq!(replayed, original);
+    }
 
-        for bad in ["0;5\n", "x,1\n", "1,y\n", "5,1\n2,2\n"] {
+    #[test]
+    fn read_only_traces_serialize_in_v1_form() {
+        let t = Trace::capture(vec![(0, 5), (1, 9)]);
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("0,5\n"), "v1 two-field lines expected");
+        assert!(!text.contains(",r,"), "reads must not carry a tag");
+    }
+
+    #[test]
+    fn parser_skips_comments_and_rejects_garbage() {
+        let good = "# header\n\n0,5\n0,w,7\n1,r,8\n2,9\n";
+        let t = Trace::read_from(good.as_bytes()).unwrap();
+        assert_eq!(
+            t.iter_ops().collect::<Vec<_>>(),
+            vec![
+                (0, Op::Read, 5),
+                (0, Op::Write, 7),
+                (1, Op::Read, 8),
+                (2, Op::Read, 9)
+            ]
+        );
+
+        for bad in [
+            "0;5\n",
+            "x,1\n",
+            "1,y\n",
+            "5,1\n2,2\n",
+            "0,z,5\n",
+            "0,ww,5\n",
+            "0,w,5,6\n",
+        ] {
             assert!(
                 Trace::read_from(bad.as_bytes()).is_err(),
                 "accepted {bad:?}"
@@ -166,7 +257,7 @@ mod tests {
         let dir = std::env::temp_dir().join("ecc-trace-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.trace");
-        let t = Trace::capture(vec![(0, 1), (0, 2), (1, 3)]);
+        let t = Trace::capture_ops(vec![(0, Op::Read, 1), (0, Op::Write, 2), (1, Op::Read, 3)]);
         t.save(&path).unwrap();
         assert_eq!(Trace::load(&path).unwrap(), t);
         std::fs::remove_file(&path).ok();

@@ -9,14 +9,16 @@
 
 use proc_macro::TokenStream;
 
-/// No-op stand-in for `serde::Serialize`'s derive.
-#[proc_macro_derive(Serialize)]
+/// No-op stand-in for `serde::Serialize`'s derive. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// No-op stand-in for `serde::Deserialize`'s derive.
-#[proc_macro_derive(Deserialize)]
+/// No-op stand-in for `serde::Deserialize`'s derive. Registers the `serde`
+/// helper attribute so field annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
 }
