@@ -19,7 +19,7 @@ use ecc_cloudsim::InstanceId;
 use ecc_core::{CacheNode, ElasticCache, Record, ShardedNode, SlidingWindow, DEFAULT_STRIPES};
 use ecc_net::client::RemoteNode;
 use ecc_net::coordinator::LiveCoordinator;
-use ecc_net::loadgen::run_load;
+use ecc_net::loadgen::{run_load, run_load_pipelined, LoadReport};
 use ecc_net::protocol::Request;
 use ecc_net::server::CacheServer;
 
@@ -278,18 +278,35 @@ fn bench_node_scaling(opts: BenchOptions) -> Vec<BenchResult> {
     rows
 }
 
-/// Multi-client closed-loop throughput over the wire: 1/2/4/8 loadgen
-/// workers against a single live server (rows `wire_node_w{N}`), the
-/// end-to-end counterpart of [`bench_node_scaling`]'s in-process curve.
+/// In-flight windows for the wire sweep: `wire_node_w{N}` drives two
+/// pipelined connections at window N each. Concurrency on the wire is
+/// *in-flight requests*, not client threads — on a small host extra
+/// client threads only measure the client's scheduler (that artifact is
+/// what made the old thread-per-connection curve *fall* from w1 to w8),
+/// while a deeper window genuinely amortizes the per-burst syscall pair
+/// and wakeups across more frames (watch `reactor_frames_per_wake`).
+const WIRE_WINDOWS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Closed-loop throughput over the wire at increasing in-flight windows
+/// (rows `wire_node_w{N}`, two pipelined connections at window N), the
+/// end-to-end counterpart of [`bench_node_scaling`]'s in-process curve,
+/// plus an ungated serial 4-worker row (`wire_serial_w4`) pinning the
+/// one-round-trip-at-a-time cost the old blocking server was stuck with.
+///
+/// 256 B values keep the sweep a front-end benchmark (framing, syscalls,
+/// scheduling) rather than a loopback-memcpy one — the paper's cached
+/// service results are small records, and the in-process counterpart
+/// serves its payloads by refcount bump.
 fn bench_wire_scaling(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
     // wire_node_w* rows are gated, and the p99 of a client RTT
     // distribution needs enough samples to be a real quantile rather than
     // a near-max order statistic — so smoke keeps the full iteration
-    // count (the whole wire sweep costs well under a second).
+    // count (the whole wire sweep costs a few seconds).
     let _ = opts;
-    let per_worker = 2_000u64;
+    let clients = 2usize;
+    let total_ops = 48_000u64;
     let key_space = 256u64;
-    let value_len = 16 * 1024usize;
+    let value_len = 256usize;
     let server = CacheServer::spawn(key_space * (value_len as u64) * 2, 64)?;
     let addr = server.addr();
 
@@ -307,24 +324,40 @@ fn bench_wire_scaling(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
     ring.insert_bucket(63, 0)
         .map_err(|e| io::Error::other(format!("ring setup: {e:?}")))?;
 
+    let row_from = |name: String, report: LoadReport| BenchResult {
+        name,
+        ops: report.ops,
+        ops_per_sec: report.throughput(),
+        p50_ns: report.latency_us.0 * 1_000,
+        p99_ns: report.latency_us.2.max(report.latency_us.0) * 1_000,
+    };
+
     let mut rows = Vec::new();
-    for &w in &SCALING_WORKERS {
-        let report = run_load(
-            &ring,
-            |_| addr,
-            w,
-            per_worker * w as u64,
-            key_space,
-            value_len,
-        )?;
-        rows.push(BenchResult {
-            name: format!("wire_node_w{w}"),
-            ops: report.ops,
-            ops_per_sec: report.throughput(),
-            p50_ns: report.latency_us.0 * 1_000,
-            p99_ns: report.latency_us.2.max(report.latency_us.0) * 1_000,
-        });
+    for &w in &WIRE_WINDOWS {
+        // Best of three: wire numbers share the box with the server, so
+        // keep the minimum-interference repeat (same policy as the
+        // in-process scaling curve above).
+        let mut best: Option<LoadReport> = None;
+        for _ in 0..3 {
+            let report =
+                run_load_pipelined(&ring, |_| addr, clients, total_ops, key_space, value_len, w)?;
+            if best
+                .as_ref()
+                .is_none_or(|b| report.throughput() > b.throughput())
+            {
+                best = Some(report);
+            }
+        }
+        let report = best.expect("three repeats ran");
+        rows.push(row_from(format!("wire_node_w{w}"), report));
     }
+
+    // Ungated serial comparison row: four blocking one-request-at-a-time
+    // workers, the closed loop PR 5 measured. Keeps the pipelining win
+    // visible in bench.json without gating a number the windowed rows
+    // already cover.
+    let serial = run_load(&ring, |_| addr, 4, total_ops, key_space, value_len)?;
+    rows.push(row_from("wire_serial_w4".into(), serial));
     Ok(rows)
 }
 

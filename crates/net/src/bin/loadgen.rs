@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p ecc-net --bin loadgen -- \
 //!     [--workers 4] [--ops 20000] [--keys 1024] [--value-len 1024] \
+//!     [--pipeline DEPTH] [--fanout CONNS] \
 //!     [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
 //!     [--addr HOST:PORT | --spawn] [--json PATH]
 //! ```
@@ -11,6 +12,16 @@
 //! connection issuing GET-then-PUT-on-miss). With `--spawn` (the default
 //! when no `--addr` is given) an ephemeral server is started in-process,
 //! which is how the scaling smoke run in CI uses it.
+//!
+//! `--pipeline DEPTH` keeps up to DEPTH requests in flight per
+//! connection (request frames batched into one write, responses retired
+//! in order), exercising the server's per-connection pipelining. The
+//! summary and `--json` output then carry per-depth RTT histograms
+//! (`client_rtt_us:d<k>` = RTTs of requests enqueued with k in flight),
+//! exposing how queueing depth stretches the tail. `--fanout CONNS`
+//! (pipelined mode only) opens CONNS pipelined connections per worker,
+//! rotated per request — scaling server-side connection count without
+//! adding client threads.
 //!
 //! `--scenario NAME` replays a zoo scenario (`ecc_workload::scenario`)
 //! instead of the uniform GET-then-PUT loop: the event stream is generated
@@ -29,7 +40,7 @@ use std::process::ExitCode;
 
 use ecc_chash::HashRing;
 use ecc_net::client::RemoteNode;
-use ecc_net::loadgen::{run_load, run_scenario_load};
+use ecc_net::loadgen::{run_load, run_load_fanout, run_scenario_load};
 use ecc_net::server::CacheServer;
 use ecc_obs::ObsSnapshot;
 use ecc_workload::scenario::Scenario;
@@ -39,6 +50,8 @@ struct Args {
     ops: u64,
     keys: u64,
     value_len: usize,
+    pipeline: Option<usize>,
+    fanout: usize,
     addr: Option<SocketAddr>,
     json: Option<String>,
     scenario: Option<String>,
@@ -52,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         ops: 20_000,
         keys: 1024,
         value_len: 1024,
+        pipeline: None,
+        fanout: 1,
         addr: None,
         json: None,
         scenario: None,
@@ -83,6 +98,18 @@ fn parse_args() -> Result<Args, String> {
                 args.value_len = take("--value-len")?
                     .parse()
                     .map_err(|e| format!("bad value length: {e}"))?
+            }
+            "--pipeline" => {
+                args.pipeline = Some(
+                    take("--pipeline")?
+                        .parse()
+                        .map_err(|e| format!("bad pipeline depth: {e}"))?,
+                )
+            }
+            "--fanout" => {
+                args.fanout = take("--fanout")?
+                    .parse()
+                    .map_err(|e| format!("bad fanout: {e}"))?
             }
             "--addr" => {
                 args.addr = Some(
@@ -129,6 +156,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: loadgen [--workers N] [--ops N] [--keys N] [--value-len N] \
+                     [--pipeline DEPTH] [--fanout CONNS] \
                      [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
                      [--addr HOST:PORT | --spawn] [--json PATH]"
                         .to_string(),
@@ -142,6 +170,20 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.keys == 0 {
         return Err("--keys must be positive".to_string());
+    }
+    if args.pipeline == Some(0) {
+        return Err("--pipeline depth must be positive".to_string());
+    }
+    if args.pipeline.is_some() && args.scenario.is_some() {
+        return Err("--pipeline does not combine with --scenario (replays are serial)".to_string());
+    }
+    if args.fanout == 0 {
+        return Err("--fanout must be positive".to_string());
+    }
+    if args.fanout > 1 && args.pipeline.is_none() {
+        return Err(
+            "--fanout needs --pipeline (serial workers are one connection each)".to_string(),
+        );
     }
     Ok(args)
 }
@@ -210,14 +252,26 @@ fn main() -> ExitCode {
             );
             run_scenario_load(&ring, |_| addr, args.workers, events, args.value_len)
         }
-        None => run_load(
-            &ring,
-            |_| addr,
-            args.workers,
-            args.ops,
-            args.keys,
-            args.value_len,
-        ),
+        None => match args.pipeline {
+            Some(depth) => run_load_fanout(
+                &ring,
+                |_| addr,
+                args.workers,
+                args.fanout,
+                args.ops,
+                args.keys,
+                args.value_len,
+                depth,
+            ),
+            None => run_load(
+                &ring,
+                |_| addr,
+                args.workers,
+                args.ops,
+                args.keys,
+                args.value_len,
+            ),
+        },
     };
     let report = match run_result {
         Ok(r) => r,
@@ -236,6 +290,10 @@ fn main() -> ExitCode {
     for (i, h) in report.worker_hists.iter().enumerate() {
         snap.hists.insert(format!("client_rtt_us:w{i}"), h.clone());
     }
+    for (i, h) in report.depth_hists.iter().enumerate() {
+        snap.hists
+            .insert(format!("client_rtt_us:d{}", i + 1), h.clone());
+    }
 
     let (p50, p95, p99) = report.latency_us;
     println!(
@@ -249,6 +307,20 @@ fn main() -> ExitCode {
         report.errors,
     );
     println!("client RTT p50/p95/p99: {p50}/{p95}/{p99} us");
+    if let Some(depth) = args.pipeline {
+        println!("pipeline depth {depth}; RTT by in-flight depth at enqueue:");
+        for (i, h) in report.depth_hists.iter().enumerate() {
+            if h.count() > 0 {
+                println!(
+                    "  depth {}: {} ops, p50 {} us, p99 {} us",
+                    i + 1,
+                    h.count(),
+                    h.p50(),
+                    h.p99()
+                );
+            }
+        }
+    }
     for (i, h) in report.worker_hists.iter().enumerate() {
         println!(
             "  worker {i}: {} ops, p50 {} us, p99 {} us",
@@ -288,6 +360,22 @@ fn main() -> ExitCode {
         doc.push_str(&format!(
             "  \"rtt_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}}},\n"
         ));
+        if let Some(depth) = args.pipeline {
+            doc.push_str(&format!("  \"pipeline_depth\": {depth},\n"));
+            doc.push_str("  \"rtt_by_depth\": [\n");
+            let n = report.depth_hists.len();
+            for (i, h) in report.depth_hists.iter().enumerate() {
+                let sep = if i + 1 == n { "" } else { "," };
+                doc.push_str(&format!(
+                    "    {{\"depth\": {}, \"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}{sep}\n",
+                    i + 1,
+                    h.count(),
+                    h.p50(),
+                    h.p99()
+                ));
+            }
+            doc.push_str("  ],\n");
+        }
         doc.push_str("  \"obs\": [\n");
         let n = snap.hists.len();
         for (i, (name, h)) in snap.hists.iter().enumerate() {

@@ -1,14 +1,14 @@
 //! Client handle to one remote cache node.
 
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use bytes::Bytes;
 
 use crate::protocol::{
-    decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
-    decode_statuses, read_frame_into, write_frame_buffered, Request, Status,
+    append_frame, decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
+    decode_statuses, read_frame_into, write_frame_buffered, FrameAssembler, Request, Status,
 };
 
 /// A persistent connection to a cache server.
@@ -215,5 +215,93 @@ impl RemoteNode {
     pub fn shutdown(&mut self) -> io::Result<()> {
         let _ = self.call(&Request::Shutdown)?;
         Ok(())
+    }
+}
+
+/// A pipelining connection: many requests in flight at once.
+///
+/// [`RemoteNode`] is strictly request/response — every call pays a full
+/// round trip plus two syscalls each way. `PipelinedConn` decouples the
+/// two halves: [`enqueue`](PipelinedConn::enqueue) buffers encoded request
+/// frames, [`flush`](PipelinedConn::flush) ships the whole batch in one
+/// write, and [`recv`](PipelinedConn::recv) pops responses in request
+/// order, reading the socket in bulk through a [`FrameAssembler`] (one
+/// `read` can deliver a whole burst of responses). With depth D in
+/// flight, per-request syscall cost approaches 2/D.
+pub struct PipelinedConn {
+    stream: TcpStream,
+    asm: FrameAssembler,
+    wbuf: Vec<u8>,
+    in_flight: usize,
+}
+
+impl PipelinedConn {
+    /// Connect, with `timeout` bounding the connect and every subsequent
+    /// blocking read.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<PipelinedConn> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(PipelinedConn {
+            stream,
+            asm: FrameAssembler::new(),
+            wbuf: Vec::new(),
+            in_flight: 0,
+        })
+    }
+
+    /// Requests enqueued or flushed whose responses have not been
+    /// received yet.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Buffer one request frame; nothing hits the socket until
+    /// [`flush`](PipelinedConn::flush).
+    pub fn enqueue(&mut self, req: &Request) -> io::Result<()> {
+        append_frame(&mut self.wbuf, |b| req.encode_into(b))?;
+        self.in_flight += 1;
+        Ok(())
+    }
+
+    /// Ship every buffered request in one write.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if !self.wbuf.is_empty() {
+            self.stream.write_all(&self.wbuf)?;
+            self.wbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Receive the next response in request order: `(status, body)`, the
+    /// body borrowing the connection's read buffer. Blocks (bounded by
+    /// the connect timeout) until a full frame arrives; a `Busy` status
+    /// maps to [`io::ErrorKind::ConnectionRefused`] like
+    /// [`RemoteNode::call`]. Flushes buffered requests first — a `recv`
+    /// can never deadlock against its own unsent request.
+    pub fn recv(&mut self) -> io::Result<(Status, &[u8])> {
+        self.flush()?;
+        while !self.asm.has_frame()? {
+            if self.asm.fill_from(&mut self.stream)? == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+        }
+        let frame = match self.asm.next_frame()? {
+            Some(f) => f,
+            None => return Err(bad_frame("assembler lost a probed frame")),
+        };
+        let (&status_byte, body) = frame
+            .split_first()
+            .ok_or_else(|| bad_frame("empty response frame"))?;
+        let status =
+            Status::from_u8(status_byte).ok_or_else(|| bad_frame("bad response status"))?;
+        if status == Status::Busy {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "server at connection capacity",
+            ));
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        Ok((status, body))
     }
 }

@@ -13,9 +13,14 @@
 //! (destructive range read) for migration, `KEYS`/`STATS` for the
 //! coordinator's split planning, and `PING`/`SHUTDOWN` for lifecycle.
 //!
-//! Threading model: thread-per-connection servers with a `parking_lot`
-//! mutex around each node's index (cache servers are I/O-bound; the paper's
-//! EC2 Smalls had one core anyway).
+//! Threading model: each server is an event-driven multi-reactor
+//! ([`reactor`]) — an acceptor enforcing the connection bound hands
+//! admitted sockets round-robin to N reactor threads, which sweep their
+//! owned connections with nonblocking reads, execute every pipelined
+//! frame against the hash-striped [`ecc_core::ShardedNode`], and flush all
+//! responses in one gathered write per sweep. Clients can pipeline
+//! ([`client::PipelinedConn`]) to amortize syscalls across in-flight
+//! requests.
 //!
 //! # Example
 //!
@@ -37,4 +42,5 @@ pub mod client;
 pub mod coordinator;
 pub mod loadgen;
 pub mod protocol;
+pub mod reactor;
 pub mod server;

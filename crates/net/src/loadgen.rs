@@ -10,6 +10,7 @@
 //! this measures the *data path* under concurrency. Structural changes
 //! (splits/merges) remain the single coordinator's job, as in the paper.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -19,7 +20,8 @@ use ecc_chash::HashRing;
 use ecc_obs::LogHistogram;
 use ecc_workload::driver::Op;
 
-use crate::client::RemoteNode;
+use crate::client::{PipelinedConn, RemoteNode};
+use crate::protocol::{Request, Status};
 
 /// Bound applied to each worker connection's connect *and* every
 /// subsequent response read, so a node that wedges mid-run surfaces as a
@@ -61,6 +63,13 @@ pub struct LoadReport {
     /// report expose per-worker tails (a straggling worker is invisible
     /// in the merged histogram).
     pub worker_hists: Vec<LogHistogram>,
+    /// Pipelined runs only: RTT histograms bucketed by the number of
+    /// requests in flight on the connection at enqueue time (index 0 =
+    /// depth 1, i.e. the request went out alone). Their merge equals
+    /// `hist`; the per-depth split shows how queueing behind earlier
+    /// requests stretches the tail as depth grows. Empty for
+    /// strictly-serial runs ([`run_load`] / [`run_scenario_load`]).
+    pub depth_hists: Vec<LogHistogram>,
 }
 
 impl LoadReport {
@@ -216,6 +225,216 @@ pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
         latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
         hist: all.hist,
         worker_hists,
+        depth_hists: Vec::new(),
+    })
+}
+
+/// One request awaiting its response on a pipelined connection, in FIFO
+/// (request) order.
+struct Pending {
+    key: u64,
+    t0: Instant,
+    /// In-flight count on the connection at enqueue time (1-based).
+    depth: usize,
+    is_get: bool,
+}
+
+/// Pop one response off a pipelined connection and fold it into `stats`.
+///
+/// Mirrors [`run_load`]'s GET-then-PUT-on-miss loop, except the repair
+/// PUT is itself pipelined (enqueued behind whatever is already in
+/// flight) and counted as its own operation with its own RTT sample —
+/// under pipelining the two halves of a miss repair no longer form one
+/// serial exchange.
+fn drain_one(
+    conn: &mut PipelinedConn,
+    pending: &mut VecDeque<Pending>,
+    stats: &mut WorkerStats,
+    depth_hists: &mut [LogHistogram],
+    value_len: usize,
+) {
+    let Some(p) = pending.pop_front() else { return };
+    match conn.recv() {
+        Ok((status, _)) => {
+            if p.is_get {
+                if status == Status::Ok {
+                    stats.hits += 1;
+                } else {
+                    stats.misses += 1;
+                    let depth = (conn.in_flight() + 1).min(depth_hists.len());
+                    let value = vec![(p.key % 251) as u8; value_len];
+                    match conn.enqueue(&Request::Put {
+                        key: p.key,
+                        value: value.into(),
+                    }) {
+                        Ok(()) => pending.push_back(Pending {
+                            key: p.key,
+                            t0: Instant::now(),
+                            depth,
+                            is_get: false,
+                        }),
+                        Err(_) => stats.errors += 1,
+                    }
+                }
+            }
+        }
+        Err(_) => stats.errors += 1,
+    }
+    let rtt = p.t0.elapsed().as_micros() as u64;
+    stats.hist.record(rtt);
+    if let Some(h) = depth_hists.get_mut(p.depth - 1) {
+        h.record(rtt);
+    }
+    stats.ops += 1;
+}
+
+/// [`run_load`] with per-connection pipelining: each worker keeps up to
+/// `depth` requests in flight on every connection, shipping bursts in one
+/// write and retiring responses in request order.
+///
+/// Two accounting differences from the serial loop, both consequences of
+/// decoupling request from response: a miss's repair PUT is a separate
+/// pipelined operation (so `ops = hits + misses + repair PUTs`), and each
+/// RTT sample spans enqueue → response, which includes time spent queued
+/// behind the requests ahead of it. The report's `depth_hists` split the
+/// RTTs by in-flight depth at enqueue so that queueing cost is visible
+/// per depth instead of smeared across the merged histogram.
+pub fn run_load_pipelined<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    total_ops: u64,
+    key_space: u64,
+    value_len: usize,
+    depth: usize,
+) -> std::io::Result<LoadReport> {
+    run_load_fanout(
+        ring, addr_of, clients, 1, total_ops, key_space, value_len, depth,
+    )
+}
+
+/// [`run_load_pipelined`] with `fanout` pipelined connections per worker
+/// thread to each target node, rotated per request.
+///
+/// Threads and connections are deliberately separate dimensions: the
+/// server's scaling axis is *connections*, but piling one client thread
+/// per connection onto a small client box measures the client's scheduler
+/// as much as the server (each extra thread adds context-switch cost that
+/// cancels the server-side win). A worker multiplexes its fan-out without
+/// nonblocking client I/O because every connection's burst is already on
+/// the wire before the worker parks in a `recv` — the server keeps all
+/// `fanout × depth` requests in service while the client drains one
+/// connection at a time.
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_fanout<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    fanout: usize,
+    total_ops: u64,
+    key_space: u64,
+    value_len: usize,
+    depth: usize,
+) -> std::io::Result<LoadReport> {
+    assert!(clients >= 1, "need at least one client");
+    assert!(fanout >= 1, "need at least one connection per worker");
+    assert!(depth >= 1, "pipeline depth must be positive");
+    let per_worker = total_ops.div_ceil(clients as u64);
+    let (tx, rx) = channel::bounded::<(WorkerStats, Vec<LogHistogram>)>(clients);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for w in 0..clients {
+            let tx = tx.clone();
+            let ring = ring.clone();
+            let addr_of = &addr_of;
+            scope.spawn(move || {
+                let mut stats = WorkerStats::default();
+                let mut depth_hists = vec![LogHistogram::default(); depth];
+                let mut conns: Vec<(SocketAddr, usize, PipelinedConn, VecDeque<Pending>)> =
+                    Vec::new();
+                let mut state = 0x9E3779B97F4A7C15u64 ^ (w as u64).wrapping_mul(0xA24BAED4963EE407);
+                for i in 0..per_worker {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = (state >> 33) % key_space;
+                    let Some(node) = ring.node_for_key(key) else {
+                        stats.errors += 1;
+                        continue;
+                    };
+                    let addr = addr_of(node);
+                    // Rotate the fan-out per request so every connection
+                    // to a node carries an equal share of the stream.
+                    let slot = (i % fanout as u64) as usize;
+                    let idx = match conns
+                        .iter()
+                        .position(|(a, s, _, _)| *a == addr && *s == slot)
+                    {
+                        Some(i) => i,
+                        None => match PipelinedConn::connect(addr, NODE_IO_TIMEOUT) {
+                            Ok(c) => {
+                                conns.push((addr, slot, c, VecDeque::new()));
+                                conns.len() - 1
+                            }
+                            Err(_) => {
+                                stats.errors += 1;
+                                continue;
+                            }
+                        },
+                    };
+                    let (_, _, conn, pending) = &mut conns[idx];
+                    // Closed loop at `depth`: retire responses until there
+                    // is room for the new request.
+                    while conn.in_flight() >= depth {
+                        drain_one(conn, pending, &mut stats, &mut depth_hists, value_len);
+                    }
+                    let d = conn.in_flight() + 1;
+                    match conn.enqueue(&Request::Get { key }) {
+                        Ok(()) => pending.push_back(Pending {
+                            key,
+                            t0: Instant::now(),
+                            depth: d,
+                            is_get: true,
+                        }),
+                        Err(_) => stats.errors += 1,
+                    }
+                }
+                for (_, _, conn, pending) in &mut conns {
+                    while !pending.is_empty() {
+                        drain_one(conn, pending, &mut stats, &mut depth_hists, value_len);
+                    }
+                }
+                let _ = tx.send((stats, depth_hists));
+            });
+        }
+    });
+    drop(tx);
+
+    let mut all = WorkerStats::default();
+    let mut worker_hists = Vec::with_capacity(clients);
+    let mut depth_hists = vec![LogHistogram::default(); depth];
+    while let Ok((s, dh)) = rx.recv() {
+        all.ops += s.ops;
+        all.hits += s.hits;
+        all.misses += s.misses;
+        all.errors += s.errors;
+        all.hist.merge(&s.hist);
+        worker_hists.push(s.hist);
+        for (into, part) in depth_hists.iter_mut().zip(&dh) {
+            into.merge(part);
+        }
+    }
+    Ok(LoadReport {
+        ops: all.ops,
+        hits: all.hits,
+        misses: all.misses,
+        errors: all.errors,
+        elapsed: start.elapsed(),
+        latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
+        hist: all.hist,
+        worker_hists,
+        depth_hists,
     })
 }
 
@@ -313,6 +532,7 @@ pub fn run_scenario_load<N: Clone + Eq + Send + Sync>(
         latency_us: (all.hist.p50(), all.hist.quantile(0.95), all.hist.p99()),
         hist: all.hist,
         worker_hists,
+        depth_hists: Vec::new(),
     })
 }
 
@@ -417,6 +637,62 @@ mod tests {
         let again = run_scenario_load(&ring, |_| addr, 2, &events, 32).unwrap();
         assert_eq!(again.ops as usize, events.len());
         assert_eq!(again.errors, 0);
+    }
+
+    #[test]
+    fn pipelined_load_retires_every_request_and_buckets_by_depth() {
+        let s = CacheServer::spawn(1 << 22, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(256);
+        ring.insert_bucket(255, 0).unwrap();
+        let addr = s.addr();
+
+        let depth = 8;
+        let report = run_load_pipelined(&ring, |_| addr, 2, 2000, 256, 64, depth).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        // Every GET plus every repair PUT retired: ops = gets + misses.
+        assert_eq!(report.hits + report.misses, 2000);
+        assert_eq!(report.ops, 2000 + report.misses);
+        assert_eq!(report.hist.count(), report.ops);
+        // The depth buckets partition the merged histogram exactly.
+        assert_eq!(report.depth_hists.len(), depth);
+        let parts: u64 = report.depth_hists.iter().map(|h| h.count()).sum();
+        assert_eq!(parts, report.hist.count());
+        // A closed loop at depth 8 must actually reach full depth.
+        assert!(
+            report.depth_hists[depth - 1].count() > 0,
+            "no request ever went out at full depth: {report:?}"
+        );
+        assert!(report.throughput() > 100.0, "{report:?}");
+    }
+
+    #[test]
+    fn pipelined_depth_one_degenerates_to_serial_semantics() {
+        let s = CacheServer::spawn(1 << 20, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(64);
+        ring.insert_bucket(63, 0).unwrap();
+        let addr = s.addr();
+        let report = run_load_pipelined(&ring, |_| addr, 1, 300, 64, 16, 1).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.hits + report.misses, 300);
+        assert_eq!(report.depth_hists.len(), 1);
+        assert_eq!(report.depth_hists[0].count(), report.ops);
+        // One worker, one persistent pipelined connection.
+        assert_eq!(s.connections_accepted(), 1);
+    }
+
+    #[test]
+    fn fanout_opens_one_connection_per_worker_slot() {
+        let s = CacheServer::spawn(1 << 20, 32).unwrap();
+        let mut ring: HashRing<usize> = HashRing::new(64);
+        ring.insert_bucket(63, 0).unwrap();
+        let addr = s.addr();
+        let report = run_load_fanout(&ring, |_| addr, 2, 2, 2000, 64, 64, 4).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.hits + report.misses, 2000);
+        assert_eq!(report.ops, 2000 + report.misses);
+        assert_eq!(report.hist.count(), report.ops);
+        // 2 workers × fanout 2 = 4 persistent connections, no reconnects.
+        assert_eq!(s.connections_accepted(), 4);
     }
 
     #[test]

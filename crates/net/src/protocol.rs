@@ -638,6 +638,124 @@ pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<()> 
     r.read_exact(buf)
 }
 
+/// Incremental frame extraction from a byte stream that arrives in
+/// arbitrary chunks — the nonblocking counterpart of [`read_frame_into`].
+///
+/// The reactor and the pipelined client both read whatever the socket has
+/// (`fill_from`) and then pop every complete `[u32 len][payload]` frame
+/// (`next_frame`); a frame split across reads simply stays buffered until
+/// its tail arrives. The internal buffer is reused across frames: steady
+/// state performs no allocations, and consumed bytes are reclaimed by
+/// shifting only when the dead prefix dominates the buffer.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    /// Backing storage; `buf[start..filled]` is unconsumed stream data.
+    /// The vec's full length is initialized capacity (never shrunk), so
+    /// refilling zeroes memory only when the buffer actually grows.
+    buf: Vec<u8>,
+    filled: usize,
+    start: usize,
+}
+
+/// Minimum spare room guaranteed to [`FrameAssembler::fill_from`]'s read
+/// call, so short reads near the end of the buffer don't degenerate into
+/// byte-sized syscalls.
+const MIN_READ_SPARE: usize = 16 * 1024;
+
+impl FrameAssembler {
+    /// An empty assembler (no allocation until the first fill).
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Unconsumed bytes currently buffered (complete or partial frames).
+    pub fn buffered(&self) -> usize {
+        self.filled - self.start
+    }
+
+    /// One `read` into the spare tail of the buffer. Returns the byte
+    /// count (`Ok(0)` = EOF); on a nonblocking source, "nothing to read"
+    /// surfaces as the source's `WouldBlock` error, with the buffer
+    /// unchanged. Never blocks beyond the underlying `read`.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> io::Result<usize> {
+        self.fill_from_hinted(r).map(|(n, _)| n)
+    }
+
+    /// [`FrameAssembler::fill_from`] plus a drained hint: the second field
+    /// is `true` when the read came up short of its window, meaning the
+    /// socket had nothing more buffered at that instant. A readiness loop
+    /// can then skip the terminal `WouldBlock` probe — one syscall per
+    /// sweep — because level polling re-discovers any bytes that land
+    /// later. A full-window read returns `false`: more may be pending.
+    pub fn fill_from_hinted<R: Read>(&mut self, r: &mut R) -> io::Result<(usize, bool)> {
+        self.compact();
+        if self.buf.len() - self.filled < MIN_READ_SPARE {
+            let grown = (self.buf.len() * 2).max(self.filled + MIN_READ_SPARE);
+            self.buf.resize(grown, 0);
+        }
+        let window = self.buf.len() - self.filled;
+        let n = r.read(&mut self.buf[self.filled..])?;
+        self.filled += n;
+        Ok((n, n < window))
+    }
+
+    /// Whether a complete frame is buffered, without consuming it — the
+    /// blocking-caller probe ("do I need another read?"). Shares
+    /// [`FrameAssembler::next_frame`]'s oversized-prefix error.
+    pub fn has_frame(&self) -> io::Result<bool> {
+        let pending = &self.buf[self.start..self.filled];
+        if pending.len() < 4 {
+            return Ok(false);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds limit"),
+            ));
+        }
+        Ok(pending.len() >= 4 + len as usize)
+    }
+
+    /// Pop the next complete frame's payload, if one has fully arrived.
+    /// A length prefix exceeding [`MAX_FRAME`] is an `InvalidData` error
+    /// (the stream is unrecoverable — framing is lost).
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        let pending = &self.buf[self.start..self.filled];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([pending[0], pending[1], pending[2], pending[3]]);
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds limit"),
+            ));
+        }
+        let end = 4 + len as usize;
+        if pending.len() < end {
+            return Ok(None);
+        }
+        let at = self.start;
+        self.start += end;
+        Ok(Some(&self.buf[at + 4..at + end]))
+    }
+
+    /// Reclaim the consumed prefix: free when everything was consumed,
+    /// otherwise a single `copy_within` once the dead prefix outweighs the
+    /// live tail (amortized O(1) per byte).
+    fn compact(&mut self) {
+        if self.start == self.filled {
+            self.start = 0;
+            self.filled = 0;
+        } else if self.start > self.buf.len() / 2 {
+            self.buf.copy_within(self.start..self.filled, 0);
+            self.filled -= self.start;
+            self.start = 0;
+        }
+    }
+}
+
 /// Assemble `[u32 len][payload]` in a reusable scratch buffer and write it
 /// with a single `write_all` — the allocation-free counterpart of
 /// [`write_frame`]. `fill` appends the payload bytes to the (cleared)
@@ -661,6 +779,28 @@ pub fn write_frame_buffered<W: Write>(
     scratch[..4].copy_from_slice(&len.to_le_bytes());
     w.write_all(scratch)?;
     w.flush()
+}
+
+/// Append one `[u32 len][payload]` frame to a caller-owned buffer without
+/// clearing it — the batching counterpart of [`write_frame_buffered`],
+/// used by the reactor's per-connection write queue and the pipelined
+/// client to coalesce many frames into one socket write. `fill` appends
+/// the payload after a 4-byte placeholder that is back-filled with the
+/// measured length.
+pub fn append_frame(buf: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) -> io::Result<()> {
+    let at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    fill(buf);
+    let len = (buf.len() - at - 4) as u32;
+    if len > MAX_FRAME {
+        buf.truncate(at);
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit"),
+        ));
+    }
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
 #[cfg(test)]
@@ -865,6 +1005,67 @@ mod tests {
         write_frame(&mut buf, payload).unwrap();
         let mut cursor = std::io::Cursor::new(buf);
         assert_eq!(read_frame(&mut cursor).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_split_at_every_byte_boundary() {
+        // Two frames back to back, delivered in two chunks split at every
+        // possible position: the assembler must yield exactly the two
+        // payloads regardless of where the split lands.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"first payload").unwrap();
+        write_frame(&mut wire, b"2nd").unwrap();
+        for split in 0..=wire.len() {
+            let mut asm = FrameAssembler::new();
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            for chunk in [&wire[..split], &wire[split..]] {
+                let mut cursor = std::io::Cursor::new(chunk);
+                while asm.fill_from(&mut cursor).unwrap() > 0 {}
+                while let Some(frame) = asm.next_frame().unwrap() {
+                    got.push(frame.to_vec());
+                }
+            }
+            assert_eq!(got, vec![b"first payload".to_vec(), b"2nd".to_vec()]);
+            assert_eq!(asm.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn assembler_handles_empty_frames_and_bursts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[]).unwrap();
+        for i in 0..10u8 {
+            write_frame(&mut wire, &[i; 3]).unwrap();
+        }
+        let mut asm = FrameAssembler::new();
+        let mut cursor = std::io::Cursor::new(&wire);
+        while asm.fill_from(&mut cursor).unwrap() > 0 {}
+        let mut got = Vec::new();
+        while let Some(frame) = asm.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        assert_eq!(got.len(), 11);
+        assert_eq!(got[0], Vec::<u8>::new());
+        assert_eq!(got[10], vec![9u8; 3]);
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_length_prefix() {
+        let mut asm = FrameAssembler::new();
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(&bad[..]);
+        asm.fill_from(&mut cursor).unwrap();
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn append_frame_batches_without_clearing() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, |b| b.extend_from_slice(b"one")).unwrap();
+        append_frame(&mut buf, |b| b.extend_from_slice(b"two2")).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), &b"one"[..]);
+        assert_eq!(read_frame(&mut cursor).unwrap(), &b"two2"[..]);
     }
 
     #[test]

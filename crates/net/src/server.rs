@@ -4,13 +4,14 @@
 //! startup of a new Cloud instance" (paper §III-A) — here, spawning a
 //! server thread plays the role of booting that instance.
 //!
-//! The node serves "a litany of simultaneous queries" (§III): connections
-//! each get a thread (bounded by [`CacheServer::spawn_bounded`]'s limit)
-//! and share a [`ShardedNode`] — hash-striped locks plus atomic accounting
-//! — so concurrent GETs on different keys proceed in parallel and a slow
-//! PUT stalls only its own stripe, not the node. Response bodies are
-//! refcounted [`bytes::Bytes`] views of the stored records: a GET never
-//! memcpys the payload.
+//! The node serves "a litany of simultaneous queries" (§III) through the
+//! event-driven engine in [`crate::reactor`]: an acceptor thread enforces
+//! the connection bound (one [`Status::Busy`] frame past it) and hands
+//! admitted sockets round-robin to N reactor threads, each sweeping its
+//! owned connections with nonblocking reads, pipelined decode/execute
+//! against the shared [`ShardedNode`], and one gathered flush per sweep.
+//! Response bodies are refcounted [`bytes::Bytes`] views of the stored
+//! records: a GET never memcpys the payload.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -19,12 +20,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use ecc_core::{PutOutcome, Record, ShardedNode, DEFAULT_STRIPES};
-use ecc_obs::{encode_dump, ObsEvent, ObsRegistry, TimeSource};
+use ecc_obs::{encode_dump, ObsRegistry, TimeSource};
 
 use crate::protocol::{
     encode_get_many, encode_keys, encode_range_stats, encode_records, encode_stats,
-    encode_statuses, read_frame_into, write_frame_buffered, Op, Request, Response, Status,
+    encode_statuses, write_frame_buffered, Op, Request, Response, Status,
 };
+use crate::reactor::{spawn_reactors, ReactorPool, ReactorShared};
 
 /// Default bound on concurrent client connections. Above it the accept
 /// loop answers with a single [`Status::Busy`] frame and closes, so a
@@ -36,15 +38,17 @@ pub const DEFAULT_MAX_CONNECTIONS: u64 = 256;
 pub struct CacheServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    halt: Arc<AtomicBool>,
     connections: Arc<AtomicU64>,
     refused: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
+    reactors: Option<ReactorPool>,
     obs: ObsRegistry,
 }
 
-/// Decrements the live-connection gauge when a connection thread exits,
-/// however it exits.
-struct ConnSlot(Arc<AtomicU64>);
+/// Decrements the live-connection gauge when its connection is dropped by
+/// the owning reactor, however it closes.
+pub(crate) struct ConnSlot(Arc<AtomicU64>);
 
 impl Drop for ConnSlot {
     fn drop(&mut self) {
@@ -78,9 +82,24 @@ impl CacheServer {
         btree_order: usize,
         max_connections: u64,
     ) -> io::Result<CacheServer> {
+        Self::spawn_with(addr, capacity_bytes, btree_order, max_connections, None)
+    }
+
+    /// [`CacheServer::spawn_bounded`] with an explicit reactor-thread
+    /// count (`None` = one per core, capped at
+    /// [`crate::reactor::DEFAULT_REACTOR_THREADS`]). Tests use this to
+    /// exercise multi-reactor handoff regardless of host core count.
+    pub fn spawn_with<A: std::net::ToSocketAddrs>(
+        addr: A,
+        capacity_bytes: u64,
+        btree_order: usize,
+        max_connections: u64,
+        reactor_threads: Option<usize>,
+    ) -> io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let halt = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
         let refused = Arc::new(AtomicU64::new(0));
         let obs = ObsRegistry::new(TimeSource::real());
@@ -88,10 +107,18 @@ impl CacheServer {
             ShardedNode::new(capacity_bytes, btree_order, DEFAULT_STRIPES).with_obs(obs.clone()),
         );
 
+        let shared = ReactorShared {
+            node,
+            obs: obs.clone(),
+            shutdown: Arc::clone(&shutdown),
+            halt: Arc::clone(&halt),
+        };
+        let n_reactors = crate::reactor::effective_reactors(reactor_threads);
+        let (mut handoff, pool) = spawn_reactors(n_reactors, addr.port(), &shared)?;
+
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_count = Arc::clone(&connections);
         let refused_count = Arc::clone(&refused);
-        let accept_obs = obs.clone();
         let live = Arc::new(AtomicU64::new(0));
         let max_connections = max_connections.max(1);
         let accept_thread = std::thread::Builder::new()
@@ -108,9 +135,9 @@ impl CacheServer {
                     // Request/response framing interacts badly with Nagle +
                     // delayed ACK (~40 ms per exchange); flush eagerly.
                     let _ = stream.set_nodelay(true);
-                    // Reserve a connection slot before spawning; on refusal
-                    // send one Busy frame so the client sees a protocol
-                    // answer, not a silent hangup.
+                    // Reserve a connection slot before handing off; on
+                    // refusal send one Busy frame so the client sees a
+                    // protocol answer, not a silent hangup.
                     if live.fetch_add(1, Ordering::AcqRel) >= max_connections {
                         let _slot = ConnSlot(Arc::clone(&live));
                         refused_count.fetch_add(1, Ordering::Relaxed);
@@ -122,22 +149,18 @@ impl CacheServer {
                     }
                     let slot = ConnSlot(Arc::clone(&live));
                     accept_count.fetch_add(1, Ordering::Relaxed);
-                    let node = Arc::clone(&node);
-                    let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let conn_obs = accept_obs.clone();
-                    std::thread::spawn(move || {
-                        let _slot = slot;
-                        let _ = serve_connection(stream, &node, &conn_shutdown, &conn_obs);
-                    });
+                    handoff.dispatch(stream, slot);
                 }
             })?;
 
         Ok(CacheServer {
             addr,
             shutdown,
+            halt,
             connections,
             refused,
             accept_thread: Some(accept_thread),
+            reactors: Some(pool),
             obs,
         })
     }
@@ -166,7 +189,10 @@ impl CacheServer {
         self.refused.load(Ordering::Relaxed)
     }
 
-    /// Stop accepting and join the accept thread. Idempotent.
+    /// Stop accepting, drain the reactors, and join every server thread.
+    /// Idempotent. If a wire `Shutdown` already set the flag, the reactors
+    /// wind down on their own as their connections close (mirroring the
+    /// old detached connection threads), and `stop()` does not wait.
     pub fn stop(&mut self) {
         // AcqRel: the swap both publishes the stop (Release, seen by the
         // accept loop's Acquire load) and observes a concurrent stop()
@@ -174,10 +200,16 @@ impl CacheServer {
         if self.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
+        // Release pairs with the reactors' Acquire loads; everything the
+        // server did is published before they observe the halt.
+        self.halt.store(true, Ordering::Release);
         // Unblock the accept loop.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(mut pool) = self.reactors.take() {
+            pool.join();
         }
     }
 }
@@ -188,61 +220,16 @@ impl Drop for CacheServer {
     }
 }
 
-/// Handle one client connection until EOF or shutdown. The read and
-/// write buffers live for the whole connection and are reused across
-/// frames, so steady-state request handling performs no per-frame
-/// allocations on the framing path.
-fn serve_connection(
-    mut stream: TcpStream,
+/// Execute one request against the node. Point ops take only the key's
+/// stripe lock; Stats reads atomics with no lock at all; range ops
+/// (Sweep/Keys/RangeStats) serialize behind the structural lock. Called
+/// from the reactor threads, one pipelined frame at a time.
+pub(crate) fn handle(
+    req: Request,
     node: &ShardedNode,
     shutdown: &AtomicBool,
     obs: &ObsRegistry,
-) -> io::Result<()> {
-    let mut rbuf = Vec::new();
-    let mut wbuf = Vec::new();
-    loop {
-        match read_frame_into(&mut stream, &mut rbuf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
-        }
-        let op_byte = rbuf.first().copied().unwrap_or(0);
-        obs.emit(ObsEvent::FrameRx {
-            at_us: obs.now_us(),
-            op: op_byte,
-            bytes: rbuf.len() as u64,
-        });
-        let t0 = obs.now_us();
-        let (resp, is_shutdown) = match Request::decode(&rbuf[..]) {
-            Some(req) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
-                (handle(req, node, shutdown, obs), is_shutdown)
-            }
-            None => (Response::status(Status::BadRequest), false),
-        };
-        // Request boundary: every `handle()` must return with all
-        // ShardedNode guards released — a guard surviving to the frame
-        // write would block every other connection on that stripe.
-        // Debug-build check, compiled out in release.
-        ecc_core::lockorder::assert_quiescent();
-        let dt = obs.now_us() - t0;
-        obs.record(op_hist_name(Op::from_u8(op_byte)), dt);
-        write_frame_buffered(&mut stream, &mut wbuf, |b| resp.encode_into(b))?;
-        obs.emit(ObsEvent::FrameTx {
-            at_us: obs.now_us(),
-            op: op_byte,
-            bytes: resp.body.len() as u64 + 1,
-        });
-        if is_shutdown {
-            return Ok(());
-        }
-    }
-}
-
-/// Execute one request against the node. Point ops take only the key's
-/// stripe lock; Stats reads atomics with no lock at all; range ops
-/// (Sweep/Keys/RangeStats) serialize behind the structural lock.
-fn handle(req: Request, node: &ShardedNode, shutdown: &AtomicBool, obs: &ObsRegistry) -> Response {
+) -> Response {
     match req {
         Request::Get { key } => match node.get(key) {
             // The body shares the stored record's allocation: the only
@@ -318,7 +305,7 @@ fn handle(req: Request, node: &ShardedNode, shutdown: &AtomicBool, obs: &ObsRegi
 
 /// Static per-op histogram name (`server_op_us:<op>`), so the hot path
 /// never allocates a label string.
-fn op_hist_name(op: Option<Op>) -> &'static str {
+pub(crate) fn op_hist_name(op: Option<Op>) -> &'static str {
     match op {
         Some(Op::Get) => "server_op_us:get",
         Some(Op::Put) => "server_op_us:put",
@@ -542,6 +529,96 @@ mod tests {
         // in-flight dump response.
         assert_eq!(counts.get("frame_rx"), Some(&4));
         assert_eq!(counts.get("frame_tx"), Some(&3));
+        server.stop();
+    }
+
+    #[test]
+    fn pipelined_burst_on_one_connection_answers_in_order() {
+        use crate::protocol::{read_frame, Status};
+        use std::io::Write;
+
+        let mut server = CacheServer::spawn(1 << 20, 16).unwrap();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.set_nodelay(true).unwrap();
+
+        // 50 puts + 50 gets written as ONE burst before any response is
+        // read: the reactor must decode every frame that arrived, execute
+        // them in order, and answer all 100.
+        let mut burst = Vec::new();
+        for k in 0..50u64 {
+            crate::protocol::append_frame(&mut burst, |b| {
+                Request::Put {
+                    key: k,
+                    value: bytes::Bytes::from(k.to_le_bytes().to_vec()),
+                }
+                .encode_into(b)
+            })
+            .unwrap();
+        }
+        for k in 0..50u64 {
+            crate::protocol::append_frame(&mut burst, |b| Request::Get { key: k }.encode_into(b))
+                .unwrap();
+        }
+        raw.write_all(&burst).unwrap();
+
+        for _ in 0..50 {
+            let resp = read_frame(&mut raw).unwrap();
+            assert_eq!(Status::from_u8(resp[0]), Some(Status::Ok));
+            assert_eq!(resp.len(), 1);
+        }
+        for k in 0..50u64 {
+            let resp = read_frame(&mut raw).unwrap();
+            assert_eq!(Status::from_u8(resp[0]), Some(Status::Ok));
+            assert_eq!(&resp[1..], k.to_le_bytes());
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn multi_reactor_handoff_serves_every_connection() {
+        // More reactors than cores and more connections than reactors:
+        // round-robin ownership must serve them all concurrently.
+        let server = CacheServer::spawn_with(("127.0.0.1", 0), 1 << 20, 16, 256, Some(3)).unwrap();
+        let addr = server.addr();
+        let threads: Vec<_> = (0..6)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let mut c = RemoteNode::connect(addr).unwrap();
+                    for i in 0..50u64 {
+                        let key = t * 1000 + i;
+                        assert_eq!(c.put(key, vec![t as u8; 8]).unwrap(), Status::Ok);
+                        assert_eq!(c.get(key).unwrap(), Some(vec![t as u8; 8]));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.connections_accepted(), 6);
+    }
+
+    #[test]
+    fn reactor_histograms_decompose_wire_latency() {
+        let mut server = CacheServer::spawn(1 << 20, 16).unwrap();
+        let mut client = RemoteNode::connect(server.addr()).unwrap();
+        for k in 0..20u64 {
+            client.put(k, vec![1; 16]).unwrap();
+            client.get(k).unwrap();
+        }
+        let snap = client.obs_dump().unwrap();
+        // Every request-bearing wakeup records a dispatch sample...
+        let dispatch = snap
+            .hist("reactor_dispatch_us")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        assert!(dispatch >= 40, "dispatch samples: {dispatch}");
+        // ...and a burst-size sample (sequential client → depth-1 wakes).
+        let wakes = snap
+            .hist("reactor_frames_per_wake")
+            .map(|h| h.count())
+            .unwrap_or(0);
+        assert!(wakes >= 40, "frames-per-wake samples: {wakes}");
         server.stop();
     }
 

@@ -242,6 +242,16 @@ pub enum Fault {
     Duplicate,
     /// Never send the frame.
     Drop,
+    /// Deliver the frame's wire bytes (length prefix included) in two
+    /// separate writes split at `pos`, with a pause between them, so the
+    /// server observes a partial frame on one wakeup and the remainder
+    /// on a later one. Semantically a no-op: the server must reassemble
+    /// and answer exactly as for [`Fault::None`].
+    Fragment {
+        /// Split position (reduced to `1 + pos % (wire_len - 1)`, so both
+        /// halves are non-empty).
+        pos: u32,
+    },
 }
 
 /// One step of a schedule.
@@ -323,6 +333,9 @@ impl SimEvent {
                     }
                     Fault::Duplicate => out.push_str("2!"),
                     Fault::Drop => out.push_str("d!"),
+                    Fault::Fragment { pos } => {
+                        let _ = write!(out, "s{pos}!");
+                    }
                 }
                 match op {
                     WireOp::Get { key } => write!(out, "G{key}"),
@@ -355,6 +368,10 @@ impl SimEvent {
                 } else if let Some(arg) = f.strip_prefix('u') {
                     Fault::Truncate {
                         len: arg.parse().map_err(|_| bad())?,
+                    }
+                } else if let Some(arg) = f.strip_prefix('s') {
+                    Fault::Fragment {
+                        pos: arg.parse().map_err(|_| bad())?,
                     }
                 } else {
                     return Err(bad());
@@ -600,6 +617,10 @@ mod tests {
                 SimEvent::Frame {
                     fault: Fault::Drop,
                     op: WireOp::Remove { key: 3 },
+                },
+                SimEvent::Frame {
+                    fault: Fault::Fragment { pos: 6 },
+                    op: WireOp::Put { key: 8, len: 25 },
                 },
                 SimEvent::Frame {
                     fault: Fault::None,

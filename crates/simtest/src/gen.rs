@@ -209,18 +209,22 @@ fn gen_proto(rng: &mut SmallRng) -> Schedule {
     let mut events = Vec::with_capacity(n);
     for _ in 0..n {
         let roll = rng.gen_range(0u32..100);
-        let fault = if roll < 55 {
+        let fault = if roll < 45 {
             Fault::None
-        } else if roll < 70 {
+        } else if roll < 60 {
             Fault::Corrupt {
                 pos: rng.gen_range(0u32..=40),
                 xor: rng.gen_range(1u32..=255) as u8,
             }
-        } else if roll < 80 {
+        } else if roll < 70 {
             Fault::Truncate {
                 len: rng.gen_range(0u32..=20),
             }
-        } else if roll < 90 {
+        } else if roll < 82 {
+            Fault::Fragment {
+                pos: rng.gen_range(0u32..=200),
+            }
+        } else if roll < 91 {
             Fault::Duplicate
         } else {
             Fault::Drop

@@ -7,7 +7,9 @@
 //! precisely what the server will see (a corrupt byte may turn a `Put` into
 //! a `RangeStats`, or into garbage ⇒ `BadRequest`).
 
+use std::io::Write;
 use std::net::TcpStream;
+use std::time::Duration;
 
 use bytes::Bytes;
 use ecc_net::protocol::{read_frame, write_frame, Request, Response};
@@ -54,7 +56,26 @@ fn apply_fault(fault: Fault, payload: &[u8]) -> Option<(Vec<u8>, usize)> {
         }
         Fault::Duplicate => Some((payload.to_vec(), 2)),
         Fault::Drop => None,
+        // Fragmentation is a delivery-schedule fault, not a byte fault: the
+        // payload reaches the server intact, just across two wakeups.
+        Fault::Fragment { .. } => Some((payload.to_vec(), 1)),
     }
+}
+
+/// Send one frame's wire bytes (length prefix + payload) in two writes split
+/// at `pos`, pausing in between so the reactor observes the partial frame on
+/// one readiness wakeup and must hold it in its assembler until the rest
+/// arrives.
+fn send_fragmented(stream: &mut TcpStream, payload: &[u8], pos: u32) -> std::io::Result<()> {
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(payload);
+    // Both halves non-empty: wire.len() >= 4, so the divisor is >= 3.
+    let cut = 1 + pos as usize % (wire.len() - 1);
+    stream.write_all(&wire[..cut])?;
+    stream.flush()?;
+    std::thread::sleep(Duration::from_micros(300));
+    stream.write_all(&wire[cut..])
 }
 
 /// Run one proto-family schedule to completion or first divergence.
@@ -89,7 +110,11 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
             // status only and require that the body decodes as a dump.
             let is_obs_dump = matches!(decoded, Some(Request::ObsDump));
             let want = model.respond(decoded);
-            write_frame(&mut stream, &mutated).map_err(|e| fail(format!("send failed: {e}")))?;
+            match fault {
+                Fault::Fragment { pos } => send_fragmented(&mut stream, &mutated, pos),
+                _ => write_frame(&mut stream, &mutated),
+            }
+            .map_err(|e| fail(format!("send failed: {e}")))?;
             let raw = read_frame(&mut stream)
                 .map_err(|e| fail(format!("server stopped answering: {e}")))?;
             let got =

@@ -22,6 +22,15 @@
 //!   across frame or socket I/O (`read_frame*` / `write_frame*` /
 //!   `.send(` / `.flush(` …): a guard held across a blocking syscall is
 //!   the pitfall that will kill the reactor (pelikan transcript, PR 5).
+//! * **no-blocking-io-in-reactor** — reactor event-loop files must never
+//!   call a blocking primitive at all: `read_exact` / `read_to_end` /
+//!   `write_all` loop until satisfied, the blocking frame helpers
+//!   (`read_frame*` / `write_frame*`) sit on top of them, channel
+//!   `.recv()` parks the thread, and a mutex `.lock()` can block behind
+//!   an arbitrary holder. A reactor thread owns a whole slice of
+//!   connections; any of these stalls all of them. Reactors use
+//!   nonblocking reads/writes that surface `WouldBlock`, `try_recv`, and
+//!   lock-free handoff instead.
 //!
 //! The passes are heuristic but sound for the repo's idiom: guards are
 //! bound with single-line `let g = <lock>.read()/.write()/.lock();`
@@ -40,6 +49,8 @@ pub struct ConcPolicy {
     pub atomics: bool,
     /// Forbid guards held across frame/socket I/O.
     pub guard_io: bool,
+    /// Forbid blocking I/O primitives outright (reactor event loops).
+    pub reactor_io: bool,
 }
 
 /// Crates whose lock acquisitions must follow the ShardedNode hierarchy.
@@ -52,9 +63,35 @@ const ATOMIC_CRATES: &[&str] = &["core", "net", "obs", "cloudsim"];
 /// Files where a guard across blocking I/O is a hot-path bug.
 const GUARD_IO_FILES: &[&str] = &[
     "crates/net/src/server.rs",
+    "crates/net/src/reactor.rs",
     "crates/net/src/coordinator.rs",
     "crates/net/src/client.rs",
     "crates/core/src/shard.rs",
+];
+
+/// Reactor event-loop files: blocking primitives are forbidden outright,
+/// not merely under a guard.
+const REACTOR_FILES: &[&str] = &["crates/net/src/reactor.rs"];
+
+/// Blocking primitives forbidden in reactor files, with the reason each
+/// one stalls the event loop. `.recv()` (empty argument list) matches the
+/// channel's parking receive but not `try_recv()`; `.lock()` matches both
+/// `std` and `parking_lot` mutexes — either kind blocks behind an
+/// arbitrary holder.
+const REACTOR_BLOCKING: &[(&str, &str)] = &[
+    (".read_exact(", "loops until the peer sends enough bytes"),
+    (".read_to_end(", "blocks until the peer closes the stream"),
+    (".write_all(", "loops until the kernel buffer drains"),
+    (
+        "read_frame",
+        "is a blocking frame helper built on read_exact",
+    ),
+    (
+        "write_frame",
+        "is a blocking frame helper built on write_all",
+    ),
+    (".recv()", "parks the thread until a message arrives"),
+    (".lock()", "blocks behind whichever thread holds the mutex"),
 ];
 
 /// Frame/socket I/O markers for the guard-across-io pass.
@@ -115,6 +152,7 @@ pub fn conc_policy_for(rel_path: &str) -> Option<ConcPolicy> {
         lock_order: LOCK_ORDER_CRATES.contains(&krate),
         atomics: ATOMIC_CRATES.contains(&krate),
         guard_io: GUARD_IO_FILES.contains(&rel.as_str()),
+        reactor_io: REACTOR_FILES.contains(&rel.as_str()),
     })
 }
 
@@ -142,8 +180,55 @@ pub fn analyze_source(rel_path: &str, src: &str, policy: ConcPolicy) -> Vec<Find
     if policy.atomics {
         atomic_pass(rel_path, src, &raw_lines, &in_test, &mut findings);
     }
+    if policy.reactor_io {
+        reactor_io_pass(
+            rel_path,
+            &raw_lines,
+            &stripped_lines,
+            &in_test,
+            &mut findings,
+        );
+    }
     findings.sort_by_key(|f| f.line);
     findings
+}
+
+/// Flag every blocking primitive in a reactor file, regardless of guard
+/// state: the event loop owns many connections, so one parked thread
+/// stalls them all.
+fn reactor_io_pass(
+    rel_path: &str,
+    raw_lines: &[&str],
+    stripped_lines: &[&str],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        if raw_line.contains(&format!(
+            "xtask: allow({})",
+            Rule::BlockingIoInReactor.slug()
+        )) {
+            continue;
+        }
+        for (pat, why) in REACTOR_BLOCKING {
+            if line.contains(pat) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::BlockingIoInReactor,
+                    message: format!(
+                        "`{pat}` in a reactor event loop — it {why}, stalling every \
+                         connection this reactor owns; use nonblocking I/O that surfaces \
+                         `WouldBlock` (FrameAssembler::fill_from, buffered writes, try_recv)"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Lock class of one acquisition site, as far as the text tells us.
@@ -627,6 +712,14 @@ mod tests {
         lock_order: true,
         atomics: true,
         guard_io: true,
+        reactor_io: true,
+    };
+
+    /// The policy of a guard-audited non-reactor file (e.g. server.rs):
+    /// guards across I/O are flagged, blocking I/O itself is legal.
+    const GUARDED: ConcPolicy = ConcPolicy {
+        reactor_io: false,
+        ..ALL
     };
 
     fn rules(findings: &[Finding]) -> Vec<(usize, Rule)> {
@@ -702,7 +795,7 @@ fn good(&self, stream: &mut TcpStream) {
     write_frame(stream, &body);
 }
 ";
-        let f = analyze_source("crates/net/src/server.rs", src, ALL);
+        let f = analyze_source("crates/net/src/server.rs", src, GUARDED);
         assert_eq!(rules(&f), vec![(3, Rule::GuardAcrossIo)]);
     }
 
@@ -717,7 +810,7 @@ fn ok(&self, stream: &mut TcpStream) {
     write_frame(stream, b\"x\");
 }
 ";
-        assert!(analyze_source("crates/net/src/server.rs", src, ALL).is_empty());
+        assert!(analyze_source("crates/net/src/server.rs", src, GUARDED).is_empty());
     }
 
     #[test]
@@ -800,15 +893,69 @@ fn f(stream: &mut TcpStream, buf: &mut [u8]) {
     stream.write(buf).ok();
 }
 ";
-        assert!(analyze_source("crates/net/src/server.rs", src, ALL).is_empty());
+        assert!(analyze_source("crates/net/src/server.rs", src, GUARDED).is_empty());
+    }
+
+    #[test]
+    fn blocking_primitives_in_reactor_files_are_flagged() {
+        let src = "\
+fn drain(&mut self, stream: &mut TcpStream) {
+    let mut hdr = [0u8; 4];
+    stream.read_exact(&mut hdr)?;
+    stream.write_all(&hdr)?;
+    let job = self.rx.recv();
+}
+";
+        let f = analyze_source("crates/net/src/reactor.rs", src, ALL);
+        assert_eq!(
+            rules(&f),
+            vec![
+                (3, Rule::BlockingIoInReactor),
+                (4, Rule::BlockingIoInReactor),
+                (5, Rule::BlockingIoInReactor),
+            ]
+        );
+    }
+
+    #[test]
+    fn nonblocking_reactor_idiom_is_clean() {
+        let src = "\
+fn sweep(&mut self, conn: &mut Conn) -> io::Result<()> {
+    while let Some(job) = self.rx.try_recv() {
+        self.conns.push(job);
+    }
+    let n = conn.asm.fill_from(&mut conn.stream)?;
+    let wrote = conn.stream.write(&conn.wbuf[conn.wpos..])?;
+    Ok(())
+}
+";
+        assert!(analyze_source("crates/net/src/reactor.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn reactor_blocking_waiver_and_tests_are_respected() {
+        let src = "\
+fn startup(&mut self) {
+    self.rx.recv(); // xtask: allow(no-blocking-io-in-reactor) — pre-loop handshake
+}
+#[cfg(test)]
+mod tests {
+    fn t(stream: &mut TcpStream) {
+        stream.read_exact(&mut [0u8; 4]).unwrap();
+    }
+}
+";
+        assert!(analyze_source("crates/net/src/reactor.rs", src, ALL).is_empty());
     }
 
     #[test]
     fn policies_match_the_repo_layout() {
         let p = conc_policy_for("crates/core/src/shard.rs").unwrap();
-        assert!(p.lock_order && p.atomics && p.guard_io);
+        assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io);
         let p = conc_policy_for("crates/net/src/server.rs").unwrap();
-        assert!(p.lock_order && p.atomics && p.guard_io);
+        assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io);
+        let p = conc_policy_for("crates/net/src/reactor.rs").unwrap();
+        assert!(p.lock_order && p.atomics && p.guard_io && p.reactor_io);
         let p = conc_policy_for("crates/net/src/protocol.rs").unwrap();
         assert!(p.lock_order && p.atomics && !p.guard_io);
         let p = conc_policy_for("crates/obs/src/registry.rs").unwrap();

@@ -107,6 +107,10 @@ pub enum Rule {
     /// A `MutexGuard`/`RwLock` guard held live across frame or socket
     /// I/O on a hot-path file (the blocking-under-lock reactor killer).
     GuardAcrossIo,
+    /// Blocking I/O primitive (`read_exact`, `write_all`, blocking frame
+    /// helpers, channel `recv`, mutex `lock`) inside a reactor file —
+    /// one blocked call stalls every connection that reactor owns.
+    BlockingIoInReactor,
 }
 
 impl Rule {
@@ -125,6 +129,7 @@ impl Rule {
             Rule::SeqCstJustify => "seqcst-justify",
             Rule::MixedOrdering => "mixed-ordering",
             Rule::GuardAcrossIo => "guard-across-io",
+            Rule::BlockingIoInReactor => "no-blocking-io-in-reactor",
         }
     }
 }
@@ -716,7 +721,8 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)>
 }
 
 /// Run the concurrency-soundness passes (lock-order, stripe-order,
-/// seqcst-justify, mixed-ordering, guard-across-io) over a workspace root.
+/// seqcst-justify, mixed-ordering, guard-across-io,
+/// no-blocking-io-in-reactor) over a workspace root.
 pub fn run_concurrency(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     let crates_dir = workspace_root.join("crates");
     let mut files = Vec::new();
@@ -743,7 +749,7 @@ pub fn run_concurrency(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, 
         let Some(policy) = concurrency::conc_policy_for(&rel) else {
             continue;
         };
-        if !(policy.lock_order || policy.atomics || policy.guard_io) {
+        if !(policy.lock_order || policy.atomics || policy.guard_io || policy.reactor_io) {
             continue;
         }
         let src = std::fs::read_to_string(path)?;
