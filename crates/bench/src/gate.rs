@@ -43,6 +43,49 @@ pub const ALLOWLIST: [&str; 4] = [
     "wire_node_w*",
 ];
 
+/// The sampled-tracing overhead pair: `wire_traced_w4` (1-in-64 requests
+/// rooted as spans riding the wire) against its untraced twin
+/// `wire_node_w4`, from the *same* suite run. Paired in-run comparison
+/// cancels machine drift exactly, so the tolerance can be far tighter
+/// than [`TOLERANCE`]; the traced name deliberately sits outside the
+/// `wire_node_w*` allowlist wildcard so the baseline gate does not also
+/// gate it against history.
+pub const TRACED_ROW: &str = "wire_traced_w4";
+
+/// The untraced twin [`TRACED_ROW`] is compared against.
+pub const TRACED_PAIR_ROW: &str = "wire_node_w4";
+
+/// Maximum fractional ops/sec the sampled-tracing path may cost in-run.
+pub const TRACE_OVERHEAD_TOLERANCE: f64 = 0.03;
+
+/// Within-run paired overhead check: the traced row's throughput must sit
+/// within [`TRACE_OVERHEAD_TOLERANCE`] of its untraced twin. Returns
+/// `Ok(None)` when either row is absent (a run that skipped the wire
+/// sweep has nothing to check), `Ok(Some(delta))` with the signed
+/// fractional delta on success, and `Err(message)` when tracing costs
+/// more than the tolerance.
+pub fn trace_overhead(current: &[BenchResult]) -> Result<Option<f64>, String> {
+    let find = |n: &str| current.iter().find(|r| r.name == n);
+    let (Some(traced), Some(plain)) = (find(TRACED_ROW), find(TRACED_PAIR_ROW)) else {
+        return Ok(None);
+    };
+    if plain.ops_per_sec <= 0.0 {
+        return Ok(None);
+    }
+    let delta = (traced.ops_per_sec - plain.ops_per_sec) / plain.ops_per_sec;
+    if delta < -TRACE_OVERHEAD_TOLERANCE {
+        return Err(format!(
+            "sampled tracing costs {:.1}% ops/sec in-run ({TRACED_ROW} {:.0} vs \
+             {TRACED_PAIR_ROW} {:.0}; tolerance {:.0}%)",
+            -delta * 100.0,
+            traced.ops_per_sec,
+            plain.ops_per_sec,
+            TRACE_OVERHEAD_TOLERANCE * 100.0
+        ));
+    }
+    Ok(Some(delta))
+}
+
 /// Does `name` match an allowlist `pattern` (exact, or prefix up to `*`)?
 fn matches(pattern: &str, name: &str) -> bool {
     match pattern.strip_suffix('*') {
@@ -381,6 +424,9 @@ mod tests {
         // The serial depth-1 comparison row rides along ungated: it pins
         // the cost the reactor+pipelining removed, not a target to hold.
         assert!(!is_gated("wire_serial_w4"));
+        // The traced row is enforced by the paired in-run check, not the
+        // baseline gate — its name must stay off the wildcard.
+        assert!(!is_gated(TRACED_ROW));
         assert!(!is_gated("wire_evict_sequential"));
         assert!(!is_gated("window_expiry_rescore"));
         assert!(!is_gated("proto_putmany_roundtrip"));
@@ -512,6 +558,27 @@ mod tests {
         let report = GateReport::compare(&base, &cur);
         assert_eq!(report.drift, DRIFT_CLAMP.0);
         assert!(report.failed(), "{}", report.render());
+    }
+
+    #[test]
+    fn trace_overhead_is_a_paired_in_run_check() {
+        // Within 3%: passes and reports the signed delta.
+        let run = vec![row(TRACED_PAIR_ROW, 1000.0, 0), row(TRACED_ROW, 985.0, 0)];
+        let delta = trace_overhead(&run).expect("within tolerance").unwrap();
+        assert!((delta + 0.015).abs() < 1e-9);
+        // Tracing *faster* than plain (noise) also passes.
+        let run = vec![row(TRACED_PAIR_ROW, 1000.0, 0), row(TRACED_ROW, 1010.0, 0)];
+        assert!(trace_overhead(&run).is_ok());
+        // Exactly −3% passes (the bar is "more than").
+        let run = vec![row(TRACED_PAIR_ROW, 1000.0, 0), row(TRACED_ROW, 970.0, 0)];
+        assert!(trace_overhead(&run).is_ok());
+        // Beyond −3% fails with the delta in the message.
+        let run = vec![row(TRACED_PAIR_ROW, 1000.0, 0), row(TRACED_ROW, 950.0, 0)];
+        let err = trace_overhead(&run).unwrap_err();
+        assert!(err.contains("5.0%"), "{err}");
+        // Either row absent: nothing to check.
+        assert_eq!(trace_overhead(&[row(TRACED_ROW, 950.0, 0)]), Ok(None));
+        assert_eq!(trace_overhead(&[]), Ok(None));
     }
 
     #[test]

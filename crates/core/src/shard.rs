@@ -203,10 +203,21 @@ impl ShardedNode {
         self.obs.as_ref().map(|o| o.now_us())
     }
 
+    /// Open a `lock_wait` span under the caller's live span (the server's
+    /// `srv_exec`), or `None` when the request is unsampled / untraced —
+    /// the unsampled path costs one thread-local peek. The guard must be
+    /// dropped as soon as the locks are acquired so the span measures
+    /// waiting, not work done under the lock.
+    #[inline]
+    fn wait_span(&self) -> Option<ecc_obs::SpanGuard> {
+        self.obs.as_ref().and_then(|o| o.span_follow("lock_wait"))
+    }
+
     /// Look up a record; the returned clone shares the payload allocation
     /// (refcount bump, no memcpy). Takes `structural.read` + one stripe
     /// read lock — concurrent GETs never exclude each other.
     pub fn get(&self, key: u64) -> Option<Record> {
+        let wait = self.wait_span();
         let t0 = self.wait_start();
         let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
@@ -216,6 +227,7 @@ impl ShardedNode {
         let _order_t = lockorder::acquire(LockClass::Stripe(idx));
         let stripe = self.stripes[idx].read();
         self.note_wait("lock_wait_us:stripe", t1);
+        drop(wait);
         let found = stripe.get(&key).cloned();
         self.counters.note_get(found.is_some());
         found
@@ -228,6 +240,7 @@ impl ShardedNode {
     /// atomic — concurrent PUTs on different stripes cannot jointly
     /// overshoot the capacity.
     pub fn put(&self, key: u64, record: Record) -> PutOutcome {
+        let wait = self.wait_span();
         let t0 = self.wait_start();
         let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
@@ -237,6 +250,7 @@ impl ShardedNode {
         let _order_t = lockorder::acquire(LockClass::Stripe(idx));
         let mut stripe = self.stripes[idx].write();
         self.note_wait("lock_wait_us:stripe", t1);
+        drop(wait);
 
         let new_len = record.len() as u64;
         // Stable while this stripe's write lock is held: all mutations of
@@ -268,6 +282,7 @@ impl ShardedNode {
 
     /// Remove a record; returns it (payload shared, not copied).
     pub fn remove(&self, key: u64) -> Option<Record> {
+        let wait = self.wait_span();
         let t0 = self.wait_start();
         let _order_s = lockorder::acquire(LockClass::Structural);
         let _structural = self.structural.read();
@@ -277,6 +292,7 @@ impl ShardedNode {
         let _order_t = lockorder::acquire(LockClass::Stripe(idx));
         let mut stripe = self.stripes[idx].write();
         self.note_wait("lock_wait_us:stripe", t1);
+        drop(wait);
         let removed = stripe.remove(&key);
         if let Some(rec) = &removed {
             self.used.fetch_sub(rec.len() as u64, Ordering::AcqRel);

@@ -5,7 +5,8 @@
 //!     [--workers 4] [--ops 20000] [--keys 1024] [--value-len 1024] \
 //!     [--pipeline DEPTH] [--fanout CONNS] \
 //!     [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
-//!     [--addr HOST:PORT | --spawn] [--json PATH]
+//!     [--addr HOST:PORT | --spawn] [--json PATH] \
+//!     [--trace-sample N [--trace-out PATH]]
 //! ```
 //!
 //! `--workers N` runs N closed-loop worker threads (each a persistent
@@ -34,15 +35,22 @@
 //! client-side RTT histograms: the merged histogram lands under
 //! `client_rtt_us` and each worker's under `client_rtt_us:w<i>`, so a
 //! straggling worker is visible next to the server's per-op latency.
+//!
+//! `--trace-sample N` (pipelined `--spawn` runs only) roots every N-th GET
+//! per worker as a `req` span whose context rides the wire, so the server's
+//! `srv` subtree nests under it. The merged client+server event stream is
+//! written as JSONL to `--trace-out` (default `target/obs/trace.jsonl`) for
+//! `cargo xtask trace`; sampled-out requests are tallied in the dump's
+//! `spans_dropped` counter so the trace states how much it did NOT see.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
 
 use ecc_chash::HashRing;
 use ecc_net::client::RemoteNode;
-use ecc_net::loadgen::{run_load, run_load_fanout, run_scenario_load};
-use ecc_net::server::CacheServer;
-use ecc_obs::ObsSnapshot;
+use ecc_net::loadgen::{run_load, run_load_fanout_traced, run_scenario_load, TraceOpts};
+use ecc_net::server::{CacheServer, DEFAULT_MAX_CONNECTIONS};
+use ecc_obs::{ObsEvent, ObsRegistry, ObsSnapshot, TimeSource};
 use ecc_workload::scenario::Scenario;
 
 struct Args {
@@ -57,6 +65,8 @@ struct Args {
     scenario: Option<String>,
     steps: Option<u64>,
     seed: u64,
+    trace_sample: Option<u64>,
+    trace_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +82,8 @@ fn parse_args() -> Result<Args, String> {
         scenario: None,
         steps: None,
         seed: 7,
+        trace_sample: None,
+        trace_out: "target/obs/trace.jsonl".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -142,6 +154,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?
             }
+            "--trace-sample" => {
+                args.trace_sample = Some(
+                    take("--trace-sample")?
+                        .parse()
+                        .map_err(|e| format!("bad trace sample rate: {e}"))?,
+                )
+            }
+            "--trace-out" => args.trace_out = take("--trace-out")?,
             "--list-scenarios" => {
                 for sc in Scenario::all() {
                     println!(
@@ -158,7 +178,8 @@ fn parse_args() -> Result<Args, String> {
                     "usage: loadgen [--workers N] [--ops N] [--keys N] [--value-len N] \
                      [--pipeline DEPTH] [--fanout CONNS] \
                      [--scenario NAME [--steps N] [--seed N]] [--list-scenarios] \
-                     [--addr HOST:PORT | --spawn] [--json PATH]"
+                     [--addr HOST:PORT | --spawn] [--json PATH] \
+                     [--trace-sample N [--trace-out PATH]]"
                         .to_string(),
                 )
             }
@@ -183,6 +204,21 @@ fn parse_args() -> Result<Args, String> {
     if args.fanout > 1 && args.pipeline.is_none() {
         return Err(
             "--fanout needs --pipeline (serial workers are one connection each)".to_string(),
+        );
+    }
+    if args.trace_sample == Some(0) {
+        return Err("--trace-sample rate must be positive".to_string());
+    }
+    if args.trace_sample.is_some() && args.pipeline.is_none() {
+        return Err(
+            "--trace-sample needs --pipeline (tracing rides the pipelined path)".to_string(),
+        );
+    }
+    if args.trace_sample.is_some() && args.addr.is_some() {
+        return Err(
+            "--trace-sample needs --spawn: the client and server recorders must \
+             share one clock epoch for span intervals to nest"
+                .to_string(),
         );
     }
     Ok(args)
@@ -213,6 +249,14 @@ fn main() -> ExitCode {
         .map(|(sc, _, _)| sc.dist().space())
         .unwrap_or(args.keys);
 
+    // Tracing needs the client recorder and the spawned server on one clock
+    // epoch (origin 1 = server, 2 = client) so merged span intervals nest.
+    let client_obs = args.trace_sample.map(|sample| {
+        let obs = ObsRegistry::new(TimeSource::real());
+        obs.set_origin(2);
+        (obs, sample)
+    });
+
     // Target: an existing server, or an ephemeral in-process one.
     let mut spawned: Option<CacheServer> = None;
     let addr = match args.addr {
@@ -221,7 +265,19 @@ fn main() -> ExitCode {
             // Capacity sized to hold the whole key space at this value
             // length, so the run measures latency, not overflow refusals.
             let capacity = (key_space * (args.value_len as u64 + 64)).max(1 << 20);
-            match CacheServer::spawn(capacity, 64) {
+            let spawn_result = match &client_obs {
+                Some((obs, _)) => CacheServer::spawn_clocked(
+                    ("127.0.0.1", 0),
+                    capacity,
+                    64,
+                    DEFAULT_MAX_CONNECTIONS,
+                    None,
+                    obs.time(),
+                    1,
+                ),
+                None => CacheServer::spawn(capacity, 64),
+            };
+            match spawn_result {
                 Ok(s) => {
                     let a = s.addr();
                     spawned = Some(s);
@@ -253,16 +309,23 @@ fn main() -> ExitCode {
             run_scenario_load(&ring, |_| addr, args.workers, events, args.value_len)
         }
         None => match args.pipeline {
-            Some(depth) => run_load_fanout(
-                &ring,
-                |_| addr,
-                args.workers,
-                args.fanout,
-                args.ops,
-                args.keys,
-                args.value_len,
-                depth,
-            ),
+            Some(depth) => {
+                let trace_opts = client_obs.as_ref().map(|(obs, sample)| TraceOpts {
+                    obs: obs.clone(),
+                    sample: *sample,
+                });
+                run_load_fanout_traced(
+                    &ring,
+                    |_| addr,
+                    args.workers,
+                    args.fanout,
+                    args.ops,
+                    args.keys,
+                    args.value_len,
+                    depth,
+                    trace_opts.as_ref(),
+                )
+            }
             None => run_load(
                 &ring,
                 |_| addr,
@@ -285,6 +348,43 @@ fn main() -> ExitCode {
     let mut snap = RemoteNode::connect(addr)
         .and_then(|mut c| c.obs_dump())
         .unwrap_or_else(|_| ObsSnapshot::new());
+    // With tracing on, fold the client recorder in (stable at_us sort keeps
+    // start-before-end order) and persist the merged stream for xtask trace.
+    if let Some((obs, _)) = &client_obs {
+        snap.merge(&obs.snapshot());
+        let path = std::path::Path::new(&args.trace_out);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("failed to create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(path, snap.to_jsonl()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let spans = snap
+            .events
+            .iter()
+            .filter(|ev| matches!(ev, ObsEvent::SpanStart { .. }))
+            .count();
+        println!(
+            "trace: {} span(s) across {} event(s) written to {} ({} request(s) sampled out, {} ring-dropped)",
+            spans,
+            snap.events.len(),
+            args.trace_out,
+            snap.spans_dropped,
+            snap.dropped,
+        );
+        if snap.dropped > 0 {
+            eprintln!(
+                "trace: warning: a flight recorder overflowed ({} events lost) — \
+                 span trees in the dump may be truncated; lower --ops or raise \
+                 --trace-sample so the run fits the ring",
+                snap.dropped
+            );
+        }
+    }
     snap.hists
         .insert("client_rtt_us".to_string(), report.hist.clone());
     for (i, h) in report.worker_hists.iter().enumerate() {

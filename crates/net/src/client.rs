@@ -5,23 +5,53 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use bytes::Bytes;
+use ecc_obs::ObsRegistry;
 
 use crate::protocol::{
     append_frame, decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
-    decode_statuses, read_frame_into, write_frame_buffered, FrameAssembler, Request, Status,
+    decode_statuses, encode_traced_into, read_frame_into, write_frame_buffered, FrameAssembler, Op,
+    Request, Status, TraceContext,
 };
+
+/// Static span kind for a client-side wire exchange (`wire:<op>`), so the
+/// traced path never allocates a label string.
+pub(crate) fn wire_span_kind(op: Op) -> &'static str {
+    match op {
+        Op::Get => "wire:get",
+        Op::Put => "wire:put",
+        Op::Remove => "wire:remove",
+        Op::Sweep => "wire:sweep",
+        Op::Keys => "wire:keys",
+        Op::Stats => "wire:stats",
+        Op::Ping => "wire:ping",
+        Op::Shutdown => "wire:shutdown",
+        Op::RangeStats => "wire:range_stats",
+        Op::PutMany => "wire:put_many",
+        Op::GetMany => "wire:get_many",
+        Op::EvictMany => "wire:evict_many",
+        Op::ObsDump => "wire:obs_dump",
+    }
+}
 
 /// A persistent connection to a cache server.
 ///
 /// The handle owns a read and a write buffer that are reused across
 /// requests, so steady-state calls perform no per-frame allocations on
 /// the framing path.
+///
+/// With [`RemoteNode::with_obs`] attached and a trace scope set via
+/// [`RemoteNode::set_trace`], every call opens a `wire:<op>` span under
+/// that scope and ships the request as a traced (`0x0E`) frame, so the
+/// server's `srv` span becomes its child in the merged trace.
 #[derive(Debug)]
 pub struct RemoteNode {
     addr: SocketAddr,
     stream: TcpStream,
     rbuf: Vec<u8>,
     wbuf: Vec<u8>,
+    obs: Option<ObsRegistry>,
+    /// `(trace_id, parent_span_id)` the next calls' wire spans attach to.
+    trace: Option<(u64, u64)>,
 }
 
 fn bad_frame(what: &str) -> io::Error {
@@ -38,6 +68,8 @@ impl RemoteNode {
             stream,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
+            obs: None,
+            trace: None,
         })
     }
 
@@ -54,7 +86,31 @@ impl RemoteNode {
             stream,
             rbuf: Vec::new(),
             wbuf: Vec::new(),
+            obs: None,
+            trace: None,
         })
+    }
+
+    /// Attach the registry that records this connection's wire spans
+    /// (typically the *caller's* registry — the coordinator's, not the
+    /// server's — so the client half of the trace lands in the caller's
+    /// recorder).
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsRegistry) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// Scope subsequent calls under `(trace_id, parent_span_id)`: each
+    /// call opens a `wire:<op>` child span and propagates its context on
+    /// the wire. `None` reverts to the thread-local scope (the innermost
+    /// live span on the calling thread, if any — how a coordinator's
+    /// direct calls attach to its elastic root spans). The explicit form
+    /// exists because coordinator fan-outs run their per-node calls on
+    /// scoped worker threads, where the spawning span's thread-local
+    /// stack is out of reach.
+    pub fn set_trace(&mut self, trace: Option<(u64, u64)>) {
+        self.trace = trace;
     }
 
     /// Bound how long any single response read may block (`None` removes
@@ -71,8 +127,36 @@ impl RemoteNode {
     /// One request/response exchange through the reused buffers; the
     /// returned body borrows from the connection's read buffer.
     fn call(&mut self, req: &Request) -> io::Result<(Status, &[u8])> {
-        write_frame_buffered(&mut self.stream, &mut self.wbuf, |b| req.encode_into(b))?;
-        read_frame_into(&mut self.stream, &mut self.rbuf)?;
+        // The wire span covers write → response fully read; it is the
+        // per-node child of a coordinator fan-out and the minuend of the
+        // "network" share in critical-path breakdowns (wire − srv).
+        let scope = match &self.obs {
+            Some(_) => self.trace.or_else(ecc_obs::current_span),
+            None => None,
+        };
+        let span = match (&self.obs, scope) {
+            (Some(obs), Some((trace_id, parent))) => Some((
+                obs.span_start(wire_span_kind(req.op()), trace_id, parent),
+                parent,
+            )),
+            _ => None,
+        };
+        if let Some((span, parent)) = &span {
+            let ctx = TraceContext {
+                trace_id: span.trace_id(),
+                span_id: span.id(),
+                parent_span_id: *parent,
+                sampled: true,
+            };
+            write_frame_buffered(&mut self.stream, &mut self.wbuf, |b| {
+                encode_traced_into(&ctx, req, b)
+            })?;
+        } else {
+            write_frame_buffered(&mut self.stream, &mut self.wbuf, |b| req.encode_into(b))?;
+        }
+        let read = read_frame_into(&mut self.stream, &mut self.rbuf);
+        drop(span);
+        read?;
         let (&status_byte, body) = self
             .rbuf
             .split_first()
@@ -259,7 +343,17 @@ impl PipelinedConn {
     /// Buffer one request frame; nothing hits the socket until
     /// [`flush`](PipelinedConn::flush).
     pub fn enqueue(&mut self, req: &Request) -> io::Result<()> {
-        append_frame(&mut self.wbuf, |b| req.encode_into(b))?;
+        self.enqueue_traced(req, None)
+    }
+
+    /// [`enqueue`](PipelinedConn::enqueue), optionally wrapping the frame
+    /// in a trace extension: the sampled-request path of the load
+    /// generator, whose root `req` span's context rides to the server.
+    pub fn enqueue_traced(&mut self, req: &Request, ctx: Option<&TraceContext>) -> io::Result<()> {
+        match ctx {
+            Some(ctx) => append_frame(&mut self.wbuf, |b| encode_traced_into(ctx, req, b))?,
+            None => append_frame(&mut self.wbuf, |b| req.encode_into(b))?,
+        }
         self.in_flight += 1;
         Ok(())
     }

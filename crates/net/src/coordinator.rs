@@ -19,7 +19,7 @@ use ecc_obs::{ObsEvent, ObsRegistry, ObsSnapshot, TimeSource};
 
 use crate::client::RemoteNode;
 use crate::protocol::Status;
-use crate::server::CacheServer;
+use crate::server::{CacheServer, DEFAULT_MAX_CONNECTIONS};
 
 /// Flush a migration/merge `PutMany` batch once it holds this many items…
 const PUT_BATCH_MAX_ITEMS: usize = 512;
@@ -77,11 +77,20 @@ pub struct LiveCoordinator {
     pub merges: usize,
     /// Coordinator-side flight recorder + latency histograms.
     obs: ObsRegistry,
+    /// Clock epoch shared by the coordinator and every node it spawns, so
+    /// span intervals from different recorders are comparable after a
+    /// `cluster_obs` merge.
+    time: TimeSource,
 }
 
 impl LiveCoordinator {
     /// Start a coordinator with one cache server of the given capacity.
     pub fn start(ring_range: u64, capacity_bytes: u64) -> io::Result<LiveCoordinator> {
+        let time = TimeSource::real();
+        let obs = ObsRegistry::new(time.clone());
+        // Span-id origins: the coordinator allocates from origin 0, node
+        // `id` from origin `id + 1` — distinct per recorder, so merged
+        // span ids never collide.
         let mut coord = LiveCoordinator {
             ring: HashRing::new(ring_range),
             nodes: Vec::new(),
@@ -95,7 +104,8 @@ impl LiveCoordinator {
             nodes_spawned: 0,
             splits: 0,
             merges: 0,
-            obs: ObsRegistry::new(TimeSource::real()),
+            obs,
+            time,
         };
         let first = coord.spawn_node()?;
         coord
@@ -161,11 +171,21 @@ impl LiveCoordinator {
     /// Run `f` against every active node's client concurrently (one scoped
     /// thread per node) and collect `(node_id, result)` pairs. The first
     /// node error wins; all threads are joined either way.
+    ///
+    /// When the calling thread has a live span (an elastic operation in
+    /// progress), the whole fan-out gets a `coord_fanout` child span and
+    /// every worker's wire ops attach under it — the worker threads cannot
+    /// see the coordinator's thread-local stack, so the scope is handed to
+    /// each client explicitly. With no live span the fan-out is untraced
+    /// (`cluster_obs` in particular must stay untraced: a traced `ObsDump`
+    /// would dump its own server span mid-flight, start without end).
     fn fan_out<T, F>(&mut self, f: F) -> io::Result<Vec<(usize, T)>>
     where
         T: Send,
         F: Fn(usize, &mut RemoteNode) -> io::Result<T> + Sync,
     {
+        let fanout = self.obs.span_follow("coord_fanout");
+        let scope = fanout.as_ref().map(|s| (s.trace_id(), s.id()));
         let f = &f;
         let mut out = Vec::new();
         let t0 = self.obs.now_us();
@@ -175,7 +195,14 @@ impl LiveCoordinator {
                 .iter_mut()
                 .enumerate()
                 .filter_map(|(id, slot)| slot.as_mut().map(|n| (id, &mut n.client)))
-                .map(|(id, client)| s.spawn(move || (id, f(id, client))))
+                .map(|(id, client)| {
+                    s.spawn(move || {
+                        client.set_trace(scope);
+                        let res = f(id, client);
+                        client.set_trace(None);
+                        (id, res)
+                    })
+                })
                 .collect();
             for h in handles {
                 match h.join() {
@@ -210,11 +237,19 @@ impl LiveCoordinator {
     }
 
     fn spawn_node(&mut self) -> io::Result<usize> {
-        let server = CacheServer::spawn(self.capacity_bytes, self.btree_order)?;
-        let client = RemoteNode::connect(server.addr())?;
+        let id = self.nodes.len();
+        let server = CacheServer::spawn_clocked(
+            ("127.0.0.1", 0),
+            self.capacity_bytes,
+            self.btree_order,
+            DEFAULT_MAX_CONNECTIONS,
+            None,
+            self.time.clone(),
+            id as u32 + 1,
+        )?;
+        let client = RemoteNode::connect(server.addr())?.with_obs(self.obs.clone());
         self.nodes.push(Some(ManagedNode { server, client }));
         self.nodes_spawned += 1;
-        let id = self.nodes.len() - 1;
         self.obs.emit(ObsEvent::NodeAlloc {
             at_us: self.obs.now_us(),
             node: id as u32,
@@ -270,6 +305,10 @@ impl LiveCoordinator {
 
     /// Algorithm 1 lines 8–15, over the wire.
     fn split_node(&mut self, nid: usize) -> io::Result<()> {
+        // First-class root span: every wire op below (bucket sizing,
+        // key listing, the migration itself) attaches under it via the
+        // thread-local scope.
+        let _split = self.obs.span_root("elastic_split");
         let buckets = self.ring.buckets_of_node(&nid);
         // Fullest bucket by resident bytes.
         let Some(&first) = buckets.first() else {
@@ -369,6 +408,10 @@ impl LiveCoordinator {
         let mut moved_records = 0u64;
         let mut moved_bytes = 0u64;
         for &(lo, hi) in spans {
+            // One span per migration chunk: the source sweep and the
+            // chunked PutMany replay onto the destination, nested under
+            // the enclosing elastic operation.
+            let _chunk = self.obs.span_follow("migrate_chunk");
             let records = self.client(src)?.sweep(lo, hi)?;
             moved_records += records.len() as u64;
             moved_bytes += records.iter().map(|(_, v)| v.len() as u64).sum::<u64>();
@@ -419,6 +462,10 @@ impl LiveCoordinator {
             return Ok(());
         };
         self.expirations += 1;
+        // First-class root span over the whole slice close: victim
+        // scoring, the eviction fan-out, and the contraction probe all
+        // attach under it.
+        let _expire = self.obs.span_root("elastic_slice_expire");
         // Score against the window that remains, then drop its borrow
         // before talking to the nodes.
         let victims = match &self.window {
@@ -479,12 +526,19 @@ impl LiveCoordinator {
         if a_used + b_used > limit {
             return Ok(());
         }
-        // Drain a into b.
+        // First-class root span for the merge proper (the stats probe
+        // above runs on every contraction check and stays outside it).
+        let _merge = self.obs.span_root("elastic_merge");
+        // Drain a into b, as one migration chunk.
         let t0 = self.obs.now_us();
         let hi = self.ring_range - 1;
-        let records = self.client(a)?.sweep(0, hi)?;
-        let moved = records.len() as u64;
-        self.put_all(b, records, "merge put failed")?;
+        let moved;
+        {
+            let _chunk = self.obs.span_follow("migrate_chunk");
+            let records = self.client(a)?.sweep(0, hi)?;
+            moved = records.len() as u64;
+            self.put_all(b, records, "merge put failed")?;
+        }
         self.obs.record("coord_migrate_us", self.obs.now_us() - t0);
         for bucket in self.ring.buckets_of_node(&a) {
             self.ring
@@ -697,6 +751,51 @@ mod tests {
         // Events interleave in timestamp order after the merge.
         let times: Vec<u64> = snap.events.iter().map(|e| e.at_us()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        c.shutdown().unwrap();
+    }
+
+    #[test]
+    fn elastic_operations_trace_as_complete_root_span_trees() {
+        let mut c = LiveCoordinator::start(1 << 16, 1000).unwrap();
+        c.enable_window(2, 0.99, 0.99f64.powi(1));
+        for k in 0..32u64 {
+            if c.get(k * 999).unwrap().is_none() {
+                c.put(k * 999, vec![1; 100]).unwrap();
+            }
+        }
+        for _ in 0..8 {
+            c.end_time_step().unwrap();
+        }
+        let (splits, merges) = (c.splits, c.merges);
+        assert!(splits >= 1 && merges >= 1, "run exercised no elasticity");
+        let snap = c.cluster_obs().unwrap();
+        let stats = ecc_obs::verify_spans(&snap.events).expect("cluster span stream well-formed");
+        assert!(
+            stats.roots >= splits + merges,
+            "{} roots for {splits} splits + {merges} merges",
+            stats.roots
+        );
+        // Each root span's id doubles as its trace id: one trace per root.
+        assert_eq!(stats.roots, stats.traces);
+        let spans = ecc_obs::build_spans(&snap.events).unwrap();
+        let count = |k: &str| spans.iter().filter(|s| s.kind == k).count();
+        assert_eq!(count("elastic_split"), splits);
+        assert_eq!(count("elastic_merge"), merges);
+        assert!(count("elastic_slice_expire") >= 1);
+        assert!(count("coord_fanout") >= 1);
+        assert!(count("migrate_chunk") >= splits + merges);
+        assert!(count("wire:sweep") >= 1);
+        // Surviving nodes dumped the server halves of the traced wire ops.
+        assert!(count("srv") >= 1, "no node-side spans in the cluster dump");
+        // Fan-out wire ops hang under the coord_fanout span, not the root.
+        let fanouts: Vec<u64> = spans
+            .iter()
+            .filter(|s| s.kind == "coord_fanout")
+            .map(|s| s.span)
+            .collect();
+        assert!(spans
+            .iter()
+            .any(|s| s.kind.starts_with("wire:") && fanouts.contains(&s.parent)));
         c.shutdown().unwrap();
     }
 

@@ -17,11 +17,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 use ecc_chash::HashRing;
-use ecc_obs::LogHistogram;
+use ecc_obs::{LogHistogram, ObsRegistry, SpanGuard};
 use ecc_workload::driver::Op;
 
 use crate::client::{PipelinedConn, RemoteNode};
-use crate::protocol::{Request, Status};
+use crate::protocol::{Request, Status, TraceContext};
 
 /// Bound applied to each worker connection's connect *and* every
 /// subsequent response read, so a node that wedges mid-run surfaces as a
@@ -229,6 +229,40 @@ pub fn run_load_with_progress<N: Clone + Eq + Send + Sync>(
     })
 }
 
+/// Client-side tracing configuration for a load run.
+#[derive(Clone)]
+pub struct TraceOpts {
+    /// Registry receiving the root `req` spans. Give it a distinct origin
+    /// and — when server spans will be merged in — the SAME clock epoch as
+    /// the servers, or cross-recorder interval nesting is meaningless.
+    pub obs: ObsRegistry,
+    /// Sample 1 in `sample` requests as root spans (1 = every request).
+    /// Sampled-out requests bump the registry's `spans_dropped` counter,
+    /// so a trace dump always states how much it did NOT see.
+    pub sample: u64,
+}
+
+impl TraceOpts {
+    /// Start the root span for request number `issued` on one worker, or
+    /// count it as sampled-out. The span's context (its own id doubling as
+    /// the trace id) rides the wire; the guard retires — and records the
+    /// span end — when the response does.
+    fn sample_root(&self, issued: u64) -> Option<(SpanGuard, TraceContext)> {
+        if !issued.is_multiple_of(self.sample.max(1)) {
+            self.obs.note_span_dropped();
+            return None;
+        }
+        let root = self.obs.span_root("req");
+        let ctx = TraceContext {
+            trace_id: root.trace_id(),
+            span_id: root.id(),
+            parent_span_id: 0,
+            sampled: true,
+        };
+        Some((root, ctx))
+    }
+}
+
 /// One request awaiting its response on a pipelined connection, in FIFO
 /// (request) order.
 struct Pending {
@@ -237,6 +271,9 @@ struct Pending {
     /// In-flight count on the connection at enqueue time (1-based).
     depth: usize,
     is_get: bool,
+    /// Root `req` span of a sampled request; dropping it on retirement
+    /// stamps the span end at response time.
+    span: Option<SpanGuard>,
 }
 
 /// Pop one response off a pipelined connection and fold it into `stats`.
@@ -272,6 +309,7 @@ fn drain_one(
                             t0: Instant::now(),
                             depth,
                             is_get: false,
+                            span: None,
                         }),
                         Err(_) => stats.errors += 1,
                     }
@@ -286,6 +324,9 @@ fn drain_one(
         h.record(rtt);
     }
     stats.ops += 1;
+    // A sampled request's root span ends here: response received and
+    // accounted. (Guard drop stamps the SpanEnd.)
+    drop(p.span);
 }
 
 /// [`run_load`] with per-connection pipelining: each worker keeps up to
@@ -336,6 +377,28 @@ pub fn run_load_fanout<N: Clone + Eq + Send + Sync>(
     value_len: usize,
     depth: usize,
 ) -> std::io::Result<LoadReport> {
+    run_load_fanout_traced(
+        ring, addr_of, clients, fanout, total_ops, key_space, value_len, depth, None,
+    )
+}
+
+/// [`run_load_fanout`] with optional trace sampling: every `trace.sample`-th
+/// GET issued by each worker becomes a root `req` span whose context rides
+/// the wire (`0x0E` frames), so the server's `srv` subtree attaches under
+/// it in the merged dump. Repair PUTs stay untraced — the sampled
+/// population is the request stream the run was asked to issue.
+#[allow(clippy::too_many_arguments)]
+pub fn run_load_fanout_traced<N: Clone + Eq + Send + Sync>(
+    ring: &HashRing<N>,
+    addr_of: impl Fn(&N) -> SocketAddr + Sync,
+    clients: usize,
+    fanout: usize,
+    total_ops: u64,
+    key_space: u64,
+    value_len: usize,
+    depth: usize,
+    trace: Option<&TraceOpts>,
+) -> std::io::Result<LoadReport> {
     assert!(clients >= 1, "need at least one client");
     assert!(fanout >= 1, "need at least one connection per worker");
     assert!(depth >= 1, "pipeline depth must be positive");
@@ -354,6 +417,7 @@ pub fn run_load_fanout<N: Clone + Eq + Send + Sync>(
                 let mut conns: Vec<(SocketAddr, usize, PipelinedConn, VecDeque<Pending>)> =
                     Vec::new();
                 let mut state = 0x9E3779B97F4A7C15u64 ^ (w as u64).wrapping_mul(0xA24BAED4963EE407);
+                let mut issued: u64 = 0;
                 for i in 0..per_worker {
                     state = state
                         .wrapping_mul(6364136223846793005)
@@ -390,12 +454,19 @@ pub fn run_load_fanout<N: Clone + Eq + Send + Sync>(
                         drain_one(conn, pending, &mut stats, &mut depth_hists, value_len);
                     }
                     let d = conn.in_flight() + 1;
-                    match conn.enqueue(&Request::Get { key }) {
+                    let sampled = trace.and_then(|t| t.sample_root(issued));
+                    issued += 1;
+                    let (span, ctx) = match sampled {
+                        Some((span, ctx)) => (Some(span), Some(ctx)),
+                        None => (None, None),
+                    };
+                    match conn.enqueue_traced(&Request::Get { key }, ctx.as_ref()) {
                         Ok(()) => pending.push_back(Pending {
                             key,
                             t0: Instant::now(),
                             depth: d,
                             is_get: true,
+                            span,
                         }),
                         Err(_) => stats.errors += 1,
                     }
@@ -693,6 +764,46 @@ mod tests {
         assert_eq!(report.hist.count(), report.ops);
         // 2 workers × fanout 2 = 4 persistent connections, no reconnects.
         assert_eq!(s.connections_accepted(), 4);
+    }
+
+    #[test]
+    fn traced_pipelined_run_yields_complete_span_trees() {
+        use ecc_obs::TimeSource;
+
+        // Shared epoch: client root spans and server subtrees must be
+        // interval-comparable in the merged dump.
+        let time = TimeSource::real();
+        let mut s =
+            CacheServer::spawn_clocked(("127.0.0.1", 0), 1 << 22, 32, 256, None, time.clone(), 1)
+                .unwrap();
+        let client_obs = ObsRegistry::new(time);
+        client_obs.set_origin(100);
+        let mut ring: HashRing<usize> = HashRing::new(256);
+        ring.insert_bucket(255, 0).unwrap();
+        let addr = s.addr();
+
+        let trace = TraceOpts {
+            obs: client_obs.clone(),
+            sample: 4,
+        };
+        let report =
+            run_load_fanout_traced(&ring, |_| addr, 2, 1, 400, 256, 64, 8, Some(&trace)).unwrap();
+        assert_eq!(report.errors, 0, "{report:?}");
+
+        // 2 workers × 200 GETs, 1-in-4 sampled → 100 roots, 300 dropped.
+        assert_eq!(client_obs.spans_dropped(), 300);
+
+        let mut c = RemoteNode::connect(addr).unwrap();
+        let server_snap = c.obs_dump().unwrap();
+        let mut events = client_obs.snapshot().events;
+        events.extend(server_snap.events);
+        let stats = ecc_obs::verify_spans(&events).expect("merged trace is well-formed");
+        assert_eq!(stats.roots, 100);
+        assert_eq!(stats.traces, 100);
+        // Every sampled request carries its server subtree: root + srv +
+        // srv_queue + srv_exec + lock_wait = 5 spans per trace.
+        assert_eq!(stats.spans, 500);
+        s.stop();
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use std::io::{self, Read, Write};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+pub use ecc_obs::TraceContext;
 
 /// Maximum accepted frame size (guards against corrupt length prefixes).
 pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
@@ -193,6 +194,25 @@ pub enum Request {
 }
 
 impl Request {
+    /// The opcode this request encodes as.
+    pub fn op(&self) -> Op {
+        match self {
+            Request::Get { .. } => Op::Get,
+            Request::Put { .. } => Op::Put,
+            Request::Remove { .. } => Op::Remove,
+            Request::Sweep { .. } => Op::Sweep,
+            Request::Keys { .. } => Op::Keys,
+            Request::Stats => Op::Stats,
+            Request::Ping => Op::Ping,
+            Request::Shutdown => Op::Shutdown,
+            Request::RangeStats { .. } => Op::RangeStats,
+            Request::PutMany { .. } => Op::PutMany,
+            Request::GetMany { .. } => Op::GetMany,
+            Request::EvictMany { .. } => Op::EvictMany,
+            Request::ObsDump => Op::ObsDump,
+        }
+    }
+
     /// Serialize to a frame payload (opcode + body).
     pub fn encode(&self) -> Bytes {
         let mut b = Vec::new();
@@ -370,6 +390,85 @@ impl Request {
             },
         })
     }
+}
+
+/// Frame-extension marker for trace-context propagation. Deliberately NOT
+/// an [`Op`]: a traced frame is `[0x0E][ver u8][ext_len u8][ext bytes]`
+/// followed by an ordinary request payload, so the 13 pinned opcodes keep
+/// their exact byte layouts and a traceless peer's frames are untouched.
+/// An old server that does not know `0x0E` rejects the frame as
+/// `BadRequest` — interop only requires that *traceless* clients keep
+/// working against tracing servers, which they do unchanged.
+pub const TRACE_EXT_OPCODE: u8 = 0x0E;
+
+/// Current trace-extension version. v1 carries
+/// `[flags u8][trace_id u64][span_id u64][parent_span_id u64]` (25 bytes,
+/// little-endian; flags bit 0 = sampled). A decoder skips the extension of
+/// any *newer* version via `ext_len` and still parses the inner request,
+/// so adding fields later is a non-breaking change.
+pub const TRACE_EXT_VERSION: u8 = 1;
+
+/// Byte length of the v1 trace extension body.
+const TRACE_EXT_V1_LEN: u8 = 25;
+
+/// Append a traced frame payload: the `0x0E` extension header carrying
+/// `ctx`, then the ordinary encoding of `req`.
+pub fn encode_traced_into(ctx: &TraceContext, req: &Request, b: &mut Vec<u8>) {
+    b.put_u8(TRACE_EXT_OPCODE);
+    b.put_u8(TRACE_EXT_VERSION);
+    b.put_u8(TRACE_EXT_V1_LEN);
+    b.put_u8(u8::from(ctx.sampled));
+    b.put_u64_le(ctx.trace_id);
+    b.put_u64_le(ctx.span_id);
+    b.put_u64_le(ctx.parent_span_id);
+    req.encode_into(b);
+}
+
+/// Encode a traced frame payload into an owned buffer.
+pub fn encode_traced(ctx: &TraceContext, req: &Request) -> Bytes {
+    let mut b = Vec::new();
+    encode_traced_into(ctx, req, &mut b);
+    Bytes::from(b)
+}
+
+/// Parse a frame payload that may carry a leading trace extension.
+///
+/// * Plain frames (first byte is a pinned opcode) decode exactly as
+///   [`Request::decode`] and return no context.
+/// * A v1 `0x0E` frame yields `(Some(ctx), request)`.
+/// * A `0x0E` frame with a *newer* version has its extension skipped via
+///   `ext_len`; the inner request still decodes (context is dropped, the
+///   request is served — forward compatibility).
+/// * Malformed extensions (truncated header, wrong v1 length, version 0)
+///   are `None`, like any other malformed payload.
+pub fn decode_with_trace<B: Buf>(mut payload: B) -> Option<(Option<TraceContext>, Request)> {
+    if !payload.has_remaining() || payload.chunk()[0] != TRACE_EXT_OPCODE {
+        return Request::decode(payload).map(|req| (None, req));
+    }
+    payload.advance(1);
+    if payload.remaining() < 2 {
+        return None;
+    }
+    let version = payload.get_u8();
+    let ext_len = payload.get_u8() as usize;
+    if version == 0 || payload.remaining() < ext_len {
+        return None;
+    }
+    if version > TRACE_EXT_VERSION {
+        payload.advance(ext_len);
+        return Request::decode(payload).map(|req| (None, req));
+    }
+    if ext_len != TRACE_EXT_V1_LEN as usize {
+        return None;
+    }
+    let flags = payload.get_u8();
+    let ctx = TraceContext {
+        trace_id: payload.get_u64_le(),
+        span_id: payload.get_u64_le(),
+        parent_span_id: payload.get_u64_le(),
+        sampled: flags & 1 != 0,
+    };
+    Request::decode(payload).map(|req| (Some(ctx), req))
 }
 
 /// Parse a `u32 count` + `count × u64` key batch, rejecting length
@@ -828,6 +927,89 @@ mod tests {
             let enc = req.encode();
             assert_eq!(Request::decode(enc), Some(req));
         }
+    }
+
+    fn sample_ctx() -> TraceContext {
+        TraceContext {
+            trace_id: 0xDEAD_BEEF,
+            span_id: (3u64 << 40) | 17,
+            parent_span_id: 3u64 << 40,
+            sampled: true,
+        }
+    }
+
+    #[test]
+    fn traced_frames_roundtrip() {
+        let reqs = vec![
+            Request::Get { key: 7 },
+            Request::Put {
+                key: 9,
+                value: Bytes::from_static(b"hello"),
+            },
+            Request::GetMany { keys: vec![1, 2] },
+            Request::Ping,
+        ];
+        for req in reqs {
+            let enc = encode_traced(&sample_ctx(), &req);
+            let (ctx, back) = decode_with_trace(enc).unwrap();
+            assert_eq!(ctx, Some(sample_ctx()));
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn unsampled_flag_survives_the_wire() {
+        let ctx = TraceContext {
+            sampled: false,
+            ..sample_ctx()
+        };
+        let enc = encode_traced(&ctx, &Request::Ping);
+        let (back, _) = decode_with_trace(enc).unwrap();
+        assert!(!back.unwrap().sampled);
+    }
+
+    #[test]
+    fn plain_frames_decode_without_context() {
+        let req = Request::Sweep { lo: 3, hi: 99 };
+        let (ctx, back) = decode_with_trace(req.encode()).unwrap();
+        assert_eq!(ctx, None);
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn future_extension_versions_are_skipped_not_rejected() {
+        // A v2 peer with a 30-byte extension this build has never seen:
+        // the extension is skipped and the inner request still serves.
+        let mut b = Vec::new();
+        b.put_u8(TRACE_EXT_OPCODE);
+        b.put_u8(2);
+        b.put_u8(30);
+        b.extend_from_slice(&[0xAB; 30]);
+        Request::Get { key: 42 }.encode_into(&mut b);
+        let (ctx, req) = decode_with_trace(Bytes::from(b)).unwrap();
+        assert_eq!(ctx, None);
+        assert_eq!(req, Request::Get { key: 42 });
+    }
+
+    #[test]
+    fn malformed_trace_extensions_are_rejected() {
+        // Truncated header.
+        assert!(decode_with_trace(Bytes::from_static(&[0x0E])).is_none());
+        assert!(decode_with_trace(Bytes::from_static(&[0x0E, 1])).is_none());
+        // Version 0 is invalid.
+        assert!(decode_with_trace(Bytes::from_static(&[0x0E, 0, 0, 0x07])).is_none());
+        // v1 with the wrong ext_len.
+        let mut b = vec![0x0E, 1, 3, 0, 0, 0];
+        b.push(Op::Ping as u8);
+        assert!(decode_with_trace(Bytes::from(b)).is_none());
+        // ext_len longer than the remaining payload.
+        assert!(decode_with_trace(Bytes::from_static(&[0x0E, 1, 200, 1, 2])).is_none());
+        // Well-formed extension but malformed inner request (GET with a
+        // truncated key).
+        let mut b = Vec::new();
+        encode_traced_into(&sample_ctx(), &Request::Get { key: 7 }, &mut b);
+        b.pop();
+        assert!(decode_with_trace(Bytes::from(b)).is_none());
     }
 
     #[test]

@@ -44,7 +44,9 @@ use crossbeam::channel;
 use ecc_core::ShardedNode;
 use ecc_obs::{ObsEvent, ObsRegistry};
 
-use crate::protocol::{append_frame, FrameAssembler, Op, Request, Response, Status};
+use crate::protocol::{
+    append_frame, decode_with_trace, FrameAssembler, Request, Response, Status, TraceContext,
+};
 use crate::server::{handle, op_hist_name, ConnSlot};
 
 /// Default reactor-thread count: one per core up to 4. Cache serving is
@@ -286,6 +288,41 @@ fn reactor_loop(rx: channel::Receiver<(TcpStream, ConnSlot)>, shared: ReactorSha
     }
 }
 
+/// Execute one decoded frame, opening the server-side span triplet when
+/// the frame carried a sampled trace context: `srv` (back-dated to the
+/// sweep wakeup `t_wake`, parented under the client's wire span), a
+/// `srv_queue` child covering wakeup → execute (per-frame arrival is not
+/// individually timestamped, so queueing is attributed from the sweep
+/// wakeup), and `srv_exec` around `handle()` — whose own descendants
+/// (`lock_wait` in the sharded node) attach through the thread-local span
+/// stack. `srv` closes when the response is produced; the flush that
+/// follows is charged to the client's network share.
+fn serve_traced(
+    ctx: Option<TraceContext>,
+    req: Request,
+    shared: &ReactorShared,
+    t_wake: u64,
+) -> Response {
+    let srv = ctx.filter(|c| c.sampled).map(|c| {
+        let srv = shared
+            .obs
+            .span_start_at("srv", c.trace_id, c.span_id, t_wake);
+        drop(
+            shared
+                .obs
+                .span_start_at("srv_queue", c.trace_id, srv.id(), t_wake),
+        );
+        srv
+    });
+    let exec = srv
+        .as_ref()
+        .map(|s| shared.obs.span_start("srv_exec", s.trace_id(), s.id()));
+    let resp = handle(req, &shared.node, &shared.shutdown, &shared.obs);
+    drop(exec);
+    drop(srv);
+    resp
+}
+
 /// Per-sweep verdict for one connection.
 enum Sweep {
     /// Keep the connection; `true` if any bytes or frames moved.
@@ -355,24 +392,25 @@ fn sweep_conn(conn: &mut Conn, shared: &ReactorShared) -> io::Result<Sweep> {
             bytes: frame.len() as u64,
         });
         let t0 = shared.obs.now_us();
-        let (resp, is_shutdown) = match Request::decode(frame) {
-            Some(req) => {
+        let (resp, is_shutdown, hist) = match decode_with_trace(frame) {
+            Some((ctx, req)) => {
                 let is_shutdown = matches!(req, Request::Shutdown);
-                (
-                    handle(req, &shared.node, &shared.shutdown, &shared.obs),
-                    is_shutdown,
-                )
+                let hist = op_hist_name(Some(req.op()));
+                let resp = serve_traced(ctx, req, shared, t_wake.unwrap_or(t0));
+                (resp, is_shutdown, hist)
             }
-            None => (Response::status(Status::BadRequest), false),
+            None => (
+                Response::status(Status::BadRequest),
+                false,
+                op_hist_name(None),
+            ),
         };
         // Request boundary: every `handle()` must return with all
         // ShardedNode guards released — a guard surviving into the next
         // pipelined frame would block every connection on that stripe.
         // Debug-build check, compiled out in release.
         ecc_core::lockorder::assert_quiescent();
-        shared
-            .obs
-            .record(op_hist_name(Op::from_u8(op_byte)), shared.obs.now_us() - t0);
+        shared.obs.record(hist, shared.obs.now_us() - t0);
         append_frame(wbuf, |b| resp.encode_into(b))?;
         shared.obs.emit(ObsEvent::FrameTx {
             at_us: shared.obs.now_us(),

@@ -96,13 +96,40 @@ impl CacheServer {
         max_connections: u64,
         reactor_threads: Option<usize>,
     ) -> io::Result<CacheServer> {
+        Self::spawn_clocked(
+            addr,
+            capacity_bytes,
+            btree_order,
+            max_connections,
+            reactor_threads,
+            TimeSource::real(),
+            0,
+        )
+    }
+
+    /// [`CacheServer::spawn_with`] with an injected clock epoch and span
+    /// origin. Tracing deployments pass every node the SAME [`TimeSource`]
+    /// (and a distinct `origin`) so span timestamps from different
+    /// recorders are comparable after an `ObsDump` merge — cross-node
+    /// parent/child interval nesting is only meaningful on a shared epoch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_clocked<A: std::net::ToSocketAddrs>(
+        addr: A,
+        capacity_bytes: u64,
+        btree_order: usize,
+        max_connections: u64,
+        reactor_threads: Option<usize>,
+        time: TimeSource,
+        origin: u32,
+    ) -> io::Result<CacheServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let halt = Arc::new(AtomicBool::new(false));
         let connections = Arc::new(AtomicU64::new(0));
         let refused = Arc::new(AtomicU64::new(0));
-        let obs = ObsRegistry::new(TimeSource::real());
+        let obs = ObsRegistry::new(time);
+        obs.set_origin(origin);
         let node = Arc::new(
             ShardedNode::new(capacity_bytes, btree_order, DEFAULT_STRIPES).with_obs(obs.clone()),
         );
@@ -529,6 +556,49 @@ mod tests {
         // in-flight dump response.
         assert_eq!(counts.get("frame_rx"), Some(&4));
         assert_eq!(counts.get("frame_tx"), Some(&3));
+        server.stop();
+    }
+
+    #[test]
+    fn traced_requests_build_complete_cross_recorder_span_trees() {
+        // Client and server share ONE clock epoch (spawn_clocked) so the
+        // merged trace's parent/child interval nesting is checkable.
+        let time = TimeSource::real();
+        let mut server =
+            CacheServer::spawn_clocked(("127.0.0.1", 0), 10_000, 16, 256, None, time.clone(), 1)
+                .unwrap();
+        let client_obs = ObsRegistry::new(time);
+        client_obs.set_origin(99);
+        let mut client = RemoteNode::connect(server.addr())
+            .unwrap()
+            .with_obs(client_obs.clone());
+
+        client.set_trace(Some((0x77, 0)));
+        client.put(1, b"abc".to_vec()).unwrap();
+        client.get(1).unwrap();
+        client.set_trace(None);
+
+        // A traceless peer interoperates with the tracing server on the
+        // same socket lifetime as the traced one.
+        let mut plain = RemoteNode::connect(server.addr()).unwrap();
+        assert_eq!(plain.get(1).unwrap(), Some(b"abc".to_vec()));
+
+        let snap = client.obs_dump().unwrap();
+        let server_counts = snap.event_counts();
+        // 2 × (srv, srv_queue, srv_exec, lock_wait).
+        assert_eq!(server_counts.get("span_start"), Some(&8));
+        assert_eq!(server_counts.get("span_end"), Some(&8));
+
+        // Merge both recorders and verify the full trees: every start
+        // ended, no orphans, child intervals nested. The put and get each
+        // form wire → srv → {srv_queue, srv_exec} (lock_wait spans live
+        // under srv_exec when the node records them).
+        let mut events = client_obs.snapshot().events;
+        events.extend(snap.events);
+        let stats = ecc_obs::verify_spans(&events).expect("merged trace is well-formed");
+        assert_eq!(stats.roots, 2, "one root per traced client call");
+        assert_eq!(stats.traces, 1);
+        assert!(stats.spans >= 8, "spans: {}", stats.spans);
         server.stop();
     }
 

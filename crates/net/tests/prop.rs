@@ -4,8 +4,9 @@
 use bytes::Bytes;
 use ecc_net::protocol::{
     decode_get_many, decode_keys, decode_range_stats, decode_records, decode_stats,
-    decode_statuses, encode_get_many, encode_keys, encode_range_stats, encode_records,
-    encode_stats, encode_statuses, read_frame, write_frame, Request, Response, Status,
+    decode_statuses, decode_with_trace, encode_get_many, encode_keys, encode_range_stats,
+    encode_records, encode_stats, encode_statuses, encode_traced, read_frame, write_frame, Request,
+    Response, Status, TraceContext, TRACE_EXT_OPCODE, TRACE_EXT_VERSION,
 };
 use proptest::prelude::*;
 
@@ -168,6 +169,33 @@ proptest! {
         prop_assert_eq!(enc.first().copied(), Some(expected));
     }
 
+    /// The trace extension wraps *any* request losslessly, and plain
+    /// frames pass through `decode_with_trace` exactly as `Request::decode`
+    /// sees them — a traceless peer and a tracing peer agree on every
+    /// untraced frame.
+    #[test]
+    fn traced_frames_roundtrip_and_plain_frames_pass_through(
+        req in arb_request(),
+        trace_id: u64,
+        span_id: u64,
+        parent: u64,
+        sampled: bool,
+    ) {
+        let ctx = TraceContext { trace_id, span_id, parent_span_id: parent, sampled };
+        let (got_ctx, got_req) = decode_with_trace(encode_traced(&ctx, &req)).unwrap();
+        prop_assert_eq!(got_ctx, Some(ctx));
+        prop_assert_eq!(&got_req, &req);
+
+        let plain = decode_with_trace(req.encode());
+        prop_assert_eq!(plain, Request::decode(req.encode()).map(|r| (None, r)));
+    }
+
+    /// `decode_with_trace` is total on arbitrary bytes, like `decode`.
+    #[test]
+    fn decode_with_trace_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decode_with_trace(Bytes::from(bytes));
+    }
+
     /// Frames written then read give back the payload; truncated frames
     /// error instead of hanging or panicking.
     #[test]
@@ -254,5 +282,45 @@ mod golden_bytes {
             Some(Request::ObsDump)
         );
         assert_eq!(Request::decode(Bytes::from_static(&[0x0D, 0x00])), None);
+    }
+
+    /// The v1 traced `GET` frame, byte for byte: `0x0E` marker, version 1,
+    /// 25-byte extension (flags=1 sampled, trace/span/parent ids LE), then
+    /// the ordinary 9-byte GET payload. Frozen: a tracing client built today
+    /// must emit exactly this against every future server.
+    #[test]
+    fn traced_frame_bytes_are_frozen() {
+        let ctx = TraceContext {
+            trace_id: 0x1122334455667788,
+            span_id: 0x0000_0A00_0000_0001, // origin 10, seq 1
+            parent_span_id: 0,
+            sampled: true,
+        };
+        let frozen: [u8; 37] = [
+            0x0E, 0x01, 0x19, // marker, version, ext_len = 25
+            0x01, // flags: sampled
+            0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, // trace_id
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x0A, 0x00, 0x00, // span_id
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // parent
+            0x01, // inner opcode: GET
+            0x2A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // key = 42
+        ];
+        assert_eq!(TRACE_EXT_OPCODE, 0x0E);
+        assert_eq!(TRACE_EXT_VERSION, 0x01);
+        assert_eq!(
+            encode_traced(&ctx, &Request::Get { key: 42 }).as_ref(),
+            &frozen[..]
+        );
+        assert_eq!(
+            decode_with_trace(Bytes::copy_from_slice(&frozen)),
+            Some((Some(ctx), Request::Get { key: 42 }))
+        );
+    }
+
+    /// The extension marker must never collide with a request opcode: a
+    /// traced frame is unambiguous at the first byte.
+    #[test]
+    fn trace_marker_is_not_an_opcode() {
+        assert_eq!(ecc_net::protocol::Op::from_u8(TRACE_EXT_OPCODE), None);
     }
 }

@@ -27,6 +27,9 @@ fn partial_frame_then_eof_frees_slot() {
     std::thread::sleep(Duration::from_millis(200));
 
     let mut c = RemoteNode::connect(addr).expect("connect after dead peer");
-    assert!(c.ping().expect("slot should have been freed"), "ping failed");
+    assert!(
+        c.ping().expect("slot should have been freed"),
+        "ping failed"
+    );
     server.stop();
 }

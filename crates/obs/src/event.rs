@@ -108,6 +108,32 @@ pub enum ObsEvent {
         /// The key whose admission failed.
         key: u64,
     },
+    /// A causal span opened (request phase, coordinator fan-out, elasticity
+    /// op). Span ids are globally unique (`origin << 40 | seq`, see
+    /// `trace::span id allocation`), so merged multi-node snapshots
+    /// reconstruct one tree.
+    SpanStart {
+        /// Event time, µs.
+        at_us: u64,
+        /// Trace id shared by every span of one causal tree.
+        trace: u64,
+        /// This span's globally unique id.
+        span: u64,
+        /// Parent span id (0 = root).
+        parent: u64,
+        /// Span kind tag (`req`, `srv`, `srv_queue`, `srv_exec`,
+        /// `lock_wait`, `wire:<op>`, `coord_fanout`, `elastic_*`).
+        kind: String,
+        /// Origin tag of the recorder that emitted it (node id / client).
+        node: u32,
+    },
+    /// The matching close of a [`ObsEvent::SpanStart`].
+    SpanEnd {
+        /// Event time, µs.
+        at_us: u64,
+        /// The span being closed.
+        span: u64,
+    },
 }
 
 impl ObsEvent {
@@ -124,6 +150,8 @@ impl ObsEvent {
             ObsEvent::FrameRx { .. } => "frame_rx",
             ObsEvent::FrameTx { .. } => "frame_tx",
             ObsEvent::InsertError { .. } => "insert_error",
+            ObsEvent::SpanStart { .. } => "span_start",
+            ObsEvent::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -140,6 +168,7 @@ impl ObsEvent {
             | ObsEvent::FrameRx { at_us, .. }
             | ObsEvent::FrameTx { at_us, .. }
             | ObsEvent::InsertError { at_us, .. } => at_us,
+            ObsEvent::SpanStart { at_us, .. } | ObsEvent::SpanEnd { at_us, .. } => at_us,
         }
     }
 
@@ -213,6 +242,20 @@ impl ObsEvent {
             ObsEvent::InsertError { at_us, key } => {
                 format!("{{\"type\":\"insert_error\",\"at_us\":{at_us},\"key\":{key}}}")
             }
+            ObsEvent::SpanStart {
+                at_us,
+                trace,
+                span,
+                parent,
+                kind,
+                node,
+            } => format!(
+                "{{\"type\":\"span_start\",\"at_us\":{at_us},\"trace\":{trace},\
+                 \"span\":{span},\"parent\":{parent},\"kind\":\"{kind}\",\"node\":{node}}}"
+            ),
+            ObsEvent::SpanEnd { at_us, span } => {
+                format!("{{\"type\":\"span_end\",\"at_us\":{at_us},\"span\":{span}}}")
+            }
         }
     }
 
@@ -275,6 +318,18 @@ impl ObsEvent {
             "insert_error" => ObsEvent::InsertError {
                 at_us,
                 key: json_u64(line, "key")?,
+            },
+            "span_start" => ObsEvent::SpanStart {
+                at_us,
+                trace: json_u64(line, "trace")?,
+                span: json_u64(line, "span")?,
+                parent: json_u64(line, "parent")?,
+                kind: json_str(line, "kind")?.to_owned(),
+                node: json_u64(line, "node")? as u32,
+            },
+            "span_end" => ObsEvent::SpanEnd {
+                at_us,
+                span: json_u64(line, "span")?,
             },
             _ => return None,
         })
@@ -375,6 +430,18 @@ mod tests {
                 bytes: 1,
             },
             ObsEvent::InsertError { at_us: 20, key: 77 },
+            ObsEvent::SpanStart {
+                at_us: 21,
+                trace: 0xABCD,
+                span: (7u64 << 40) | 1,
+                parent: 0,
+                kind: "req".to_string(),
+                node: 7,
+            },
+            ObsEvent::SpanEnd {
+                at_us: 22,
+                span: (7u64 << 40) | 1,
+            },
         ]
     }
 

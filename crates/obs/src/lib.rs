@@ -32,10 +32,14 @@ pub mod event;
 pub mod hist;
 pub mod recorder;
 pub mod registry;
+pub mod trace;
 pub mod wire;
 
 pub use event::ObsEvent;
 pub use hist::LogHistogram;
 pub use recorder::FlightRecorder;
 pub use registry::{ObsRegistry, ObsSnapshot, TimeSource};
+pub use trace::{
+    build_spans, current_span, verify_spans, Span, SpanGuard, SpanStats, TraceContext,
+};
 pub use wire::{decode_dump, encode_dump, OBS_DUMP_VERSION};

@@ -154,6 +154,52 @@ mod tests {
         assert_eq!(all, 4);
     }
 
+    /// Regression (ISSUE 9): an `ObsDump`-style incremental reader holds a
+    /// cursor while the ring keeps wrapping past it. The drop count must
+    /// stay exact and `events_since` must resume at precisely the oldest
+    /// retained sequence — every event is either counted as dropped or
+    /// returned exactly once, never both, never neither.
+    #[test]
+    fn cursoring_stays_exact_while_the_ring_wraps_past_a_dump_in_flight() {
+        let cap = 4;
+        let mut r = FlightRecorder::new(cap);
+        for i in 0..3u64 {
+            r.push(alloc(i, 0));
+        }
+        // Dump begins: the reader remembers where it stopped.
+        let cursor = r.next_seq();
+        assert_eq!(cursor, 3);
+        let dropped_at_dump = r.dropped();
+
+        // The ring wraps past the cursor while the dump is "in flight":
+        // 9 more events into a 4-slot ring overwrite everything retained
+        // at dump time and then some.
+        for i in 3..12u64 {
+            r.push(alloc(i, 0));
+        }
+        assert_eq!(r.next_seq(), 12);
+        assert_eq!(r.dropped(), 12 - cap as u64);
+
+        // The reader resumes: it gets exactly the retained suffix, in
+        // order, each seq once.
+        let seen: Vec<(u64, u64)> = r
+            .events_since(cursor)
+            .map(|(s, e)| (s, e.at_us()))
+            .collect();
+        assert_eq!(seen, vec![(8, 8), (9, 9), (10, 10), (11, 11)]);
+
+        // Exact accounting: of the 9 events emitted since the cursor,
+        // 4 came back and 5 are covered by the drop counter. Drops of
+        // pre-cursor events (seqs 0–2 here) must not be double-counted
+        // against the reader: dropped() counts ring evictions, and the
+        // evicted pre-cursor seqs were already delivered before the dump.
+        let emitted_since = r.next_seq() - cursor;
+        let lost_since_cursor = r.dropped().saturating_sub(cursor.max(dropped_at_dump));
+        assert_eq!(emitted_since, 9);
+        assert_eq!(lost_since_cursor, 5);
+        assert_eq!(emitted_since, seen.len() as u64 + lost_since_cursor);
+    }
+
     #[test]
     fn jsonl_roundtrips_through_event_parser() {
         let mut r = FlightRecorder::new(4);

@@ -13,6 +13,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -22,6 +23,7 @@ use parking_lot::Mutex;
 use crate::event::ObsEvent;
 use crate::hist::LogHistogram;
 use crate::recorder::{FlightRecorder, DEFAULT_CAPACITY};
+use crate::trace::{current_span, SpanGuard};
 
 /// Where timestamps come from. Simulated components inject their
 /// [`SimClock`]; the live TCP path uses a process-relative monotonic
@@ -53,6 +55,14 @@ struct Inner {
     time: TimeSource,
     recorder: Mutex<FlightRecorder>,
     hists: Mutex<BTreeMap<String, LogHistogram>>,
+    /// Origin tag baked into span ids (`origin << 40 | seq`) so spans from
+    /// different recorders stay unique after a snapshot merge.
+    origin: AtomicU32,
+    /// Next span sequence number; starts at 1 so span id 0 (= "no
+    /// parent") is never allocated.
+    span_seq: AtomicU64,
+    /// Root spans skipped by the sampling knob (tracing overhead bound).
+    spans_dropped: AtomicU64,
 }
 
 /// Shared handle to one node's recorder + histograms. Clones share state.
@@ -74,13 +84,100 @@ impl ObsRegistry {
                 time,
                 recorder: Mutex::new(FlightRecorder::new(capacity)),
                 hists: Mutex::new(BTreeMap::new()),
+                origin: AtomicU32::new(0),
+                span_seq: AtomicU64::new(1),
+                spans_dropped: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Set the origin tag baked into this registry's span ids. Give every
+    /// recorder in a cluster a distinct origin (node id, a client tag) so
+    /// merged snapshots cannot collide.
+    pub fn set_origin(&self, origin: u32) {
+        self.inner.origin.store(origin, Ordering::Relaxed);
+    }
+
+    /// Allocate the next globally unique span id.
+    fn next_span_id(&self) -> u64 {
+        let origin = self.inner.origin.load(Ordering::Relaxed) as u64;
+        let seq = self.inner.span_seq.fetch_add(1, Ordering::Relaxed);
+        (origin << 40) | (seq & ((1 << 40) - 1))
+    }
+
+    /// Open a span under `parent` (0 = root) stamped "now"; the returned
+    /// guard records the matching `SpanEnd` on drop.
+    pub fn span_start(&self, kind: &'static str, trace_id: u64, parent: u64) -> SpanGuard {
+        let at_us = self.now_us();
+        self.span_start_at(kind, trace_id, parent, at_us)
+    }
+
+    /// Open a span whose start is back-dated to `at_us` — for phases whose
+    /// beginning was observed before the trace context was decoded (a
+    /// frame that arrived at the top of a reactor sweep).
+    pub fn span_start_at(
+        &self,
+        kind: &'static str,
+        trace_id: u64,
+        parent: u64,
+        at_us: u64,
+    ) -> SpanGuard {
+        let span = self.next_span_id();
+        self.emit(ObsEvent::SpanStart {
+            at_us,
+            trace: trace_id,
+            span,
+            parent,
+            kind: kind.to_string(),
+            node: self.inner.origin.load(Ordering::Relaxed),
+        });
+        SpanGuard::open(self, trace_id, span)
+    }
+
+    /// Open a root span that begins a fresh trace: the span's own globally
+    /// unique id doubles as the trace id, so starting a trace needs no
+    /// separate id allocator (and no wall clock or randomness, which the
+    /// workspace bans).
+    pub fn span_root(&self, kind: &'static str) -> SpanGuard {
+        let span = self.next_span_id();
+        self.emit(ObsEvent::SpanStart {
+            at_us: self.now_us(),
+            trace: span,
+            span,
+            parent: 0,
+            kind: kind.to_string(),
+            node: self.inner.origin.load(Ordering::Relaxed),
+        });
+        SpanGuard::open(self, span, span)
+    }
+
+    /// Open a child of the innermost live span on this thread, or `None`
+    /// when no span is active (the request was not sampled) — which makes
+    /// deep instrumentation free on the unsampled path.
+    pub fn span_follow(&self, kind: &'static str) -> Option<SpanGuard> {
+        let (trace, parent) = current_span()?;
+        Some(self.span_start(kind, trace, parent))
+    }
+
+    /// Count one root span skipped by the sampling knob.
+    pub fn note_span_dropped(&self) {
+        self.inner.spans_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Root spans skipped by sampling so far.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.spans_dropped.load(Ordering::Relaxed)
     }
 
     /// Current time in microseconds under this registry's source.
     pub fn now_us(&self) -> u64 {
         self.inner.time.now_us()
+    }
+
+    /// A handle on this registry's clock, for spawning other recorders on
+    /// the same epoch (cross-recorder span nesting needs a shared zero).
+    pub fn time(&self) -> TimeSource {
+        self.inner.time.clone()
     }
 
     /// Record one event into the flight recorder.
@@ -127,6 +224,7 @@ impl ObsRegistry {
         let recorder = self.inner.recorder.lock();
         ObsSnapshot {
             dropped: recorder.dropped(),
+            spans_dropped: self.spans_dropped(),
             events: recorder.iter().cloned().collect(),
             hists: self.inner.hists.lock().clone(),
         }
@@ -149,6 +247,8 @@ impl std::fmt::Debug for ObsRegistry {
 pub struct ObsSnapshot {
     /// Events lost to ring overflow before this snapshot was taken.
     pub dropped: u64,
+    /// Root spans skipped by the tracing sampling knob.
+    pub spans_dropped: u64,
     /// Named histograms (`metric` or `metric:label`).
     pub hists: BTreeMap<String, LogHistogram>,
     /// Retained flight-recorder events, oldest first.
@@ -165,6 +265,7 @@ impl ObsSnapshot {
     /// events concatenate and re-sort by timestamp, drop counts add.
     pub fn merge(&mut self, other: &ObsSnapshot) {
         self.dropped += other.dropped;
+        self.spans_dropped += other.spans_dropped;
         for (name, h) in &other.hists {
             match self.hists.get_mut(name) {
                 Some(mine) => mine.merge(h),
@@ -230,6 +331,7 @@ impl ObsSnapshot {
             let _ = writeln!(out, "ecc_events_total{{type=\"{kind}\"}} {n}");
         }
         let _ = writeln!(out, "ecc_events_dropped_total {}", self.dropped);
+        let _ = writeln!(out, "ecc_spans_dropped_total {}", self.spans_dropped);
         out
     }
 }

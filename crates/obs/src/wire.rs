@@ -3,8 +3,9 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u16 version            currently 1
+//! u16 version            currently 2
 //! u64 dropped            events lost to ring overflow
+//! u64 spans_dropped      root spans skipped by trace sampling (v2+)
 //! u32 hist_count
 //!   per hist: u16 name_len, name bytes (UTF-8),
 //!             LogHistogram wire form (count/sum/min/max/bucket-count/buckets)
@@ -23,14 +24,17 @@ use crate::event::ObsEvent;
 use crate::hist::{read_u16, read_u32, read_u64, LogHistogram};
 use crate::registry::ObsSnapshot;
 
-/// Current dump format version.
-pub const OBS_DUMP_VERSION: u16 = 1;
+/// Current dump format version. v2 added the `spans_dropped` counter (the
+/// tracing layer's sampling knob); v1 dumps are still decoded, reading the
+/// counter as 0.
+pub const OBS_DUMP_VERSION: u16 = 2;
 
 /// Serialize a snapshot into the versioned dump form.
 pub fn encode_dump(snap: &ObsSnapshot) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + snap.hists.len() * 600 + snap.events.len() * 96);
     out.extend_from_slice(&OBS_DUMP_VERSION.to_le_bytes());
     out.extend_from_slice(&snap.dropped.to_le_bytes());
+    out.extend_from_slice(&snap.spans_dropped.to_le_bytes());
     out.extend_from_slice(&(snap.hists.len() as u32).to_le_bytes());
     for (name, h) in &snap.hists {
         let name_bytes = name.as_bytes();
@@ -53,10 +57,15 @@ pub fn encode_dump(snap: &ObsSnapshot) -> Vec<u8> {
 pub fn decode_dump(buf: &[u8]) -> Option<ObsSnapshot> {
     let mut pos = 0usize;
     let version = read_u16(buf, &mut pos)?;
-    if version != OBS_DUMP_VERSION {
+    if version == 0 || version > OBS_DUMP_VERSION {
         return None;
     }
     let dropped = read_u64(buf, &mut pos)?;
+    let spans_dropped = if version >= 2 {
+        read_u64(buf, &mut pos)?
+    } else {
+        0
+    };
     let hist_count = read_u32(buf, &mut pos)? as usize;
     // A histogram needs at least 37 bytes on the wire; reject counts the
     // buffer cannot possibly hold before allocating.
@@ -91,6 +100,7 @@ pub fn decode_dump(buf: &[u8]) -> Option<ObsSnapshot> {
     }
     Some(ObsSnapshot {
         dropped,
+        spans_dropped,
         hists,
         events,
     })
@@ -103,6 +113,7 @@ mod tests {
     fn sample_snapshot() -> ObsSnapshot {
         let mut snap = ObsSnapshot::new();
         snap.dropped = 5;
+        snap.spans_dropped = 2;
         let mut h = LogHistogram::new();
         for v in [1u64, 10, 100, 1000] {
             h.record(v);
@@ -154,5 +165,43 @@ mod tests {
         let snap = ObsSnapshot::new();
         let bytes = encode_dump(&snap);
         assert_eq!(decode_dump(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn span_events_survive_the_dump() {
+        let mut snap = ObsSnapshot::new();
+        snap.events.push(ObsEvent::SpanStart {
+            at_us: 1,
+            trace: 9,
+            span: (3u64 << 40) | 4,
+            parent: 0,
+            kind: "req".into(),
+            node: 3,
+        });
+        snap.events.push(ObsEvent::SpanEnd {
+            at_us: 2,
+            span: (3u64 << 40) | 4,
+        });
+        let back = decode_dump(&encode_dump(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    /// A v1 dump (pre-tracing peer) still decodes: the layout was
+    /// identical except for the missing `spans_dropped` word, which reads
+    /// as 0.
+    #[test]
+    fn legacy_v1_dump_still_decodes() {
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&1u16.to_le_bytes()); // version 1
+        v1.extend_from_slice(&7u64.to_le_bytes()); // dropped
+        v1.extend_from_slice(&0u32.to_le_bytes()); // hist_count
+        v1.extend_from_slice(&1u32.to_le_bytes()); // event_count
+        let json = ObsEvent::NodeAlloc { at_us: 3, node: 1 }.to_json();
+        v1.extend_from_slice(&(json.len() as u32).to_le_bytes());
+        v1.extend_from_slice(json.as_bytes());
+        let snap = decode_dump(&v1).expect("v1 decodes");
+        assert_eq!(snap.dropped, 7);
+        assert_eq!(snap.spans_dropped, 0);
+        assert_eq!(snap.events.len(), 1);
     }
 }

@@ -1,0 +1,98 @@
+//! Golden-file tests freezing the externally visible rendering of the
+//! tracing layer: the JSONL form of `span_start`/`span_end` events and the
+//! Prometheus exposition of a snapshot carrying them. These strings are
+//! consumed by `cargo xtask trace`, CI artifact tooling, and any scrape
+//! pipeline pointed at the exposition — changing them breaks deployed
+//! readers the way changing a wire opcode would, so they are pinned
+//! byte-for-byte alongside the 13 pinned opcodes (`crates/net/tests/prop.rs`).
+
+use ecc_obs::{LogHistogram, ObsEvent, ObsSnapshot};
+
+fn span_pair() -> (ObsEvent, ObsEvent) {
+    (
+        ObsEvent::SpanStart {
+            at_us: 1500,
+            trace: 281474976710656, // 1 << 48
+            span: (5u64 << 40) | 7,
+            parent: (5u64 << 40) | 2,
+            kind: "srv_exec".to_string(),
+            node: 5,
+        },
+        ObsEvent::SpanEnd {
+            at_us: 1750,
+            span: (5u64 << 40) | 7,
+        },
+    )
+}
+
+#[test]
+fn span_jsonl_rendering_is_frozen() {
+    let (start, end) = span_pair();
+    assert_eq!(
+        start.to_json(),
+        "{\"type\":\"span_start\",\"at_us\":1500,\"trace\":281474976710656,\
+         \"span\":5497558138887,\"parent\":5497558138882,\"kind\":\"srv_exec\",\"node\":5}"
+    );
+    assert_eq!(
+        end.to_json(),
+        "{\"type\":\"span_end\",\"at_us\":1750,\"span\":5497558138887}"
+    );
+    // And the frozen lines parse back to the exact events.
+    assert_eq!(ObsEvent::from_json(&start.to_json()), Some(start));
+    assert_eq!(ObsEvent::from_json(&end.to_json()), Some(end));
+}
+
+#[test]
+fn span_prometheus_exposition_is_frozen() {
+    let mut snap = ObsSnapshot::new();
+    snap.spans_dropped = 42;
+    let (start, end) = span_pair();
+    snap.events.push(start);
+    snap.events.push(end);
+    let mut h = LogHistogram::new();
+    h.record(100);
+    snap.hists.insert("lock_wait_us:stripe".into(), h);
+    assert_eq!(
+        snap.render_prometheus(),
+        "ecc_lock_wait_us_count{op=\"stripe\"} 1\n\
+         ecc_lock_wait_us_sum{op=\"stripe\"} 100\n\
+         ecc_lock_wait_us_min{op=\"stripe\"} 100\n\
+         ecc_lock_wait_us_max{op=\"stripe\"} 100\n\
+         ecc_lock_wait_us{op=\"stripe\",quantile=\"0.5\"} 100\n\
+         ecc_lock_wait_us{op=\"stripe\",quantile=\"0.9\"} 100\n\
+         ecc_lock_wait_us{op=\"stripe\",quantile=\"0.99\"} 100\n\
+         ecc_lock_wait_us{op=\"stripe\",quantile=\"0.999\"} 100\n\
+         ecc_events_total{type=\"span_end\"} 1\n\
+         ecc_events_total{type=\"span_start\"} 1\n\
+         ecc_events_dropped_total 0\n\
+         ecc_spans_dropped_total 42\n"
+    );
+}
+
+/// An unknown-to-old-readers event kind (a *newer* writer) degrades to a
+/// skipped line, never an error — the contract that made adding the span
+/// events a non-breaking trace-format change.
+#[test]
+fn older_readers_skip_span_lines_gracefully() {
+    let (start, _) = span_pair();
+    let jsonl = format!(
+        "{}\n{}\n",
+        start.to_json(),
+        ObsEvent::NodeAlloc { at_us: 9, node: 1 }.to_json()
+    );
+    // A reader that only knows some kinds: filter_map(from_json) keeps
+    // going past lines it cannot parse.
+    let known: Vec<ObsEvent> = jsonl
+        .lines()
+        .filter_map(|l| {
+            let ev = ObsEvent::from_json(l)?;
+            (ev.kind() == "node_alloc").then_some(ev)
+        })
+        .collect();
+    assert_eq!(known.len(), 1);
+    // And a hypothetical future kind is skipped by *this* reader.
+    assert_eq!(
+        ObsEvent::from_json("{\"type\":\"span_link\",\"at_us\":1,\"span\":2}"),
+        None
+    );
+}

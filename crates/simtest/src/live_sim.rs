@@ -148,6 +148,26 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
             coord.splits
         )));
     }
+    // Span oracle: every elastic operation traces as a root span, and the
+    // merged stream must form a well-formed forest — every start ended,
+    // zero orphans, acyclic parentage, child intervals nested inside their
+    // parents on the shared clock.
+    let span_stats = ecc_obs::verify_spans(&snap.events)
+        .map_err(|e| SimFailure::end(format!("span oracle: {e}")))?;
+    let elastic_ops = (coord.splits + coord.merges) as u64;
+    if (span_stats.roots as u64) < elastic_ops {
+        return Err(SimFailure::end(format!(
+            "span oracle: {} root spans for {elastic_ops} elastic operations",
+            span_stats.roots
+        )));
+    }
+    if span_stats.roots != span_stats.traces {
+        return Err(SimFailure::end(format!(
+            "span oracle: {} roots but {} traces (root span ids double as \
+             trace ids, so these must match)",
+            span_stats.roots, span_stats.traces
+        )));
+    }
     coord
         .shutdown()
         .map_err(|e| SimFailure::infra(format!("shutdown failed: {e}")))?;

@@ -12,8 +12,11 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use bytes::Bytes;
-use ecc_net::protocol::{read_frame, write_frame, Request, Response};
-use ecc_net::server::CacheServer;
+use ecc_net::protocol::{
+    decode_with_trace, encode_traced, read_frame, write_frame, Request, Response, TraceContext,
+};
+use ecc_net::server::{CacheServer, DEFAULT_MAX_CONNECTIONS};
+use ecc_obs::{ObsRegistry, TimeSource};
 
 use crate::event::{record_bytes, Fault, Schedule, SimEvent, WireOp};
 use crate::model::ModelServer;
@@ -82,13 +85,27 @@ fn send_fragmented(stream: &mut TcpStream, payload: &[u8], pos: u32) -> std::io:
 pub fn run(s: &Schedule) -> Result<(), SimFailure> {
     let cfg = &s.cfg;
 
-    let mut server = CacheServer::spawn(cfg.cap, cfg.ord.max(4))
-        .map_err(|e| SimFailure::infra(format!("server spawn failed: {e}")))?;
+    // Client recorder and server share one clock epoch so the final span
+    // oracle can check cross-recorder interval nesting.
+    let time = TimeSource::real();
+    let mut server = CacheServer::spawn_clocked(
+        ("127.0.0.1", 0),
+        cfg.cap,
+        cfg.ord.max(4),
+        DEFAULT_MAX_CONNECTIONS,
+        None,
+        time.clone(),
+        1,
+    )
+    .map_err(|e| SimFailure::infra(format!("server spawn failed: {e}")))?;
+    let client_obs = ObsRegistry::new(time);
+    client_obs.set_origin(2);
     let mut stream = TcpStream::connect(server.addr())
         .map_err(|e| SimFailure::infra(format!("connect failed: {e}")))?;
     let _ = stream.set_nodelay(true);
     let mut model = ModelServer::new(cfg.cap);
     let mut shut_down = false;
+    let mut traced_sent = 0u64;
 
     'schedule: for (step, ev) in s.events.iter().enumerate() {
         let fail = |what: String| SimFailure::at(step, what);
@@ -97,13 +114,41 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
                 "event {ev:?} is not part of the proto family"
             )));
         };
-        let payload = request_for(op, step).encode();
+        let req = request_for(op, step);
+        let payload = req.encode();
         let Some((mutated, copies)) = apply_fault(fault, &payload) else {
             continue; // dropped frame: neither side sees anything
         };
+        // Trace a deterministic subset of the intact-delivery steps: faults
+        // that mutate bytes would scramble the extension's span ids into
+        // unverifiable parentage, but Duplicate and Fragment deliver the
+        // extension bit-exact — Fragment may even cut *inside* it, which
+        // is precisely the reassembly path worth exercising.
+        let traced = step % 2 == 0
+            && matches!(
+                fault,
+                Fault::None | Fault::Duplicate | Fault::Fragment { .. }
+            );
         for _ in 0..copies {
-            // The oracle sees exactly what the server will decode.
-            let decoded = Request::decode(Bytes::from(mutated.clone()));
+            // One root span per delivered copy, dropped once the response
+            // is fully read so the server's spans nest inside it.
+            let span = traced.then(|| client_obs.span_root("req"));
+            let wire_bytes = match &span {
+                Some(root) => {
+                    traced_sent += 1;
+                    let ctx = TraceContext {
+                        trace_id: root.trace_id(),
+                        span_id: root.id(),
+                        parent_span_id: 0,
+                        sampled: true,
+                    };
+                    encode_traced(&ctx, &req).to_vec()
+                }
+                None => mutated.clone(),
+            };
+            // The oracle sees exactly what the server will decode —
+            // trace extension included.
+            let decoded = decode_with_trace(Bytes::from(wire_bytes.clone())).map(|(_, r)| r);
             let is_shutdown = matches!(decoded, Some(Request::Shutdown));
             // A corrupt opcode can land on ObsDump; its body is a live
             // observability snapshot the model cannot predict, so compare
@@ -111,8 +156,8 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
             let is_obs_dump = matches!(decoded, Some(Request::ObsDump));
             let want = model.respond(decoded);
             match fault {
-                Fault::Fragment { pos } => send_fragmented(&mut stream, &mutated, pos),
-                _ => write_frame(&mut stream, &mutated),
+                Fault::Fragment { pos } => send_fragmented(&mut stream, &wire_bytes, pos),
+                _ => write_frame(&mut stream, &wire_bytes),
             }
             .map_err(|e| fail(format!("send failed: {e}")))?;
             let raw = read_frame(&mut stream)
@@ -172,6 +217,34 @@ pub fn run(s: &Schedule) -> Result<(), SimFailure> {
                 model.used(),
                 model.len()
             )));
+        }
+
+        // Span oracle: dump the server's recorder, merge it with the
+        // client's, and demand a well-formed forest — every start ended,
+        // zero orphans, child intervals nested — with exactly one root per
+        // traced frame delivered. Only sound while nothing fell out of
+        // either ring.
+        let payload = Request::ObsDump.encode();
+        write_frame(&mut stream, &payload)
+            .map_err(|e| SimFailure::end(format!("final obs dump send failed: {e}")))?;
+        let raw = read_frame(&mut stream)
+            .map_err(|e| SimFailure::end(format!("final obs dump read failed: {e}")))?;
+        let got = Response::decode(raw)
+            .ok_or_else(|| SimFailure::end("undecodable final obs dump response".into()))?;
+        let server_snap = ecc_obs::decode_dump(&got.body)
+            .ok_or_else(|| SimFailure::end("final obs dump body failed to decode".into()))?;
+        let mut merged = client_obs.snapshot();
+        merged.merge(&server_snap);
+        if merged.dropped == 0 {
+            let stats = ecc_obs::verify_spans(&merged.events)
+                .map_err(|e| SimFailure::end(format!("span oracle: {e}")))?;
+            if stats.roots as u64 != traced_sent || stats.traces as u64 != traced_sent {
+                return Err(SimFailure::end(format!(
+                    "span oracle: {traced_sent} traced frames delivered but the \
+                     merged stream holds {} roots / {} traces",
+                    stats.roots, stats.traces
+                )));
+            }
         }
     }
     drop(stream);

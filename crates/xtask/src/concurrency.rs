@@ -31,6 +31,13 @@
 //!   connections; any of these stalls all of them. Reactors use
 //!   nonblocking reads/writes that surface `WouldBlock`, `try_recv`, and
 //!   lock-free handoff instead.
+//! * **span-discipline** — a span-guard constructor (`.span_start(` /
+//!   `.span_start_at(` / `.span_follow(` / `.span_root(`) in statement
+//!   position, or bound with `let _ =`, drops its RAII guard on the spot:
+//!   the span ends the instant it starts and the trace silently records
+//!   zero duration. Guards must be let-bound (`let _g = …` — an
+//!   underscore-*prefixed* name still owns the value — or a named
+//!   binding), so the span covers the work it claims to measure.
 //!
 //! The passes are heuristic but sound for the repo's idiom: guards are
 //! bound with single-line `let g = <lock>.read()/.write()/.lock();`
@@ -51,6 +58,8 @@ pub struct ConcPolicy {
     pub guard_io: bool,
     /// Forbid blocking I/O primitives outright (reactor event loops).
     pub reactor_io: bool,
+    /// Require span guards to be let-bound (RAII discipline).
+    pub span_discipline: bool,
 }
 
 /// Crates whose lock acquisitions must follow the ShardedNode hierarchy.
@@ -72,6 +81,18 @@ const GUARD_IO_FILES: &[&str] = &[
 /// Reactor event-loop files: blocking primitives are forbidden outright,
 /// not merely under a guard.
 const REACTOR_FILES: &[&str] = &["crates/net/src/reactor.rs"];
+
+/// Crates that open trace spans and must keep the RAII guards live.
+const SPAN_CRATES: &[&str] = &["core", "net", "obs", "simtest"];
+
+/// Span-guard constructors (method-call position, so definitions and
+/// free functions don't match).
+const SPAN_METHODS: &[&str] = &[
+    ".span_start(",
+    ".span_start_at(",
+    ".span_follow(",
+    ".span_root(",
+];
 
 /// Blocking primitives forbidden in reactor files, with the reason each
 /// one stalls the event loop. `.recv()` (empty argument list) matches the
@@ -153,6 +174,7 @@ pub fn conc_policy_for(rel_path: &str) -> Option<ConcPolicy> {
         atomics: ATOMIC_CRATES.contains(&krate),
         guard_io: GUARD_IO_FILES.contains(&rel.as_str()),
         reactor_io: REACTOR_FILES.contains(&rel.as_str()),
+        span_discipline: SPAN_CRATES.contains(&krate),
     })
 }
 
@@ -189,8 +211,89 @@ pub fn analyze_source(rel_path: &str, src: &str, policy: ConcPolicy) -> Vec<Find
             &mut findings,
         );
     }
+    if policy.span_discipline {
+        span_pass(
+            rel_path,
+            &raw_lines,
+            &stripped_lines,
+            &in_test,
+            &mut findings,
+        );
+    }
     findings.sort_by_key(|f| f.line);
     findings
+}
+
+/// Flag span-guard constructors whose guard dies on the line it was made:
+/// a bare statement call (`obs.span_follow("x");`) or an explicit discard
+/// (`let _ = obs.span_root("x");`). Either way the span ends immediately
+/// and the trace records zero duration for work that then runs untimed.
+///
+/// Tail-expression calls (no trailing `;`) hand the guard to the caller
+/// and are fine; so is any named binding, including underscore-prefixed
+/// names (`let _g = …` owns the guard until end of scope).
+fn span_pass(
+    rel_path: &str,
+    raw_lines: &[&str],
+    stripped_lines: &[&str],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        if raw_line.contains(&format!("xtask: allow({})", Rule::SpanDiscipline.slug())) {
+            continue;
+        }
+        let Some(pat) = SPAN_METHODS.iter().find(|p| line.contains(*p)) else {
+            continue;
+        };
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("let ") {
+            let name = rest.split('=').next().unwrap_or("").trim();
+            let name = name.strip_prefix("mut ").unwrap_or(name).trim();
+            if name == "_" {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::SpanDiscipline,
+                    message: format!(
+                        "`let _ =` discards the guard from `{pat}…)` immediately — the span \
+                         records zero duration; bind it to an underscore-prefixed name \
+                         (`let _span = …`) so it lives until end of scope"
+                    ),
+                });
+            }
+            continue;
+        }
+        // A statement that *starts* with the receiver of the span call and
+        // ends at a semicolon never stores the guard anywhere. A line that
+        // opens with `.` is a rustfmt continuation of a wrapped expression
+        // (the receiver — and usually a `let` — sits on an earlier line),
+        // so only a same-line receiver counts.
+        let call_pos = match t.find(pat) {
+            Some(p) => p,
+            None => continue,
+        };
+        let bare_receiver = call_pos > 0
+            && t[..call_pos]
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.' || c == ':');
+        if bare_receiver && t.ends_with(';') {
+            findings.push(Finding {
+                file: rel_path.to_string(),
+                line: idx + 1,
+                rule: Rule::SpanDiscipline,
+                message: format!(
+                    "`{pat}…)` in statement position drops its RAII guard at the semicolon — \
+                     the span ends the instant it starts; let-bind the guard \
+                     (`let _span = …`) across the work it should measure"
+                ),
+            });
+        }
+    }
 }
 
 /// Flag every blocking primitive in a reactor file, regardless of guard
@@ -713,6 +816,7 @@ mod tests {
         atomics: true,
         guard_io: true,
         reactor_io: true,
+        span_discipline: true,
     };
 
     /// The policy of a guard-audited non-reactor file (e.g. server.rs):
@@ -951,7 +1055,7 @@ mod tests {
     #[test]
     fn policies_match_the_repo_layout() {
         let p = conc_policy_for("crates/core/src/shard.rs").unwrap();
-        assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io);
+        assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io && p.span_discipline);
         let p = conc_policy_for("crates/net/src/server.rs").unwrap();
         assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io);
         let p = conc_policy_for("crates/net/src/reactor.rs").unwrap();
@@ -959,10 +1063,80 @@ mod tests {
         let p = conc_policy_for("crates/net/src/protocol.rs").unwrap();
         assert!(p.lock_order && p.atomics && !p.guard_io);
         let p = conc_policy_for("crates/obs/src/registry.rs").unwrap();
-        assert!(!p.lock_order && p.atomics && !p.guard_io);
+        assert!(!p.lock_order && p.atomics && !p.guard_io && p.span_discipline);
+        let p = conc_policy_for("crates/simtest/src/proto_sim.rs").unwrap();
+        assert!(p.span_discipline);
         let p = conc_policy_for("crates/bptree/src/tree.rs").unwrap();
-        assert!(!p.lock_order && !p.atomics && !p.guard_io);
+        assert!(!p.lock_order && !p.atomics && !p.guard_io && !p.span_discipline);
         assert!(conc_policy_for("crates/net/src/bin/cache_server.rs").is_none());
         assert!(conc_policy_for("README.md").is_none());
+    }
+
+    #[test]
+    fn unbound_span_guards_are_flagged() {
+        let src = "\
+fn migrate(&mut self) {
+    self.obs.span_follow(\"migrate_chunk\");
+    let _ = self.obs.span_root(\"elastic_split\");
+    let _span = self.obs.span_start(\"srv\", trace, parent);
+    let guard = self.obs.span_start_at(\"srv_queue\", trace, parent, at);
+    drop(guard);
+}
+";
+        let f = analyze_source("crates/net/src/coordinator.rs", src, ALL);
+        assert_eq!(
+            rules(&f),
+            vec![(2, Rule::SpanDiscipline), (3, Rule::SpanDiscipline)]
+        );
+    }
+
+    #[test]
+    fn tail_expression_span_guards_are_fine() {
+        // Handing the guard to the caller (tail position, no `;`) and
+        // expression uses inside a binding are both legitimate.
+        let src = "\
+fn root(&self) -> SpanGuard {
+    self.obs.span_root(\"elastic_merge\")
+}
+fn wire(&self) -> Option<(SpanGuard, u64)> {
+    let span = match (&self.obs, scope) {
+        (Some(obs), Some((t, p))) => Some((obs.span_start(\"wire:get\", t, p), p)),
+        _ => None,
+    };
+    span
+}
+";
+        assert!(analyze_source("crates/net/src/client.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn wrapped_span_bindings_are_not_statement_calls() {
+        // rustfmt wraps long receivers; the continuation line starts with
+        // `.` but the guard is still bound by the `let` two lines up.
+        let src = "\
+fn f(&self, c: &TraceContext, t_wake: u64) {
+    let srv = shared
+        .obs
+        .span_start_at(\"srv\", c.trace_id, c.span_id, t_wake);
+    drop(srv);
+}
+";
+        assert!(analyze_source("crates/net/src/reactor.rs", src, ALL).is_empty());
+    }
+
+    #[test]
+    fn span_discipline_waiver_and_tests_are_respected() {
+        let src = "\
+fn f(&self) {
+    self.obs.span_follow(\"probe\"); // xtask: allow(span-discipline) — marker span
+}
+#[cfg(test)]
+mod tests {
+    fn t(&self) {
+        self.obs.span_follow(\"probe\");
+    }
+}
+";
+        assert!(analyze_source("crates/net/src/coordinator.rs", src, ALL).is_empty());
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod concurrency;
 pub mod lexer;
+pub mod trace;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -111,6 +112,10 @@ pub enum Rule {
     /// helpers, channel `recv`, mutex `lock`) inside a reactor file —
     /// one blocked call stalls every connection that reactor owns.
     BlockingIoInReactor,
+    /// A span-guard constructor (`span_start` / `span_follow` /
+    /// `span_root` …) whose RAII guard is dropped on the spot — the span
+    /// ends the instant it starts, silently recording zero duration.
+    SpanDiscipline,
 }
 
 impl Rule {
@@ -130,6 +135,7 @@ impl Rule {
             Rule::MixedOrdering => "mixed-ordering",
             Rule::GuardAcrossIo => "guard-across-io",
             Rule::BlockingIoInReactor => "no-blocking-io-in-reactor",
+            Rule::SpanDiscipline => "span-discipline",
         }
     }
 }

@@ -24,6 +24,7 @@ const ALL_PASSES: ConcPolicy = ConcPolicy {
     atomics: true,
     guard_io: true,
     reactor_io: false,
+    span_discipline: true,
 };
 
 /// Reactor-named fixtures additionally ban blocking primitives outright,

@@ -1,0 +1,22 @@
+//! Blessed span-guard idioms: every constructor's guard is either
+//! let-bound across the work it measures or handed to the caller in
+//! tail position. Must produce zero findings.
+//! (Fixture — analyzed textually by the corpus test, never compiled.)
+
+fn traced_get(&self, trace: u64, parent: u64) -> Option<Record> {
+    let _srv = self.obs.span_start("srv", trace, parent);
+    let queue = self.obs.span_start_at("srv_queue", trace, parent, self.t_wake);
+    drop(queue);
+    self.execute()
+}
+
+fn fan_out(&self) -> Option<(u64, u64)> {
+    // Guard bound, context extracted, guard kept live by the binding.
+    let fanout = self.obs.span_follow("coord_fanout");
+    fanout.as_ref().map(|s| (s.trace_id(), s.id()))
+}
+
+fn root(&self) -> SpanGuard {
+    // Tail position: the caller owns the guard.
+    self.obs.span_root("elastic_merge")
+}
