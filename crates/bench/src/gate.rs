@@ -36,11 +36,13 @@ pub const P99_NOISE_FLOOR_NS: u64 = 750_000;
 
 /// Gated bench names. A trailing `*` matches any suffix, so one entry can
 /// cover a scaling curve (`wire_node_w*` ⇒ `wire_node_w1`…`wire_node_w16`).
-pub const ALLOWLIST: [&str; 4] = [
+pub const ALLOWLIST: [&str; 6] = [
     "window_expiry_incremental",
     "wire_evict_batched",
     "node_get_sharded_w4",
     "wire_node_w*",
+    "bptree_sweep_slab",
+    "node_put_slab_w4",
 ];
 
 /// The sampled-tracing overhead pair: `wire_traced_w4` (1-in-64 requests
@@ -420,6 +422,10 @@ mod tests {
         for w in [1, 2, 4, 8, 16] {
             assert!(is_gated(&format!("wire_node_w{w}")));
         }
+        // The slab-era storage rows (ISSUE 10) bank the inline-node sweep
+        // and the zero-alloc ingest churn.
+        assert!(is_gated("bptree_sweep_slab"));
+        assert!(is_gated("node_put_slab_w4"));
         assert!(!is_gated("node_get_mutex_w4"));
         // The serial depth-1 comparison row rides along ungated: it pins
         // the cost the reactor+pipelining removed, not a target to hold.

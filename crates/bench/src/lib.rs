@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod alloc_count;
 pub mod gate;
 pub mod perf;
 pub mod scenario;
@@ -25,9 +26,10 @@ use ecc_workload::schedule::RateSchedule;
 
 /// Fixed wire size of one cached record in the figure experiments. The
 /// paper's derived shorelines are "< 1 KB"; padding the serialized frame to
-/// exactly 1 KiB makes node capacity an exact record count
-/// (`node_capacity_bytes / 1024 = 4096` records — see EXPERIMENTS.md for
-/// how that constant is recovered from the paper).
+/// exactly 1 KiB makes node capacity an exact record count (capacity is
+/// [`NODE_RECORDS`] × the record's charged slab footprint — see
+/// EXPERIMENTS.md for how the 4096-record constant is recovered from the
+/// paper).
 pub const RECORD_BYTES: usize = 1024;
 
 /// Records per node in the paper-scale experiments.
@@ -80,7 +82,10 @@ impl PaperService {
 pub fn paper_cfg(key_space: u64, window: Option<WindowConfig>) -> CacheConfig {
     let mut cfg = CacheConfig::paper_default();
     cfg.ring_range = key_space;
-    cfg.node_capacity_bytes = NODE_RECORDS * RECORD_BYTES as u64;
+    // Records are charged their slab footprint, so sizing capacity in
+    // footprint units keeps "a node holds exactly NODE_RECORDS records"
+    // true under true-footprint accounting.
+    cfg.node_capacity_bytes = NODE_RECORDS * ecc_core::slab::footprint(RECORD_BYTES);
     cfg.window = window;
     cfg
 }
@@ -320,7 +325,10 @@ mod tests {
     #[test]
     fn paper_cfg_capacity_is_4096_records() {
         let cfg = paper_cfg(1 << 16, None);
-        assert_eq!(cfg.node_capacity_bytes / RECORD_BYTES as u64, 4096);
+        assert_eq!(
+            cfg.node_capacity_bytes / ecc_core::slab::footprint(RECORD_BYTES),
+            4096
+        );
         assert_eq!(cfg.ring_range, 1 << 16);
         cfg.validate();
     }

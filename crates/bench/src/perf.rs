@@ -116,7 +116,182 @@ pub fn run_benches(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
     results.push(bench_live_cluster(opts)?);
     results.extend(bench_node_scaling(opts));
     results.extend(bench_wire_scaling(opts)?);
+    results.extend(bench_storage(opts));
     Ok(results)
+}
+
+/// Storage-engine rows (ISSUE 10): the linked-leaf range sweep the
+/// Sweep-and-Migrate path depends on (`bptree_sweep_slab`) and a
+/// 4-worker steady-state PUT/GET churn against [`ShardedNode`]
+/// (`node_put_slab_w4`) whose timed region runs under the counting
+/// allocator (see [`crate::alloc_count`]).
+fn bench_storage(opts: BenchOptions) -> Vec<BenchResult> {
+    vec![bench_bptree_sweep(opts), bench_node_put_churn(opts)]
+}
+
+/// Full-index leaf-chain sweep over a churn-shuffled B+-tree: keys are
+/// inserted in a multiplicative-shuffle order so leaves land in the slab
+/// in the scattered order production churn leaves them, then each timed
+/// iteration walks `range(..)` end to end summing keys and values — the
+/// access pattern behind Sweep-and-Migrate key scans and λ-window
+/// eviction sweeps. Dense inline node storage is exactly what this row
+/// measures: with per-node heap `Vec`s the walk chases two pointers per
+/// leaf; with inline arrays it reads the slab arena sequentially.
+fn bench_bptree_sweep(opts: BenchOptions) -> BenchResult {
+    // Power-of-two key count so the odd-multiplier shuffle is a bijection.
+    let n: u64 = opts.pick(1 << 17, 1 << 20);
+    let iters = opts.pick(30, 60);
+    let mut tree: ecc_bptree::BPlusTree<u64, u64> = ecc_bptree::BPlusTree::new(64);
+    for i in 0..n {
+        let key = i.wrapping_mul(0x9E3779B97F4A7C15) & (n - 1);
+        tree.insert(key, key.wrapping_mul(3));
+    }
+    let mut samples = Samples::new(iters);
+    for _ in 0..iters {
+        samples.time(|| {
+            let mut sum = 0u64;
+            for (k, v) in tree.range(..) {
+                sum = sum.wrapping_add(*k).wrapping_add(*v);
+            }
+            std::hint::black_box(sum);
+        });
+    }
+    samples.finish("bptree_sweep_slab", n)
+}
+
+/// Per-worker timed iterations of the PUT/GET churn row.
+const PUT_CHURN_WARMUP: u64 = 2_000;
+
+/// 4-worker steady-state ingest churn: each timed op overwrites a
+/// resident key with a freshly ingested 1 KiB payload and reads another
+/// key back — the server's steady state once the working set is resident.
+/// The whole timed region is bracketed by the counting allocator, so the
+/// row measures both throughput and how many times the storage engine
+/// enters the global allocator per op (the slab arena's target is zero;
+/// see `steady_state_allocs` in the xtask bench output).
+fn bench_node_put_churn(opts: BenchOptions) -> BenchResult {
+    let per_worker = opts.pick(30_000, 100_000);
+    let workers = 4usize;
+    let key_space = 4096u64;
+    let payload_len = 1024usize;
+    let capacity = key_space * (payload_len as u64) * 4;
+    let shard = ShardedNode::new(capacity, 64, DEFAULT_STRIPES);
+    let payload = vec![0xC5u8; payload_len];
+    // Prefill through the slab ingest path so every resident record owns
+    // a slab slot before the timed window: the first put_slice over a
+    // heap-backed record would otherwise grow arena pages mid-window.
+    for k in 0..key_space {
+        shard.put_slice(k, &payload);
+    }
+
+    let start_gate = std::sync::Barrier::new(workers + 1);
+    let done_gate = std::sync::Barrier::new(workers + 1);
+    // start → measure → done: workers pause between start and measure so
+    // the main thread can read the allocation counter with every worker
+    // warmup finished and no timed op yet running — otherwise warmup-tail
+    // allocations (a late arena grow) leak into the counted window.
+    let measure_gate = std::sync::Barrier::new(workers + 1);
+    let (lats, elapsed, allocs): (Vec<u64>, Duration, u64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let shard = &shard;
+                let payload = &payload;
+                let start_gate = &start_gate;
+                let measure_gate = &measure_gate;
+                let done_gate = &done_gate;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_worker as usize);
+                    let mut state =
+                        0x9E3779B97F4A7C15u64 ^ (w as u64).wrapping_mul(0xA24BAED4963EE407);
+                    let step = |state: &mut u64| -> u64 {
+                        *state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        (*state >> 33) % key_space
+                    };
+                    // Untimed warmup: reaches allocator/lock steady state
+                    // (lazily created parking-lot state, warmed freelists)
+                    // before the counted window opens.
+                    for _ in 0..PUT_CHURN_WARMUP {
+                        let k = step(&mut state);
+                        shard.put_slice(k, payload);
+                        std::hint::black_box(shard.get(step(&mut state)));
+                    }
+                    start_gate.wait();
+                    measure_gate.wait();
+                    for _ in 0..per_worker {
+                        let put_key = step(&mut state);
+                        let get_key = step(&mut state);
+                        let t0 = Instant::now();
+                        shard.put_slice(put_key, payload);
+                        std::hint::black_box(shard.get(get_key).map(|r| r.len()));
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    done_gate.wait();
+                    lat
+                })
+            })
+            .collect();
+        start_gate.wait();
+        let allocs_before = crate::alloc_count::allocation_count();
+        let start = Instant::now();
+        measure_gate.wait();
+        done_gate.wait();
+        let elapsed = start.elapsed();
+        let allocs = crate::alloc_count::allocation_count() - allocs_before;
+        let lats = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_default())
+            .collect();
+        (lats, elapsed, allocs)
+    });
+    STEADY_STATE_ALLOCS.store(allocs, std::sync::atomic::Ordering::Relaxed);
+    STEADY_STATE_OPS.store(
+        per_worker * workers as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    if let Ok(mut classes) = STEADY_STATE_CLASSES.lock() {
+        *classes = shard.slab_stats();
+    }
+    scaling_row("node_put_slab_w4", lats, elapsed)
+}
+
+/// Global allocation count across the latest [`bench_node_put_churn`]
+/// timed region in this process (relaxed publication; the suite runs
+/// benches sequentially). `u64::MAX` until the row has run.
+static STEADY_STATE_ALLOCS: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(u64::MAX);
+
+/// PUT+GET op count of that same timed region.
+static STEADY_STATE_OPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Per-size-class slab stats of the churn shard, snapshotted right after
+/// its timed window closes (the CI occupancy artifact).
+static STEADY_STATE_CLASSES: std::sync::Mutex<Vec<ecc_core::ClassStats>> =
+    std::sync::Mutex::new(Vec::new());
+
+/// Per-class slab occupancy of the latest steady-state churn shard, empty
+/// until the churn row has run. Only classes that carved at least one
+/// page appear in the CSV the xtask driver writes from this.
+pub fn steady_state_slab_stats() -> Vec<ecc_core::ClassStats> {
+    STEADY_STATE_CLASSES
+        .lock()
+        .map(|g| g.clone())
+        .unwrap_or_default()
+}
+
+/// `(allocations, ops)` of the latest steady-state churn window, or
+/// `None` if the churn row has not run yet. The slab-arena engine's
+/// contract — asserted by `cargo xtask bench` — is that the first number
+/// is exactly zero.
+pub fn steady_state_allocs() -> Option<(u64, u64)> {
+    match STEADY_STATE_ALLOCS.load(std::sync::atomic::Ordering::Relaxed) {
+        u64::MAX => None,
+        v => Some((
+            v,
+            STEADY_STATE_OPS.load(std::sync::atomic::Ordering::Relaxed),
+        )),
+    }
 }
 
 /// Worker-thread counts for the scaling curves.
@@ -352,6 +527,49 @@ fn bench_wire_scaling(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
         }
         let report = best.expect("three repeats ran");
         rows.push(row_from(format!("wire_node_w{w}"), report));
+
+        if w == 4 {
+            // Sampled-tracing overhead row: the identical window-4 sweep
+            // against the same server, but with 1-in-TRACE_SAMPLE requests
+            // rooted as `req` spans whose context rides the 0x0E frame
+            // extension (server opens its `srv` triplet per traced frame).
+            // `gate::trace_overhead` compares it against `wire_node_w4`
+            // *within this run*, so machine drift cancels — which is why
+            // it runs here, back-to-back with its untraced twin, not at
+            // the end of the sweep: on a shared host the machine state a
+            // few bench blocks later is a different machine, and the pair
+            // would measure that drift instead of tracing. The name sits
+            // outside the `wire_node_w*` wildcard so the baseline gate
+            // does not double-gate it.
+            let trace_obs = ecc_obs::ObsRegistry::new(ecc_obs::TimeSource::real());
+            trace_obs.set_origin(2);
+            let topts = TraceOpts {
+                obs: trace_obs,
+                sample: TRACE_SAMPLE,
+            };
+            let mut best: Option<LoadReport> = None;
+            for _ in 0..3 {
+                let report = run_load_fanout_traced(
+                    &ring,
+                    |_| addr,
+                    clients,
+                    1,
+                    total_ops,
+                    key_space,
+                    value_len,
+                    4,
+                    Some(&topts),
+                )?;
+                if best
+                    .as_ref()
+                    .is_none_or(|b| report.throughput() > b.throughput())
+                {
+                    best = Some(report);
+                }
+            }
+            let report = best.expect("three repeats ran");
+            rows.push(row_from("wire_traced_w4".into(), report));
+        }
     }
 
     // Ungated serial comparison row: four blocking one-request-at-a-time
@@ -360,42 +578,6 @@ fn bench_wire_scaling(opts: BenchOptions) -> io::Result<Vec<BenchResult>> {
     // already cover.
     let serial = run_load(&ring, |_| addr, 4, total_ops, key_space, value_len)?;
     rows.push(row_from("wire_serial_w4".into(), serial));
-
-    // Sampled-tracing overhead row: the identical window-4 sweep against
-    // the same server, but with 1-in-TRACE_SAMPLE requests rooted as `req`
-    // spans whose context rides the 0x0E frame extension (server opens its
-    // `srv` triplet per traced frame). `gate::trace_overhead` compares it
-    // against `wire_node_w4` *within this run*, so machine drift cancels
-    // exactly; the name sits outside the `wire_node_w*` wildcard so the
-    // baseline gate does not double-gate it.
-    let trace_obs = ecc_obs::ObsRegistry::new(ecc_obs::TimeSource::real());
-    trace_obs.set_origin(2);
-    let topts = TraceOpts {
-        obs: trace_obs,
-        sample: TRACE_SAMPLE,
-    };
-    let mut best: Option<LoadReport> = None;
-    for _ in 0..3 {
-        let report = run_load_fanout_traced(
-            &ring,
-            |_| addr,
-            clients,
-            1,
-            total_ops,
-            key_space,
-            value_len,
-            4,
-            Some(&topts),
-        )?;
-        if best
-            .as_ref()
-            .is_none_or(|b| report.throughput() > b.throughput())
-        {
-            best = Some(report);
-        }
-    }
-    let report = best.expect("three repeats ran");
-    rows.push(row_from("wire_traced_w4".into(), report));
     Ok(rows)
 }
 
@@ -759,6 +941,29 @@ fn field_str<'a>(row: &'a str, key: &str) -> Option<&'a str> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Manual before/after capture for EXPERIMENTS.md A10: run with
+    /// `cargo test -p ecc-bench --release capture_storage_rows -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "manual full-profile capture, minutes of runtime"]
+    fn capture_storage_rows() {
+        let rows = bench_storage(BenchOptions { smoke: false });
+        for r in &rows {
+            eprintln!(
+                "{}: {:.0} ops/s p50={}ns p99={}ns ops={}",
+                r.name, r.ops_per_sec, r.p50_ns, r.p99_ns, r.ops
+            );
+        }
+        eprintln!("steady_state (allocs, ops): {:?}", steady_state_allocs());
+        for c in steady_state_slab_stats() {
+            if c.pages > 0 {
+                eprintln!(
+                    "class {}: pages={} total={} live={} allocs={}",
+                    c.slot_size, c.pages, c.total_slots, c.live_slots, c.allocs
+                );
+            }
+        }
+    }
 
     #[test]
     fn smoke_suite_runs_and_serializes() {

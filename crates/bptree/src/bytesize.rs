@@ -44,9 +44,11 @@ impl_bytesize_prim!(
 );
 
 impl ByteSize for String {
+    /// Struct header (ptr/len/capacity) plus the full reserved buffer —
+    /// the real resident footprint, not just the initialized length.
     #[inline]
     fn byte_size(&self) -> usize {
-        self.len()
+        std::mem::size_of::<Self>() + self.capacity()
     }
 }
 
@@ -58,9 +60,15 @@ impl ByteSize for &str {
 }
 
 impl<T: ByteSize> ByteSize for Vec<T> {
+    /// Struct header (ptr/len/capacity), the summed element sizes, and the
+    /// reserved-but-unused capacity slack. The old len-sum silently
+    /// under-reported footprint by the header plus whatever the growth
+    /// policy over-allocated (see the delta-pinning test below).
     #[inline]
     fn byte_size(&self) -> usize {
-        self.iter().map(ByteSize::byte_size).sum()
+        std::mem::size_of::<Self>()
+            + self.iter().map(ByteSize::byte_size).sum::<usize>()
+            + (self.capacity() - self.len()) * std::mem::size_of::<T>()
     }
 }
 
@@ -104,19 +112,52 @@ mod tests {
         assert_eq!(true.byte_size(), 1);
     }
 
+    /// `vec![x; n]` allocates capacity == len, so these footprints are
+    /// exactly header + elements.
     #[test]
-    fn containers_sum_elements() {
-        assert_eq!(vec![0u8; 100].byte_size(), 100);
-        assert_eq!(vec![0u32; 5].byte_size(), 20);
-        assert_eq!("hello".to_string().byte_size(), 5);
+    fn containers_report_header_plus_buffer() {
+        let hdr = std::mem::size_of::<Vec<u8>>();
+        assert_eq!(vec![0u8; 100].byte_size(), hdr + 100);
+        assert_eq!(vec![0u32; 5].byte_size(), hdr + 20);
+        assert_eq!("hello".to_string().byte_size(), hdr + 5);
         assert_eq!(Some(7u64).byte_size(), 8);
         assert_eq!(None::<u64>.byte_size(), 0);
-        assert_eq!((1u32, vec![0u8; 3]).byte_size(), 7);
+        assert_eq!((1u32, vec![0u8; 3]).byte_size(), 4 + hdr + 3);
+        // Borrowed strings have no owned buffer: payload length only.
+        assert_eq!("hello".byte_size(), 5);
+    }
+
+    /// Pins the delta between the fixed accounting and the old len-sum:
+    /// the struct header plus one element-size per slot of reserved slack.
+    /// This is exactly what the old numbers silently under-reported.
+    #[test]
+    fn footprint_delta_vs_len_sum_is_header_plus_slack() {
+        let hdr = std::mem::size_of::<Vec<u64>>();
+        let mut v: Vec<u64> = Vec::with_capacity(32);
+        v.extend_from_slice(&[1, 2, 3, 4]);
+        let len_sum: usize = v.iter().map(ByteSize::byte_size).sum();
+        assert_eq!(len_sum, 32, "old accounting: element sum only");
+        let slack = (v.capacity() - v.len()) * std::mem::size_of::<u64>();
+        assert_eq!(slack, 28 * 8);
+        assert_eq!(v.byte_size() - len_sum, hdr + slack);
+        // An exactly-sized Vec still carries the header delta.
+        let tight = vec![7u8; 10];
+        assert_eq!(tight.capacity(), tight.len());
+        assert_eq!(tight.byte_size() - 10, std::mem::size_of::<Vec<u8>>());
+        // String follows the same rule.
+        let mut s = String::with_capacity(16);
+        s.push_str("abc");
+        assert_eq!(
+            s.byte_size(),
+            std::mem::size_of::<String>() + 16,
+            "full reserved buffer, not just the 3 initialized bytes"
+        );
     }
 
     #[test]
     fn smart_pointers_delegate() {
         assert_eq!(Box::new(9u16).byte_size(), 2);
-        assert_eq!(std::sync::Arc::new(vec![1u8, 2, 3]).byte_size(), 3);
+        let hdr = std::mem::size_of::<Vec<u8>>();
+        assert_eq!(std::sync::Arc::new(vec![1u8, 2, 3]).byte_size(), hdr + 3);
     }
 }

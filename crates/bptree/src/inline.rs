@@ -1,0 +1,395 @@
+//! Fixed-capacity inline vector backing B+-tree node storage.
+//!
+//! [`InlineVec<T, N>`] stores up to `N` elements directly in the struct
+//! (no heap indirection), so a `Vec<Node>` slab of nodes built from it is
+//! one genuinely contiguous arena: node splits, merges, and rebalances
+//! shuffle bytes inside the slab instead of calling the global allocator,
+//! and leaf sweeps walk dense memory.
+//!
+//! # Safety argument (see DESIGN.md §17)
+//!
+//! All `unsafe` in this crate is confined to this module, behind a safe
+//! API, and guarded by one invariant: **elements `0..len` are always
+//! initialized, elements `len..N` are always logically uninitialized.**
+//!
+//! * Every write path (`push`, `insert`, `append`, `split_off`) asserts
+//!   the result fits in `N` *before* touching the buffer, then adjusts
+//!   `len` only after the elements it covers are initialized.
+//! * Every removal path (`pop`, `remove`, `truncate_into`, `clear`,
+//!   `Drop`) moves elements out or drops them in place *before* (or
+//!   exactly when) shrinking `len`, so no initialized element is leaked
+//!   and no uninitialized slot is ever read or dropped.
+//! * Shifts use `ptr::copy` (memmove) over `MaybeUninit` slots; the
+//!   source slot left behind is treated as uninitialized from then on —
+//!   it is only ever overwritten, never read or dropped.
+//!
+//! `len` is a `u16`, bounding `N` at 65 535 — far above any plausible
+//! B+-tree order — and keeping the header small next to the payload.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ops::{Deref, DerefMut};
+use std::ptr;
+
+/// A fixed-capacity, heap-free vector of at most `N` elements.
+pub struct InlineVec<T, const N: usize> {
+    buf: [MaybeUninit<T>; N],
+    len: u16,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty inline vector. Free: no element is initialized yet.
+    pub fn new() -> Self {
+        const {
+            assert!(N <= u16::MAX as usize, "InlineVec capacity exceeds u16 len");
+        }
+        Self {
+            // SAFETY: an array of `MaybeUninit` needs no initialization.
+            buf: unsafe { MaybeUninit::uninit().assume_init() },
+            len: 0,
+        }
+    }
+
+    /// Number of initialized elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity `N`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Append an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is full — tree code sizes `N` so that the
+    /// transient pre-split occupancy (`order` keys, `order + 1` children)
+    /// always fits.
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        let len = self.len();
+        assert!(len < N, "InlineVec overflow: capacity {N}");
+        // SAFETY: index `len` is in bounds (checked above) and currently
+        // uninitialized; after the write we extend `len` over it.
+        unsafe {
+            self.buf.get_unchecked_mut(len).write(value);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: index `len` was initialized (it was `len - 1` before the
+        // decrement); reading it out transfers ownership and the slot is
+        // uninitialized from here on.
+        Some(unsafe { self.buf.get_unchecked(self.len()).assume_init_read() })
+    }
+
+    /// Insert `value` at `index`, shifting later elements right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len` or the vector is full.
+    pub fn insert(&mut self, index: usize, value: T) {
+        let len = self.len();
+        assert!(index <= len, "InlineVec insert index {index} > len {len}");
+        assert!(len < N, "InlineVec overflow: capacity {N}");
+        let base = self.buf.as_mut_ptr();
+        // SAFETY: `index <= len < N`, so both `index` and `index + 1` stay
+        // within the buffer and the shifted range `index..len` is
+        // initialized; after the memmove slot `index` is logically
+        // uninitialized and is immediately overwritten.
+        unsafe {
+            ptr::copy(base.add(index), base.add(index + 1), len - index);
+            (*base.add(index)).write(value);
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the element at `index`, shifting later elements
+    /// left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn remove(&mut self, index: usize) -> T {
+        let len = self.len();
+        assert!(index < len, "InlineVec remove index {index} >= len {len}");
+        let base = self.buf.as_mut_ptr();
+        // SAFETY: slot `index` is initialized; after reading it out, the
+        // memmove re-fills `index..len-1` from the initialized suffix and
+        // the vacated last slot is covered by the `len` decrement.
+        unsafe {
+            let value = (*base.add(index)).assume_init_read();
+            ptr::copy(base.add(index + 1), base.add(index), len - index - 1);
+            self.len -= 1;
+            value
+        }
+    }
+
+    /// Split off and return the tail `mid..len`, leaving `0..mid` in
+    /// place — the inline analogue of `Vec::split_off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > len`.
+    pub fn split_off(&mut self, mid: usize) -> Self {
+        let len = self.len();
+        assert!(mid <= len, "InlineVec split_off mid {mid} > len {len}");
+        let mut tail = Self::new();
+        // SAFETY: `mid..len` is initialized in `self` and disjoint from
+        // `tail`'s fresh buffer; after the copy, ownership of those
+        // elements transfers to `tail` (self.len shrinks to `mid`, so the
+        // source slots become logically uninitialized, never dropped).
+        unsafe {
+            ptr::copy_nonoverlapping(self.buf.as_ptr().add(mid), tail.buf.as_mut_ptr(), len - mid);
+        }
+        tail.len = (len - mid) as u16;
+        self.len = mid as u16;
+        tail
+    }
+
+    /// Move every element of `other` onto the end of `self`, leaving
+    /// `other` empty — the inline analogue of `Vec::append`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined length exceeds `N`.
+    pub fn append(&mut self, other: &mut Self) {
+        let len = self.len();
+        let olen = other.len();
+        assert!(len + olen <= N, "InlineVec overflow: capacity {N}");
+        // SAFETY: `other`'s `0..olen` is initialized and the destination
+        // range `len..len + olen` fits (checked above); ownership moves to
+        // `self`, and `other.len = 0` marks the source uninitialized.
+        unsafe {
+            ptr::copy_nonoverlapping(other.buf.as_ptr(), self.buf.as_mut_ptr().add(len), olen);
+        }
+        self.len = (len + olen) as u16;
+        other.len = 0;
+    }
+
+    /// Drop every element.
+    pub fn clear(&mut self) {
+        let len = self.len();
+        self.len = 0;
+        // SAFETY: `0..len` was initialized; `len` is already zeroed so a
+        // panicking `Drop` impl cannot cause a double drop.
+        unsafe {
+            ptr::drop_in_place(ptr::slice_from_raw_parts_mut(
+                self.buf.as_mut_ptr() as *mut T,
+                len,
+            ));
+        }
+    }
+}
+
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        self.clear();
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        // SAFETY: `0..len` is initialized (module invariant) and
+        // `MaybeUninit<T>` is layout-compatible with `T`.
+        unsafe { std::slice::from_raw_parts(self.buf.as_ptr() as *const T, self.len()) }
+    }
+}
+
+impl<T, const N: usize> DerefMut for InlineVec<T, N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as in `Deref`; exclusive access via `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.buf.as_mut_ptr() as *mut T, self.len()) }
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        let mut out = Self::new();
+        for item in self.iter() {
+            out.push(item.clone());
+        }
+        out
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn push_pop_insert_remove_match_vec_semantics() {
+        let mut iv: InlineVec<u64, 8> = InlineVec::new();
+        let mut v: Vec<u64> = Vec::new();
+        assert!(iv.is_empty());
+        for x in [5u64, 1, 9, 3] {
+            iv.push(x);
+            v.push(x);
+        }
+        iv.insert(1, 7);
+        v.insert(1, 7);
+        assert_eq!(&iv[..], &v[..]);
+        assert_eq!(iv.remove(2), v.remove(2));
+        assert_eq!(iv.pop(), v.pop());
+        assert_eq!(&iv[..], &v[..]);
+        assert_eq!(iv.len(), v.len());
+    }
+
+    #[test]
+    fn split_off_and_append_roundtrip() {
+        let mut iv: InlineVec<u32, 10> = InlineVec::new();
+        for x in 0..7 {
+            iv.push(x);
+        }
+        let mut tail = iv.split_off(3);
+        assert_eq!(&iv[..], &[0, 1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5, 6]);
+        iv.append(&mut tail);
+        assert_eq!(&iv[..], &[0, 1, 2, 3, 4, 5, 6]);
+        assert!(tail.is_empty());
+        // Split at both extremes.
+        let all = iv.split_off(0);
+        assert!(iv.is_empty());
+        assert_eq!(all.len(), 7);
+        let mut all = all;
+        let none = all.split_off(7);
+        assert!(none.is_empty());
+        assert_eq!(all.len(), 7);
+    }
+
+    #[test]
+    fn slice_view_supports_search_and_windows() {
+        let mut iv: InlineVec<u64, 16> = InlineVec::new();
+        for x in [2u64, 4, 6, 8] {
+            iv.push(x);
+        }
+        assert_eq!(iv.binary_search(&6), Ok(2));
+        assert_eq!(iv.binary_search(&5), Err(2));
+        assert_eq!(iv.partition_point(|&x| x <= 4), 2);
+        assert!(iv.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(iv.first(), Some(&2));
+        assert_eq!(iv.last(), Some(&8));
+        iv[0] = 1;
+        assert_eq!(iv[0], 1);
+    }
+
+    #[test]
+    fn drops_exactly_the_initialized_prefix() {
+        let token = Rc::new(());
+        {
+            let mut iv: InlineVec<Rc<()>, 8> = InlineVec::new();
+            for _ in 0..5 {
+                iv.push(Rc::clone(&token));
+            }
+            assert_eq!(Rc::strong_count(&token), 6);
+            drop(iv.pop());
+            assert_eq!(Rc::strong_count(&token), 5);
+            drop(iv.remove(0));
+            assert_eq!(Rc::strong_count(&token), 4);
+            let tail = iv.split_off(1);
+            assert_eq!(tail.len(), 2);
+            drop(tail);
+            assert_eq!(Rc::strong_count(&token), 2);
+        }
+        // Dropping the vec drops the remaining element; nothing leaks and
+        // nothing double-drops.
+        assert_eq!(Rc::strong_count(&token), 1);
+    }
+
+    #[test]
+    fn clear_drops_and_take_leaves_empty() {
+        let token = Rc::new(());
+        let mut iv: InlineVec<Rc<()>, 4> = InlineVec::new();
+        iv.push(Rc::clone(&token));
+        iv.push(Rc::clone(&token));
+        iv.clear();
+        assert_eq!(Rc::strong_count(&token), 1);
+        iv.push(Rc::clone(&token));
+        let taken = std::mem::take(&mut iv);
+        assert!(iv.is_empty());
+        assert_eq!(taken.len(), 1);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut iv: InlineVec<String, 4> = InlineVec::new();
+        iv.push("a".to_string());
+        iv.push("b".to_string());
+        let copy = iv.clone();
+        assert_eq!(iv, copy);
+        drop(iv);
+        assert_eq!(&copy[..], &["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "InlineVec overflow")]
+    fn push_past_capacity_panics() {
+        let mut iv: InlineVec<u8, 2> = InlineVec::new();
+        iv.push(1);
+        iv.push(2);
+        iv.push(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "InlineVec overflow")]
+    fn append_past_capacity_panics() {
+        let mut a: InlineVec<u8, 3> = InlineVec::new();
+        a.push(1);
+        a.push(2);
+        let mut b: InlineVec<u8, 3> = InlineVec::new();
+        b.push(3);
+        b.push(4);
+        a.append(&mut b);
+    }
+}

@@ -15,8 +15,13 @@
 //!
 //! The tree is a slab-allocated (index-based) structure: nodes live in one
 //! `Vec`, freed slots are recycled through a free list, and sibling/child
-//! links are `u32` indices. This keeps the tree compact, avoids per-node
-//! heap allocations for links, and sidesteps `unsafe` entirely.
+//! links are `u32` indices. Keys, values, and child indices are stored
+//! *inline* in each node ([`InlineVec`], capacity fixed by the `CAP`
+//! const parameter), so the slab is one contiguous arena: splits, merges,
+//! and rebalances move bytes within it and never call the global
+//! allocator, and leaf sweeps walk dense memory. The only `unsafe` in the
+//! crate is the `MaybeUninit` storage inside [`InlineVec`], behind a safe
+//! wrapper (safety argument in `inline.rs` and DESIGN.md §17).
 //!
 //! # Example
 //!
@@ -28,7 +33,9 @@
 //!     t.insert(k, vec![0u8; 16]);
 //! }
 //! assert_eq!(t.len(), 1000);
-//! assert_eq!(t.bytes(), 16_000);
+//! // Footprint accounting: each record is a 24-byte Vec header plus its
+//! // 16-byte buffer (see `ByteSize`), not a bare len sum.
+//! assert_eq!(t.bytes(), 1000 * (std::mem::size_of::<Vec<u8>>() as u64 + 16));
 //!
 //! // Linked-leaf range sweep: the lower half, in order.
 //! let swept: Vec<u64> = t.range(..500).map(|(k, _)| *k).collect();
@@ -40,7 +47,9 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 mod bytesize;
+mod inline;
 mod tree;
 
 pub use bytesize::ByteSize;
-pub use tree::{BPlusTree, RangeIter};
+pub use inline::InlineVec;
+pub use tree::{BPlusTree, RangeIter, DEFAULT_NODE_CAP};

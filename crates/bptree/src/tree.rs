@@ -1,23 +1,40 @@
-//! The slab-allocated B+-tree.
+//! The slab-allocated B+-tree with inline node storage.
 
 use std::fmt;
 use std::ops::{Bound, RangeBounds};
 
 use crate::bytesize::ByteSize;
+use crate::inline::InlineVec;
 
 /// Sentinel index meaning "no node".
 const NIL: u32 = u32::MAX;
 
-/// A node slot in the slab.
+/// Default inline node capacity: supports orders up to 64 (the workspace
+/// production order), since internal nodes transiently hold `order + 1`
+/// children between insert and split.
+pub const DEFAULT_NODE_CAP: usize = 65;
+
+/// Deepest descent the removal path tracks inline. Minimum branching is 2
+/// (a root may have 2 children), and node indices are `u32`, so no
+/// reachable tree exceeds 33 levels; 64 leaves slack for pathological
+/// shapes without touching the heap.
+const MAX_DEPTH: usize = 64;
+
+/// A node slot in the slab. Keys, values, and child indices live inline
+/// ([`InlineVec`]), so the `Vec<Node>` slab is one contiguous arena and
+/// node mutations never call the global allocator.
 #[derive(Debug)]
-enum Node<K, V> {
+enum Node<K, V, const CAP: usize> {
     /// Routing node: `children.len() == keys.len() + 1`; child `i` holds
     /// keys `k` with `keys[i-1] <= k < keys[i]`.
-    Internal { keys: Vec<K>, children: Vec<u32> },
+    Internal {
+        keys: InlineVec<K, CAP>,
+        children: InlineVec<u32, CAP>,
+    },
     /// Data node; leaves form a doubly linked, key-sorted list.
     Leaf {
-        keys: Vec<K>,
-        vals: Vec<V>,
+        keys: InlineVec<K, CAP>,
+        vals: InlineVec<V, CAP>,
         prev: u32,
         next: u32,
     },
@@ -32,8 +49,14 @@ enum Node<K, V> {
 /// hold at most `order - 1` records. Minimum occupancy follows the textbook
 /// rules (`⌈order/2⌉` children, `⌊(order-1)/2⌋` leaf records), so the tree
 /// stays balanced under any delete sequence.
-pub struct BPlusTree<K, V> {
-    slab: Vec<Node<K, V>>,
+///
+/// `CAP` is the compile-time inline capacity of each node's key/value/
+/// child arrays; it must satisfy `order + 1 <= CAP` (internal nodes hold
+/// `order + 1` children for an instant before splitting). The default
+/// covers every order up to [`DEFAULT_NODE_CAP`]` - 1 = 64`; wider trees
+/// pick a bigger `CAP` explicitly, e.g. `BPlusTree::<u64, u64, 130>::new(128)`.
+pub struct BPlusTree<K, V, const CAP: usize = DEFAULT_NODE_CAP> {
+    slab: Vec<Node<K, V, CAP>>,
     free: Vec<u32>,
     root: u32,
     /// Leftmost leaf — the head of the leaf chain.
@@ -43,24 +66,31 @@ pub struct BPlusTree<K, V> {
     bytes: u64,
 }
 
-impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
+impl<K: Ord + Clone, V: ByteSize, const CAP: usize> BPlusTree<K, V, CAP> {
     /// Create an empty tree with the given branching factor.
     ///
     /// # Panics
     ///
     /// Panics if `order < 4` (smaller orders cannot satisfy the occupancy
-    /// rules during rebalancing).
+    /// rules during rebalancing) or if `order + 1 > CAP` (the node arrays
+    /// could not hold the transient pre-split occupancy).
     pub fn new(order: usize) -> Self {
         assert!(order >= 4, "B+-tree order must be at least 4");
+        assert!(
+            order < CAP,
+            "B+-tree order {order} needs inline node capacity {}, but CAP = {CAP}",
+            order + 1
+        );
         let root = Node::Leaf {
-            keys: Vec::new(),
-            vals: Vec::new(),
+            keys: InlineVec::new(),
+            vals: InlineVec::new(),
             prev: NIL,
             next: NIL,
         };
+        let slab = vec![root]; // xtask: allow(no-global-alloc-in-hot-path) — one-time root alloc at construction
         Self {
-            slab: vec![root],
-            free: Vec::new(),
+            slab,
+            free: Vec::with_capacity(0),
             root: 0,
             head: 0,
             order,
@@ -110,7 +140,7 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
 
     // ---------------------------------------------------------- allocation
 
-    fn alloc(&mut self, node: Node<K, V>) -> u32 {
+    fn alloc(&mut self, node: Node<K, V, CAP>) -> u32 {
         if let Some(idx) = self.free.pop() {
             self.slab[idx as usize] = node;
             idx
@@ -213,10 +243,12 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
                 if let Some((sep, right)) = split {
                     // Root split: grow the tree by one level.
                     let old_root = self.root;
-                    self.root = self.alloc(Node::Internal {
-                        keys: vec![sep],
-                        children: vec![old_root, right],
-                    });
+                    let mut keys = InlineVec::new();
+                    keys.push(sep);
+                    let mut children = InlineVec::new();
+                    children.push(old_root);
+                    children.push(right);
+                    self.root = self.alloc(Node::Internal { keys, children });
                 }
                 None
             }
@@ -331,8 +363,9 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
 
     /// Remove `key`, returning its value if present.
     pub fn remove(&mut self, key: &K) -> Option<V> {
-        // Record the descent path: (node index, chosen child position).
-        let mut path: Vec<(u32, usize)> = Vec::new();
+        // Record the descent path: (node index, chosen child position) —
+        // inline, so removals stay allocation-free.
+        let mut path: InlineVec<(u32, usize), MAX_DEPTH> = InlineVec::new();
         let mut idx = self.root;
         loop {
             match &self.slab[idx as usize] {
@@ -619,7 +652,7 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
     /// Iterate over records whose keys fall in `range`, in key order, by
     /// walking the linked leaf chain — the access pattern of the paper's
     /// Sweep-and-Migrate (Algorithm 2).
-    pub fn range<R: RangeBounds<K>>(&self, range: R) -> RangeIter<'_, K, V> {
+    pub fn range<R: RangeBounds<K>>(&self, range: R) -> RangeIter<'_, K, V, CAP> {
         let (leaf, pos) = match range.start_bound() {
             Bound::Unbounded => (self.head, 0),
             Bound::Included(k) => self.lower_bound(k, true),
@@ -638,7 +671,7 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
     }
 
     /// Iterate over all records in key order.
-    pub fn iter(&self) -> RangeIter<'_, K, V> {
+    pub fn iter(&self) -> RangeIter<'_, K, V, CAP> {
         self.range(..)
     }
 
@@ -809,7 +842,9 @@ impl<K: Ord + Clone, V: ByteSize> BPlusTree<K, V> {
     }
 }
 
-impl<K: Ord + Clone + fmt::Debug, V: ByteSize> fmt::Debug for BPlusTree<K, V> {
+impl<K: Ord + Clone + fmt::Debug, V: ByteSize, const CAP: usize> fmt::Debug
+    for BPlusTree<K, V, CAP>
+{
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BPlusTree")
             .field("order", &self.order)
@@ -828,14 +863,14 @@ enum InsertOutcome<K, V> {
 }
 
 /// Ordered iterator over a key range, walking the linked leaf chain.
-pub struct RangeIter<'a, K, V> {
-    tree: &'a BPlusTree<K, V>,
+pub struct RangeIter<'a, K, V, const CAP: usize = DEFAULT_NODE_CAP> {
+    tree: &'a BPlusTree<K, V, CAP>,
     leaf: u32,
     pos: usize,
     end: Bound<K>,
 }
 
-impl<'a, K: Ord + Clone, V: ByteSize> Iterator for RangeIter<'a, K, V> {
+impl<'a, K: Ord + Clone, V: ByteSize, const CAP: usize> Iterator for RangeIter<'a, K, V, CAP> {
     type Item = (&'a K, &'a V);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -876,7 +911,7 @@ mod tests {
     use super::*;
 
     fn tree_with(order: usize, n: u64) -> BPlusTree<u64, u64> {
-        let mut t = BPlusTree::new(order);
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(order);
         for k in 0..n {
             t.insert(k, k * 10);
         }
@@ -909,13 +944,13 @@ mod tests {
 
     #[test]
     fn insert_reverse_and_shuffled() {
-        let mut t = BPlusTree::new(5);
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(5);
         for k in (0..500u64).rev() {
             t.insert(k, k);
         }
         t.validate();
         // A deterministic shuffle via multiplication by a unit mod 2^16.
-        let mut t2 = BPlusTree::new(5);
+        let mut t2: BPlusTree<u64, u64> = BPlusTree::new(5);
         for i in 0..4096u64 {
             let k = (i * 25173 + 13849) % 65536;
             t2.insert(k, i);
@@ -926,7 +961,7 @@ mod tests {
 
     #[test]
     fn insert_replaces_and_reports_old_value() {
-        let mut t = BPlusTree::new(4);
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(4);
         assert_eq!(t.insert(7u64, 1u64), None);
         assert_eq!(t.insert(7, 2), Some(1));
         assert_eq!(t.len(), 1);
@@ -936,14 +971,16 @@ mod tests {
 
     #[test]
     fn byte_accounting_tracks_inserts_replacements_removals() {
+        // Footprint per record = Vec header + buffer (see `ByteSize`).
+        let hdr = std::mem::size_of::<Vec<u8>>() as u64;
         let mut t: BPlusTree<u64, Vec<u8>> = BPlusTree::new(8);
         t.insert(1, vec![0; 100]);
         t.insert(2, vec![0; 50]);
-        assert_eq!(t.bytes(), 150);
+        assert_eq!(t.bytes(), 150 + 2 * hdr);
         t.insert(1, vec![0; 10]); // replace shrinks
-        assert_eq!(t.bytes(), 60);
+        assert_eq!(t.bytes(), 60 + 2 * hdr);
         t.remove(&2);
-        assert_eq!(t.bytes(), 10);
+        assert_eq!(t.bytes(), 10 + hdr);
         t.remove(&1);
         assert_eq!(t.bytes(), 0);
         t.validate();
@@ -993,7 +1030,7 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted_and_complete() {
-        let mut t = BPlusTree::new(6);
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(6);
         for i in 0..2000u64 {
             t.insert((i * 7919) % 65536, i);
         }
@@ -1019,7 +1056,7 @@ mod tests {
 
     #[test]
     fn range_with_absent_bound_keys() {
-        let mut t = BPlusTree::new(4);
+        let mut t: BPlusTree<u64, u64> = BPlusTree::new(4);
         for k in (0..100u64).step_by(10) {
             t.insert(k, k);
         }
@@ -1095,7 +1132,11 @@ mod tests {
         // than linear.
         assert!(t.depth() > 3);
         assert!(t.depth() < 20);
-        let wide = tree_with(128, 10_000);
+        // Orders above 64 need a wider inline capacity than the default.
+        let mut wide: BPlusTree<u64, u64, 130> = BPlusTree::new(128);
+        for k in 0..10_000u64 {
+            wide.insert(k, k * 10);
+        }
         assert!(wide.depth() <= 3);
     }
 
@@ -1124,7 +1165,7 @@ mod tests {
     #[test]
     fn various_orders_stay_valid_under_churn() {
         for order in [4, 5, 7, 16, 64] {
-            let mut t = BPlusTree::new(order);
+            let mut t: BPlusTree<u64, u64> = BPlusTree::new(order);
             for i in 0..3000u64 {
                 let k = (i * 2654435761) % 4096;
                 if i % 3 == 0 {

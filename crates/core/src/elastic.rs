@@ -22,6 +22,7 @@
 //! charged to the shared virtual clock, so the metrics reproduce the
 //! paper's speedup and overhead figures.
 
+use ecc_bptree::ByteSize;
 use ecc_chash::HashRing;
 use ecc_cloudsim::{Event, NetModel, PersistentStore, SimClock, SimCloud, US_PER_SEC};
 use ecc_obs::{ObsEvent, ObsRegistry, TimeSource};
@@ -448,7 +449,9 @@ impl ElasticCache {
     /// buckets and (as a last resort) allocating cloud nodes until the
     /// owning node can hold it.
     pub fn insert(&mut self, key: u64, record: Record) -> Result<(), CacheError> {
-        let size = record.len() as u64;
+        // Capacity decisions charge the record's true slot footprint; the
+        // wire transfer below is charged its raw payload length.
+        let size = record.byte_size() as u64;
         if size > self.cfg.node_capacity_bytes {
             return Err(CacheError::RecordTooLarge {
                 size,
@@ -463,8 +466,10 @@ impl ElasticCache {
         }
         // Charge the put transfer once (the record travels to whichever
         // node finally stores it).
-        self.clock
-            .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
+        self.clock.advance_us(
+            self.net
+                .transfer_us(record.len() as u64 + RECORD_WIRE_OVERHEAD),
+        );
         for _ in 0..MAX_SPLIT_RETRIES {
             let nid = *self.ring.node_for_key(key).ok_or(CacheError::Internal {
                 what: "ring has no buckets",
@@ -475,7 +480,7 @@ impl ElasticCache {
             // replacement that no longer fits triggers a split like any
             // other overflow.
             let node = self.try_node(nid)?;
-            let old_size = node.get(key).map(|r| r.len() as u64).unwrap_or(0);
+            let old_size = node.get(key).map(|r| r.byte_size() as u64).unwrap_or(0);
             if node.fits(size.saturating_sub(old_size)) {
                 self.try_node_mut(nid)?.insert(key, record.clone());
                 self.place_replica(key, &record);
@@ -1036,12 +1041,11 @@ impl ElasticCache {
                         None => continue,
                     };
                     for (k, rec) in copies {
-                        let size = rec.len() as u64;
                         let admits = self
                             .node_at(survivor)
-                            .is_some_and(|n| n.get(k).is_none() && n.fits(size));
+                            .is_some_and(|n| n.get(k).is_none() && n.fits(rec.byte_size() as u64));
                         if admits {
-                            let wire = size + RECORD_WIRE_OVERHEAD;
+                            let wire = rec.len() as u64 + RECORD_WIRE_OVERHEAD;
                             self.clock.advance_us(self.net.t_net_us(wire));
                             if let Some(n) = self.node_at_mut(survivor) {
                                 n.insert(k, rec);
@@ -1097,7 +1101,7 @@ impl ElasticCache {
             .check_invariants()
             .map_err(CacheAuditError::Ring)?;
         for (id, node) in self.nodes() {
-            let counted: u64 = node.iter().map(|(_, r)| r.len() as u64).sum();
+            let counted: u64 = node.iter().map(|(_, r)| r.byte_size() as u64).sum();
             if counted != node.used_bytes() {
                 return Err(CacheAuditError::ByteAccountingMismatch {
                     node: id,
@@ -1202,9 +1206,12 @@ mod tests {
     use crate::config::WindowConfig;
 
     /// Config with capacity for `cap` 100-byte records per node.
+    /// A config whose nodes hold exactly `cap` of the 100-byte test
+    /// records, in charged-footprint units (records are charged their
+    /// slab slot size, not their raw length).
     fn cfg_records(cap: u64) -> CacheConfig {
         let mut c = CacheConfig::small_test();
-        c.node_capacity_bytes = cap * 100;
+        c.node_capacity_bytes = cap * crate::slab::footprint(100);
         c
     }
 

@@ -54,6 +54,7 @@ mod metrics;
 mod node;
 mod record;
 mod shard;
+pub mod slab;
 mod static_cache;
 mod warmpool;
 mod window;
@@ -68,6 +69,7 @@ pub use metrics::{Metrics, NodeCounters, NodeOpStats};
 pub use node::CacheNode;
 pub use record::Record;
 pub use shard::{PutOutcome, ShardAuditError, ShardedNode, DEFAULT_STRIPES};
+pub use slab::{ClassStats, SizeClasses, SlabArena, SlabRef, SLOT_HEADER};
 pub use static_cache::StaticCache;
 pub use warmpool::WarmPool;
 pub use window::SlidingWindow;

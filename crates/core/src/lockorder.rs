@@ -35,6 +35,12 @@ pub enum LockClass {
     Structural,
     /// The stripe lock with this index — after `Structural`, ascending.
     Stripe(usize),
+    /// A slab class's page-list mutex — below every stripe (slab locks
+    /// are leaves: record drops free slots while a stripe guard is held).
+    SlabPage(usize),
+    /// A slab class's freelist mutex — the lowest leaf (taken inside the
+    /// page lock during `grow`).
+    SlabFree(usize),
 }
 
 impl LockClass {
@@ -49,6 +55,8 @@ impl LockClass {
         match self {
             LockClass::Structural => (0, 0),
             LockClass::Stripe(i) => (1, i),
+            LockClass::SlabPage(c) => (2, c),
+            LockClass::SlabFree(c) => (3, c),
         }
     }
 }
@@ -58,6 +66,8 @@ impl fmt::Display for LockClass {
         match self {
             LockClass::Structural => f.write_str("structural"),
             LockClass::Stripe(i) => write!(f, "stripe[{i}]"),
+            LockClass::SlabPage(c) => write!(f, "slab-page[{c}]"),
+            LockClass::SlabFree(c) => write!(f, "slab-free[{c}]"),
         }
     }
 }

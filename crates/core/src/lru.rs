@@ -229,15 +229,18 @@ mod tests {
 
     #[test]
     fn insert_get_remove_roundtrip() {
+        // Footprint accounting: each Vec value costs its 24-byte struct
+        // header plus the buffer (see `ByteSize`).
+        let hdr = std::mem::size_of::<Vec<u8>>() as u64;
         let mut l: Lru<u64, Vec<u8>> = Lru::new();
         assert!(l.is_empty());
         l.insert(1, vec![0; 10]);
         l.insert(2, vec![0; 20]);
         assert_eq!(l.len(), 2);
-        assert_eq!(l.bytes(), 30);
+        assert_eq!(l.bytes(), 2 * hdr + 30);
         assert_eq!(l.get(&1).map(Vec::len), Some(10));
         assert_eq!(l.remove(&1).map(|v| v.len()), Some(10));
-        assert_eq!(l.bytes(), 20);
+        assert_eq!(l.bytes(), hdr + 20);
         assert_eq!(l.get(&1), None);
     }
 
@@ -271,7 +274,8 @@ mod tests {
         l.insert(5, vec![0; 100]);
         let old = l.insert(5, vec![0; 7]);
         assert_eq!(old.map(|v| v.len()), Some(100));
-        assert_eq!(l.bytes(), 7);
+        let hdr = std::mem::size_of::<Vec<u8>>() as u64;
+        assert_eq!(l.bytes(), hdr + 7);
         assert_eq!(l.len(), 1);
     }
 
@@ -318,14 +322,17 @@ mod tests {
         for i in 0..10_000u64 {
             let k = i % 97;
             let size = (i % 13) as usize;
+            // Model the footprint accounting: `vec![0; size]` has
+            // capacity == len, so its byte_size is header + size.
+            let hdr = std::mem::size_of::<Vec<u8>>() as u64;
             if i % 5 == 0 {
                 if let Some(v) = l.remove(&k) {
-                    expected_bytes -= v.len() as u64;
+                    expected_bytes -= hdr + v.len() as u64;
                 }
             } else if let Some(old) = l.insert(k, vec![0; size]) {
                 expected_bytes = expected_bytes - old.len() as u64 + size as u64;
             } else {
-                expected_bytes += size as u64;
+                expected_bytes += hdr + size as u64;
             }
             assert_eq!(l.bytes(), expected_bytes, "at step {i}");
         }

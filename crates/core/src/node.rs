@@ -1,6 +1,6 @@
 //! One cache server: a B+-tree index plus capacity accounting.
 
-use ecc_bptree::BPlusTree;
+use ecc_bptree::{BPlusTree, ByteSize};
 use ecc_cloudsim::InstanceId;
 
 use crate::record::Record;
@@ -97,8 +97,12 @@ impl CacheNode {
     /// Insert a primary record; returns any displaced previous value.
     /// Replicas yield space first if the payload would not physically fit.
     pub fn insert(&mut self, key: u64, record: Record) -> Option<Record> {
-        let existing = self.tree.get(&key).map(|r| r.len() as u64).unwrap_or(0);
-        let extra = (record.len() as u64).saturating_sub(existing);
+        let existing = self
+            .tree
+            .get(&key)
+            .map(|r| r.byte_size() as u64)
+            .unwrap_or(0);
+        let extra = (record.byte_size() as u64).saturating_sub(existing);
         if extra > 0 && self.replica_bytes() > 0 {
             self.make_room_for_primary(extra);
         }
@@ -110,11 +114,16 @@ impl CacheNode {
         self.tree.remove(&key)
     }
 
-    /// Sum of record sizes in the inclusive key range (the aggregation test
-    /// of Algorithm 2 line 3 — "maintaining an internal structure on the
-    /// server which holds the keys' respective object size").
+    /// Sum of charged record footprints in the inclusive key range (the
+    /// aggregation test of Algorithm 2 line 3 — "maintaining an internal
+    /// structure on the server which holds the keys' respective object
+    /// size"). Footprints, not raw lengths, because the callers compare
+    /// this against capacity headroom on a destination node.
     pub fn bytes_in_range(&self, lo: u64, hi: u64) -> u64 {
-        self.tree.range(lo..=hi).map(|(_, r)| r.len() as u64).sum()
+        self.tree
+            .range(lo..=hi)
+            .map(|(_, r)| r.byte_size() as u64)
+            .sum()
     }
 
     /// Number of records in the inclusive key range.
@@ -156,9 +165,13 @@ impl CacheNode {
     /// Store a best-effort replica. Returns `false` (and stores nothing)
     /// if there is no spare capacity for it.
     pub fn insert_replica(&mut self, key: u64, record: Record) -> bool {
-        let extra = record.len() as u64;
+        let extra = record.byte_size() as u64;
         // Replacing an existing replica reuses its space.
-        let existing = self.replicas.get(&key).map(|r| r.len() as u64).unwrap_or(0);
+        let existing = self
+            .replicas
+            .get(&key)
+            .map(|r| r.byte_size() as u64)
+            .unwrap_or(0);
         if self.used_bytes() + self.replica_bytes() - existing + extra > self.capacity_bytes {
             return false;
         }
@@ -212,18 +225,24 @@ mod tests {
         CacheNode::new(InstanceId(0), cap, 8)
     }
 
+    /// The footprint a filler of `len` is charged (slab slot size).
+    fn fp(len: usize) -> u64 {
+        crate::slab::footprint(len)
+    }
+
     #[test]
     fn accounting_tracks_inserts_and_removes() {
         let mut n = node(1000);
         assert!(n.fits(1000));
         n.insert(1, Record::filler(300));
         n.insert(2, Record::filler(300));
-        assert_eq!(n.used_bytes(), 600);
-        assert!(n.fits(400));
-        assert!(!n.fits(401));
-        assert!((n.fill() - 0.6).abs() < 1e-12);
+        assert_eq!(n.used_bytes(), 2 * fp(300));
+        let headroom = 1000 - 2 * fp(300);
+        assert!(n.fits(headroom));
+        assert!(!n.fits(headroom + 1));
+        assert!((n.fill() - (2 * fp(300)) as f64 / 1000.0).abs() < 1e-12);
         n.remove(1);
-        assert_eq!(n.used_bytes(), 300);
+        assert_eq!(n.used_bytes(), fp(300));
         assert_eq!(n.record_count(), 1);
         n.validate();
     }
@@ -234,7 +253,7 @@ mod tests {
         for k in 0..100u64 {
             n.insert(k, Record::filler(10));
         }
-        assert_eq!(n.bytes_in_range(0, 49), 500);
+        assert_eq!(n.bytes_in_range(0, 49), 50 * fp(10));
         assert_eq!(n.count_in_range(10, 19), 10);
         assert_eq!(n.keys_in_range(95, 200), vec![95, 96, 97, 98, 99]);
     }
@@ -248,7 +267,7 @@ mod tests {
         let moved = n.drain_range(0, 49);
         assert_eq!(moved.len(), 50);
         assert_eq!(n.record_count(), 50);
-        assert_eq!(n.used_bytes(), 500);
+        assert_eq!(n.used_bytes(), 50 * fp(10));
         assert!(moved.windows(2).all(|w| w[0].0 < w[1].0));
         n.validate();
     }
@@ -272,22 +291,25 @@ mod tests {
         n.insert(1, Record::filler(100));
         let old = n.insert(1, Record::filler(50));
         assert_eq!(old.unwrap().len(), 100);
-        assert_eq!(n.used_bytes(), 50);
+        assert_eq!(n.used_bytes(), fp(50));
         assert_eq!(n.record_count(), 1);
     }
 
     #[test]
     fn replicas_use_only_spare_capacity() {
-        let mut n = node(1000);
+        // Capacity holds the 600-byte primary plus one 300-byte replica
+        // (and its 350-byte replacement), but not a second replica.
+        let cap = fp(600) + fp(350) + 8;
+        let mut n = node(cap);
         n.insert(1, Record::filler(600));
         assert!(n.insert_replica(100, Record::filler(300)));
-        assert_eq!(n.replica_bytes(), 300);
+        assert_eq!(n.replica_bytes(), fp(300));
         // No room for another 300-byte replica.
         assert!(!n.insert_replica(101, Record::filler(300)));
         assert_eq!(n.replica_count(), 1);
         // Replacing the existing replica reuses its space.
         assert!(n.insert_replica(100, Record::filler(350)));
-        assert_eq!(n.replica_bytes(), 350);
+        assert_eq!(n.replica_bytes(), fp(350));
         n.validate();
     }
 

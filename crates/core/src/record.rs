@@ -3,27 +3,70 @@
 use bytes::Bytes;
 use ecc_bptree::ByteSize;
 
-/// A cached derived result: an immutable byte payload behind a refcounted
-/// [`Bytes`] handle, so every clone — a hit returned to a caller, a
-/// replica placement, a migration sweep, a wire response body — is a
-/// refcount bump, never a memcpy of the payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Record {
-    data: Bytes,
+use crate::slab::{SlabArena, SlabRef};
+
+/// Where a record's payload bytes live.
+#[derive(Debug, Clone)]
+enum Payload {
+    /// A one-off heap allocation behind a refcounted [`Bytes`] handle —
+    /// wire-ingested values not yet slab-resident, and oversize payloads
+    /// that bypass the arena's class table.
+    Heap(Bytes),
+    /// A slot in the node's slab arena (DESIGN.md §17) — the steady-state
+    /// home of resident records; recycled, never individually freed.
+    Slab(SlabRef),
 }
+
+/// A cached derived result: an immutable byte payload behind a refcounted
+/// handle — either a [`Bytes`] heap allocation or a slab-arena slot — so
+/// every clone (a hit returned to a caller, a replica placement, a
+/// migration sweep, a wire response body) is a refcount bump, never a
+/// memcpy of the payload.
+#[derive(Debug, Clone)]
+pub struct Record {
+    data: Payload,
+}
+
+impl PartialEq for Record {
+    /// Records are equal iff their payload bytes are — where the bytes
+    /// live (heap vs. slab slot) is an engine detail, invisible to
+    /// cache semantics and the differential oracles.
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Record {}
 
 impl Record {
     /// Wrap an owned payload (takes ownership of the allocation; no copy).
     pub fn from_vec(data: Vec<u8>) -> Self {
         Self {
-            data: Bytes::from(data),
+            data: Payload::Heap(Bytes::from(data)),
         }
     }
 
     /// Wrap an already-refcounted payload — the zero-copy ingestion path
     /// from the wire codecs, which decode values as [`Bytes`].
     pub fn from_bytes(data: Bytes) -> Self {
-        Self { data }
+        Self {
+            data: Payload::Heap(data),
+        }
+    }
+
+    /// Copy `payload` into a slot of `arena`'s fitting size class — the
+    /// slab ingest path ([`crate::ShardedNode::put_slice`]). Oversize
+    /// payloads fall back to a plain heap allocation, so this always
+    /// succeeds; `is_slab` reports which way it went.
+    pub fn alloc_in(arena: &SlabArena, payload: &[u8]) -> Self {
+        match arena.try_alloc(payload) {
+            Some(slab) => Self {
+                data: Payload::Slab(slab),
+            },
+            None => Self {
+                data: Payload::Heap(Bytes::from(payload)),
+            },
+        }
     }
 
     /// A record of `len` identical filler bytes — synthetic workloads.
@@ -33,30 +76,55 @@ impl Record {
 
     /// The payload bytes.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data
+        match &self.data {
+            Payload::Heap(b) => b,
+            Payload::Slab(s) => s.as_slice(),
+        }
     }
 
     /// A refcounted view of the payload, sharing the backing allocation —
-    /// the zero-copy egress path for wire response bodies.
+    /// the zero-copy egress path for wire response bodies. For a
+    /// slab-resident record the returned [`Bytes`] owns a clone of the
+    /// slot handle, so the slot stays live (and out of the freelist)
+    /// until the response is written.
     pub fn bytes(&self) -> Bytes {
-        self.data.clone()
+        match &self.data {
+            Payload::Heap(b) => b.clone(),
+            Payload::Slab(s) => Bytes::from_owner(s.clone()),
+        }
     }
 
     /// Payload length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.data {
+            Payload::Heap(b) => b.len(),
+            Payload::Slab(s) => s.len(),
+        }
     }
 
     /// Whether the payload is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    /// Whether the payload is slab-resident (vs. a one-off heap
+    /// allocation) — occupancy diagnostics and tests.
+    pub fn is_slab(&self) -> bool {
+        matches!(&self.data, Payload::Slab(_))
     }
 }
 
+/// A record is charged its **true footprint** — the slab slot size
+/// [`crate::slab::footprint`] assigns its length — everywhere byte
+/// accounting happens, whether the payload is currently slab-resident or
+/// heap-backed. Charging by backing instead would make the simulated
+/// cache ([`crate::ElasticCache`] stores heap records) and the live
+/// sharded node (slab records) disagree on `||n||` for identical
+/// contents, and the live/sim differential tests pin that equality.
 impl ByteSize for Record {
     #[inline]
     fn byte_size(&self) -> usize {
-        self.data.len()
+        crate::slab::footprint(self.len()) as usize
     }
 }
 
@@ -80,7 +148,8 @@ mod tests {
     fn record_reports_payload_size() {
         let r = Record::from_vec(vec![1, 2, 3]);
         assert_eq!(r.len(), 3);
-        assert_eq!(r.byte_size(), 3);
+        // Charged the slab footprint (the minimum slot), not the raw len.
+        assert_eq!(r.byte_size() as u64, crate::slab::footprint(3));
         assert_eq!(r.as_slice(), &[1, 2, 3]);
         assert!(!r.is_empty());
         assert!(Record::from_vec(vec![]).is_empty());
@@ -109,5 +178,53 @@ mod tests {
     #[test]
     fn filler_has_requested_length() {
         assert_eq!(Record::filler(77).len(), 77);
+    }
+
+    #[test]
+    fn alloc_in_lands_in_the_arena_and_roundtrips() {
+        let arena = SlabArena::new();
+        let r = Record::alloc_in(&arena, &[9u8; 300]);
+        assert!(r.is_slab());
+        assert_eq!(r.len(), 300);
+        assert!(r.as_slice().iter().all(|&b| b == 9));
+        // ByteSize charges the true slot footprint, matching what the
+        // shard charges via `slab::footprint`.
+        assert_eq!(r.byte_size() as u64, crate::slab::footprint(300));
+        // Clones share the slot.
+        let c = r.clone();
+        assert!(std::ptr::eq(r.as_slice().as_ptr(), c.as_slice().as_ptr()));
+        assert_eq!(r, c);
+    }
+
+    #[test]
+    fn slab_bytes_view_pins_the_slot() {
+        let arena = SlabArena::new();
+        let r = Record::alloc_in(&arena, b"pinned by the response body");
+        let slot_ptr = r.as_slice().as_ptr();
+        let b = r.bytes();
+        assert!(
+            std::ptr::eq(slot_ptr, b.as_ref().as_ptr()),
+            "zero-copy view"
+        );
+        drop(r);
+        // The Bytes owner still holds a SlabRef: the slot is not recycled.
+        assert_eq!(&b[..], b"pinned by the response body");
+        assert_eq!(arena.class_stats()[0].live_slots, 1);
+        drop(b);
+        assert_eq!(arena.class_stats()[0].live_slots, 0);
+    }
+
+    #[test]
+    fn oversize_alloc_in_falls_back_to_heap() {
+        let arena = SlabArena::new();
+        let r = Record::alloc_in(&arena, &vec![1u8; 100_000]);
+        assert!(!r.is_slab());
+        assert_eq!(r.len(), 100_000);
+        // Heap and slab records with equal bytes compare equal.
+        let arena2 = SlabArena::new();
+        let a = Record::alloc_in(&arena2, b"same bytes");
+        let b = Record::from_vec(b"same bytes".to_vec());
+        assert!(a.is_slab() && !b.is_slab());
+        assert_eq!(a, b);
     }
 }

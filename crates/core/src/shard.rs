@@ -16,10 +16,25 @@
 //! * range and structural ops (sweep, keys, range-stats, drain) take a
 //!   node-wide **structural** `RwLock` in write mode, which quiesces the
 //!   point ops (they hold it in read mode) and lets the sweep walk the
-//!   stripes in index order against a stable snapshot.
+//!   stripes in index order against a stable snapshot;
+//! * payload bytes live in a per-node [`SlabArena`] (DESIGN.md §17):
+//!   [`ShardedNode::put_slice`] copies the wire payload into a recycled
+//!   size-class slot, so steady-state churn makes zero global-allocator
+//!   calls, and `||n||` charges each record its **true footprint** —
+//!   [`slab::footprint`]`(len)`, the slot size it really occupies — not
+//!   its payload length. Oversize and pre-built heap records are charged
+//!   the same pure function, so admission, the audit, and the simtest
+//!   model all agree bit-exactly.
+//!
+//! `used_bytes` thus counts *logical residency*: records drained for
+//! migration stop being charged when they leave the stripes, even though
+//! their slots return to the freelist only when the migration batch drops
+//! its handles.
 //!
 //! **Lock hierarchy** (documented in DESIGN.md §12): `structural` before
-//! any stripe lock; stripe locks only in ascending stripe index; the
+//! any stripe lock; stripe locks only in ascending stripe index; the slab
+//! arena's per-class page/freelist mutexes are leaves below every stripe
+//! (records drop — and free slots — while a stripe guard is held); the
 //! accounting atomics participate in no lock order. Point ops hold
 //! `structural.read` + exactly one stripe lock; structural ops hold
 //! `structural.write` + stripes in ascending order, one at a time.
@@ -33,6 +48,7 @@ use parking_lot::RwLock;
 use crate::lockorder::{self, LockClass};
 use crate::metrics::NodeCounters;
 use crate::record::Record;
+use crate::slab::{self, ClassStats, SlabArena};
 
 /// Default stripe count for the wire server (must be a power of two).
 pub const DEFAULT_STRIPES: usize = 16;
@@ -61,7 +77,7 @@ pub enum ShardAuditError {
     UsedBytesMismatch {
         /// Value of the atomic accumulator.
         accounted: u64,
-        /// Sum of record sizes over every stripe.
+        /// Sum of record footprints over every stripe.
         actual: u64,
     },
     /// The atomic record counter disagrees with the stripes' actual total.
@@ -102,7 +118,8 @@ impl std::fmt::Display for ShardAuditError {
 impl std::error::Error for ShardAuditError {}
 
 /// A cache-server index that scales with cores: hash-striped B+-trees,
-/// atomic accounting, and a structural lock for range ops.
+/// atomic accounting, a slab payload arena, and a structural lock for
+/// range ops.
 pub struct ShardedNode {
     capacity_bytes: u64,
     mask: usize,
@@ -110,8 +127,12 @@ pub struct ShardedNode {
     /// range/structural ops. See the module docs for the lock hierarchy.
     structural: RwLock<()>,
     stripes: Box<[RwLock<BPlusTree<u64, Record>>]>,
-    /// `||n||` — bytes of resident records; PUT admission CAS-reserves
-    /// growth here *before* touching a stripe.
+    /// The node's payload arena: canonical size-class geometry, shared by
+    /// every stripe (slots recycle across the whole node).
+    arena: SlabArena,
+    /// `||n||` — true footprint of resident records (slot sizes, not
+    /// payload lengths); PUT admission CAS-reserves growth here *before*
+    /// touching a stripe.
     used: AtomicU64,
     /// Resident record count.
     count: AtomicU64,
@@ -146,6 +167,7 @@ impl ShardedNode {
             mask: n - 1,
             structural: RwLock::new(()),
             stripes: stripes.into_boxed_slice(),
+            arena: SlabArena::new(),
             used: AtomicU64::new(0),
             count: AtomicU64::new(0),
             counters: NodeCounters::new(),
@@ -172,7 +194,7 @@ impl ShardedNode {
         self.capacity_bytes
     }
 
-    /// `||n||` — resident bytes (lock-free).
+    /// `||n||` — resident footprint bytes (lock-free).
     #[inline]
     pub fn used_bytes(&self) -> u64 {
         self.used.load(Ordering::Acquire)
@@ -187,6 +209,35 @@ impl ShardedNode {
     /// Cumulative per-op counters (lock-free).
     pub fn counters(&self) -> &NodeCounters {
         &self.counters
+    }
+
+    /// The node's payload arena (diagnostics, tests).
+    pub fn arena(&self) -> &SlabArena {
+        &self.arena
+    }
+
+    /// Per-class slab occupancy (lock-free reads of relaxed counters).
+    pub fn slab_stats(&self) -> Vec<ClassStats> {
+        self.arena.class_stats()
+    }
+
+    /// Publish per-class slab occupancy as gauges on the attached
+    /// registry (`slab_*:{slot_size}`); no-op when unobserved or when a
+    /// class has never been used.
+    pub fn export_slab_gauges(&self) {
+        let Some(obs) = &self.obs else { return };
+        for s in self.slab_stats() {
+            if s.total_slots == 0 {
+                continue;
+            }
+            obs.set_gauge(&format!("slab_total_slots:{}", s.slot_size), s.total_slots);
+            obs.set_gauge(&format!("slab_live_slots:{}", s.slot_size), s.live_slots);
+            obs.set_gauge(
+                &format!("slab_live_payload_bytes:{}", s.slot_size),
+                s.live_payload_bytes,
+            );
+            obs.set_gauge(&format!("slab_allocs:{}", s.slot_size), s.allocs);
+        }
     }
 
     /// Record how long one lock acquisition waited.
@@ -233,13 +284,31 @@ impl ShardedNode {
         found
     }
 
-    /// Store a record under the replacement-growth capacity rule: only the
-    /// byte growth over any existing record counts against capacity, and a
-    /// growing replacement that no longer fits is refused with the old
-    /// record left intact. Admission is a CAS reservation on the byte
-    /// atomic — concurrent PUTs on different stripes cannot jointly
-    /// overshoot the capacity.
+    /// Store a pre-built record (in-process callers, migration ingest).
+    /// Charged its canonical footprint like every other record; payloads
+    /// arriving as raw wire bytes should use [`ShardedNode::put_slice`],
+    /// which lands them in the slab arena.
     pub fn put(&self, key: u64, record: Record) -> PutOutcome {
+        self.put_inner(key, record.len(), move || record)
+    }
+
+    /// Copy `payload` into a slot of the node's arena and store it — the
+    /// wire-ingest path. The slot is allocated only *after* the CAS
+    /// admission reserves its footprint, so a refused PUT touches neither
+    /// the arena nor the allocator.
+    pub fn put_slice(&self, key: u64, payload: &[u8]) -> PutOutcome {
+        self.put_inner(key, payload.len(), || {
+            Record::alloc_in(&self.arena, payload)
+        })
+    }
+
+    /// Store a record under the replacement-growth capacity rule: only the
+    /// *footprint* growth over any existing record counts against
+    /// capacity, and a growing replacement that no longer fits is refused
+    /// with the old record left intact (and `make` never called).
+    /// Admission is a CAS reservation on the byte atomic — concurrent
+    /// PUTs on different stripes cannot jointly overshoot the capacity.
+    fn put_inner(&self, key: u64, new_len: usize, make: impl FnOnce() -> Record) -> PutOutcome {
         let wait = self.wait_span();
         let t0 = self.wait_start();
         let _order_s = lockorder::acquire(LockClass::Structural);
@@ -252,11 +321,11 @@ impl ShardedNode {
         self.note_wait("lock_wait_us:stripe", t1);
         drop(wait);
 
-        let new_len = record.len() as u64;
+        let new_fp = slab::footprint(new_len);
         // Stable while this stripe's write lock is held: all mutations of
         // `key` go through this stripe.
-        let old_len = stripe.get(&key).map(|r| r.len() as u64);
-        let growth = new_len.saturating_sub(old_len.unwrap_or(0));
+        let old_fp = stripe.get(&key).map(|r| slab::footprint(r.len()));
+        let growth = new_fp.saturating_sub(old_fp.unwrap_or(0));
         if growth > 0 {
             let reserve = self
                 .used
@@ -269,18 +338,21 @@ impl ShardedNode {
                 return PutOutcome::Overflow;
             }
         }
-        let shrink = old_len.unwrap_or(0).saturating_sub(new_len);
+        let shrink = old_fp.unwrap_or(0).saturating_sub(new_fp);
         if shrink > 0 {
             self.used.fetch_sub(shrink, Ordering::AcqRel);
         }
-        if stripe.insert(key, record).is_none() {
+        // Replacement drops the old record here, returning its slot to
+        // the class freelist — often the very slot `make` just took.
+        if stripe.insert(key, make()).is_none() {
             self.count.fetch_add(1, Ordering::AcqRel);
         }
         self.counters.note_put();
         PutOutcome::Stored
     }
 
-    /// Remove a record; returns it (payload shared, not copied).
+    /// Remove a record; returns it (payload shared, not copied — the slot
+    /// outlives residency until the caller drops the handle).
     pub fn remove(&self, key: u64) -> Option<Record> {
         let wait = self.wait_span();
         let t0 = self.wait_start();
@@ -295,7 +367,8 @@ impl ShardedNode {
         drop(wait);
         let removed = stripe.remove(&key);
         if let Some(rec) = &removed {
-            self.used.fetch_sub(rec.len() as u64, Ordering::AcqRel);
+            self.used
+                .fetch_sub(slab::footprint(rec.len()), Ordering::AcqRel);
             self.count.fetch_sub(1, Ordering::AcqRel);
             self.counters.note_remove();
         }
@@ -314,6 +387,8 @@ impl ShardedNode {
 
     /// Remove and return all records in the inclusive key range, in key
     /// order — the destructive half of Sweep-and-Migrate (Algorithm 2).
+    /// The drained records stop counting against `||n||` immediately;
+    /// their slab slots recycle when the migration batch drops them.
     pub fn drain_range(&self, lo: u64, hi: u64) -> Vec<(u64, Record)> {
         self.with_structural(|| {
             let mut out: Vec<(u64, Record)> = Vec::new();
@@ -321,9 +396,9 @@ impl ShardedNode {
                 let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 out.extend(stripe.write().drain_range(&lo, &hi));
             }
-            let (bytes, records) = out
-                .iter()
-                .fold((0u64, 0u64), |(b, n), (_, r)| (b + r.len() as u64, n + 1));
+            let (bytes, records) = out.iter().fold((0u64, 0u64), |(b, n), (_, r)| {
+                (b + slab::footprint(r.len()), n + 1)
+            });
             self.used.fetch_sub(bytes, Ordering::AcqRel);
             self.count.fetch_sub(records, Ordering::AcqRel);
             self.counters.note_sweep();
@@ -345,8 +420,9 @@ impl ShardedNode {
         })
     }
 
-    /// `(bytes, records)` resident in the inclusive range (bucket fullness
-    /// `||b||` for the coordinator's split planning).
+    /// `(bytes, records)` resident in the inclusive range, bytes in true
+    /// footprint (bucket fullness `||b||` for the coordinator's split
+    /// planning — the same unit as `used_bytes`).
     pub fn range_stats(&self, lo: u64, hi: u64) -> (u64, u64) {
         self.with_structural(|| {
             let mut bytes = 0u64;
@@ -355,7 +431,7 @@ impl ShardedNode {
                 let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 let tree = stripe.read();
                 for (_, r) in tree.range(lo..=hi) {
-                    bytes += r.len() as u64;
+                    bytes += slab::footprint(r.len());
                     records += 1;
                 }
             }
@@ -364,8 +440,9 @@ impl ShardedNode {
     }
 
     /// Verify that the atomic accounting matches the stripes' actual
-    /// contents and that capacity holds. Takes the structural write lock,
-    /// so it sees a quiesced node.
+    /// contents — `used` must equal the sum of true per-record footprints
+    /// — and that capacity holds. Takes the structural write lock, so it
+    /// sees a quiesced node.
     pub fn check_invariants(&self) -> Result<(), ShardAuditError> {
         self.with_structural(|| {
             let mut bytes = 0u64;
@@ -373,8 +450,10 @@ impl ShardedNode {
             for (i, stripe) in self.stripes.iter().enumerate() {
                 let _order_t = lockorder::acquire(LockClass::Stripe(i));
                 let tree = stripe.read();
-                bytes += tree.bytes();
-                records += tree.len() as u64;
+                for (_, r) in tree.range(..) {
+                    bytes += slab::footprint(r.len());
+                    records += 1;
+                }
             }
             let used = self.used.load(Ordering::Acquire);
             let count = self.count.load(Ordering::Acquire);
@@ -422,16 +501,18 @@ mod tests {
 
     #[test]
     fn point_ops_account_bytes_and_count() {
+        // filler(300) needs 308 slot bytes → class 352 (footprint table).
+        assert_eq!(slab::footprint(300), 352);
         let n = ShardedNode::new(1000, 8, 4);
         assert_eq!(n.put(1, Record::filler(300)), PutOutcome::Stored);
         assert_eq!(n.put(2, Record::filler(300)), PutOutcome::Stored);
-        assert_eq!(n.used_bytes(), 600);
+        assert_eq!(n.used_bytes(), 704);
         assert_eq!(n.record_count(), 2);
         assert_eq!(n.get(1).map(|r| r.len()), Some(300));
         assert_eq!(n.get(99), None);
         assert_eq!(n.remove(1).map(|r| r.len()), Some(300));
         assert_eq!(n.remove(1), None);
-        assert_eq!(n.used_bytes(), 300);
+        assert_eq!(n.used_bytes(), 352);
         assert_eq!(n.record_count(), 1);
         n.validate();
         let c = n.counters().snapshot();
@@ -440,23 +521,27 @@ mod tests {
 
     #[test]
     fn replacement_growth_rule_matches_cache_node() {
-        let n = ShardedNode::new(100, 8, 4);
-        assert_eq!(n.put(1, Record::filler(60)), PutOutcome::Stored);
-        // Growth within budget: 60 -> 100.
-        assert_eq!(n.put(1, Record::filler(100)), PutOutcome::Stored);
-        // Growth past capacity: refused, old record intact.
-        assert_eq!(n.put(1, Record::filler(101)), PutOutcome::Overflow);
-        assert_eq!(n.get(1).map(|r| r.len()), Some(100));
-        assert_eq!(n.used_bytes(), 100);
-        // Shrinking replacement frees bytes.
+        // Footprints: 56 → 64, 150 → 176, 200 → 224, 10 → 64.
+        let n = ShardedNode::new(200, 8, 4);
+        assert_eq!(n.put(1, Record::filler(56)), PutOutcome::Stored);
+        assert_eq!(n.used_bytes(), 64);
+        // Growth within budget: 64 -> 176.
+        assert_eq!(n.put(1, Record::filler(150)), PutOutcome::Stored);
+        assert_eq!(n.used_bytes(), 176);
+        // Growth past capacity (224 > 200): refused, old record intact.
+        assert_eq!(n.put(1, Record::filler(200)), PutOutcome::Overflow);
+        assert_eq!(n.get(1).map(|r| r.len()), Some(150));
+        assert_eq!(n.used_bytes(), 176);
+        // Shrinking replacement frees footprint.
         assert_eq!(n.put(1, Record::filler(10)), PutOutcome::Stored);
-        assert_eq!(n.used_bytes(), 10);
+        assert_eq!(n.used_bytes(), 64);
         assert_eq!(n.counters().snapshot().overflows, 1);
         n.validate();
     }
 
     #[test]
     fn fresh_insert_past_capacity_is_refused() {
+        // filler(60) occupies an 80-byte slot; two would need 160 > 100.
         let n = ShardedNode::new(100, 8, 2);
         assert_eq!(n.put(1, Record::filler(60)), PutOutcome::Stored);
         assert_eq!(n.put(2, Record::filler(60)), PutOutcome::Overflow);
@@ -467,17 +552,18 @@ mod tests {
 
     #[test]
     fn range_ops_span_stripes_in_key_order() {
+        // filler(10) → 64-byte slot each.
         let n = ShardedNode::new(1 << 20, 8, 8);
         for k in 0..100u64 {
             assert_eq!(n.put(k, Record::filler(10)), PutOutcome::Stored);
         }
         assert_eq!(n.keys_in_range(95, 200), vec![95, 96, 97, 98, 99]);
-        assert_eq!(n.range_stats(0, 49), (500, 50));
+        assert_eq!(n.range_stats(0, 49), (50 * 64, 50));
         let drained = n.drain_range(10, 19);
         assert_eq!(drained.len(), 10);
         assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(n.record_count(), 90);
-        assert_eq!(n.used_bytes(), 900);
+        assert_eq!(n.used_bytes(), 90 * 64);
         // Inverted range drains nothing.
         assert!(n.drain_range(50, 40).is_empty());
         n.validate();
@@ -494,17 +580,82 @@ mod tests {
     }
 
     #[test]
+    fn put_slice_lands_in_the_arena_and_hits_share_the_slot() {
+        let n = ShardedNode::new(1 << 20, 8, 4);
+        assert_eq!(n.put_slice(7, &[3u8; 100]), PutOutcome::Stored);
+        assert_eq!(n.used_bytes(), slab::footprint(100));
+        let hit = n.get(7).expect("present");
+        assert!(hit.is_slab(), "wire ingest must land in the slab");
+        assert_eq!(hit.as_slice(), &[3u8; 100][..]);
+        let again = n.get(7).expect("present");
+        assert!(std::ptr::eq(
+            hit.as_slice().as_ptr(),
+            again.as_slice().as_ptr()
+        ));
+        let live: u64 = n.slab_stats().iter().map(|s| s.live_slots).sum();
+        assert_eq!(live, 1);
+        n.validate();
+    }
+
+    #[test]
+    fn replacement_recycles_the_old_slot() {
+        let n = ShardedNode::new(1 << 20, 8, 4);
+        for i in 0..1000u64 {
+            assert_eq!(n.put_slice(42, &[i as u8; 100]), PutOutcome::Stored);
+        }
+        let stats = n.slab_stats();
+        let class = stats.iter().find(|s| s.slot_size == 136).expect("class");
+        assert_eq!(class.live_slots, 1, "churn must recycle, not accrete");
+        assert_eq!(class.allocs, 1000);
+        assert_eq!(class.pages, 1);
+        // Removal returns the record; its slot frees when the handle drops.
+        let removed = n.remove(42).expect("present");
+        assert_eq!(n.used_bytes(), 0);
+        let live: u64 = n.slab_stats().iter().map(|s| s.live_slots).sum();
+        assert_eq!(live, 1, "the drained handle still pins its slot");
+        drop(removed);
+        let live: u64 = n.slab_stats().iter().map(|s| s.live_slots).sum();
+        assert_eq!(live, 0);
+        n.validate();
+    }
+
+    #[test]
+    fn oversize_put_slice_falls_back_to_heap_with_true_footprint() {
+        let payload = vec![9u8; 100_000];
+        let n = ShardedNode::new(1 << 20, 8, 4);
+        assert_eq!(n.put_slice(1, &payload), PutOutcome::Stored);
+        let hit = n.get(1).expect("present");
+        assert!(!hit.is_slab(), "oversize bypasses the class table");
+        assert_eq!(hit.len(), 100_000);
+        // Charged header + alignment, exactly like the pure footprint fn.
+        assert_eq!(n.used_bytes(), slab::footprint(100_000));
+        assert_eq!(n.used_bytes(), 100_008);
+        n.validate();
+    }
+
+    #[test]
+    fn refused_put_slice_touches_neither_arena_nor_accounting() {
+        let n = ShardedNode::new(100, 8, 2);
+        assert_eq!(n.put_slice(1, &[1u8; 60]), PutOutcome::Stored);
+        assert_eq!(n.put_slice(2, &[2u8; 60]), PutOutcome::Overflow);
+        let allocs: u64 = n.slab_stats().iter().map(|s| s.allocs).sum();
+        assert_eq!(allocs, 1, "the refused PUT must not allocate a slot");
+        assert_eq!(n.used_bytes(), 80);
+        n.validate();
+    }
+
+    #[test]
     fn concurrent_puts_cannot_jointly_overshoot_capacity() {
-        // 8 threads race 200 distinct 64-byte inserts into a node with
-        // room for exactly 100 of them; the CAS reservation must admit at
-        // most 100 and the audit must balance.
+        // 8 threads race 200 distinct 56-byte inserts (64-byte slots) into
+        // a node with room for exactly 100 of them; the CAS reservation
+        // must admit at most 100 and the audit must balance.
         let n = Arc::new(ShardedNode::new(6400, 8, 8));
         let threads: Vec<_> = (0..8u64)
             .map(|t| {
                 let n = Arc::clone(&n);
                 std::thread::spawn(move || {
                     for i in 0..200u64 {
-                        let _ = n.put(t * 1000 + i, Record::filler(64));
+                        let _ = n.put_slice(t * 1000 + i, &[7u8; 56]);
                     }
                 })
             })

@@ -8,6 +8,7 @@
 //! one evenly spaced bucket per node — but the fleet never grows or
 //! shrinks: on overflow a node displaces its least-recently-used records.
 
+use ecc_bptree::ByteSize;
 use ecc_chash::HashRing;
 use ecc_cloudsim::{NetModel, SimClock, SimCloud};
 
@@ -136,15 +137,20 @@ impl StaticCache {
     /// Insert, displacing LRU records until the owning node fits. Records
     /// larger than a whole node are not cached.
     pub fn insert(&mut self, key: u64, record: Record) {
-        let size = record.len() as u64;
+        // Displacement frees room for the *charged* footprint (what the
+        // LRU's byte accounting will debit), while the wire transfer below
+        // costs only the raw payload length.
+        let size = record.byte_size() as u64;
         if size > self.capacity_bytes {
             return;
         }
         let Some(&nid) = self.ring.node_for_key(key) else {
             return;
         };
-        self.clock
-            .advance_us(self.net.transfer_us(size + RECORD_WIRE_OVERHEAD));
+        self.clock.advance_us(
+            self.net
+                .transfer_us(record.len() as u64 + RECORD_WIRE_OVERHEAD),
+        );
         let Some(node) = self.nodes.get_mut(nid) else {
             return;
         };
@@ -206,9 +212,12 @@ mod tests {
     use super::*;
     use crate::config::CacheConfig;
 
+    /// A config whose nodes hold exactly `cap` of the 100-byte test
+    /// records, in charged-footprint units (records are charged their
+    /// slab slot size, not their raw length).
     fn cfg_records(cap: u64) -> CacheConfig {
         let mut c = CacheConfig::small_test();
-        c.node_capacity_bytes = cap * 100;
+        c.node_capacity_bytes = cap * crate::slab::footprint(100);
         c
     }
 
@@ -237,7 +246,7 @@ mod tests {
             cache.insert(k * 25, Record::filler(100));
         }
         assert!(cache.total_records() <= 8);
-        assert!(cache.total_bytes() <= 800);
+        assert!(cache.total_bytes() <= 8 * crate::slab::footprint(100));
         assert!(cache.metrics().lru_evictions >= 32);
     }
 
@@ -303,14 +312,15 @@ mod tests {
     fn growing_replacement_displaces_lru_records() {
         // Regression (simtest static/7): replacements used to skip LRU
         // displacement entirely, overflowing the node. A 100 B → 250 B
-        // replacement on a full 400 B node must displace the two
-        // least-recently-used records and never the fresh one.
+        // replacement on a full 4-record node grows the charged footprint
+        // past capacity, so it must displace the two least-recently-used
+        // records and never the fresh one.
         let mut cache = StaticCache::new(&cfg_records(4), 1);
         for k in 0..4u64 {
             cache.insert(k, Record::filler(100));
         }
         cache.insert(3, Record::filler(250));
-        assert!(cache.total_bytes() <= 400);
+        assert!(cache.total_bytes() <= 4 * crate::slab::footprint(100));
         assert_eq!(cache.metrics().lru_evictions, 2);
         assert_eq!(cache.lookup(3).map(|r| r.len()), Some(250));
         assert!(cache.lookup(0).is_none(), "LRU key 0 should be displaced");

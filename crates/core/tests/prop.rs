@@ -30,7 +30,9 @@ fn size_of_key(k: u16) -> usize {
 fn cfg(capacity_records: u64, window: Option<(usize, f64)>) -> CacheConfig {
     let mut c = CacheConfig::small_test();
     c.ring_range = 1 << 16;
-    c.node_capacity_bytes = capacity_records * 100;
+    // Capacity in charged-footprint units: a node holds `capacity_records`
+    // records of the largest payload `size_of_key` can produce.
+    c.node_capacity_bytes = capacity_records * ecc_core::slab::footprint(100);
     c.window = window.map(|(m, alpha)| WindowConfig {
         slices: m,
         alpha,
@@ -74,7 +76,8 @@ proptest! {
         }
         cache.validate();
         prop_assert_eq!(cache.total_records(), ideal.len());
-        let expected_bytes: u64 = ideal.values().map(|&s| s as u64).sum();
+        // Accounting charges each record its slab-slot footprint.
+        let expected_bytes: u64 = ideal.values().map(|&s| ecc_core::slab::footprint(s)).sum();
         prop_assert_eq!(cache.total_bytes(), expected_bytes);
     }
 

@@ -684,7 +684,8 @@ mod tests {
         }
         let (bytes, records) = c.totals().unwrap();
         assert_eq!(records, 64);
-        assert_eq!(bytes, 6400);
+        // Each 100-byte payload occupies a 136-byte slab slot.
+        assert_eq!(bytes, 64 * 136);
         c.shutdown().unwrap();
     }
 

@@ -100,7 +100,7 @@ impl Conn {
         Conn {
             stream,
             asm: FrameAssembler::new(),
-            wbuf: Vec::new(),
+            wbuf: Vec::new(), // xtask: allow(no-global-alloc-in-hot-path) — once per accept
             wpos: 0,
             got_eof: false,
             close_after_flush: false,
@@ -227,7 +227,7 @@ pub(crate) fn spawn_reactors(
 /// connections (read → decode/execute every arrived frame → one flush),
 /// and back off adaptively when a sweep makes no progress.
 fn reactor_loop(rx: channel::Receiver<(TcpStream, ConnSlot)>, shared: ReactorShared) {
-    let mut conns: Vec<Conn> = Vec::new();
+    let mut conns: Vec<Conn> = Vec::new(); // xtask: allow(no-global-alloc-in-hot-path) — startup
     let mut idle_sweeps: u32 = 0;
     loop {
         let mut progress = false;

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use ecc_core::{PutOutcome, Record, ShardedNode, DEFAULT_STRIPES};
+use ecc_core::{PutOutcome, ShardedNode, DEFAULT_STRIPES};
 use ecc_obs::{encode_dump, ObsRegistry, TimeSource};
 
 use crate::protocol::{
@@ -352,12 +352,14 @@ pub(crate) fn op_hist_name(op: Option<Op>) -> &'static str {
 }
 
 /// Store one record under the capacity rule shared by `Put` and
-/// `PutMany`: a replacement frees the old record's bytes, so only the
-/// byte *growth* counts against capacity; a growing replacement that no
-/// longer fits is refused like any other overflow. The decoded `Bytes`
-/// value becomes the stored payload directly — no copy.
+/// `PutMany`: a replacement frees the old record's footprint, so only
+/// the footprint *growth* counts against capacity; a growing replacement
+/// that no longer fits is refused like any other overflow. The decoded
+/// value lands in the node's slab arena — the one ingest copy moves the
+/// bytes off the connection buffer into a recycled size-class slot, so
+/// steady-state churn never touches the global allocator.
 fn put_record(node: &ShardedNode, key: u64, value: bytes::Bytes) -> Status {
-    match node.put(key, Record::from_bytes(value)) {
+    match node.put_slice(key, &value) {
         PutOutcome::Stored => Status::Ok,
         PutOutcome::Overflow => Status::Overflow,
     }
@@ -376,8 +378,10 @@ mod tests {
         assert_eq!(client.get(5).unwrap(), None);
         assert_eq!(client.put(5, b"abc".to_vec()).unwrap(), Status::Ok);
         assert_eq!(client.get(5).unwrap(), Some(b"abc".to_vec()));
+        // `used` is the record's true slab footprint (a 64-byte slot for
+        // a 3-byte payload), not its payload length.
         let (used, count, cap) = client.stats().unwrap();
-        assert_eq!((used, count, cap), (3, 1, 10_000));
+        assert_eq!((used, count, cap), (64, 1, 10_000));
         assert!(client.remove(5).unwrap());
         assert!(!client.remove(5).unwrap());
         server.stop();
@@ -420,12 +424,14 @@ mod tests {
 
     #[test]
     fn overflow_is_reported_not_stored() {
-        let mut server = CacheServer::spawn(100, 8).unwrap();
+        // Footprints: a 60-byte value occupies an 80-byte slot, a 90-byte
+        // value a 104-byte slot.
+        let mut server = CacheServer::spawn(150, 8).unwrap();
         let mut client = RemoteNode::connect(server.addr()).unwrap();
         assert_eq!(client.put(1, vec![0; 60]).unwrap(), Status::Ok);
         assert_eq!(client.put(2, vec![0; 60]).unwrap(), Status::Overflow);
         assert_eq!(client.get(2).unwrap(), None);
-        // Replacement of an existing key is always accepted.
+        // Replacement growth within budget (80 → 104) is accepted.
         assert_eq!(client.put(1, vec![0; 90]).unwrap(), Status::Ok);
         server.stop();
     }
@@ -436,14 +442,15 @@ mod tests {
         // treat any replacement as free, letting a record grow past the
         // node's capacity. Growth within budget stays Ok; growth past it
         // must be refused and leave the old record intact.
-        let mut server = CacheServer::spawn(100, 8).unwrap();
+        // Footprints: 60 → 80-byte slot, 150 → 176, 200 → 224.
+        let mut server = CacheServer::spawn(200, 8).unwrap();
         let mut client = RemoteNode::connect(server.addr()).unwrap();
         assert_eq!(client.put(1, vec![7; 60]).unwrap(), Status::Ok);
-        assert_eq!(client.put(1, vec![7; 100]).unwrap(), Status::Ok);
-        assert_eq!(client.put(1, vec![7; 101]).unwrap(), Status::Overflow);
-        assert_eq!(client.get(1).unwrap(), Some(vec![7; 100]));
+        assert_eq!(client.put(1, vec![7; 150]).unwrap(), Status::Ok);
+        assert_eq!(client.put(1, vec![7; 200]).unwrap(), Status::Overflow);
+        assert_eq!(client.get(1).unwrap(), Some(vec![7; 150]));
         let (used, count, _) = client.stats().unwrap();
-        assert_eq!((used, count), (100, 1));
+        assert_eq!((used, count), (176, 1));
         server.stop();
     }
 

@@ -118,8 +118,9 @@ fn oversized_batch_count_prefix_is_rejected_without_allocating() {
 fn batch_partial_failure_reports_per_item_status_and_connection_survives() {
     // Capacity fits the first record but not the second: the batch must
     // come back [Ok, Overflow, Ok] — a refused item is a verdict, not an
-    // error, and the connection keeps serving.
-    let mut server = CacheServer::spawn(100, 8).expect("spawn");
+    // error, and the connection keeps serving. Footprints: the 60-byte
+    // values occupy 80-byte slabs slots, the 10-byte value a 64-byte one.
+    let mut server = CacheServer::spawn(150, 8).expect("spawn");
     let mut client = RemoteNode::connect(server.addr()).expect("connect");
     let statuses = client
         .put_many(vec![

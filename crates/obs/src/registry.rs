@@ -55,6 +55,9 @@ struct Inner {
     time: TimeSource,
     recorder: Mutex<FlightRecorder>,
     hists: Mutex<BTreeMap<String, LogHistogram>>,
+    /// Last-write-wins named gauges (`metric` or `metric:label`), e.g. the
+    /// slab arena's per-class occupancy.
+    gauges: Mutex<BTreeMap<String, u64>>,
     /// Origin tag baked into span ids (`origin << 40 | seq`) so spans from
     /// different recorders stay unique after a snapshot merge.
     origin: AtomicU32,
@@ -84,6 +87,7 @@ impl ObsRegistry {
                 time,
                 recorder: Mutex::new(FlightRecorder::new(capacity)),
                 hists: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
                 origin: AtomicU32::new(0),
                 span_seq: AtomicU64::new(1),
                 spans_dropped: AtomicU64::new(0),
@@ -198,6 +202,23 @@ impl ObsRegistry {
         }
     }
 
+    /// Set the named gauge to `value` (last write wins). Same naming
+    /// convention as histograms: `metric` or `metric:label`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut gauges = self.inner.gauges.lock();
+        match gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Current value of the named gauge, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.inner.gauges.lock().get(name).copied()
+    }
+
     /// Sequence number the next recorded event will get; pair with
     /// [`events_since`](Self::events_since) for incremental draining.
     pub fn next_seq(&self) -> u64 {
@@ -227,6 +248,7 @@ impl ObsRegistry {
             spans_dropped: self.spans_dropped(),
             events: recorder.iter().cloned().collect(),
             hists: self.inner.hists.lock().clone(),
+            gauges: self.inner.gauges.lock().clone(),
         }
     }
 }
@@ -251,6 +273,11 @@ pub struct ObsSnapshot {
     pub spans_dropped: u64,
     /// Named histograms (`metric` or `metric:label`).
     pub hists: BTreeMap<String, LogHistogram>,
+    /// Named gauges (`metric` or `metric:label`) — point-in-time values
+    /// such as slab-class occupancy. Merging *sums* same-named gauges:
+    /// each node reports its own absolute value, so the cluster-wide
+    /// number is the total across nodes.
+    pub gauges: BTreeMap<String, u64>,
     /// Retained flight-recorder events, oldest first.
     pub events: Vec<ObsEvent>,
 }
@@ -274,6 +301,9 @@ impl ObsSnapshot {
                 }
             }
         }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
         self.events.extend(other.events.iter().cloned());
         self.events.sort_by_key(|ev| ev.at_us());
     }
@@ -281,6 +311,11 @@ impl ObsSnapshot {
     /// Look up a histogram by its full name (`metric` or `metric:label`).
     pub fn hist(&self, name: &str) -> Option<&LogHistogram> {
         self.hists.get(name)
+    }
+
+    /// Look up a gauge by its full name (`metric` or `metric:label`).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// Event counts per kind tag.
@@ -326,6 +361,13 @@ impl ObsSnapshot {
             let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.9"), h.p90());
             let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.99"), h.p99());
             let _ = writeln!(out, "ecc_{metric}{} {}", q_label("0.999"), h.p999());
+        }
+        for (name, v) in &self.gauges {
+            let (metric, label) = match name.split_once(':') {
+                Some((m, l)) => (m, format!("{{op=\"{l}\"}}")),
+                None => (name.as_str(), String::new()),
+            };
+            let _ = writeln!(out, "ecc_{metric}{label} {v}");
         }
         for (kind, n) in self.event_counts() {
             let _ = writeln!(out, "ecc_events_total{{type=\"{kind}\"}} {n}");
@@ -382,6 +424,26 @@ mod tests {
         assert_eq!(a.hists["x"].count(), 3);
         let times: Vec<u64> = a.events.iter().map(ObsEvent::at_us).collect();
         assert_eq!(times, vec![2, 5]);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins_and_merge_additively() {
+        let reg = ObsRegistry::new(TimeSource::real());
+        reg.set_gauge("slab_live_slots:64", 10);
+        reg.set_gauge("slab_live_slots:64", 7);
+        assert_eq!(reg.gauge("slab_live_slots:64"), Some(7));
+        assert_eq!(reg.gauge("absent"), None);
+        let mut a = reg.snapshot();
+        let other = ObsRegistry::new(TimeSource::real());
+        other.set_gauge("slab_live_slots:64", 5);
+        other.set_gauge("slab_live_slots:80", 3);
+        a.merge(&other.snapshot());
+        // Per-node absolute values sum into the cluster-wide total.
+        assert_eq!(a.gauge("slab_live_slots:64"), Some(12));
+        assert_eq!(a.gauge("slab_live_slots:80"), Some(3));
+        let text = a.render_prometheus();
+        assert!(text.contains("ecc_slab_live_slots{op=\"64\"} 12"));
+        assert!(text.contains("ecc_slab_live_slots{op=\"80\"} 3"));
     }
 
     #[test]

@@ -3,12 +3,14 @@
 //! Layout (all integers little-endian):
 //!
 //! ```text
-//! u16 version            currently 2
+//! u16 version            currently 3
 //! u64 dropped            events lost to ring overflow
 //! u64 spans_dropped      root spans skipped by trace sampling (v2+)
 //! u32 hist_count
 //!   per hist: u16 name_len, name bytes (UTF-8),
 //!             LogHistogram wire form (count/sum/min/max/bucket-count/buckets)
+//! u32 gauge_count        (v3+)
+//!   per gauge: u16 name_len, name bytes (UTF-8), u64 value
 //! u32 event_count
 //!   per event: u32 json_len, JSON bytes (one ObsEvent line, no newline)
 //! ```
@@ -25,9 +27,10 @@ use crate::hist::{read_u16, read_u32, read_u64, LogHistogram};
 use crate::registry::ObsSnapshot;
 
 /// Current dump format version. v2 added the `spans_dropped` counter (the
-/// tracing layer's sampling knob); v1 dumps are still decoded, reading the
-/// counter as 0.
-pub const OBS_DUMP_VERSION: u16 = 2;
+/// tracing layer's sampling knob); v3 added the gauge section (slab-class
+/// occupancy). Older dumps are still decoded, reading the missing parts
+/// as 0 / empty.
+pub const OBS_DUMP_VERSION: u16 = 3;
 
 /// Serialize a snapshot into the versioned dump form.
 pub fn encode_dump(snap: &ObsSnapshot) -> Vec<u8> {
@@ -41,6 +44,13 @@ pub fn encode_dump(snap: &ObsSnapshot) -> Vec<u8> {
         out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
         out.extend_from_slice(name_bytes);
         h.encode_into(&mut out);
+    }
+    out.extend_from_slice(&(snap.gauges.len() as u32).to_le_bytes());
+    for (name, v) in &snap.gauges {
+        let name_bytes = name.as_bytes();
+        out.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(name_bytes);
+        out.extend_from_slice(&v.to_le_bytes());
     }
     out.extend_from_slice(&(snap.events.len() as u32).to_le_bytes());
     for ev in &snap.events {
@@ -81,6 +91,22 @@ pub fn decode_dump(buf: &[u8]) -> Option<ObsSnapshot> {
         let h = LogHistogram::decode_from(buf, &mut pos)?;
         hists.insert(name, h);
     }
+    let mut gauges = BTreeMap::new();
+    if version >= 3 {
+        let gauge_count = read_u32(buf, &mut pos)? as usize;
+        // A gauge needs at least 10 bytes on the wire.
+        if gauge_count > buf.len() / 10 + 1 {
+            return None;
+        }
+        for _ in 0..gauge_count {
+            let name_len = read_u16(buf, &mut pos)? as usize;
+            let name_bytes = buf.get(pos..pos + name_len)?;
+            pos += name_len;
+            let name = std::str::from_utf8(name_bytes).ok()?.to_owned();
+            let v = read_u64(buf, &mut pos)?;
+            gauges.insert(name, v);
+        }
+    }
     let event_count = read_u32(buf, &mut pos)? as usize;
     if event_count > buf.len() / 4 + 1 {
         return None;
@@ -102,6 +128,7 @@ pub fn decode_dump(buf: &[u8]) -> Option<ObsSnapshot> {
         dropped,
         spans_dropped,
         hists,
+        gauges,
         events,
     })
 }
@@ -120,6 +147,8 @@ mod tests {
         }
         snap.hists.insert("server_op_us:get".into(), h.clone());
         snap.hists.insert("coord_fanout_us".into(), h);
+        snap.gauges.insert("slab_live_slots:64".into(), 17);
+        snap.gauges.insert("slab_total_slots:64".into(), 1024);
         snap.events.push(ObsEvent::BucketSplit {
             at_us: 3,
             node: 0,
@@ -184,6 +213,22 @@ mod tests {
         });
         let back = decode_dump(&encode_dump(&snap)).unwrap();
         assert_eq!(back, snap);
+    }
+
+    /// A v2 dump (pre-gauges peer) still decodes: same layout minus the
+    /// gauge section, which reads as empty.
+    #[test]
+    fn legacy_v2_dump_still_decodes() {
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&2u16.to_le_bytes()); // version 2
+        v2.extend_from_slice(&4u64.to_le_bytes()); // dropped
+        v2.extend_from_slice(&1u64.to_le_bytes()); // spans_dropped
+        v2.extend_from_slice(&0u32.to_le_bytes()); // hist_count
+        v2.extend_from_slice(&0u32.to_le_bytes()); // event_count
+        let snap = decode_dump(&v2).expect("v2 decodes");
+        assert_eq!(snap.dropped, 4);
+        assert_eq!(snap.spans_dropped, 1);
+        assert!(snap.gauges.is_empty());
     }
 
     /// A v1 dump (pre-tracing peer) still decodes: the layout was

@@ -414,8 +414,15 @@ fn run_node_ops(
         cursors[t] += 1;
         match op {
             ModelOp::Put { key, len } => {
-                let old = oracle.get(&key).copied().unwrap_or(0);
-                let growth = (len as u64).saturating_sub(old as u64);
+                // The oracle charges the same true slab footprint as the
+                // engine's admission CAS — `slab::footprint` is the shared
+                // pure function, so the differential stays bit-exact.
+                let new_fp = ecc_core::slab::footprint(len);
+                let old_fp = oracle
+                    .get(&key)
+                    .map(|&l| ecc_core::slab::footprint(l))
+                    .unwrap_or(0);
+                let growth = new_fp.saturating_sub(old_fp);
                 let fits = oracle_used + growth <= capacity;
                 let outcome = node.put(key, Record::filler(len));
                 match (outcome, fits) {
@@ -457,7 +464,7 @@ fn run_node_ops(
                 }
             }
         }
-        oracle_used = oracle.values().map(|&l| l as u64).sum();
+        oracle_used = oracle.values().map(|&l| ecc_core::slab::footprint(l)).sum();
         // Global safety property after every op: accounting never exceeds
         // capacity and matches the oracle byte-for-byte.
         if node.used_bytes() != oracle_used {

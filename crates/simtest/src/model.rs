@@ -156,9 +156,11 @@ impl ModelLru {
 
 /// Reference semantics of one wire-protocol cache server: a flat map with
 /// byte accounting, predicting the exact [`Response`] (status *and* body)
-/// the server must produce for any decodable request. Replacement is
-/// charged only for its byte *growth*: a put is accepted iff
-/// `used - old_size + new_size <= capacity`.
+/// the server must produce for any decodable request. Every record is
+/// charged its true slab footprint — [`ecc_core::slab::footprint`], the
+/// pure size function the engine's admission CAS uses — and replacement
+/// is charged only for its footprint *growth*: a put is accepted iff
+/// `used - old_footprint + new_footprint <= capacity`.
 #[derive(Debug, Clone)]
 pub struct ModelServer {
     map: BTreeMap<u64, Vec<u8>>,
@@ -204,8 +206,12 @@ impl ModelServer {
                 None => Response::status(Status::NotFound),
             },
             Request::Put { key, value } => {
-                let size = value.len() as u64;
-                let old = self.map.get(&key).map(|v| v.len() as u64).unwrap_or(0);
+                let size = ecc_core::slab::footprint(value.len());
+                let old = self
+                    .map
+                    .get(&key)
+                    .map(|v| ecc_core::slab::footprint(v.len()))
+                    .unwrap_or(0);
                 if self.used - old + size > self.capacity {
                     return Response::status(Status::Overflow);
                 }
@@ -215,7 +221,7 @@ impl ModelServer {
             }
             Request::Remove { key } => match self.map.remove(&key) {
                 Some(v) => {
-                    self.used -= v.len() as u64;
+                    self.used -= ecc_core::slab::footprint(v.len());
                     Response::status(Status::Ok)
                 }
                 None => Response::status(Status::NotFound),
@@ -230,7 +236,7 @@ impl ModelServer {
                         .collect()
                 };
                 for (_, v) in &drained {
-                    self.used -= v.len() as u64;
+                    self.used -= ecc_core::slab::footprint(v.len());
                 }
                 Response::ok(encode_records(&drained))
             }
@@ -246,7 +252,7 @@ impl ModelServer {
                 let (mut bytes, mut records) = (0u64, 0u64);
                 if lo <= hi {
                     for (_, v) in self.map.range(lo..=hi) {
-                        bytes += v.len() as u64;
+                        bytes += ecc_core::slab::footprint(v.len());
                         records += 1;
                     }
                 }
@@ -264,8 +270,12 @@ impl ModelServer {
                 let statuses: Vec<Status> = items
                     .into_iter()
                     .map(|(key, value)| {
-                        let size = value.len() as u64;
-                        let old = self.map.get(&key).map(|v| v.len() as u64).unwrap_or(0);
+                        let size = ecc_core::slab::footprint(value.len());
+                        let old = self
+                            .map
+                            .get(&key)
+                            .map(|v| ecc_core::slab::footprint(v.len()))
+                            .unwrap_or(0);
                         if self.used - old + size > self.capacity {
                             return Status::Overflow;
                         }

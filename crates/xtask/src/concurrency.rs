@@ -31,6 +31,14 @@
 //!   connections; any of these stalls all of them. Reactors use
 //!   nonblocking reads/writes that surface `WouldBlock`, `try_recv`, and
 //!   lock-free handoff instead.
+//! * **no-global-alloc-in-hot-path** — the slab-arena storage engine
+//!   (PR 10) got steady-state GET/PUT to zero allocator calls: B+Tree
+//!   nodes use fixed-capacity inline arrays and record payloads live in
+//!   size-class slab slots. Files on that path must not call the global
+//!   allocator at all: `Vec::new` / `vec!` / `Box::new` / `.to_vec` are
+//!   banned outside test modules (matching at identifier boundaries, so
+//!   `InlineVec::new` stays legal). Cold paths — connection setup,
+//!   reactor startup — carry an explicit per-line waiver instead.
 //! * **span-discipline** — a span-guard constructor (`.span_start(` /
 //!   `.span_start_at(` / `.span_follow(` / `.span_root(`) in statement
 //!   position, or bound with `let _ =`, drops its RAII guard on the spot:
@@ -60,6 +68,8 @@ pub struct ConcPolicy {
     pub reactor_io: bool,
     /// Require span guards to be let-bound (RAII discipline).
     pub span_discipline: bool,
+    /// Forbid global-allocator calls outright (slab-era hot-path files).
+    pub hot_alloc: bool,
 }
 
 /// Crates whose lock acquisitions must follow the ShardedNode hierarchy.
@@ -84,6 +94,42 @@ const REACTOR_FILES: &[&str] = &["crates/net/src/reactor.rs"];
 
 /// Crates that open trace spans and must keep the RAII guards live.
 const SPAN_CRATES: &[&str] = &["core", "net", "obs", "simtest"];
+
+/// Files on the zero-allocation steady-state path: inline B+Tree node
+/// storage, the slab arena itself, and the reactor event loop. A stray
+/// `Vec::new` here silently reintroduces the per-op mallocs the slab
+/// engine exists to remove.
+const HOT_ALLOC_FILES: &[&str] = &[
+    "crates/bptree/src/tree.rs",
+    "crates/bptree/src/inline.rs",
+    "crates/core/src/slab.rs",
+    "crates/net/src/reactor.rs",
+];
+
+/// Global-allocator entry points banned on the hot-alloc files, with the
+/// zero-alloc replacement each should use. Token matching honours
+/// identifier boundaries, so `InlineVec::new` never trips the `Vec::new`
+/// probe; `Vec::with_capacity` (cold-path pre-sizing) stays legal.
+const HOT_ALLOC_PATTERNS: &[(&str, &str)] = &[
+    (
+        "Vec::new(",
+        "growable heap vector — use a fixed-capacity `InlineVec` or a \
+         pre-sized buffer created off the hot path",
+    ),
+    (
+        "vec!",
+        "heap vector literal — use a stack array or an `InlineVec`",
+    ),
+    (
+        "Box::new(",
+        "heap box — hot-path values live inline in nodes or in slab slots",
+    ),
+    (
+        ".to_vec(",
+        "payload memcpy into a fresh heap vector — clone the refcounted \
+         handle (`SlabRef` / `Bytes`) instead",
+    ),
+];
 
 /// Span-guard constructors (method-call position, so definitions and
 /// free functions don't match).
@@ -175,6 +221,7 @@ pub fn conc_policy_for(rel_path: &str) -> Option<ConcPolicy> {
         guard_io: GUARD_IO_FILES.contains(&rel.as_str()),
         reactor_io: REACTOR_FILES.contains(&rel.as_str()),
         span_discipline: SPAN_CRATES.contains(&krate),
+        hot_alloc: HOT_ALLOC_FILES.contains(&rel.as_str()),
     })
 }
 
@@ -213,6 +260,15 @@ pub fn analyze_source(rel_path: &str, src: &str, policy: ConcPolicy) -> Vec<Find
     }
     if policy.span_discipline {
         span_pass(
+            rel_path,
+            &raw_lines,
+            &stripped_lines,
+            &in_test,
+            &mut findings,
+        );
+    }
+    if policy.hot_alloc {
+        hot_alloc_pass(
             rel_path,
             &raw_lines,
             &stripped_lines,
@@ -327,6 +383,71 @@ fn reactor_io_pass(
                         "`{pat}` in a reactor event loop — it {why}, stalling every \
                          connection this reactor owns; use nonblocking I/O that surfaces \
                          `WouldBlock` (FrameAssembler::fill_from, buffered writes, try_recv)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when `needle` occurs in `line` as a token: when the needle opens
+/// with an identifier character, the character before the match must not
+/// be one (so `InlineVec::new` never matches a `Vec::new` probe). Needles
+/// opening with punctuation (`.to_vec(`) match as plain substrings.
+fn contains_token(line: &str, needle: &str) -> bool {
+    let ident_start = needle
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut start = 0;
+    while let Some(off) = line[start..].find(needle) {
+        let pos = start + off;
+        let boundary = !ident_start
+            || pos == 0
+            || !line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = pos + needle.len();
+    }
+    false
+}
+
+/// Flag every global-allocator call in a hot-alloc file. The slab engine
+/// exists to make steady-state GET/PUT allocation-free (inline node
+/// arrays, size-class slab slots); one stray `Vec::new` on this path
+/// quietly reintroduces the per-op mallocs the refactor removed — and the
+/// zero-alloc bench gate only catches the workloads it happens to run.
+fn hot_alloc_pass(
+    rel_path: &str,
+    raw_lines: &[&str],
+    stripped_lines: &[&str],
+    in_test: &[bool],
+    findings: &mut Vec<Finding>,
+) {
+    for (idx, line) in stripped_lines.iter().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let raw_line = raw_lines.get(idx).copied().unwrap_or("");
+        if raw_line.contains(&format!(
+            "xtask: allow({})",
+            Rule::NoGlobalAllocHotPath.slug()
+        )) {
+            continue;
+        }
+        for (pat, why) in HOT_ALLOC_PATTERNS {
+            if contains_token(line, pat) {
+                findings.push(Finding {
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    rule: Rule::NoGlobalAllocHotPath,
+                    message: format!(
+                        "`{pat}` on the zero-allocation hot path — {why}; cold-path setup \
+                         code may waive per line with a stated reason"
                     ),
                 });
             }
@@ -817,6 +938,18 @@ mod tests {
         guard_io: true,
         reactor_io: true,
         span_discipline: true,
+        hot_alloc: false,
+    };
+
+    /// The policy of a zero-allocation hot-path file that carries none of
+    /// the lock/atomic machinery (e.g. the bptree crate).
+    const HOT_ALLOC_ONLY: ConcPolicy = ConcPolicy {
+        lock_order: false,
+        atomics: false,
+        guard_io: false,
+        reactor_io: false,
+        span_discipline: false,
+        hot_alloc: true,
     };
 
     /// The policy of a guard-audited non-reactor file (e.g. server.rs):
@@ -1056,20 +1189,93 @@ mod tests {
     fn policies_match_the_repo_layout() {
         let p = conc_policy_for("crates/core/src/shard.rs").unwrap();
         assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io && p.span_discipline);
+        assert!(!p.hot_alloc, "shard delegates payload storage to the slab");
         let p = conc_policy_for("crates/net/src/server.rs").unwrap();
         assert!(p.lock_order && p.atomics && p.guard_io && !p.reactor_io);
         let p = conc_policy_for("crates/net/src/reactor.rs").unwrap();
-        assert!(p.lock_order && p.atomics && p.guard_io && p.reactor_io);
+        assert!(p.lock_order && p.atomics && p.guard_io && p.reactor_io && p.hot_alloc);
         let p = conc_policy_for("crates/net/src/protocol.rs").unwrap();
         assert!(p.lock_order && p.atomics && !p.guard_io);
         let p = conc_policy_for("crates/obs/src/registry.rs").unwrap();
         assert!(!p.lock_order && p.atomics && !p.guard_io && p.span_discipline);
         let p = conc_policy_for("crates/simtest/src/proto_sim.rs").unwrap();
         assert!(p.span_discipline);
+        // The zero-allocation storage files: inline node arrays + slab.
         let p = conc_policy_for("crates/bptree/src/tree.rs").unwrap();
         assert!(!p.lock_order && !p.atomics && !p.guard_io && !p.span_discipline);
+        assert!(p.hot_alloc);
+        assert!(
+            conc_policy_for("crates/bptree/src/inline.rs")
+                .unwrap()
+                .hot_alloc
+        );
+        assert!(
+            conc_policy_for("crates/core/src/slab.rs")
+                .unwrap()
+                .hot_alloc
+        );
+        assert!(
+            !conc_policy_for("crates/bptree/src/bytesize.rs")
+                .unwrap()
+                .hot_alloc
+        );
         assert!(conc_policy_for("crates/net/src/bin/cache_server.rs").is_none());
         assert!(conc_policy_for("README.md").is_none());
+    }
+
+    #[test]
+    fn global_alloc_calls_on_the_hot_path_are_flagged() {
+        let src = "\
+fn grow(&mut self, payload: &[u8]) {
+    let mut scratch = Vec::new();
+    let staged = vec![0u8; payload.len()];
+    let boxed = Box::new(staged);
+    let copy = payload.to_vec();
+}
+";
+        let f = analyze_source("crates/bptree/src/tree.rs", src, HOT_ALLOC_ONLY);
+        assert_eq!(
+            rules(&f),
+            vec![
+                (2, Rule::NoGlobalAllocHotPath),
+                (3, Rule::NoGlobalAllocHotPath),
+                (4, Rule::NoGlobalAllocHotPath),
+                (5, Rule::NoGlobalAllocHotPath),
+            ]
+        );
+    }
+
+    #[test]
+    fn inline_vec_and_with_capacity_are_not_global_allocs() {
+        // `InlineVec::new` shares the `Vec::new` suffix but is the blessed
+        // replacement; `Vec::with_capacity` is the cold-path pre-sizing
+        // idiom. Neither may trip the probe.
+        let src = "\
+fn put(&mut self, key: u64) {
+    let mut keys: InlineVec<u64, 32> = InlineVec::new();
+    keys.push(key);
+    let wbuf: Vec<u8> = Vec::with_capacity(4096);
+}
+";
+        assert!(analyze_source("crates/bptree/src/inline.rs", src, HOT_ALLOC_ONLY).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_waiver_and_tests_are_respected() {
+        let src = "\
+fn startup(&mut self) {
+    self.conns = Vec::new(); // xtask: allow(no-global-alloc-in-hot-path) — one-time startup
+}
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let v = vec![0u8; 64];
+        let w = v.to_vec();
+        let _b = Box::new(w);
+    }
+}
+";
+        assert!(analyze_source("crates/core/src/slab.rs", src, HOT_ALLOC_ONLY).is_empty());
     }
 
     #[test]

@@ -116,6 +116,10 @@ pub enum Rule {
     /// `span_root` …) whose RAII guard is dropped on the spot — the span
     /// ends the instant it starts, silently recording zero duration.
     SpanDiscipline,
+    /// Global-allocator call (`Vec::new` / `vec!` / `Box::new` /
+    /// `.to_vec`) in a slab-era hot-path file — steady-state GET/PUT must
+    /// run on inline node arrays and slab slots, never malloc.
+    NoGlobalAllocHotPath,
 }
 
 impl Rule {
@@ -136,6 +140,7 @@ impl Rule {
             Rule::GuardAcrossIo => "guard-across-io",
             Rule::BlockingIoInReactor => "no-blocking-io-in-reactor",
             Rule::SpanDiscipline => "span-discipline",
+            Rule::NoGlobalAllocHotPath => "no-global-alloc-in-hot-path",
         }
     }
 }
@@ -728,7 +733,8 @@ pub fn run_lint(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)>
 
 /// Run the concurrency-soundness passes (lock-order, stripe-order,
 /// seqcst-justify, mixed-ordering, guard-across-io,
-/// no-blocking-io-in-reactor) over a workspace root.
+/// no-blocking-io-in-reactor, no-global-alloc-in-hot-path) over a
+/// workspace root.
 pub fn run_concurrency(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, usize)> {
     let crates_dir = workspace_root.join("crates");
     let mut files = Vec::new();
@@ -755,7 +761,12 @@ pub fn run_concurrency(workspace_root: &Path) -> std::io::Result<(Vec<Finding>, 
         let Some(policy) = concurrency::conc_policy_for(&rel) else {
             continue;
         };
-        if !(policy.lock_order || policy.atomics || policy.guard_io || policy.reactor_io) {
+        if !(policy.lock_order
+            || policy.atomics
+            || policy.guard_io
+            || policy.reactor_io
+            || policy.hot_alloc)
+        {
             continue;
         }
         let src = std::fs::read_to_string(path)?;

@@ -25,13 +25,16 @@ const ALL_PASSES: ConcPolicy = ConcPolicy {
     guard_io: true,
     reactor_io: false,
     span_discipline: true,
+    hot_alloc: false,
 };
 
 /// Reactor-named fixtures additionally ban blocking primitives outright,
-/// mirroring how `conc_policy_for` singles out the reactor file.
+/// and hot-alloc-named fixtures ban global-allocator calls, mirroring how
+/// `conc_policy_for` singles out the file-targeted passes.
 fn policy_for_fixture(name: &str) -> ConcPolicy {
     ConcPolicy {
         reactor_io: name.contains("reactor"),
+        hot_alloc: name.contains("hot_alloc"),
         ..ALL_PASSES
     }
 }

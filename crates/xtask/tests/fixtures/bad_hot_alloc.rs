@@ -1,0 +1,12 @@
+//! Seeded bug: global-allocator calls on the zero-allocation hot path.
+//! Every line of `grow` reintroduces a per-op malloc the slab engine
+//! exists to remove, and each must be flagged at its own line.
+
+fn grow(&mut self, key: u64, payload: &[u8]) {
+    let mut scratch = Vec::new();
+    let staged = vec![0u8; payload.len()];
+    let boxed = Box::new(staged);
+    let copy = payload.to_vec();
+    scratch.push(key);
+    self.insert(key, copy, boxed);
+}

@@ -1,0 +1,27 @@
+//! Blessed zero-allocation idioms: fixed-capacity inline storage
+//! (`InlineVec::new` shares a suffix with `Vec::new` and must not trip
+//! the probe), slab-slot allocation, cold-path pre-sizing via
+//! `Vec::with_capacity`, an explicit waiver on one-time startup code,
+//! and the test-module exemption.
+
+fn put(&mut self, key: u64, payload: &[u8]) {
+    let mut keys: InlineVec<u64, 32> = InlineVec::new();
+    keys.push(key);
+    let rec = self.arena.try_alloc(payload);
+    self.insert(key, rec);
+}
+
+fn startup(&mut self) {
+    self.conns = Vec::new(); // xtask: allow(no-global-alloc-in-hot-path) — one-time startup
+    self.wbuf = Vec::with_capacity(4096);
+}
+
+#[cfg(test)]
+mod tests {
+    fn t() {
+        let v = vec![0u8; 64];
+        let w = v.to_vec();
+        let _b = Box::new(w);
+        let _z: Vec<u8> = Vec::new();
+    }
+}

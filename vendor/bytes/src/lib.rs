@@ -13,9 +13,13 @@ use std::ops::{Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable, contiguous slice of memory.
-#[derive(Clone, Default)]
+///
+/// Backed by a refcounted owner object (any `AsRef<[u8]>`), so a `Bytes`
+/// can wrap a `Vec<u8>` *or* an application-defined buffer handle (see
+/// [`Bytes::from_owner`]) without copying the payload.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<dyn AsRef<[u8]> + Send + Sync>,
     start: usize,
     end: usize,
 }
@@ -29,6 +33,24 @@ impl Bytes {
     /// Wrap a static byte slice.
     pub fn from_static(bytes: &'static [u8]) -> Self {
         Self::from(bytes.to_vec())
+    }
+
+    /// Wrap an arbitrary owner whose `AsRef<[u8]>` view is the payload —
+    /// no copy; the owner is dropped when the last clone goes away.
+    /// Mirrors `bytes 1.9`'s `Bytes::from_owner`. The owner's `as_ref`
+    /// must be stable (same pointer and length on every call) for the
+    /// lifetime of the `Bytes`.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let data: Arc<dyn AsRef<[u8]> + Send + Sync> = Arc::new(owner);
+        let end = (*data).as_ref().len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
     }
 
     /// Copy `data` into a new `Bytes`.
@@ -76,10 +98,20 @@ impl Bytes {
     }
 }
 
+impl Default for Bytes {
+    fn default() -> Self {
+        Self {
+            data: Arc::new([0u8; 0]),
+            start: 0,
+            end: 0,
+        }
+    }
+}
+
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &(*self.data).as_ref()[self.start..self.end]
     }
 }
 
@@ -91,13 +123,7 @@ impl AsRef<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
-        Self {
-            data,
-            start: 0,
-            end,
-        }
+        Self::from_owner(v)
     }
 }
 
@@ -396,5 +422,31 @@ mod tests {
     fn underflow_panics_like_real_bytes() {
         let mut b = Bytes::from_static(&[1]);
         let _ = b.get_u32_le();
+    }
+
+    #[test]
+    fn from_owner_shares_without_copying() {
+        struct Owner(Vec<u8>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        let owner = Owner(vec![9, 8, 7]);
+        let ptr = owner.0.as_ptr();
+        let b = Bytes::from_owner(owner);
+        assert_eq!(b, [9, 8, 7]);
+        // The view aliases the owner's buffer: no payload copy happened.
+        assert!(std::ptr::eq(ptr, b.as_ref().as_ptr()));
+        let c = b.clone();
+        assert!(std::ptr::eq(ptr, c.as_ref().as_ptr()));
+    }
+
+    #[test]
+    fn from_vec_does_not_copy_the_buffer() {
+        let v = vec![1u8, 2, 3, 4];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert!(std::ptr::eq(ptr, b.as_ref().as_ptr()));
     }
 }
